@@ -1,0 +1,477 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// micro-benchmarks of the hot paths and ablations of the design choices
+// DESIGN.md calls out. Each Benchmark{Figure,Table}* target performs the
+// complete computation behind the corresponding artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// to both time them and (via -v logging on -benchtime=1x) inspect the
+// regenerated content.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/eventq"
+	"repro/internal/frontier"
+	"repro/internal/ndwf"
+	"repro/internal/online"
+	"repro/internal/placement"
+	"repro/internal/plan"
+	"repro/internal/provision"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sla"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+// sweepOnce caches the paper sweep across benchmarks that only analyze it.
+var cachedSweep *core.Sweep
+
+func paperSweep(b *testing.B) *core.Sweep {
+	b.Helper()
+	if cachedSweep == nil {
+		s, err := core.Run(core.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cachedSweep = s
+	}
+	return cachedSweep
+}
+
+// BenchmarkFigure1Provisioning regenerates Fig. 1: the five provisioning
+// policies scheduling the CSTEM sub-workflow, rendered as Gantt charts.
+func BenchmarkFigure1Provisioning(b *testing.B) {
+	wf := workflows.Fig1SubWorkflow()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range provision.Kinds() {
+			var alg sched.Algorithm
+			switch kind {
+			case provision.AllParExceed, provision.AllParNotExceed:
+				alg = sched.NewAllPar(kind, cloud.Small)
+			default:
+				alg = sched.NewHEFT(kind, cloud.Small)
+			}
+			s, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = trace.Gantt(s, 90)
+		}
+	}
+}
+
+// BenchmarkFigure3ParetoCDF regenerates Fig. 3: sampling the Pareto
+// execution-time distribution and plotting its CDF.
+func BenchmarkFigure3ParetoCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Figure3(42, 100000)
+	}
+}
+
+// BenchmarkFigure4GainLoss regenerates Fig. 4: for each workflow pane, the
+// 19-strategy gain/loss scatter under the Pareto scenario.
+func BenchmarkFigure4GainLoss(b *testing.B) {
+	for _, wf := range workflows.PaperNames() {
+		b.Run(wf, func(b *testing.B) {
+			structural := workflows.Paper()[wf]
+			for i := 0; i < b.N; i++ {
+				s, err := core.Run(core.Config{
+					Seed:          42,
+					Workflows:     map[string]*dag.Workflow{wf: structural},
+					WorkflowOrder: []string{wf},
+					Scenarios:     []workload.Scenario{workload.Pareto},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = report.Figure4(s, wf)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5IdleTime regenerates Fig. 5: the idle-time bars per
+// workflow pane.
+func BenchmarkFigure5IdleTime(b *testing.B) {
+	for _, wf := range workflows.PaperNames() {
+		b.Run(wf, func(b *testing.B) {
+			structural := workflows.Paper()[wf]
+			for i := 0; i < b.N; i++ {
+				s, err := core.Run(core.Config{
+					Seed:          42,
+					Workflows:     map[string]*dag.Workflow{wf: structural},
+					WorkflowOrder: []string{wf},
+					Scenarios:     []workload.Scenario{workload.Pareto},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = report.Figure5(s, wf)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Policies regenerates Table I (the static policy pairing).
+func BenchmarkTable1Policies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table1()
+	}
+}
+
+// BenchmarkTable2Prices regenerates Table II from the platform model.
+func BenchmarkTable2Prices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Table2()
+	}
+}
+
+// BenchmarkTable3Classification regenerates Table III: the full sweep plus
+// the gain/savings classification with equal-outcome grouping.
+func BenchmarkTable3Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(core.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report.Table3(s)
+	}
+}
+
+// BenchmarkTable4Fluctuation regenerates Table IV: the AllPar[Not]Exceed
+// loss intervals and stable-gain summary.
+func BenchmarkTable4Fluctuation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(core.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = report.Table4(s)
+	}
+}
+
+// BenchmarkTable5Recommendations regenerates Table V: the per-goal
+// strategy recommendations.
+func BenchmarkTable5Recommendations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.Run(core.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := report.Table5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullParanoidSweep times the complete grid with validation and
+// simulator cross-checking enabled — the most expensive end-to-end path.
+func BenchmarkFullParanoidSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.Config{Seed: 42, Paranoid: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSVExport times dumping the full grid as CSV.
+func BenchmarkCSVExport(b *testing.B) {
+	s := paperSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.WriteSweepCSV(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkHEFTRanks times upward-rank computation on the Montage DAG.
+func BenchmarkHEFTRanks(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 42)
+	m := dag.CostModel{Exec: func(t dag.Task) float64 { return t.Work }, Comm: dag.ZeroComm}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wf.UpwardRanks(m)
+	}
+}
+
+// BenchmarkScheduleMontage times one HEFT + StartParNotExceed schedule of
+// the 24-task Montage.
+func BenchmarkScheduleMontage(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 42)
+	alg := sched.NewHEFT(provision.StartParNotExceed, cloud.Small)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleLargeMapReduce times AllPar1LnSDyn on a 100-mapper
+// MapReduce — the level-scheduler's stress case.
+func BenchmarkScheduleLargeMapReduce(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.MapReduce(100, 10), 42)
+	alg := sched.NewAllPar1LnSDyn()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimReplay times the discrete-event execution of a schedule.
+func BenchmarkSimReplay(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.MapReduce(100, 10), 42)
+	s, err := sched.Baseline().Schedule(wf, sched.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(s, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventQueue times raw heap throughput.
+func BenchmarkEventQueue(b *testing.B) {
+	r := stats.NewRNG(1)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q eventq.Queue
+		for _, t := range times {
+			q.Push(t, nil)
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkParetoSampling times the workload generator.
+func BenchmarkParetoSampling(b *testing.B) {
+	d := workload.ExecDist()
+	r := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(r)
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationBootTime contrasts the paper's pre-booted assumption
+// with simulated on-demand boots of two minutes.
+func BenchmarkAblationBootTime(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 42)
+	s, err := sched.NewAllPar(provision.AllParExceed, cloud.Small).Schedule(wf, sched.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, boot := range []float64{0, 120} {
+		name := "preboot"
+		if boot > 0 {
+			name = "boot120s"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(s, sim.Config{BootTime: boot}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRegion re-prices the sweep in the cheapest and the most
+// expensive region: relative results (the paper's percentages) are
+// region-invariant because all prices scale together.
+func BenchmarkAblationRegion(b *testing.B) {
+	for _, region := range []cloud.Region{cloud.USEastVirginia, cloud.SASaoPaulo} {
+		b.Run(region.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(core.Config{Seed: 42, Region: region}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Benches for the systems beyond the paper's headline grid ---
+
+// BenchmarkFrontierCell times one boundary-exploration grid cell (all 19
+// strategies on one synthetic workflow, averaged over 2 draws).
+func BenchmarkFrontierCell(b *testing.B) {
+	cfg := frontier.Config{
+		Widths: []int{8},
+		Depth:  3,
+		Alphas: []float64{2.0},
+		Scales: []float64{0.5},
+		Seed:   1,
+		Reps:   2,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := frontier.Explore(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineStream times the auto-scaled execution of 100 workflow
+// instances.
+func BenchmarkOnlineStream(b *testing.B) {
+	cfg := online.Config{
+		MeanInterarrival: 120,
+		Instances:        100,
+		Instance: func(i int, r *stats.RNG) *dag.Workflow {
+			return workload.Pareto.Apply(workflows.CSTEM(), r.Uint64())
+		},
+		Type:   cloud.Small,
+		Region: cloud.USEastVirginia,
+		MaxVMs: 32,
+		Seed:   1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNdwfDistribution times sampling + scheduling 100 realized
+// instances of a non-deterministic template.
+func BenchmarkNdwfDistribution(b *testing.B) {
+	tpl := ndwf.Template{
+		Name: "bench",
+		Root: ndwf.Seq{
+			ndwf.Task{Name: "in", Work: 100},
+			ndwf.Par{ndwf.Task{Name: "a", Work: 700}, ndwf.Task{Name: "b", Work: 500}},
+			ndwf.Loop{Body: ndwf.Task{Name: "retry", Work: 300}, Repeat: 0.4, Max: 4},
+		},
+	}
+	alg := sched.NewAllPar1LnS()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndwf.Distribution(tpl, alg, sched.DefaultOptions(), 100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementFFD times packing 1000 VM demands onto 32-core PMs.
+func BenchmarkPlacementFFD(b *testing.B) {
+	r := stats.NewRNG(1)
+	demands := make([]placement.VMDemand, 1000)
+	for i := range demands {
+		demands[i] = placement.VMDemand{ID: plan.VMID(i), Cores: 1 << r.Intn(4)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.Pack(demands, 32, placement.FirstFitDecreasing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAXRoundTrip times serializing and re-parsing the Montage DAG
+// through the Pegasus DAX format.
+func BenchmarkDAXRoundTrip(b *testing.B) {
+	wf := workflows.PaperMontage()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := dax.Encode(&buf, wf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dax.Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSeedStability times the 5-seed robustness analysis.
+func BenchmarkMultiSeedStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MultiSeed(core.Config{}, 1, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalability times the level scheduler across workflow sizes to
+// expose the planner's growth rate.
+func BenchmarkScalability(b *testing.B) {
+	for _, n := range []int{30, 120, 480} {
+		wf := workload.Pareto.Apply(workflows.MapReduce(n/3, n/6), 1)
+		alg := sched.NewAllPar(provision.AllParExceed, cloud.Small)
+		b.Run(fmt.Sprintf("tasks-%d", wf.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPCHClustering times path clustering plus scheduling on the
+// data-heavy MapReduce.
+func BenchmarkPCHClustering(b *testing.B) {
+	wf := workload.DataHeavy.Apply(workflows.PaperMapReduce(), 1)
+	alg := sched.NewPCH(cloud.Small)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHCOCDeadlineCurve times one hybrid-cloud deadline search.
+func BenchmarkHCOCDeadlineCurve(b *testing.B) {
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.NewHCOC(2, 8000, cloud.Large).Schedule(wf.Clone(), sched.DefaultOptions()); err != nil && err != sched.ErrDeadlineUnreachable {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSLAEvaluate times a 100-instance deadline-probability estimate.
+func BenchmarkSLAEvaluate(b *testing.B) {
+	tpl := ndwf.Template{
+		Name: "bench",
+		Root: ndwf.Seq{
+			ndwf.Task{Name: "a", Work: 600},
+			ndwf.Loop{Body: ndwf.Task{Name: "retry", Work: 400}, Repeat: 0.5, Max: 4},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sla.Evaluate(tpl, sched.Baseline(), sched.DefaultOptions(), 1500, 100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command figures regenerates the paper's figures as terminal graphics:
+// Fig. 1 (provisioning policy Gantt comparison), Fig. 3 (Pareto CDF),
+// Fig. 4 (gain/loss scatter panes) and Fig. 5 (idle-time bars).
+//
+// Usage:
+//
+//	figures -fig all
+//	figures -fig 4 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/provision"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workflows"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "figure to render: 1, 2, 3, 4, 5, or all")
+		seed = flag.Uint64("seed", 42, "seed for the Pareto workload")
+		out  = flag.String("out", "", "additionally write figure artifacts (SVG Gantts for Fig. 1, gnuplot data for Fig. 4) into this directory")
+	)
+	flag.Parse()
+	if err := run(*fig, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, seed uint64, outDir string) error {
+	needSweep := fig == "4" || fig == "5" || fig == "all"
+	var s *core.Sweep
+	if needSweep {
+		var err error
+		if s, err = core.Run(core.Config{Seed: seed}); err != nil {
+			return err
+		}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		if err := writeArtifacts(outDir, s); err != nil {
+			return err
+		}
+	}
+	switch fig {
+	case "1":
+		return figure1()
+	case "2":
+		return figure2()
+	case "3":
+		fmt.Println(report.Figure3(seed, 100000))
+	case "4":
+		fmt.Println(report.Figure4All(s))
+	case "5":
+		fmt.Println(report.Figure5All(s))
+	case "all":
+		if err := figure1(); err != nil {
+			return err
+		}
+		if err := figure2(); err != nil {
+			return err
+		}
+		fmt.Println(report.Figure3(seed, 100000))
+		fmt.Println(report.Figure4All(s))
+		fmt.Println(report.Figure5All(s))
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// figure2 reproduces the paper's Fig. 2: the structure of the four
+// evaluation workflows, as per-level summaries plus Graphviz sources for
+// exact rendering.
+func figure2() error {
+	fmt.Println("Figure 2: the evaluation workflows")
+	for _, name := range workflows.PaperNames() {
+		wf := workflows.Paper()[name]
+		fmt.Printf("\n-- %s: %d tasks, %d levels, max parallelism %d --\n",
+			name, wf.Len(), wf.Depth(), wf.MaxParallelism())
+		for i, level := range wf.Levels() {
+			fmt.Printf("  level %d (%2d tasks):", i, len(level))
+			for j, id := range level {
+				if j == 6 {
+					fmt.Printf(" …")
+					break
+				}
+				fmt.Printf(" %s", wf.Task(id).Name)
+			}
+			fmt.Println()
+		}
+		fmt.Println("  DOT source:")
+		if err := dot.Workflow(os.Stdout, wf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeArtifacts saves the figure data as files: one SVG Gantt per Fig. 1
+// provisioning policy, and (when the sweep ran) the Fig. 4 gnuplot data.
+func writeArtifacts(dir string, s *core.Sweep) error {
+	wf := workflows.Fig1SubWorkflow()
+	for _, kind := range provision.Kinds() {
+		var alg sched.Algorithm
+		switch kind {
+		case provision.AllParExceed, provision.AllParNotExceed:
+			alg = sched.NewAllPar(kind, cloud.Small)
+		default:
+			alg = sched.NewHEFT(kind, cloud.Small)
+		}
+		sch, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fig1-%s.svg", strings.ToLower(kind.String())))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.SVG(f, sch); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if s != nil {
+		f, err := os.Create(filepath.Join(dir, "fig4.dat"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteGnuplotData(f, s); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote artifacts to %s\n", dir)
+	return nil
+}
+
+// figure1 renders the paper's Fig. 1: the five provisioning policies
+// applied to the CSTEM sub-workflow (one initial task plus six dependents),
+// shown as Gantt charts so the differing VM counts, idle times and
+// makespans are visible.
+func figure1() error {
+	fmt.Println("Figure 1: VM provisioning policies on the CSTEM sub-workflow")
+	fmt.Println()
+	wf := workflows.Fig1SubWorkflow()
+	for _, kind := range provision.Kinds() {
+		var alg sched.Algorithm
+		switch kind {
+		case provision.AllParExceed, provision.AllParNotExceed:
+			alg = sched.NewAllPar(kind, cloud.Small)
+		default:
+			alg = sched.NewHEFT(kind, cloud.Small)
+		}
+		s, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s --\n", kind)
+		fmt.Println(trace.Gantt(s, 90))
+	}
+	return nil
+}

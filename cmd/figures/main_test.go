@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEachFigure(t *testing.T) {
+	for _, fig := range []string{"1", "2", "3", "4", "5"} {
+		if err := run(fig, 1, ""); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run("all", 1, ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("9", 1, ""); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	if err := run("4", 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1-onevmpertask.svg", "fig1-startparexceed.svg", "fig4.dat"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command frontier runs the boundary exploration of the paper's future
+// work: for a grid of workflow widths, execution-time heterogeneities
+// (Pareto shape) and task scales (fraction of a BTU), it races the full
+// strategy catalog and prints, per user goal, the winning strategy at each
+// grid point — the continuous refinement of Table V.
+//
+// Usage:
+//
+//	frontier
+//	frontier -widths 1,2,4,8,16,32 -alphas 1.2,2,4 -scales 0.1,0.5,1,2 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/frontier"
+	"repro/internal/sched"
+	"repro/internal/workflows"
+)
+
+func main() {
+	var (
+		widths    = flag.String("widths", "1,2,4,8,16", "comma-separated parallel widths")
+		alphas    = flag.String("alphas", "1.2,2.0,3.5", "comma-separated Pareto shapes (>1)")
+		scales    = flag.String("scales", "0.1,0.5,1.5", "comma-separated mean task lengths in BTUs")
+		depth     = flag.Int("depth", 3, "levels in the synthetic workflow")
+		reps      = flag.Int("reps", 3, "repetitions averaged per cell")
+		seed      = flag.Uint64("seed", 42, "base seed")
+		crossover = flag.Bool("crossover", false, "additionally sweep the CCR crossover (parallel vs. co-located) on MapReduce")
+	)
+	flag.Parse()
+	if err := run(*widths, *alphas, *scales, *depth, *reps, *seed, *crossover); err != nil {
+		fmt.Fprintln(os.Stderr, "frontier:", err)
+		os.Exit(1)
+	}
+}
+
+func run(widths, alphas, scales string, depth, reps int, seed uint64, crossover bool) error {
+	cfg := frontier.Config{Depth: depth, Reps: reps, Seed: seed}
+	var err error
+	if cfg.Widths, err = parseInts(widths); err != nil {
+		return err
+	}
+	if cfg.Alphas, err = parseFloats(alphas); err != nil {
+		return err
+	}
+	if cfg.Scales, err = parseFloats(scales); err != nil {
+		return err
+	}
+	cells, err := frontier.Explore(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(frontier.Render(cells, cfg))
+	if crossover {
+		pts, at, err := frontier.DataCrossover(workflows.PaperMapReduce(), seed, 4096, sched.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(frontier.RenderCrossover(pts))
+		if at > 0 {
+			fmt.Printf("co-location overtakes parallelism from data factor %.0f on\n", at)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

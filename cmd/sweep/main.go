@@ -1,0 +1,188 @@
+// Command sweep runs the paper's full evaluation grid — four workflows,
+// three execution-time scenarios, nineteen strategies — and prints the
+// requested tables, or dumps the raw grid as CSV/gnuplot data.
+//
+// Usage:
+//
+//	sweep -table all
+//	sweep -table 3 -seed 7
+//	sweep -csv results.csv -gnuplot fig4.dat -paranoid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expconf"
+	"repro/internal/report"
+	"repro/internal/workflows"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "seed for the Pareto workload")
+		table    = flag.String("table", "all", "table to print: 1, 2, 3, 4, 5, all, or none")
+		csvPath  = flag.String("csv", "", "write the full grid as CSV to this file")
+		gnuPath  = flag.String("gnuplot", "", "write Fig. 4 gnuplot data blocks to this file")
+		paranoid = flag.Bool("paranoid", false, "validate and re-simulate every schedule")
+		grid     = flag.Bool("grid", false, "print the raw result grid")
+		seeds    = flag.Int("seeds", 0, "additionally run a stability analysis across this many Pareto seeds")
+		mdPath   = flag.String("md", "", "write the full grid as a markdown report to this file")
+		extended = flag.Bool("extended", false, "sweep the extended 7-workflow corpus (adds Epigenomics, Inspiral, CyberShake)")
+		confPath = flag.String("config", "", "JSON experiment description (see internal/expconf); overrides -seed/-extended")
+		htmlDir  = flag.String("html", "", "write one self-contained HTML report per workflow into this directory")
+		texPath  = flag.String("latex", "", "write the grid as booktabs LaTeX tables to this file")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *table, *csvPath, *gnuPath, *paranoid, *grid, *seeds, *mdPath, *extended, *confPath, *htmlDir, *texPath); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds int, mdPath string, extended bool, confPath, htmlDir, texPath string) error {
+	cfg := core.Config{Seed: seed, Paranoid: paranoid}
+	if extended {
+		cfg.Workflows = workflows.Extended()
+		cfg.WorkflowOrder = workflows.ExtendedNames()
+	}
+	if confPath != "" {
+		var err error
+		if cfg, err = expconf.LoadFile(confPath); err != nil {
+			return err
+		}
+	}
+	s, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	switch table {
+	case "1":
+		fmt.Println(report.Table1())
+	case "2":
+		fmt.Println(report.Table2())
+	case "3":
+		fmt.Println(report.Table3(s))
+	case "4":
+		fmt.Println(report.Table4(s))
+	case "5":
+		t5, err := report.Table5(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t5)
+	case "all":
+		fmt.Println(report.Table1())
+		fmt.Println(report.Table2())
+		fmt.Println(report.Table3(s))
+		fmt.Println(report.Table4(s))
+		t5, err := report.Table5(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t5)
+	case "none":
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+
+	if grid {
+		printGrid(s)
+		fmt.Println(report.Summary(s))
+	}
+	if seeds > 0 {
+		rows, err := core.MultiSeed(core.Config{Paranoid: paranoid}, seed, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.StabilityTable(rows))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteSweepCSV(f, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	if mdPath != "" {
+		f, err := os.Create(mdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteMarkdown(f, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", mdPath)
+	}
+	if gnuPath != "" {
+		f, err := os.Create(gnuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteGnuplotData(f, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", gnuPath)
+	}
+	if texPath != "" {
+		f, err := os.Create(texPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteLaTeX(f, s); err != nil {
+			return err
+		}
+		if err := report.WriteLaTeXTable4(f, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", texPath)
+	}
+	if htmlDir != "" {
+		if err := os.MkdirAll(htmlDir, 0o755); err != nil {
+			return err
+		}
+		gantts := []string{"OneVMperTask-s", "StartParExceed-s", "AllParExceed-m", "AllPar1LnSDyn"}
+		for _, wf := range s.Workflows() {
+			path := filepath.Join(htmlDir, strings.ToLower(wf)+".html")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := report.WriteHTML(f, s, wf, gantts); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func printGrid(s *core.Sweep) {
+	for _, sc := range s.Scenarios() {
+		for _, wf := range s.Workflows() {
+			fmt.Printf("=== %s / %v ===\n", wf, sc)
+			for _, r := range s.Points(wf, sc) {
+				fmt.Printf("  %-22s gain %7.1f%%  loss %7.1f%%  idle %8.0fs  vms %2d  %s\n",
+					r.Strategy, r.Point.GainPct, r.Point.LossPct,
+					r.Point.IdleTime, r.Point.VMCount, r.Category)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllTables(t *testing.T) {
+	for _, table := range []string{"1", "2", "3", "4", "5", "all", "none"} {
+		if err := run(1, table, "", "", false, false, 0, "", false, "", "", ""); err != nil {
+			t.Errorf("table %s: %v", table, err)
+		}
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	if err := run(1, "9", "", "", false, false, 0, "", false, "", "", ""); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	if err := run(1, "none", "", "", false, true, 0, "", false, "", "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWritesCSVAndGnuplot(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "grid.csv")
+	gnuPath := filepath.Join(dir, "fig4.dat")
+	if err := run(1, "none", csvPath, gnuPath, false, false, 0, "", false, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+4*3*19 {
+		t.Errorf("CSV rows = %d", len(rows))
+	}
+	if data, err := os.ReadFile(gnuPath); err != nil || len(data) == 0 {
+		t.Errorf("gnuplot file: %v, %d bytes", err, len(data))
+	}
+}
+
+func TestRunParanoid(t *testing.T) {
+	if err := run(1, "none", "", "", true, false, 0, "", false, "", "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunStabilitySeeds(t *testing.T) {
+	if err := run(1, "none", "", "", false, false, 2, "", false, "", "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunExtendedCorpusWithMarkdown(t *testing.T) {
+	mdPath := filepath.Join(t.TempDir(), "report.md")
+	if err := run(1, "4", "", "", false, false, 0, mdPath, true, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Epigenomics", "Inspiral", "CyberShake", "# Sweep results"} {
+		if !contains(string(data), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return strings.Contains(s, sub)
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	doc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s", "AllParExceed-s"],
+	  "workflows": [{"name": "CSTEM"}]}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, "none", "", "", false, true, 0, "", false, cfgPath, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, "none", "", "", false, false, 0, "", false, "/no/such/file.json", "", ""); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunWritesHTMLReports(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "html")
+	if err := run(1, "none", "", "", false, false, 0, "", false, "", dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "montage.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("HTML report has no embedded Gantt")
+	}
+}
+
+func TestRunWritesLaTeX(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tables.tex")
+	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\\toprule") {
+		t.Error("LaTeX output malformed")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAllTypesAndFormats(t *testing.T) {
+	for _, typ := range []string{"montage", "cstem", "mapreduce", "sequential", "fig1", "random"} {
+		for _, format := range []string{"json", "dot", "dax"} {
+			if err := run(typ, 4, 3, 2, format, "none", 1); err != nil {
+				t.Errorf("%s/%s: %v", typ, format, err)
+			}
+		}
+	}
+}
+
+func TestRunWithScenarios(t *testing.T) {
+	for _, sc := range []string{"Pareto", "Best case", "Worst case"} {
+		if err := run("cstem", 4, 3, 2, "json", sc, 1); err != nil {
+			t.Errorf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 4, 3, 2, "json", "none", 1); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run("cstem", 4, 3, 2, "yaml", "none", 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("cstem", 4, 3, 2, "json", "nope", 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Command wfsim schedules one workflow with one strategy and reports the
+// outcome: makespan, cost, idle time, the per-VM Gantt chart, and the
+// cross-check against the discrete-event simulator.
+//
+// Usage:
+//
+//	wfsim -wf Montage -strategy AllParExceed-m -scenario Pareto -seed 42
+//	wfsim -wf my-workflow.json -strategy CPA-Eager -gantt=false
+//	wfsim -wf CSTEM -strategy GAIN -boot 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/validate"
+	"repro/internal/wfio"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wfArg    = flag.String("wf", "Montage", "workflow: Montage, CSTEM, MapReduce, Sequential, Fig1, or a JSON file path")
+		strategy = flag.String("strategy", "OneVMperTask-s", "strategy name from the catalog (see -list)")
+		scenario = flag.String("scenario", "Pareto", `execution-time scenario: "Pareto", "Best case", "Worst case", or "none" to keep the workflow's own weights`)
+		seed     = flag.Uint64("seed", 42, "seed for the Pareto scenario")
+		region   = flag.String("region", cloud.USEastVirginia.String(), "EC2 region for pricing")
+		boot     = flag.Float64("boot", 0, "simulated VM boot time in seconds (0 = pre-booted, as in the paper)")
+		gantt    = flag.Bool("gantt", true, "print the per-VM Gantt chart")
+		svgPath  = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this file")
+		csvPath  = flag.String("tracecsv", "", "write the schedule's task slots as CSV to this file")
+		list     = flag.Bool("list", false, "list available strategies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, alg := range sched.Catalog() {
+			fmt.Println(alg.Name())
+		}
+		return
+	}
+	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath string) error {
+	wf, err := loadWorkflow(wfArg)
+	if err != nil {
+		return err
+	}
+	if scenario != "none" {
+		sc, err := workload.ParseScenario(scenario)
+		if err != nil {
+			return err
+		}
+		wf = sc.Apply(wf, seed)
+	}
+	region, err := cloud.ParseRegion(regionName)
+	if err != nil {
+		return err
+	}
+	alg, err := sched.ByName(strategy)
+	if err != nil {
+		return err
+	}
+	opts := sched.Options{Platform: cloud.NewPlatform(), Region: region}
+
+	s, err := alg.Schedule(wf.Clone(), opts)
+	if err != nil {
+		return err
+	}
+	if err := validate.Schedule(s); err != nil {
+		return fmt.Errorf("schedule failed validation: %w", err)
+	}
+	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	if err != nil {
+		return err
+	}
+	point := metrics.Compare(strategy, s, base)
+
+	fmt.Printf("workflow   %s (%d tasks, %d levels, max parallelism %d)\n",
+		wf.Name, wf.Len(), wf.Depth(), wf.MaxParallelism())
+	fmt.Printf("strategy   %s in %s\n", strategy, region)
+	fmt.Printf("makespan   %.1f s   (baseline %.1f s, gain %.1f%%)\n",
+		s.Makespan(), base.Makespan(), point.GainPct)
+	fmt.Printf("cost       $%.4f (baseline $%.4f, loss %.1f%%)\n",
+		s.TotalCost(), base.TotalCost(), point.LossPct)
+	fmt.Printf("idle       %.1f s over %d VMs\n", s.IdleTime(), s.VMCount())
+	fmt.Printf("category   %s\n\n", metrics.Classify(point))
+
+	if gantt {
+		fmt.Println(trace.Gantt(s, 100))
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.SVG(f, s); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteCSV(f, s); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+
+	res, err := sim.Run(s, sim.Config{BootTime: boot})
+	if err != nil {
+		return err
+	}
+	if boot > 0 {
+		fmt.Printf("simulated with %.0fs boot: makespan %.1f s (+%.1f), cost $%.4f, idle %.1f s\n",
+			boot, res.Makespan, res.Makespan-s.Makespan(), res.RentalCost, res.IdleTime)
+	} else if err := sim.Verify(s); err != nil {
+		return fmt.Errorf("simulator disagrees with planner: %w", err)
+	} else {
+		fmt.Printf("simulator check: OK (%d events, %d transfers)\n", res.Events, res.Transfers)
+	}
+	return nil
+}
+
+func loadWorkflow(arg string) (*dag.Workflow, error) {
+	switch arg {
+	case "Montage":
+		return workflows.PaperMontage(), nil
+	case "CSTEM":
+		return workflows.CSTEM(), nil
+	case "MapReduce":
+		return workflows.PaperMapReduce(), nil
+	case "Sequential":
+		return workflows.PaperSequential(), nil
+	case "Fig1":
+		return workflows.Fig1SubWorkflow(), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("unknown workflow %q and no such file: %w", arg, err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(arg, ".xml") || strings.HasSuffix(arg, ".dax") {
+		return dax.Decode(f)
+	}
+	return wfio.Decode(f)
+}

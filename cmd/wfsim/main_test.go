@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinWorkflows(t *testing.T) {
+	for _, wf := range []string{"Montage", "CSTEM", "MapReduce", "Sequential", "Fig1"} {
+		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+			t.Errorf("%s: %v", wf, err)
+		}
+	}
+}
+
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range []string{"Pareto", "Best case", "Worst case", "none"} {
+		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", ""); err != nil {
+			t.Errorf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunWithBootTime(t *testing.T) {
+	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty SVG file")
+	}
+}
+
+func TestRunJSONWorkflowFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.json")
+	doc := `{"name": "mini", "tasks": [{"name":"a","work":100},{"name":"b","work":200}],
+	  "edges": [{"from":0,"to":1}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDAXWorkflowFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.dax")
+	doc := `<adag name="mini">
+	  <job id="a" name="a" runtime="100"/>
+	  <job id="b" name="b" runtime="200"/>
+	  <child ref="b"><parent ref="a"/></child>
+	</adag>`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]func() error{
+		"unknown workflow": func() error {
+			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "")
+		},
+		"unknown strategy": func() error {
+			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "")
+		},
+		"unknown scenario": func() error {
+			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "")
+		},
+		"unknown region": func() error {
+			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "")
+		},
+	}
+	for name, f := range cases {
+		if f() == nil {
+			t.Errorf("%s: succeeded", name)
+		}
+	}
+}
+
+func TestRunWritesTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty trace CSV")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltins(t *testing.T) {
+	for _, wf := range []string{"Montage", "CSTEM", "MapReduce", "Sequential",
+		"Epigenomics", "Inspiral", "CyberShake", "Fig1"} {
+		if err := run(wf, "none", 1, false); err != nil {
+			t.Errorf("%s: %v", wf, err)
+		}
+	}
+}
+
+func TestRunWithScenarioAndReduction(t *testing.T) {
+	if err := run("Montage", "Pareto", 7, true); err != nil {
+		t.Error(err)
+	}
+	if err := run("CSTEM", "Data heavy", 7, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDAXFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.dax")
+	doc := `<adag name="mini">
+	  <job id="a" name="a" runtime="100"/>
+	  <job id="b" name="b" runtime="200"/>
+	  <child ref="b"><parent ref="a"/></child>
+	</adag>`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "none", 1, true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("Ghost", "none", 1, false); err == nil {
+		t.Error("unknown workflow accepted")
+	}
+	if err := run("Montage", "Typical", 1, false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Frincu, Genaud, Gossa: "Comparing Provisioning and Scheduling
+//	Strategies for Workflows on Clouds", CloudFlow @ IEEE IPDPS 2013.
+//
+// The library simulates scheduling DAG workflows on an EC2-like IaaS
+// cloud under five VM provisioning policies (OneVMperTask,
+// StartPar[Not]Exceed, AllPar[Not]Exceed) combined with seven allocation
+// algorithms (HEFT, CPA-Eager, Gain, AllPar[Not]Exceed, AllPar1LnS,
+// AllPar1LnSDyn), and reproduces every table and figure of the paper's
+// evaluation.
+//
+// Entry points:
+//
+//   - internal/core: the experiment driver (sweep + Table III/IV/V
+//     analysis)
+//   - internal/sched: the 19-strategy catalog
+//   - internal/sim: the discrete-event execution simulator
+//   - cmd/wfsim, cmd/sweep, cmd/figures, cmd/wfgen: the CLI tools
+//   - examples/: runnable walkthroughs
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate each table and figure.
+package repro

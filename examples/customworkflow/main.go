@@ -1,0 +1,104 @@
+// Custom workflows: build a DAG through the public API, serialize it to
+// JSON (the wfsim input format), read it back, and race all 19 catalog
+// strategies on it — the workflow-specific counterpart of the paper's
+// Fig. 4 panes, and the direction its future work announces (custom
+// workflows with various properties).
+//
+// Run with:
+//
+//	go run ./examples/customworkflow
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/wfio"
+)
+
+func main() {
+	// A video-processing pipeline: ingest fans out into per-segment
+	// transcode tasks of wildly different lengths, a thumbnail branch runs
+	// on the side, and everything joins into packaging and publish steps.
+	wf := dag.New("video-pipeline")
+	ingest := wf.AddTask("ingest", 300)
+	var transcodes []dag.TaskID
+	for i, secs := range []float64{5200, 2600, 1400, 900, 700, 450} {
+		t := wf.AddTask(fmt.Sprintf("transcode-%d", i), secs)
+		wf.AddEdge(ingest, t, 512<<20)
+		transcodes = append(transcodes, t)
+	}
+	thumbs := wf.AddTask("thumbnails", 240)
+	wf.AddEdge(ingest, thumbs, 64<<20)
+	pack := wf.AddTask("package", 600)
+	for _, t := range transcodes {
+		wf.AddEdge(t, pack, 256<<20)
+	}
+	wf.AddEdge(thumbs, pack, 16<<20)
+	publish := wf.AddTask("publish", 120)
+	wf.AddEdge(pack, publish, 1<<30)
+	if err := wf.Freeze(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip through the JSON format used by cmd/wfsim.
+	var buf bytes.Buffer
+	if err := wfio.Encode(&buf, wf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := wfio.Decode(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %s: %d tasks, %d edges, %.0fs of total work\n\n",
+		loaded.Name, loaded.Len(), len(loaded.Edges()), loaded.TotalWork())
+
+	// Race the full catalog on it.
+	opts := sched.DefaultOptions()
+	base, err := sched.Baseline().Schedule(loaded.Clone(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var points []metrics.Point
+	for _, alg := range sched.Catalog() {
+		s, err := alg.Schedule(loaded.Clone(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, metrics.Compare(alg.Name(), s, base))
+	}
+
+	// Print the strategies that land in the target square (both gain and
+	// savings), best balance first.
+	sort.SliceStable(points, func(i, j int) bool {
+		bi := min(points[i].GainPct, points[i].SavingsPct())
+		bj := min(points[j].GainPct, points[j].SavingsPct())
+		return bi > bj
+	})
+	fmt.Println("strategies with both gain and savings on this workflow:")
+	for _, p := range points {
+		if !p.InTargetSquare() {
+			continue
+		}
+		fmt.Printf("  %-22s gain %6.1f%%  savings %6.1f%%  ($%.3f, %d VMs)\n",
+			p.Strategy, p.GainPct, p.SavingsPct(), p.Cost, p.VMCount)
+	}
+	fmt.Println("\nand the cost of pure speed:")
+	for _, p := range points {
+		if p.GainPct > 30 && !p.InTargetSquare() {
+			fmt.Printf("  %-22s gain %6.1f%%  but loss %6.1f%%\n", p.Strategy, p.GainPct, p.LossPct)
+		}
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

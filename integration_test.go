@@ -1,0 +1,127 @@
+// End-to-end integration: drive the whole pipeline the way a user would —
+// describe an experiment as JSON (including a DAX workflow on disk), run
+// the sweep in paranoid mode, and write every report format.
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dax"
+	"repro/internal/expconf"
+	"repro/internal/report"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func TestEndToEndConfiguredSweep(t *testing.T) {
+	dir := t.TempDir()
+
+	// A workflow on disk, exported as DAX by our own tooling.
+	daxPath := filepath.Join(dir, "custom.dax")
+	f, err := os.Create(daxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dax.Encode(f, workflows.CyberShake(6)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The experiment description.
+	confPath := filepath.Join(dir, "exp.json")
+	conf := `{
+	  "seed": 9,
+	  "region": "eu-dublin",
+	  "paranoid": true,
+	  "scenarios": ["Pareto", "Best case"],
+	  "workflows": [
+	    {"name": "Montage"},
+	    {"name": "shakes", "file": "custom.dax"},
+	    {"name": "wide-mr", "builder": "mapreduce", "m": 12, "r": 3}
+	  ]
+	}`
+	if err := os.WriteFile(confPath, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := expconf.LoadFile(confPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3*2*19 {
+		t.Fatalf("cells = %d, want %d", s.Len(), 3*2*19)
+	}
+
+	// Every analysis and report surface works on the configured sweep.
+	if rows := s.Table3(); len(rows) != 6 {
+		t.Errorf("Table3 rows = %d", len(rows))
+	}
+	if rows := s.Table4(); len(rows) != 3 {
+		t.Errorf("Table4 rows = %d", len(rows))
+	}
+	if _, err := s.Table5(); err != nil {
+		t.Errorf("Table5: %v", err)
+	}
+	for _, wf := range s.Workflows() {
+		if front := s.ParetoFront(wf, workload.Pareto); len(front) == 0 {
+			t.Errorf("%s: empty Pareto front", wf)
+		}
+	}
+
+	var csvBuf, mdBuf, htmlBuf, gnuBuf bytes.Buffer
+	if err := report.WriteSweepCSV(&csvBuf, s); err != nil {
+		t.Errorf("csv: %v", err)
+	}
+	if err := report.WriteMarkdown(&mdBuf, s); err != nil {
+		t.Errorf("markdown: %v", err)
+	}
+	if err := report.WriteGnuplotData(&gnuBuf, s); err != nil {
+		t.Errorf("gnuplot: %v", err)
+	}
+	if err := report.WriteHTML(&htmlBuf, s, "shakes", []string{"AllParExceed-m"}); err != nil {
+		t.Errorf("html: %v", err)
+	}
+	for name, out := range map[string]string{
+		"csv":     csvBuf.String(),
+		"md":      mdBuf.String(),
+		"gnuplot": gnuBuf.String(),
+		"html":    htmlBuf.String(),
+	} {
+		if !strings.Contains(out, "shakes") {
+			t.Errorf("%s output missing the DAX-sourced workflow", name)
+		}
+	}
+}
+
+func TestEndToEndExtendedParanoidSweep(t *testing.T) {
+	// The widest single invocation: seven workflows, three scenarios,
+	// nineteen strategies, every schedule validated and re-simulated.
+	s, err := core.Run(core.Config{
+		Seed:          1,
+		Paranoid:      true,
+		Workflows:     workflows.Extended(),
+		WorkflowOrder: workflows.ExtendedNames(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 7*3*19 {
+		t.Fatalf("cells = %d, want %d", s.Len(), 7*3*19)
+	}
+	// The instance-speed-up gain law holds on the new corpus too.
+	for _, wf := range []string{"Epigenomics", "Inspiral", "CyberShake"} {
+		r := s.MustGet(wf, workload.BestCase, "AllParExceed-m")
+		if r.Point.GainPct < 35 || r.Point.GainPct > 40 {
+			t.Errorf("%s: AllParExceed-m best-case gain %v, want ~37.5", wf, r.Point.GainPct)
+		}
+	}
+}

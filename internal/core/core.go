@@ -1,0 +1,278 @@
+// Package core is the experiment driver reproducing the paper's
+// evaluation: it sweeps every workflow (Montage, CSTEM, MapReduce,
+// Sequential) across the three execution-time scenarios (Pareto, best
+// case, worst case) and all 19 strategies of the catalog, comparing each
+// outcome against the HEFT + OneVMperTask-small baseline. The resulting
+// grid backs Figures 4 and 5 and Tables III, IV and V (see
+// internal/report for rendering, and the analysis methods in this package
+// for the table semantics).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/validate"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a sweep. The zero value plus Fill() reproduces the
+// paper's setup.
+type Config struct {
+	// Seed drives the Pareto workload draws.
+	Seed uint64
+	// Region prices the VMs; the paper's default is US East Virginia.
+	Region cloud.Region
+	// Platform is the network/pricing model; nil selects the default.
+	Platform *cloud.Platform
+	// Workflows maps display names to structural workflows; nil selects
+	// the paper's four. WorkflowOrder fixes the presentation order.
+	Workflows     map[string]*dag.Workflow
+	WorkflowOrder []string
+	// Scenarios lists the execution-time models to sweep; nil selects all
+	// three.
+	Scenarios []workload.Scenario
+	// Strategies lists the algorithms; nil selects the 19-strategy catalog.
+	Strategies []sched.Algorithm
+	// Paranoid additionally validates every schedule's invariants and
+	// replays it through the discrete-event simulator, failing the sweep on
+	// any disagreement.
+	Paranoid bool
+	// Workers bounds the number of goroutines evaluating grid cells
+	// concurrently. Zero selects GOMAXPROCS; one forces serial execution.
+	// Results are identical regardless of the worker count — every
+	// stochastic input is derived from the per-cell key, not from
+	// execution order.
+	Workers int
+}
+
+// Fill populates nil fields with the paper's defaults and returns the
+// config for chaining.
+func (c Config) Fill() Config {
+	if c.Platform == nil {
+		c.Platform = cloud.NewPlatform()
+	}
+	if c.Workflows == nil {
+		c.Workflows = workflows.Paper()
+		c.WorkflowOrder = workflows.PaperNames()
+	}
+	if c.WorkflowOrder == nil {
+		for name := range c.Workflows {
+			c.WorkflowOrder = append(c.WorkflowOrder, name)
+		}
+		sort.Strings(c.WorkflowOrder)
+	}
+	if c.Scenarios == nil {
+		c.Scenarios = workload.Scenarios()
+	}
+	if c.Strategies == nil {
+		c.Strategies = sched.Catalog()
+	}
+	return c
+}
+
+// Key addresses one cell of the sweep grid.
+type Key struct {
+	Workflow string
+	Scenario workload.Scenario
+	Strategy string
+}
+
+// Result is one evaluated cell.
+type Result struct {
+	Key
+	Point metrics.Point
+	// Category is the Table III bucket of the point.
+	Category metrics.Category
+	// BaselineMakespan and BaselineCost anchor the percentages.
+	BaselineMakespan float64
+	BaselineCost     float64
+	// Energy is the schedule's energy accounting under the default model
+	// (the paper's closing energy-awareness remark quantified).
+	Energy metrics.Energy
+	// CoRentRecovered is the money a spot-style sub-lease of the idle time
+	// would return at 30% of the on-demand rate (the paper's co-rent
+	// suggestion).
+	CoRentRecovered float64
+}
+
+// Sweep holds a completed experiment grid.
+type Sweep struct {
+	Config     Config
+	Strategies []string
+	results    map[Key]Result
+}
+
+// Run executes the sweep. With cfg.Paranoid set it cross-checks every
+// schedule against the validator and the discrete-event simulator. Cells
+// are evaluated concurrently (see Config.Workers); the result is
+// bit-identical to a serial run because every cell derives its inputs
+// from its own key.
+func Run(cfg Config) (*Sweep, error) {
+	cfg = cfg.Fill()
+	s := &Sweep{Config: cfg, results: map[Key]Result{}}
+	for _, alg := range cfg.Strategies {
+		s.Strategies = append(s.Strategies, alg.Name())
+	}
+	opts := sched.Options{Platform: cfg.Platform, Region: cfg.Region}
+	baseline := sched.Baseline()
+
+	// Phase 1 (serial, cheap): realize the workloads and their baselines.
+	type pane struct {
+		wfName string
+		sc     workload.Scenario
+		w      *dag.Workflow
+		base   *plan.Schedule
+	}
+	var panes []pane
+	for _, wfName := range cfg.WorkflowOrder {
+		structural, ok := cfg.Workflows[wfName]
+		if !ok {
+			return nil, fmt.Errorf("core: workflow %q not in config", wfName)
+		}
+		for _, sc := range cfg.Scenarios {
+			w := sc.Apply(structural, cfg.Seed)
+			base, err := baseline.Schedule(w.Clone(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: baseline on %s/%v: %w", wfName, sc, err)
+			}
+			if cfg.Paranoid {
+				if err := check(base); err != nil {
+					return nil, fmt.Errorf("core: baseline on %s/%v: %w", wfName, sc, err)
+				}
+			}
+			panes = append(panes, pane{wfName: wfName, sc: sc, w: w, base: base})
+		}
+	}
+
+	// Phase 2 (parallel): one job per (pane, strategy) cell. Each job
+	// clones its workflow, so no job shares mutable state with another.
+	type job struct {
+		p   pane
+		alg sched.Algorithm
+	}
+	jobs := make([]job, 0, len(panes)*len(cfg.Strategies))
+	for _, p := range panes {
+		for _, alg := range cfg.Strategies {
+			jobs = append(jobs, job{p: p, alg: alg})
+		}
+	}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				sch, err := j.alg.Schedule(j.p.w.Clone(), opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
+					continue
+				}
+				if cfg.Paranoid {
+					if err := check(sch); err != nil {
+						errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
+						continue
+					}
+				}
+				point := metrics.Compare(j.alg.Name(), sch, j.p.base)
+				recovered, _ := metrics.CoRent(sch, coRentRate)
+				results[i] = Result{
+					Key:              Key{Workflow: j.p.wfName, Scenario: j.p.sc, Strategy: j.alg.Name()},
+					Point:            point,
+					Category:         metrics.Classify(point),
+					BaselineMakespan: j.p.base.Makespan(),
+					BaselineCost:     j.p.base.TotalCost(),
+					Energy:           metrics.DefaultEnergyModel().Energy(sch),
+					CoRentRecovered:  recovered,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		s.results[results[i].Key] = results[i]
+	}
+	return s, nil
+}
+
+// coRentRate is the assumed spot-style clearing rate for sub-leasing idle
+// VM time, as a fraction of the on-demand price.
+const coRentRate = 0.3
+
+// check runs the full invariant suite on one schedule.
+func check(s *plan.Schedule) error {
+	if err := validate.Schedule(s); err != nil {
+		return err
+	}
+	return sim.Verify(s)
+}
+
+// Get returns one cell.
+func (s *Sweep) Get(wf string, sc workload.Scenario, strategy string) (Result, bool) {
+	r, ok := s.results[Key{Workflow: wf, Scenario: sc, Strategy: strategy}]
+	return r, ok
+}
+
+// MustGet returns one cell and panics when it is absent — for analysis
+// code that iterates the sweep's own axes.
+func (s *Sweep) MustGet(wf string, sc workload.Scenario, strategy string) Result {
+	r, ok := s.Get(wf, sc, strategy)
+	if !ok {
+		panic(fmt.Sprintf("core: missing cell %s/%v/%s", wf, sc, strategy))
+	}
+	return r
+}
+
+// Points returns the cells of one workflow/scenario pane in catalog order —
+// one pane of Fig. 4 (gain/loss) or Fig. 5 (idle).
+func (s *Sweep) Points(wf string, sc workload.Scenario) []Result {
+	out := make([]Result, 0, len(s.Strategies))
+	for _, name := range s.Strategies {
+		if r, ok := s.Get(wf, sc, name); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Workflows returns the workflow axis in presentation order.
+func (s *Sweep) Workflows() []string { return s.Config.WorkflowOrder }
+
+// Scenarios returns the scenario axis.
+func (s *Sweep) Scenarios() []workload.Scenario { return s.Config.Scenarios }
+
+// Len returns the number of evaluated cells.
+func (s *Sweep) Len() int { return len(s.results) }

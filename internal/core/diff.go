@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sweep diffing: compare two runs of the grid — different seeds, regions,
+// or model revisions — and surface the cells whose classification flipped
+// and those whose numbers moved most. This is the regression lens for
+// model changes and the sensitivity lens for input changes.
+
+// CellDiff records one cell present in both sweeps.
+type CellDiff struct {
+	Key
+	GainDelta float64
+	LossDelta float64
+	// CategoryChanged reports a Table III reclassification.
+	CategoryChanged     bool
+	BeforeCat, AfterCat string
+}
+
+// Magnitude returns the larger absolute delta of the two axes.
+func (d CellDiff) Magnitude() float64 {
+	return math.Max(math.Abs(d.GainDelta), math.Abs(d.LossDelta))
+}
+
+// Diff compares two sweeps cell-by-cell and returns the differences sorted
+// by decreasing magnitude (category flips first). Cells present in only
+// one sweep are skipped; an error is returned when the sweeps share no
+// cells at all.
+func Diff(before, after *Sweep) ([]CellDiff, error) {
+	var out []CellDiff
+	for _, wf := range before.Workflows() {
+		for _, sc := range before.Scenarios() {
+			for _, strat := range before.Strategies {
+				b, ok := before.Get(wf, sc, strat)
+				if !ok {
+					continue
+				}
+				a, ok := after.Get(wf, sc, strat)
+				if !ok {
+					continue
+				}
+				out = append(out, CellDiff{
+					Key:             b.Key,
+					GainDelta:       a.Point.GainPct - b.Point.GainPct,
+					LossDelta:       a.Point.LossPct - b.Point.LossPct,
+					CategoryChanged: a.Category != b.Category,
+					BeforeCat:       b.Category.String(),
+					AfterCat:        a.Category.String(),
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: sweeps share no cells")
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].CategoryChanged != out[j].CategoryChanged {
+			return out[i].CategoryChanged
+		}
+		return out[i].Magnitude() > out[j].Magnitude()
+	})
+	return out, nil
+}
+
+// Flips filters a diff down to the category reclassifications.
+func Flips(diffs []CellDiff) []CellDiff {
+	var out []CellDiff
+	for _, d := range diffs {
+		if d.CategoryChanged {
+			out = append(out, d)
+		}
+	}
+	return out
+}

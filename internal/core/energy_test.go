@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSweepEnergyAccounting(t *testing.T) {
+	s := sweep(t)
+	for _, wf := range s.Workflows() {
+		base := s.MustGet(wf, workload.Pareto, "OneVMperTask-s")
+		packed := s.MustGet(wf, workload.Pareto, "StartParExceed-s")
+		if base.Energy.TotalJ <= 0 {
+			t.Fatalf("%s: zero energy for baseline", wf)
+		}
+		// The idle-heavy baseline wastes a larger energy fraction than the
+		// packed single-VM policy (the paper's energy remark).
+		if base.Energy.WastedFraction <= packed.Energy.WastedFraction {
+			t.Errorf("%s: OneVMperTask wasted %v <= StartParExceed %v", wf,
+				base.Energy.WastedFraction, packed.Energy.WastedFraction)
+		}
+		// Busy energy is strategy-independent for equal instance types
+		// (same work, same speed-up, same cores).
+		if base.Energy.BusyJ <= 0 || packed.Energy.BusyJ <= 0 {
+			t.Errorf("%s: missing busy energy", wf)
+		}
+	}
+}
+
+func TestSweepCoRentRecovery(t *testing.T) {
+	s := sweep(t)
+	for _, wf := range s.Workflows() {
+		for _, r := range s.Points(wf, workload.Pareto) {
+			if r.CoRentRecovered < 0 {
+				t.Errorf("%s/%s: negative co-rent", wf, r.Strategy)
+			}
+			// Recovery can never exceed the rental bill itself.
+			if r.CoRentRecovered > r.Point.Cost+1e-9 {
+				t.Errorf("%s/%s: co-rent %v exceeds cost %v",
+					wf, r.Strategy, r.CoRentRecovered, r.Point.Cost)
+			}
+		}
+		// More idle, more recovery: the baseline recovers more dollars
+		// than the packed single-VM policy.
+		base := s.MustGet(wf, workload.Pareto, "OneVMperTask-s")
+		packed := s.MustGet(wf, workload.Pareto, "StartParExceed-s")
+		if base.CoRentRecovered <= packed.CoRentRecovered {
+			t.Errorf("%s: baseline recovers %v <= packed %v", wf,
+				base.CoRentRecovered, packed.CoRentRecovered)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// ParetoFront returns the non-dominated strategies of one
+// workflow/scenario pane in the (makespan, cost) plane: no other strategy
+// is both faster and cheaper. The paper's "target square" asks which
+// strategies beat the baseline on both axes; the front generalizes that to
+// the full trade-off curve a user picks an operating point from. Results
+// are ordered by increasing makespan (hence decreasing cost along the
+// front); ties collapse onto the first strategy in catalog order.
+func (s *Sweep) ParetoFront(wf string, sc workload.Scenario) []Result {
+	points := s.Points(wf, sc)
+	front := make([]Result, 0, len(points))
+	for _, candidate := range points {
+		dominated := false
+		for _, other := range points {
+			if other.Strategy == candidate.Strategy {
+				continue
+			}
+			// other dominates candidate if it is no worse on both axes and
+			// strictly better on at least one.
+			if other.Point.Makespan <= candidate.Point.Makespan+1e-9 &&
+				other.Point.Cost <= candidate.Point.Cost+1e-9 &&
+				(other.Point.Makespan < candidate.Point.Makespan-1e-9 ||
+					other.Point.Cost < candidate.Point.Cost-1e-9) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, candidate)
+		}
+	}
+	// Collapse exact duplicates (equal makespan and cost) onto one entry.
+	sort.SliceStable(front, func(i, j int) bool {
+		if front[i].Point.Makespan != front[j].Point.Makespan {
+			return front[i].Point.Makespan < front[j].Point.Makespan
+		}
+		return front[i].Point.Cost < front[j].Point.Cost
+	})
+	out := front[:0]
+	for _, r := range front {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last.Point.Makespan == r.Point.Makespan && last.Point.Cost == r.Point.Cost {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

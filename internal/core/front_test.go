@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParetoFrontNonDominated(t *testing.T) {
+	s := sweep(t)
+	for _, wf := range s.Workflows() {
+		for _, sc := range s.Scenarios() {
+			front := s.ParetoFront(wf, sc)
+			if len(front) == 0 {
+				t.Fatalf("%s/%v: empty front", wf, sc)
+			}
+			// No member may be dominated by any strategy in the pane.
+			for _, member := range front {
+				for _, other := range s.Points(wf, sc) {
+					if other.Point.Makespan < member.Point.Makespan-1e-9 &&
+						other.Point.Cost < member.Point.Cost-1e-9 {
+						t.Errorf("%s/%v: %s on the front is dominated by %s",
+							wf, sc, member.Strategy, other.Strategy)
+					}
+				}
+			}
+			// Sorted by makespan, costs non-increasing along the front.
+			for i := 1; i < len(front); i++ {
+				if front[i].Point.Makespan < front[i-1].Point.Makespan {
+					t.Errorf("%s/%v: front not sorted by makespan", wf, sc)
+				}
+				if front[i].Point.Cost > front[i-1].Point.Cost+1e-9 {
+					t.Errorf("%s/%v: cost rises along the front (%v -> %v)",
+						wf, sc, front[i-1].Point.Cost, front[i].Point.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestParetoFrontContainsExtremes(t *testing.T) {
+	s := sweep(t)
+	for _, wf := range s.Workflows() {
+		front := s.ParetoFront(wf, workload.Pareto)
+		points := s.Points(wf, workload.Pareto)
+		var minMk, minCost float64 = 1e18, 1e18
+		for _, r := range points {
+			if r.Point.Makespan < minMk {
+				minMk = r.Point.Makespan
+			}
+			if r.Point.Cost < minCost {
+				minCost = r.Point.Cost
+			}
+		}
+		foundFast, foundCheap := false, false
+		for _, r := range front {
+			if r.Point.Makespan <= minMk+1e-9 {
+				foundFast = true
+			}
+			if r.Point.Cost <= minCost+1e-9 {
+				foundCheap = true
+			}
+		}
+		if !foundFast || !foundCheap {
+			t.Errorf("%s: front misses an extreme (fast %v, cheap %v)", wf, foundFast, foundCheap)
+		}
+	}
+}
+
+func TestParetoFrontOnParetoPaneIsSmall(t *testing.T) {
+	// Sanity: most of the 19 strategies are dominated; the front is a
+	// small curve.
+	s := sweep(t)
+	for _, wf := range s.Workflows() {
+		front := s.ParetoFront(wf, workload.Pareto)
+		if len(front) > 10 {
+			t.Errorf("%s: front has %d members — dominance check suspect", wf, len(front))
+		}
+	}
+}

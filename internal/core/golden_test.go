@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The golden values below are the seed-42 measurements recorded in
+// EXPERIMENTS.md. The sweep is deterministic, so any drift here means the
+// model changed and the documentation needs regenerating — this test is
+// the tripwire.
+func TestGoldenSeed42Values(t *testing.T) {
+	s := sweep(t) // seed 42, paranoid
+	golden := []struct {
+		wf, strat  string
+		sc         workload.Scenario
+		gain, loss float64
+	}{
+		{"Montage", "AllParExceed-s", workload.Pareto, 0.9, -45.8},
+		{"Montage", "AllParExceed-m", workload.Pareto, 37.7, -41.7},
+		{"Montage", "OneVMperTask-l", workload.Pareto, 53.0, 300.0},
+		{"Montage", "AllPar1LnS", workload.Pareto, -3.9, -54.2},
+		{"CSTEM", "AllParExceed-m", workload.Pareto, 38.4, -6.7},
+		{"CSTEM", "StartParExceed-l", workload.Pareto, 18.0, -46.7},
+		{"MapReduce", "AllPar1LnSDyn", workload.Pareto, 15.1, -45.5},
+		{"MapReduce", "StartParExceed-s", workload.Pareto, -187.0, -77.3},
+		{"Sequential", "AllParExceed-s", workload.Pareto, 0.8, -70.0},
+		{"Sequential", "StartParNotExceed-l", workload.Pareto, 52.7, -20.0},
+		{"Montage", "AllParExceed-m", workload.BestCase, 37.5, -50.0},
+		{"MapReduce", "AllParExceed-l", workload.BestCase, 52.4, 45.5},
+	}
+	for _, g := range golden {
+		r := s.MustGet(g.wf, g.sc, g.strat)
+		if math.Abs(r.Point.GainPct-g.gain) > 0.1 || math.Abs(r.Point.LossPct-g.loss) > 0.1 {
+			t.Errorf("%s/%v/%s: (%.1f, %.1f), EXPERIMENTS.md records (%.1f, %.1f) — regenerate the docs",
+				g.wf, g.sc, g.strat, r.Point.GainPct, r.Point.LossPct, g.gain, g.loss)
+		}
+	}
+}
+
+// Idle-time goldens from the Fig. 5 table in EXPERIMENTS.md (hours).
+func TestGoldenIdleHours(t *testing.T) {
+	s := sweep(t)
+	golden := []struct {
+		wf, strat string
+		hours     float64
+	}{
+		{"Montage", "OneVMperTask-s", 18.7},
+		{"Montage", "GAIN", 21.5},
+		{"CSTEM", "StartParExceed-s", 0.9},
+		{"MapReduce", "StartParExceed-s", 0.2},
+		{"Sequential", "OneVMperTask-l", 9.0},
+	}
+	for _, g := range golden {
+		r := s.MustGet(g.wf, workload.Pareto, g.strat)
+		if math.Abs(r.Point.IdleTime/3600-g.hours) > 0.1 {
+			t.Errorf("%s/%s: idle %.1f h, EXPERIMENTS.md records %.1f h",
+				g.wf, g.strat, r.Point.IdleTime/3600, g.hours)
+		}
+	}
+}

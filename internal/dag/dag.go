@@ -1,0 +1,371 @@
+// Package dag models deterministic scientific workflows as directed acyclic
+// graphs of tasks, in the sense of the paper's Sect. I: the execution path
+// is known a priori, tasks carry a computational weight (their execution
+// time on the reference "small" instance), and edges carry the amount of
+// data handed from producer to consumer.
+//
+// The package provides the graph algorithms every scheduler in this
+// repository builds on: topological ordering, level decomposition (the
+// "level ranking" of the paper's Sect. III-B), critical-path extraction and
+// HEFT upward ranks.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within one workflow. IDs are dense indices
+// assigned in insertion order, which makes them usable as slice indices.
+type TaskID int
+
+// Task is one node of a workflow.
+type Task struct {
+	ID   TaskID
+	Name string
+	// Work is the task's execution time, in seconds, on the reference
+	// instance type (speed-up 1). Faster instances divide this value by
+	// their speed-up factor.
+	Work float64
+}
+
+// Edge is a producer→consumer dependency annotated with the size of the
+// data set transferred, in bytes. Data is zero for pure control
+// dependencies.
+type Edge struct {
+	From, To TaskID
+	Data     float64
+}
+
+// Workflow is a mutable DAG under construction and an immutable one once
+// Freeze (or any query method, which freezes implicitly) has been called.
+// The zero value is an empty workflow ready for use.
+type Workflow struct {
+	Name string
+
+	tasks []Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	data  map[[2]TaskID]float64
+
+	frozen bool
+	topo   []TaskID
+	level  []int
+	depth  int
+}
+
+// New returns an empty named workflow.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, data: map[[2]TaskID]float64{}}
+}
+
+// AddTask appends a task with the given name and reference execution time
+// and returns its ID. It panics if the workflow is frozen or work is
+// negative.
+func (w *Workflow) AddTask(name string, work float64) TaskID {
+	if w.frozen {
+		panic("dag: AddTask on frozen workflow")
+	}
+	if work < 0 {
+		panic(fmt.Sprintf("dag: negative work %v for task %q", work, name))
+	}
+	id := TaskID(len(w.tasks))
+	w.tasks = append(w.tasks, Task{ID: id, Name: name, Work: work})
+	w.succ = append(w.succ, nil)
+	w.pred = append(w.pred, nil)
+	return id
+}
+
+// AddEdge records a dependency carrying data bytes from one task to
+// another. Adding the same edge twice accumulates the data sizes. It panics
+// on unknown IDs, self-loops, negative data, or a frozen workflow.
+func (w *Workflow) AddEdge(from, to TaskID, data float64) {
+	if w.frozen {
+		panic("dag: AddEdge on frozen workflow")
+	}
+	if !w.valid(from) || !w.valid(to) {
+		panic(fmt.Sprintf("dag: edge %d->%d references unknown task", from, to))
+	}
+	if from == to {
+		panic(fmt.Sprintf("dag: self-loop on task %d", from))
+	}
+	if data < 0 {
+		panic(fmt.Sprintf("dag: negative data on edge %d->%d", from, to))
+	}
+	if w.data == nil {
+		w.data = map[[2]TaskID]float64{}
+	}
+	key := [2]TaskID{from, to}
+	if _, dup := w.data[key]; dup {
+		w.data[key] += data
+		return
+	}
+	w.data[key] = data
+	w.succ[from] = append(w.succ[from], to)
+	w.pred[to] = append(w.pred[to], from)
+}
+
+func (w *Workflow) valid(id TaskID) bool {
+	return id >= 0 && int(id) < len(w.tasks)
+}
+
+// Freeze validates the workflow (it must be a non-empty DAG) and makes it
+// immutable. Freeze is idempotent.
+func (w *Workflow) Freeze() error {
+	if w.frozen {
+		return nil
+	}
+	if len(w.tasks) == 0 {
+		return errors.New("dag: empty workflow")
+	}
+	topo, err := w.computeTopo()
+	if err != nil {
+		return err
+	}
+	w.topo = topo
+	w.computeLevels()
+	w.frozen = true
+	return nil
+}
+
+// mustFreeze freezes and panics on error; used by query methods so that a
+// structurally invalid graph fails loudly rather than silently.
+func (w *Workflow) mustFreeze() {
+	if err := w.Freeze(); err != nil {
+		panic(err)
+	}
+}
+
+// computeTopo returns a deterministic topological order (Kahn's algorithm
+// with a sorted frontier) or an error when the graph has a cycle.
+func (w *Workflow) computeTopo() ([]TaskID, error) {
+	n := len(w.tasks)
+	indeg := make([]int, n)
+	for to := range w.pred {
+		indeg[to] = len(w.pred[to])
+	}
+	var frontier []TaskID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		next := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, next)
+		for _, s := range w.succ[next] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("dag: workflow contains a cycle")
+	}
+	return order, nil
+}
+
+// computeLevels assigns each task its level: entry tasks are level 0 and
+// every other task is one more than its deepest predecessor (longest-path
+// depth). This is the "level ranking" used by the AllPar* algorithms.
+func (w *Workflow) computeLevels() {
+	w.level = make([]int, len(w.tasks))
+	w.depth = 0
+	for _, id := range w.topo {
+		lvl := 0
+		for _, p := range w.pred[id] {
+			if w.level[p]+1 > lvl {
+				lvl = w.level[p] + 1
+			}
+		}
+		w.level[id] = lvl
+		if lvl+1 > w.depth {
+			w.depth = lvl + 1
+		}
+	}
+}
+
+// Len returns the number of tasks.
+func (w *Workflow) Len() int { return len(w.tasks) }
+
+// Task returns a copy of the task with the given ID. It panics on unknown
+// IDs.
+func (w *Workflow) Task(id TaskID) Task {
+	if !w.valid(id) {
+		panic(fmt.Sprintf("dag: unknown task %d", id))
+	}
+	return w.tasks[id]
+}
+
+// Tasks returns a copy of all tasks in ID order.
+func (w *Workflow) Tasks() []Task {
+	return append([]Task(nil), w.tasks...)
+}
+
+// Succ returns the successors of a task. The returned slice must not be
+// modified.
+func (w *Workflow) Succ(id TaskID) []TaskID { return w.succ[id] }
+
+// Pred returns the predecessors of a task. The returned slice must not be
+// modified.
+func (w *Workflow) Pred(id TaskID) []TaskID { return w.pred[id] }
+
+// Data returns the data size carried by the edge from→to, and whether the
+// edge exists.
+func (w *Workflow) Data(from, to TaskID) (float64, bool) {
+	d, ok := w.data[[2]TaskID{from, to}]
+	return d, ok
+}
+
+// Edges returns all edges sorted by (From, To).
+func (w *Workflow) Edges() []Edge {
+	out := make([]Edge, 0, len(w.data))
+	for k, d := range w.data {
+		out = append(out, Edge{From: k[0], To: k[1], Data: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Entries returns the tasks with no predecessors, in ID order.
+func (w *Workflow) Entries() []TaskID {
+	var out []TaskID
+	for i := range w.tasks {
+		if len(w.pred[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Exits returns the tasks with no successors, in ID order.
+func (w *Workflow) Exits() []TaskID {
+	var out []TaskID
+	for i := range w.tasks {
+		if len(w.succ[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a deterministic topological order. The workflow is
+// frozen if it was not already; TopoOrder panics if it is not a DAG.
+func (w *Workflow) TopoOrder() []TaskID {
+	w.mustFreeze()
+	return append([]TaskID(nil), w.topo...)
+}
+
+// Level returns the level (longest-path depth from the entries) of a task.
+func (w *Workflow) Level(id TaskID) int {
+	w.mustFreeze()
+	return w.level[id]
+}
+
+// Depth returns the number of levels.
+func (w *Workflow) Depth() int {
+	w.mustFreeze()
+	return w.depth
+}
+
+// Levels groups task IDs by level, index 0 being the entry level. Tasks
+// within a level are in ID order. Tasks in the same level are mutually
+// independent (no path connects them).
+func (w *Workflow) Levels() [][]TaskID {
+	w.mustFreeze()
+	out := make([][]TaskID, w.depth)
+	for _, id := range w.topo {
+		l := w.level[id]
+		out[l] = append(out[l], id)
+	}
+	for _, lvl := range out {
+		sort.Slice(lvl, func(i, j int) bool { return lvl[i] < lvl[j] })
+	}
+	return out
+}
+
+// TotalWork returns the sum of all task reference execution times.
+func (w *Workflow) TotalWork() float64 {
+	var sum float64
+	for _, t := range w.tasks {
+		sum += t.Work
+	}
+	return sum
+}
+
+// MaxParallelism returns the size of the largest level: the maximum number
+// of tasks the level-based schedulers may run concurrently.
+func (w *Workflow) MaxParallelism() int {
+	max := 0
+	for _, lvl := range w.Levels() {
+		if len(lvl) > max {
+			max = len(lvl)
+		}
+	}
+	return max
+}
+
+// SetWork rewrites every task's reference execution time using the given
+// assignment function. It is the hook the workload scenarios (Pareto, best
+// case, worst case) use to re-weight a structural workflow, and is the only
+// mutation allowed on a frozen workflow (it does not change the structure).
+func (w *Workflow) SetWork(assign func(t Task) float64) {
+	for i := range w.tasks {
+		work := assign(w.tasks[i])
+		if work < 0 {
+			panic(fmt.Sprintf("dag: negative work for task %d", i))
+		}
+		w.tasks[i].Work = work
+	}
+}
+
+// SetData rewrites every edge's data size using the given assignment
+// function, analogously to SetWork. Edges are visited in sorted
+// (From, To) order so that stochastic assignment functions consume their
+// random stream deterministically.
+func (w *Workflow) SetData(assign func(e Edge) float64) {
+	for _, e := range w.Edges() {
+		d := assign(e)
+		if d < 0 {
+			panic(fmt.Sprintf("dag: negative data for edge %d->%d", e.From, e.To))
+		}
+		w.data[[2]TaskID{e.From, e.To}] = d
+	}
+}
+
+// Clone returns a deep copy sharing no state with the receiver. The clone
+// is unfrozen, so its weights and structure may be modified.
+func (w *Workflow) Clone() *Workflow {
+	c := New(w.Name)
+	c.tasks = append([]Task(nil), w.tasks...)
+	c.succ = make([][]TaskID, len(w.succ))
+	c.pred = make([][]TaskID, len(w.pred))
+	for i := range w.succ {
+		c.succ[i] = append([]TaskID(nil), w.succ[i]...)
+		c.pred[i] = append([]TaskID(nil), w.pred[i]...)
+	}
+	for k, v := range w.data {
+		c.data[k] = v
+	}
+	return c
+}
+
+// Validate freezes the workflow and reports whether it is a well-formed
+// DAG.
+func (w *Workflow) Validate() error { return w.Freeze() }
+
+// String returns a short human-readable summary.
+func (w *Workflow) String() string {
+	return fmt.Sprintf("%s{tasks: %d, edges: %d, depth: %d}",
+		w.Name, len(w.tasks), len(w.data), w.Depth())
+}

@@ -1,0 +1,98 @@
+// Package dagtest provides deterministic random workflow generators for
+// property-based tests across the repository. It lives outside the _test
+// files so that every package testing schedulers, validators and the
+// simulator can share one source of random DAGs.
+package dagtest
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/stats"
+)
+
+// Config bounds the random workflows produced by Random.
+type Config struct {
+	MinTasks, MaxTasks int     // inclusive bounds on task count
+	EdgeProb           float64 // probability of an edge between comparable pairs
+	MinWork, MaxWork   float64 // uniform work range, seconds
+	MaxData            float64 // uniform data range upper bound, bytes (0 = no data)
+}
+
+// DefaultConfig matches the scale of the paper's workflows: a few dozen
+// tasks with moderate connectivity.
+func DefaultConfig() Config {
+	return Config{
+		MinTasks: 1,
+		MaxTasks: 40,
+		EdgeProb: 0.2,
+		MinWork:  10,
+		MaxWork:  5000,
+		MaxData:  64 << 20,
+	}
+}
+
+// Random generates a random DAG. Edges only ever point from lower to higher
+// task ID, which guarantees acyclicity. The result is frozen and valid.
+func Random(seed uint64, cfg Config) *dag.Workflow {
+	r := stats.NewRNG(seed)
+	n := cfg.MinTasks
+	if cfg.MaxTasks > cfg.MinTasks {
+		n += r.Intn(cfg.MaxTasks - cfg.MinTasks + 1)
+	}
+	w := dag.New(fmt.Sprintf("random-%d", seed))
+	ids := make([]dag.TaskID, n)
+	for i := 0; i < n; i++ {
+		work := r.Range(cfg.MinWork, cfg.MaxWork)
+		ids[i] = w.AddTask(fmt.Sprintf("t%d", i), work)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < cfg.EdgeProb {
+				data := 0.0
+				if cfg.MaxData > 0 {
+					data = r.Range(0, cfg.MaxData)
+				}
+				w.AddEdge(ids[i], ids[j], data)
+			}
+		}
+	}
+	if err := w.Freeze(); err != nil {
+		panic(err) // unreachable: construction is acyclic by design
+	}
+	return w
+}
+
+// Chain returns a linear workflow of n tasks with the given uniform work.
+func Chain(n int, work float64) *dag.Workflow {
+	w := dag.New(fmt.Sprintf("chain-%d", n))
+	var prev dag.TaskID = -1
+	for i := 0; i < n; i++ {
+		id := w.AddTask(fmt.Sprintf("c%d", i), work)
+		if prev >= 0 {
+			w.AddEdge(prev, id, 0)
+		}
+		prev = id
+	}
+	if err := w.Freeze(); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ForkJoin returns a workflow with one entry fanning out to width parallel
+// tasks that re-join into one exit. Work is uniform.
+func ForkJoin(width int, work float64) *dag.Workflow {
+	w := dag.New(fmt.Sprintf("forkjoin-%d", width))
+	entry := w.AddTask("entry", work)
+	exit := w.AddTask("exit", work)
+	for i := 0; i < width; i++ {
+		mid := w.AddTask(fmt.Sprintf("mid%d", i), work)
+		w.AddEdge(entry, mid, 0)
+		w.AddEdge(mid, exit, 0)
+	}
+	if err := w.Freeze(); err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,153 @@
+package dag
+
+import "sort"
+
+// CostModel supplies the timing estimates the ranking algorithms need: the
+// execution time of a task and the communication time along an edge. Both
+// are context-free estimates (HEFT classically uses means across the
+// resource pool; in a homogeneous run they are exact).
+type CostModel struct {
+	// Exec returns the estimated execution time of a task, in seconds.
+	Exec func(t Task) float64
+	// Comm returns the estimated transfer time of an edge, in seconds,
+	// assuming producer and consumer run on different machines.
+	Comm func(e Edge) float64
+}
+
+// UniformComm returns a communication estimator that charges size/bandwidth
+// + latency for every edge.
+func UniformComm(bandwidth, latency float64) func(Edge) float64 {
+	return func(e Edge) float64 {
+		if e.Data == 0 {
+			return 0
+		}
+		return e.Data/bandwidth + latency
+	}
+}
+
+// ZeroComm ignores communication entirely, which is the right model for the
+// paper's CPU-intensive experiments.
+func ZeroComm(Edge) float64 { return 0 }
+
+// UpwardRanks computes the HEFT upward rank of every task:
+//
+//	rank(t) = exec(t) + max over successors s of (comm(t→s) + rank(s))
+//
+// Exit tasks have rank equal to their execution time. The returned slice is
+// indexed by TaskID.
+func (w *Workflow) UpwardRanks(m CostModel) []float64 {
+	w.mustFreeze()
+	rank := make([]float64, len(w.tasks))
+	// Walk the topological order backwards so successors are ranked first.
+	for i := len(w.topo) - 1; i >= 0; i-- {
+		id := w.topo[i]
+		best := 0.0
+		for _, s := range w.succ[id] {
+			c := 0.0
+			if m.Comm != nil {
+				d, _ := w.Data(id, s)
+				c = m.Comm(Edge{From: id, To: s, Data: d})
+			}
+			if v := c + rank[s]; v > best {
+				best = v
+			}
+		}
+		rank[id] = m.Exec(w.tasks[id]) + best
+	}
+	return rank
+}
+
+// RankOrder returns all task IDs sorted by decreasing upward rank, breaking
+// ties by increasing ID for determinism. This is HEFT's scheduling order;
+// it is always a valid topological order because a task's rank strictly
+// exceeds each successor's whenever execution times are positive.
+func (w *Workflow) RankOrder(m CostModel) []TaskID {
+	rank := w.UpwardRanks(m)
+	order := make([]TaskID, len(w.tasks))
+	for i := range order {
+		order[i] = TaskID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := rank[order[i]], rank[order[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// CriticalPath returns the heaviest entry→exit path under the cost model
+// (execution plus communication weights) along with its total length. Among
+// equally heavy paths the lexicographically smallest (by task ID at each
+// divergence) is returned, for determinism.
+func (w *Workflow) CriticalPath(m CostModel) ([]TaskID, float64) {
+	w.mustFreeze()
+	// dist[t]: heaviest path length from t to any exit, inclusive of t.
+	dist := make([]float64, len(w.tasks))
+	next := make([]TaskID, len(w.tasks))
+	for i := range next {
+		next[i] = -1
+	}
+	for i := len(w.topo) - 1; i >= 0; i-- {
+		id := w.topo[i]
+		dist[id] = m.Exec(w.tasks[id])
+		bestVia := TaskID(-1)
+		best := 0.0
+		for _, s := range w.succ[id] {
+			c := 0.0
+			if m.Comm != nil {
+				d, _ := w.Data(id, s)
+				c = m.Comm(Edge{From: id, To: s, Data: d})
+			}
+			v := c + dist[s]
+			if v > best || (v == best && bestVia >= 0 && s < bestVia) {
+				best = v
+				bestVia = s
+			}
+		}
+		if bestVia >= 0 {
+			dist[id] += best
+			next[id] = bestVia
+		}
+	}
+	// Pick the heaviest entry.
+	start := TaskID(-1)
+	for _, e := range w.Entries() {
+		if start < 0 || dist[e] > dist[start] {
+			start = e
+		}
+	}
+	if start < 0 {
+		return nil, 0
+	}
+	var path []TaskID
+	for t := start; t >= 0; t = next[t] {
+		path = append(path, t)
+	}
+	return path, dist[start]
+}
+
+// IsAncestor reports whether a path exists from a to b (a strictly before
+// b). It runs a DFS over successors; results are not cached.
+func (w *Workflow) IsAncestor(a, b TaskID) bool {
+	if a == b {
+		return false
+	}
+	seen := make([]bool, len(w.tasks))
+	stack := []TaskID{a}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range w.succ[t] {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

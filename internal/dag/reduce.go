@@ -1,0 +1,69 @@
+package dag
+
+// TransitiveReduction returns an unfrozen clone with redundant
+// control-only edges removed: a zero-data edge u→v is redundant when
+// another path from u to v exists, so dropping it changes no precedence
+// constraint. Edges that carry data are always kept — their payload really
+// does move between those tasks, so removing them would change transfer
+// volumes. Imported DAX documents often carry redundant control links
+// shadowing data-flow paths; reducing them declutters rendering without
+// changing any schedule's feasibility.
+func (w *Workflow) TransitiveReduction() *Workflow {
+	w.mustFreeze()
+	c := w.Clone()
+
+	// reach[u] = set of nodes reachable from u via at least 2 hops when
+	// skipping the direct edge. Simpler: for each edge (u, v) with zero
+	// data, check whether v is reachable from u without that edge.
+	for _, e := range w.Edges() {
+		if e.Data != 0 {
+			continue
+		}
+		if c.reachableWithout(e.From, e.To) {
+			c.removeEdge(e.From, e.To)
+		}
+	}
+	return c
+}
+
+// reachableWithout reports whether to is reachable from from when ignoring
+// the direct edge from→to.
+func (w *Workflow) reachableWithout(from, to TaskID) bool {
+	seen := make([]bool, len(w.tasks))
+	stack := []TaskID{}
+	for _, s := range w.succ[from] {
+		if s != to {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t == to {
+			return true
+		}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		stack = append(stack, w.succ[t]...)
+	}
+	return false
+}
+
+// removeEdge deletes the edge from→to from an unfrozen workflow.
+func (w *Workflow) removeEdge(from, to TaskID) {
+	delete(w.data, [2]TaskID{from, to})
+	w.succ[from] = removeID(w.succ[from], to)
+	w.pred[to] = removeID(w.pred[to], from)
+}
+
+func removeID(ids []TaskID, id TaskID) []TaskID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workflows"
+)
+
+func TestWorkflowDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Workflow(&buf, workflows.CSTEM()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "t0", "->", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Every task appears.
+	wf := workflows.CSTEM()
+	for _, task := range wf.Tasks() {
+		if !strings.Contains(out, task.Name) {
+			t.Errorf("DOT missing task %q", task.Name)
+		}
+	}
+}
+
+func TestScheduleDOTClustersByVM(t *testing.T) {
+	wf := workflows.Fig1SubWorkflow()
+	s, err := sched.Baseline().Schedule(wf, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Schedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "subgraph cluster_vm"); got != s.VMCount() {
+		t.Errorf("clusters = %d, want %d", got, s.VMCount())
+	}
+	if !strings.Contains(out, "$") {
+		t.Error("clusters should show VM cost")
+	}
+}
+
+func TestSanitizeAndEscape(t *testing.T) {
+	if got := sanitize("a b/c"); got != "a_b_c" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := escape(`x"y`); got != `x\"y` {
+		t.Errorf("escape = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package eventq provides the discrete-event priority queue underlying the
+// simulator in internal/sim: a binary min-heap ordered by event time, with
+// FIFO ordering among simultaneous events so simulation runs are fully
+// deterministic.
+package eventq
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	Time float64
+	// Fire is invoked when the event is dispatched.
+	Fire func()
+
+	seq uint64
+}
+
+// Queue is a min-heap of events. The zero value is an empty queue ready for
+// use. Queue is not safe for concurrent use; the simulator is
+// single-threaded by design (virtual time must advance deterministically).
+type Queue struct {
+	heap []Event
+	next uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules an event. Events pushed with equal times fire in push
+// order.
+func (q *Queue) Push(time float64, fire func()) {
+	e := Event{Time: time, Fire: fire, seq: q.next}
+	q.next++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
+// Pop removes and returns the earliest event. The boolean is false when the
+// queue is empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	return q.heap[0], true
+}
+
+// less orders by time, then insertion sequence.
+func (q *Queue) less(i, j int) bool {
+	if q.heap[i].Time != q.heap[j].Time {
+		return q.heap[i].Time < q.heap[j].Time
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

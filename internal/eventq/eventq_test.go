@@ -1,0 +1,119 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		q.Push(tm, nil)
+	}
+	var got []float64
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.Time)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned an event")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue returned an event")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(7, func() { fired = append(fired, i) })
+	}
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		e.Fire()
+	}
+	for i := range fired {
+		if fired[i] != i {
+			t.Fatalf("simultaneous events fired out of order: %v", fired)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(3, nil)
+	if e, ok := q.Peek(); !ok || e.Time != 3 {
+		t.Fatalf("Peek = %v, %v", e, ok)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len after Peek = %d", q.Len())
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	q.Push(10, nil)
+	q.Push(20, nil)
+	if e, _ := q.Pop(); e.Time != 10 {
+		t.Fatalf("first pop = %v", e.Time)
+	}
+	q.Push(5, nil)
+	q.Push(15, nil)
+	want := []float64{5, 15, 20}
+	for _, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Time != w {
+			t.Fatalf("pop = %v, want %v", e.Time, w)
+		}
+	}
+}
+
+// Property: popping a random workload yields sorted order.
+func TestQuickHeapSorts(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		r := stats.NewRNG(seed)
+		var q Queue
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = r.Range(0, 1000)
+			q.Push(in[i], nil)
+		}
+		sort.Float64s(in)
+		for _, w := range in {
+			e, ok := q.Pop()
+			if !ok || e.Time != w {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

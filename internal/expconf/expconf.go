@@ -1,0 +1,225 @@
+// Package expconf loads experiment configurations from JSON, so custom
+// sweeps — different workflow corpora, scenario subsets, regions and
+// strategy subsets — can be described as data instead of code:
+//
+//	{
+//	  "seed": 7,
+//	  "region": "eu-dublin",
+//	  "scenarios": ["Pareto", "Worst case"],
+//	  "strategies": ["AllParExceed-m", "GAIN"],
+//	  "workflows": [
+//	    {"name": "Montage"},
+//	    {"name": "mr-big", "builder": "mapreduce", "m": 16, "r": 8},
+//	    {"name": "mine", "file": "my-workflow.json"}
+//	  ]
+//	}
+//
+// Omitted fields fall back to the paper's defaults.
+package expconf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/sched"
+	"repro/internal/wfio"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+// File is the JSON document shape.
+type File struct {
+	Seed       uint64         `json:"seed"`
+	Region     string         `json:"region,omitempty"`
+	Scenarios  []string       `json:"scenarios,omitempty"`
+	Strategies []string       `json:"strategies,omitempty"`
+	Workflows  []WorkflowSpec `json:"workflows,omitempty"`
+	Paranoid   bool           `json:"paranoid,omitempty"`
+	// LatencyS overrides the platform's inter-VM network latency in
+	// seconds (0 keeps the default) — the knob for network-sensitivity
+	// experiments.
+	LatencyS float64 `json:"latency_s,omitempty"`
+	// Workers bounds the sweep's concurrency (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// WorkflowSpec names one workflow of the corpus. Exactly one source must
+// be given: a built-in display name (Name alone), a parametric builder, or
+// a file (JSON or DAX, by extension).
+type WorkflowSpec struct {
+	Name    string `json:"name"`
+	Builder string `json:"builder,omitempty"`
+	N       int    `json:"n,omitempty"`
+	M       int    `json:"m,omitempty"`
+	R       int    `json:"r,omitempty"`
+	File    string `json:"file,omitempty"`
+}
+
+// Load reads a JSON experiment description and resolves it into a
+// core.Config. Relative workflow file paths are resolved against baseDir.
+func Load(r io.Reader, baseDir string) (core.Config, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return core.Config{}, fmt.Errorf("expconf: %w", err)
+	}
+	return Resolve(f, baseDir)
+}
+
+// LoadFile reads an experiment description from a file; relative workflow
+// paths resolve against the file's directory.
+func LoadFile(path string) (core.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("expconf: %w", err)
+	}
+	defer f.Close()
+	return Load(f, filepath.Dir(path))
+}
+
+// Resolve turns a parsed document into a runnable core.Config.
+func Resolve(f File, baseDir string) (core.Config, error) {
+	cfg := core.Config{Seed: f.Seed, Paranoid: f.Paranoid, Workers: f.Workers}
+	if f.LatencyS < 0 {
+		return core.Config{}, fmt.Errorf("expconf: negative latency %v", f.LatencyS)
+	}
+	if f.LatencyS > 0 {
+		p := cloud.NewPlatform()
+		p.Latency = f.LatencyS
+		cfg.Platform = p
+	}
+
+	if f.Region != "" {
+		region, err := cloud.ParseRegion(f.Region)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("expconf: %w", err)
+		}
+		cfg.Region = region
+	}
+	for _, name := range f.Scenarios {
+		sc, err := workload.ParseScenario(name)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("expconf: %w", err)
+		}
+		cfg.Scenarios = append(cfg.Scenarios, sc)
+	}
+	for _, name := range f.Strategies {
+		alg, err := sched.ByName(name)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("expconf: %w", err)
+		}
+		cfg.Strategies = append(cfg.Strategies, alg)
+	}
+	if len(f.Workflows) > 0 {
+		cfg.Workflows = map[string]*dag.Workflow{}
+		for _, spec := range f.Workflows {
+			if spec.Name == "" {
+				return core.Config{}, fmt.Errorf("expconf: workflow spec without name")
+			}
+			if _, dup := cfg.Workflows[spec.Name]; dup {
+				return core.Config{}, fmt.Errorf("expconf: duplicate workflow %q", spec.Name)
+			}
+			wf, err := buildWorkflow(spec, baseDir)
+			if err != nil {
+				return core.Config{}, err
+			}
+			cfg.Workflows[spec.Name] = wf
+			cfg.WorkflowOrder = append(cfg.WorkflowOrder, spec.Name)
+		}
+	}
+	return cfg, nil
+}
+
+// buildWorkflow resolves one spec.
+func buildWorkflow(spec WorkflowSpec, baseDir string) (*dag.Workflow, error) {
+	switch {
+	case spec.File != "" && spec.Builder != "":
+		return nil, fmt.Errorf("expconf: workflow %q sets both file and builder", spec.Name)
+	case spec.File != "":
+		path := spec.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: workflow %q: %w", spec.Name, err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".xml") || strings.HasSuffix(path, ".dax") {
+			return dax.Decode(f)
+		}
+		return wfio.Decode(f)
+	case spec.Builder != "":
+		return builtWorkflow(spec)
+	default:
+		if wf, ok := workflows.Extended()[spec.Name]; ok {
+			return wf, nil
+		}
+		return nil, fmt.Errorf("expconf: unknown built-in workflow %q", spec.Name)
+	}
+}
+
+func builtWorkflow(spec WorkflowSpec) (*dag.Workflow, error) {
+	n := spec.N
+	switch spec.Builder {
+	case "montage":
+		if n == 0 {
+			n = 6
+		}
+		return workflows.Montage(n), nil
+	case "cstem":
+		return workflows.CSTEM(), nil
+	case "mapreduce":
+		m, r := spec.M, spec.R
+		if m == 0 {
+			m = 8
+		}
+		if r == 0 {
+			r = 4
+		}
+		return workflows.MapReduce(m, r), nil
+	case "sequential":
+		if n == 0 {
+			n = 10
+		}
+		return workflows.Sequential(n), nil
+	case "layered":
+		m := spec.M
+		if n == 0 {
+			n = 3
+		}
+		if m == 0 {
+			m = 4
+		}
+		return workflows.Layered(n, m), nil
+	case "epigenomics":
+		if n == 0 {
+			n = 4
+		}
+		return workflows.Epigenomics(n), nil
+	case "inspiral":
+		m := spec.M
+		if n == 0 {
+			n = 2
+		}
+		if m == 0 {
+			m = 3
+		}
+		return workflows.Inspiral(n, m), nil
+	case "cybershake":
+		if n == 0 {
+			n = 8
+		}
+		return workflows.CyberShake(n), nil
+	}
+	return nil, fmt.Errorf("expconf: unknown builder %q", spec.Builder)
+}

@@ -1,0 +1,185 @@
+package expconf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestLoadFullDocument(t *testing.T) {
+	doc := `{
+	  "seed": 7,
+	  "region": "eu-dublin",
+	  "scenarios": ["Pareto", "Worst case"],
+	  "strategies": ["AllParExceed-m", "GAIN"],
+	  "workflows": [
+	    {"name": "Montage"},
+	    {"name": "mr-big", "builder": "mapreduce", "m": 16, "r": 8},
+	    {"name": "pipeline", "builder": "sequential", "n": 5}
+	  ]
+	}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Region != cloud.EUDublin {
+		t.Errorf("seed/region = %v/%v", cfg.Seed, cfg.Region)
+	}
+	if len(cfg.Scenarios) != 2 || cfg.Scenarios[1] != workload.WorstCase {
+		t.Errorf("scenarios = %v", cfg.Scenarios)
+	}
+	if len(cfg.Strategies) != 2 || cfg.Strategies[1].Name() != "GAIN" {
+		t.Errorf("strategies resolved wrong")
+	}
+	if len(cfg.Workflows) != 3 {
+		t.Fatalf("workflows = %d", len(cfg.Workflows))
+	}
+	if cfg.Workflows["mr-big"].Len() != 1+16+16+8+1 {
+		t.Errorf("mr-big tasks = %d", cfg.Workflows["mr-big"].Len())
+	}
+	if cfg.Workflows["pipeline"].Depth() != 5 {
+		t.Errorf("pipeline depth = %d", cfg.Workflows["pipeline"].Depth())
+	}
+
+	// The resolved config runs.
+	s, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3*2*2 {
+		t.Errorf("cells = %d, want 12", s.Len())
+	}
+}
+
+func TestLoadWorkflowFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "wf.json")
+	if err := os.WriteFile(jsonPath, []byte(
+		`{"name": "mini", "tasks": [{"name":"a","work":100}], "edges": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	daxPath := filepath.Join(dir, "wf.dax")
+	if err := os.WriteFile(daxPath, []byte(
+		`<adag name="minidax"><job id="a" name="a" runtime="50"/></adag>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"workflows": [
+	  {"name": "j", "file": "wf.json"},
+	  {"name": "d", "file": "wf.dax"}
+	]}`
+	cfg, err := Load(strings.NewReader(doc), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workflows["j"].Len() != 1 || cfg.Workflows["d"].Len() != 1 {
+		t.Error("file workflows not loaded")
+	}
+	if cfg.Workflows["d"].Task(0).Work != 50 {
+		t.Error("DAX runtime lost")
+	}
+}
+
+func TestLoadFileResolvesRelativePaths(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wf.json"), []byte(
+		`{"name": "mini", "tasks": [{"name":"a","work":100}], "edges": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(cfgPath, []byte(
+		`{"workflows": [{"name": "x", "file": "wf.json"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Workflows) != 1 {
+		t.Error("relative file not resolved")
+	}
+}
+
+func TestLoadDefaultsToFullPaperSetup(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{}`), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled := cfg.Fill()
+	if len(filled.Workflows) != 4 || len(filled.Scenarios) != 3 || len(filled.Strategies) != 19 {
+		t.Errorf("defaults incomplete: %d/%d/%d",
+			len(filled.Workflows), len(filled.Scenarios), len(filled.Strategies))
+	}
+}
+
+func TestLoadBuilders(t *testing.T) {
+	doc := `{"workflows": [
+	  {"name": "a", "builder": "montage", "n": 4},
+	  {"name": "b", "builder": "cstem"},
+	  {"name": "c", "builder": "layered", "n": 2, "m": 3},
+	  {"name": "d", "builder": "epigenomics", "n": 2},
+	  {"name": "e", "builder": "inspiral"},
+	  {"name": "f", "builder": "cybershake", "n": 4}
+	]}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Workflows) != 6 {
+		t.Errorf("workflows = %d", len(cfg.Workflows))
+	}
+}
+
+func TestLoadExtendedBuiltinsByName(t *testing.T) {
+	doc := `{"workflows": [{"name": "Epigenomics"}, {"name": "CyberShake"}]}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Workflows) != 2 {
+		t.Errorf("workflows = %d", len(cfg.Workflows))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"bogus": 1}`,
+		"bad region":      `{"region": "mars"}`,
+		"bad scenario":    `{"scenarios": ["Typical"]}`,
+		"bad strategy":    `{"strategies": ["Nope"]}`,
+		"unnamed wf":      `{"workflows": [{"builder": "cstem"}]}`,
+		"duplicate wf":    `{"workflows": [{"name": "a", "builder": "cstem"}, {"name": "a", "builder": "cstem"}]}`,
+		"unknown builtin": `{"workflows": [{"name": "Ghost"}]}`,
+		"unknown builder": `{"workflows": [{"name": "a", "builder": "fractal"}]}`,
+		"file and builder": `{"workflows": [
+			{"name": "a", "builder": "cstem", "file": "x.json"}]}`,
+		"missing file": `{"workflows": [{"name": "a", "file": "no-such.json"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc), t.TempDir()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadPlatformOverrides(t *testing.T) {
+	doc := `{"latency_s": 2.5, "workers": 3}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Platform == nil || cfg.Platform.Latency != 2.5 {
+		t.Errorf("latency override not applied: %+v", cfg.Platform)
+	}
+	if cfg.Workers != 3 {
+		t.Errorf("workers = %d", cfg.Workers)
+	}
+	if _, err := Load(strings.NewReader(`{"latency_s": -1}`), "."); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

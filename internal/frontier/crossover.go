@@ -1,0 +1,96 @@
+package frontier
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// The paper's evaluation is CPU-intensive (tiny communication-to-
+// computation ratios); its Sect. III-A notes that data-heavy workflows
+// favour co-location ("the VM should be as close as possible to the
+// data"). DataCrossover locates the CCR at which full co-location (the
+// single-VM StartParExceed plan, zero transfers) overtakes the fully
+// parallel OneVMperTask baseline on a given workflow — the boundary
+// between the compute-bound and data-bound regimes.
+
+// CrossoverPoint is one row of the CCR sweep.
+type CrossoverPoint struct {
+	DataFactor float64 // multiplier on the Pareto edge sizes
+	CCR        float64 // resulting communication/computation ratio
+	Parallel   float64 // OneVMperTask makespan, seconds
+	Colocated  float64 // StartParExceed-s makespan, seconds
+}
+
+// ColocationWins reports whether the transfer-free plan beats the parallel
+// one at this point.
+func (p CrossoverPoint) ColocationWins() bool { return p.Colocated < p.Parallel }
+
+// DataCrossover sweeps edge-data multipliers (powers of two from 1 up to
+// maxFactor) over the Pareto-weighted workflow and reports the makespans
+// of both plans at each CCR. It returns the sweep and the first factor
+// where co-location wins, or 0 if it never does.
+func DataCrossover(structural *dag.Workflow, seed uint64, maxFactor float64, opts sched.Options) ([]CrossoverPoint, float64, error) {
+	if maxFactor < 1 {
+		return nil, 0, fmt.Errorf("frontier: maxFactor %v < 1", maxFactor)
+	}
+	if opts.Platform == nil {
+		opts = sched.DefaultOptions()
+	}
+	base := workload.Pareto.Apply(structural, seed)
+	colocated := sched.NewHEFT(provision.StartParExceed, cloud.Small)
+	var out []CrossoverPoint
+	crossover := 0.0
+	for factor := 1.0; factor <= maxFactor; factor *= 2 {
+		w := base.Clone()
+		w.SetData(func(e dag.Edge) float64 { return e.Data * factor })
+		if err := w.Freeze(); err != nil {
+			return nil, 0, err
+		}
+		ccr := w.CCR(dag.CostModel{
+			Exec: func(t dag.Task) float64 { return t.Work },
+			Comm: func(e dag.Edge) float64 { return opts.Platform.TransferTime(e.Data, 0, 0) },
+		})
+		sb, err := sched.Baseline().Schedule(w.Clone(), opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		sp, err := colocated.Schedule(w.Clone(), opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		pt := CrossoverPoint{
+			DataFactor: factor,
+			CCR:        ccr,
+			Parallel:   sb.Makespan(),
+			Colocated:  sp.Makespan(),
+		}
+		out = append(out, pt)
+		if crossover == 0 && pt.ColocationWins() {
+			crossover = factor
+		}
+	}
+	return out, crossover, nil
+}
+
+// RenderCrossover formats the sweep as a table.
+func RenderCrossover(points []CrossoverPoint) string {
+	var b strings.Builder
+	b.WriteString("CCR crossover: fully parallel (OneVMperTask) vs. co-located (StartParExceed)\n")
+	fmt.Fprintf(&b, "  %10s %10s %14s %14s %10s\n", "factor", "CCR", "parallel (s)", "colocated (s)", "winner")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 62))
+	for _, p := range points {
+		winner := "parallel"
+		if p.ColocationWins() {
+			winner = "colocated"
+		}
+		fmt.Fprintf(&b, "  %10.0f %10.4f %14.0f %14.0f %10s\n",
+			p.DataFactor, p.CCR, p.Parallel, p.Colocated, winner)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+func singleVMSchedule(t *testing.T, typ cloud.InstanceType, work float64) *plan.Schedule {
+	t.Helper()
+	w := dagtest.Chain(1, work)
+	b := plan.NewBuilder(w, cloud.NewPlatform(), cloud.USEastVirginia)
+	b.PlaceOn(0, b.NewVM(typ))
+	return b.Done()
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	// One 1800s task on one small VM: busy 1800s, idle 1800s (one BTU).
+	s := singleVMSchedule(t, cloud.Small, 1800)
+	e := DefaultEnergyModel().Energy(s)
+	if math.Abs(e.BusyJ-90*1800) > 1e-6 {
+		t.Errorf("BusyJ = %v, want %v", e.BusyJ, 90.0*1800)
+	}
+	if math.Abs(e.IdleJ-60*1800) > 1e-6 {
+		t.Errorf("IdleJ = %v, want %v", e.IdleJ, 60.0*1800)
+	}
+	if math.Abs(e.WastedFraction-(60.0*1800)/(90*1800+60*1800)) > 1e-9 {
+		t.Errorf("WastedFraction = %v", e.WastedFraction)
+	}
+	if !strings.Contains(e.String(), "kWh") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestEnergyScalesWithCores(t *testing.T) {
+	// Medium VMs have 2 cores: same durations cost twice the energy of a
+	// single-core small VM with the same busy/idle split.
+	sSmall := singleVMSchedule(t, cloud.Small, 3600)
+	sMedium := singleVMSchedule(t, cloud.Medium, 3600*1.6) // same 3600s busy
+	m := DefaultEnergyModel()
+	eS, eM := m.Energy(sSmall), m.Energy(sMedium)
+	if math.Abs(eM.BusyJ-2*eS.BusyJ) > 1e-6 {
+		t.Errorf("medium busy %v, want 2x small %v", eM.BusyJ, eS.BusyJ)
+	}
+}
+
+func TestEnergyEmptySchedule(t *testing.T) {
+	e := DefaultEnergyModel().Energy(&plan.Schedule{})
+	if e.TotalJ != 0 || e.WastedFraction != 0 {
+		t.Errorf("empty schedule energy = %+v", e)
+	}
+}
+
+func TestEnergyIdleHeavyStrategiesWasteMore(t *testing.T) {
+	// The paper's energy remark: OneVMperTask's idle translates into
+	// wasted energy; denser packing wastes less.
+	w := dagtest.ForkJoin(6, 700)
+	base, err := sched.Baseline().Schedule(w.Clone(), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := sched.ByName("StartParExceed-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := packed.Schedule(w.Clone(), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultEnergyModel()
+	if m.Energy(base).WastedFraction <= m.Energy(ps).WastedFraction {
+		t.Errorf("OneVMperTask wasted %v <= StartParExceed %v",
+			m.Energy(base).WastedFraction, m.Energy(ps).WastedFraction)
+	}
+}
+
+func TestCoRent(t *testing.T) {
+	// 1800s busy + 1800s idle small VM at $0.08/h: full-rate co-rent
+	// recovers 1800/3600*0.08 = $0.04.
+	s := singleVMSchedule(t, cloud.Small, 1800)
+	recovered, effective := CoRent(s, 1.0)
+	if math.Abs(recovered-0.04) > 1e-9 {
+		t.Errorf("recovered = %v, want 0.04", recovered)
+	}
+	if math.Abs(effective-0.04) > 1e-9 {
+		t.Errorf("effective = %v, want 0.04", effective)
+	}
+	// At spot-like 0.3 the recovery scales linearly.
+	recovered, _ = CoRent(s, 0.3)
+	if math.Abs(recovered-0.012) > 1e-9 {
+		t.Errorf("recovered at 0.3 = %v, want 0.012", recovered)
+	}
+	// Zero rate recovers nothing.
+	recovered, effective = CoRent(s, 0)
+	if recovered != 0 || effective != s.TotalCost() {
+		t.Errorf("zero-rate co-rent = %v, %v", recovered, effective)
+	}
+}
+
+func TestCoRentPanicsOnBadRate(t *testing.T) {
+	s := singleVMSchedule(t, cloud.Small, 100)
+	for _, rate := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v: no panic", rate)
+				}
+			}()
+			CoRent(s, rate)
+		}()
+	}
+}

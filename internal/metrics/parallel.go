@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// Classic parallel-computing quality metrics for a schedule, complementing
+// the paper's cost-centric view: how well does a strategy convert rented
+// machines into speed?
+
+// SerialTime returns the time the workflow would take on a single VM of
+// the schedule's slowest used instance type — the denominator of the
+// speed-up. For homogeneous schedules this is simply total work divided by
+// the type's speed-up factor.
+func SerialTime(s *plan.Schedule) float64 {
+	slowest := -1.0
+	for _, vm := range s.VMs {
+		if len(vm.Slots) == 0 {
+			continue
+		}
+		if slowest < 0 || vm.Type.Speedup() < slowest {
+			slowest = vm.Type.Speedup()
+		}
+	}
+	if slowest <= 0 {
+		return 0
+	}
+	return s.Workflow.TotalWork() / slowest
+}
+
+// Speedup returns SerialTime / makespan: how many times faster the
+// parallel schedule is than running everything on one of its slowest
+// machines. A fully sequential schedule has speed-up <= 1 (transfers can
+// push it below).
+func Speedup(s *plan.Schedule) float64 {
+	mk := s.Makespan()
+	if mk <= 0 {
+		return 0
+	}
+	return SerialTime(s) / mk
+}
+
+// Efficiency returns Speedup / VMCount: the fraction of the rented fleet's
+// aggregate capacity that actually converted into speed. OneVMperTask's
+// low efficiency is the flip side of the idle times in the paper's Fig. 5.
+func Efficiency(s *plan.Schedule) float64 {
+	n := s.VMCount()
+	if n == 0 {
+		return 0
+	}
+	return Speedup(s) / float64(n)
+}
+
+// ParallelProfile bundles the three metrics.
+type ParallelProfile struct {
+	SerialTime float64
+	Speedup    float64
+	Efficiency float64
+	VMs        int
+}
+
+// Parallel computes the profile of a schedule.
+func Parallel(s *plan.Schedule) ParallelProfile {
+	return ParallelProfile{
+		SerialTime: SerialTime(s),
+		Speedup:    Speedup(s),
+		Efficiency: Efficiency(s),
+		VMs:        s.VMCount(),
+	}
+}
+
+// String renders the profile.
+func (p ParallelProfile) String() string {
+	return fmt.Sprintf("parallel{speedup: %.2fx on %d VMs, efficiency: %.0f%%}",
+		p.Speedup, p.VMs, 100*p.Efficiency)
+}

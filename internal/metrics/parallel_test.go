@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
+	"repro/internal/plan"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func TestSpeedupForkJoin(t *testing.T) {
+	// 6 tasks of 1000s; OneVMperTask runs the 4-wide level in parallel:
+	// serial 6000, makespan 3000 -> speedup 2 on 6 VMs.
+	w := dagtest.ForkJoin(4, 1000)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Parallel(s)
+	if math.Abs(p.SerialTime-6000) > 1e-9 {
+		t.Errorf("SerialTime = %v", p.SerialTime)
+	}
+	if math.Abs(p.Speedup-2) > 1e-9 {
+		t.Errorf("Speedup = %v", p.Speedup)
+	}
+	if math.Abs(p.Efficiency-2.0/6.0) > 1e-9 {
+		t.Errorf("Efficiency = %v", p.Efficiency)
+	}
+	if !strings.Contains(p.String(), "speedup") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestSingleVMScheduleHasFullEfficiency(t *testing.T) {
+	w := dagtest.Chain(4, 500)
+	s, err := sched.NewHEFT(provision.StartParExceed, cloud.Small).Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Efficiency(s); math.Abs(got-1) > 1e-9 {
+		t.Errorf("chain on one VM efficiency = %v, want 1", got)
+	}
+}
+
+func TestEmptyScheduleMetricsAreZero(t *testing.T) {
+	s := &plan.Schedule{Workflow: dagtest.Chain(1, 10)}
+	if SerialTime(s) != 0 || Speedup(s) != 0 || Efficiency(s) != 0 {
+		t.Errorf("empty schedule metrics = %v/%v/%v, want zeros",
+			SerialTime(s), Speedup(s), Efficiency(s))
+	}
+}
+
+func TestEfficiencyOrderingOnMontage(t *testing.T) {
+	// The Fig. 5 story in efficiency terms: packing strategies convert
+	// their fleet better than OneVMperTask.
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 42)
+	opts := sched.DefaultOptions()
+	one, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := sched.NewAllPar1LnS().Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Efficiency(one) >= Efficiency(packed) {
+		t.Errorf("OneVMperTask efficiency %v >= AllPar1LnS %v",
+			Efficiency(one), Efficiency(packed))
+	}
+	// Speedups stay physical: never above the used VM count.
+	for _, s := range []float64{Speedup(one), Speedup(packed)} {
+		if s <= 0 {
+			t.Errorf("non-positive speedup %v", s)
+		}
+	}
+	if Speedup(one) > float64(one.VMCount())+1e-9 {
+		t.Errorf("speedup %v exceeds fleet size %d", Speedup(one), one.VMCount())
+	}
+}

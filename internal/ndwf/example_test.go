@@ -1,0 +1,40 @@
+package ndwf_test
+
+import (
+	"fmt"
+
+	"repro/internal/ndwf"
+)
+
+// Example samples a non-deterministic template twice: an XOR split makes
+// the realized DAGs differ between runs (but each seed is reproducible).
+func Example() {
+	tpl := ndwf.Template{
+		Name: "retryer",
+		Root: ndwf.Seq{
+			ndwf.Task{Name: "work", Work: 500},
+			ndwf.Xor{
+				Branches: []ndwf.Block{
+					ndwf.Task{Name: "ok", Work: 50},
+					ndwf.Seq{
+						ndwf.Task{Name: "diagnose", Work: 400},
+						ndwf.Task{Name: "retry", Work: 500},
+					},
+				},
+				Probs: []float64{0.5, 0.5},
+			},
+		},
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		w, err := tpl.Sample(seed)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("seed %d: %d tasks, %.0fs total work\n", seed, w.Len(), w.TotalWork())
+	}
+	// Output:
+	// seed 0: 3 tasks, 1400s total work
+	// seed 1: 3 tasks, 1400s total work
+	// seed 2: 3 tasks, 1400s total work
+	// seed 3: 2 tasks, 550s total work
+}

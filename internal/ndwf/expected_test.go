@@ -1,0 +1,82 @@
+package ndwf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/validate"
+)
+
+func TestExpectedIterations(t *testing.T) {
+	cases := []struct {
+		p    float64
+		max  int
+		want int
+	}{
+		{0, 5, 1},      // never repeats
+		{0.5, 2, 2},    // E = 1*0.5 + 2*0.5 = 1.5 -> 2
+		{0.9, 10, 7},   // long loops
+		{0.999, 3, 3},  // cap dominates
+		{0.0001, 8, 1}, // almost never
+	}
+	for _, c := range cases {
+		if got := expectedIterations(c.p, c.max); got != c.want {
+			t.Errorf("expectedIterations(%v, %d) = %d, want %d", c.p, c.max, got, c.want)
+		}
+	}
+}
+
+func TestExpectedDAGWorkMatchesSampledMean(t *testing.T) {
+	tpl := pipeline()
+	exp, err := tpl.Expected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sched.Baseline().Schedule(exp, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.Schedule(base); err != nil {
+		t.Fatal(err)
+	}
+	// Sampled mean total work over many realizations.
+	var mean float64
+	const n = 3000
+	for seed := uint64(0); seed < n; seed++ {
+		w, err := tpl.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += w.TotalWork() / n
+	}
+	// The expected DAG's work tracks the sampled mean within rounding of
+	// the loop count (the refine loop contributes 400s steps).
+	if math.Abs(exp.TotalWork()-mean) > 450 {
+		t.Errorf("expected DAG work %v vs sampled mean %v", exp.TotalWork(), mean)
+	}
+}
+
+func TestExpectedDAGPlansPoolSize(t *testing.T) {
+	// The use case: size an AllParNotExceed budget from the expected DAG,
+	// and confirm it covers the mean realized cost under AllPar1LnSDyn.
+	tpl := pipeline()
+	exp, err := tpl.Expected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := sched.NewAllPar1LnSDyn().Schedule(exp, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Distribution(tpl, sched.NewAllPar1LnSDyn(), sched.DefaultOptions(), 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expectation plan must be in the realized cost range (budgets
+	// derived from it are neither absurdly high nor low).
+	if planned.TotalCost() < out.Cost.Min/2 || planned.TotalCost() > out.Cost.Max*2 {
+		t.Errorf("expectation-planned cost %v outside realized range [%v, %v]",
+			planned.TotalCost(), out.Cost.Min, out.Cost.Max)
+	}
+}

@@ -1,0 +1,186 @@
+package ndwf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of templates, so non-deterministic workflows can be
+// described as data files. Blocks are encoded as tagged objects:
+//
+//	{"task": {"name": "a", "work": 120, "data": 0}}
+//	{"seq":  [ ...blocks... ]}
+//	{"par":  [ ...blocks... ]}
+//	{"xor":  {"branches": [...], "probs": [0.7, 0.3]}}
+//	{"loop": {"body": ..., "repeat": 0.5, "max": 4}}
+
+// blockJSON is the tagged wire form of one block; exactly one field must
+// be set.
+type blockJSON struct {
+	Task *taskJSON   `json:"task,omitempty"`
+	Seq  []blockJSON `json:"seq,omitempty"`
+	Par  []blockJSON `json:"par,omitempty"`
+	Xor  *xorJSON    `json:"xor,omitempty"`
+	Loop *loopJSON   `json:"loop,omitempty"`
+}
+
+type taskJSON struct {
+	Name string  `json:"name"`
+	Work float64 `json:"work"`
+	Data float64 `json:"data,omitempty"`
+}
+
+type xorJSON struct {
+	Branches []blockJSON `json:"branches"`
+	Probs    []float64   `json:"probs"`
+}
+
+type loopJSON struct {
+	Body   blockJSON `json:"body"`
+	Repeat float64   `json:"repeat"`
+	Max    int       `json:"max"`
+}
+
+type templateJSON struct {
+	Name string    `json:"name"`
+	Root blockJSON `json:"root"`
+}
+
+// EncodeJSON writes the template as indented JSON.
+func EncodeJSON(w io.Writer, t Template) error {
+	root, err := toJSON(t.Root)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(templateJSON{Name: t.Name, Root: root})
+}
+
+// DecodeJSON reads a template and validates it.
+func DecodeJSON(r io.Reader) (Template, error) {
+	var doc templateJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Template{}, fmt.Errorf("ndwf: %w", err)
+	}
+	root, err := fromJSON(doc.Root)
+	if err != nil {
+		return Template{}, err
+	}
+	t := Template{Name: doc.Name, Root: root}
+	if err := t.Validate(); err != nil {
+		return Template{}, err
+	}
+	return t, nil
+}
+
+func toJSON(b Block) (blockJSON, error) {
+	switch v := b.(type) {
+	case Task:
+		return blockJSON{Task: &taskJSON{Name: v.Name, Work: v.Work, Data: v.Data}}, nil
+	case Seq:
+		var out []blockJSON
+		for _, c := range v {
+			j, err := toJSON(c)
+			if err != nil {
+				return blockJSON{}, err
+			}
+			out = append(out, j)
+		}
+		return blockJSON{Seq: out}, nil
+	case Par:
+		var out []blockJSON
+		for _, c := range v {
+			j, err := toJSON(c)
+			if err != nil {
+				return blockJSON{}, err
+			}
+			out = append(out, j)
+		}
+		return blockJSON{Par: out}, nil
+	case Xor:
+		x := &xorJSON{Probs: v.Probs}
+		for _, c := range v.Branches {
+			j, err := toJSON(c)
+			if err != nil {
+				return blockJSON{}, err
+			}
+			x.Branches = append(x.Branches, j)
+		}
+		return blockJSON{Xor: x}, nil
+	case Loop:
+		body, err := toJSON(v.Body)
+		if err != nil {
+			return blockJSON{}, err
+		}
+		return blockJSON{Loop: &loopJSON{Body: body, Repeat: v.Repeat, Max: v.Max}}, nil
+	case nil:
+		return blockJSON{}, fmt.Errorf("ndwf: nil block")
+	}
+	return blockJSON{}, fmt.Errorf("ndwf: unknown block type %T", b)
+}
+
+func fromJSON(j blockJSON) (Block, error) {
+	set := 0
+	if j.Task != nil {
+		set++
+	}
+	if j.Seq != nil {
+		set++
+	}
+	if j.Par != nil {
+		set++
+	}
+	if j.Xor != nil {
+		set++
+	}
+	if j.Loop != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("ndwf: block must set exactly one of task/seq/par/xor/loop, got %d", set)
+	}
+	switch {
+	case j.Task != nil:
+		return Task{Name: j.Task.Name, Work: j.Task.Work, Data: j.Task.Data}, nil
+	case j.Seq != nil:
+		var out Seq
+		for _, c := range j.Seq {
+			b, err := fromJSON(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+		}
+		return out, nil
+	case j.Par != nil:
+		var out Par
+		for _, c := range j.Par {
+			b, err := fromJSON(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+		}
+		return out, nil
+	case j.Xor != nil:
+		x := Xor{Probs: j.Xor.Probs}
+		for _, c := range j.Xor.Branches {
+			b, err := fromJSON(c)
+			if err != nil {
+				return nil, err
+			}
+			x.Branches = append(x.Branches, b)
+		}
+		return x, nil
+	default:
+		body, err := fromJSON(j.Loop.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Loop{Body: body, Repeat: j.Loop.Repeat, Max: j.Loop.Max}, nil
+	}
+}

@@ -1,0 +1,79 @@
+package ndwf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tpl := pipeline()
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, tpl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tpl.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	// Behavioural equality: the same seeds realize identical instances.
+	for seed := uint64(0); seed < 30; seed++ {
+		a, err := tpl.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() || a.TotalWork() != b.TotalWork() {
+			t.Fatalf("seed %d: round-tripped template realizes differently", seed)
+		}
+	}
+}
+
+func TestDecodeJSONRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `nope`,
+		"no root":        `{"name": "x", "root": {}}`,
+		"two constructs": `{"name": "x", "root": {"task": {"name":"a","work":1}, "seq": [{"task":{"name":"b","work":1}}]}}`,
+		"unknown field":  `{"name": "x", "root": {"task": {"name":"a","work":1}}, "bogus": 2}`,
+		"bad xor probs": `{"name": "x", "root": {"xor": {"branches": [
+			{"task": {"name":"a","work":1}}, {"task": {"name":"b","work":1}}], "probs": [0.9, 0.9]}}}`,
+		"bad loop":   `{"name": "x", "root": {"loop": {"body": {"task": {"name":"a","work":1}}, "repeat": 1.5, "max": 3}}}`,
+		"nested bad": `{"name": "x", "root": {"seq": [{"task": {"name":"a","work":1}}, {}]}}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeJSONMinimal(t *testing.T) {
+	doc := `{"name": "tiny", "root": {"task": {"name": "only", "work": 42}}}`
+	tpl, err := DecodeJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tpl.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 || w.Task(0).Work != 42 {
+		t.Errorf("sampled instance = %v tasks, work %v", w.Len(), w.Task(0).Work)
+	}
+}
+
+func TestEncodeJSONRejectsNilBlock(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, Template{Name: "x"}); err == nil {
+		t.Error("nil root accepted")
+	}
+	if err := EncodeJSON(&buf, Template{Name: "x", Root: Seq{nil}}); err == nil {
+		t.Error("nil nested block accepted")
+	}
+}

@@ -1,0 +1,382 @@
+// Package online complements the paper's offline (static) schedulers with
+// an instance-intensive execution model from its related work (Sect. II):
+// workflow instances arrive continuously, tasks are dispatched to a shared
+// elastic VM pool, and an auto-scaling policy in the style of Mao &
+// Humphrey rents VMs when ready tasks queue up and releases idle VMs at
+// their BTU boundaries (terminating mid-BTU would waste money already
+// paid).
+//
+// The package reuses the repository's platform model and event queue; its
+// results expose the same cost/idle economics the paper studies, but under
+// load instead of for a single DAG.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/eventq"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one online simulation.
+type Config struct {
+	// MeanInterarrival is the mean of the exponential inter-arrival time
+	// between workflow instances, in seconds.
+	MeanInterarrival float64
+	// Instances is the number of workflow instances to run.
+	Instances int
+	// Instance builds the i-th arriving workflow; it may use the RNG for
+	// per-instance variation. The returned workflow must be valid.
+	Instance func(i int, r *stats.RNG) *dag.Workflow
+	// Type and Region fix the pool's VM flavour (homogeneous pool, like
+	// the paper's homogeneous experiments).
+	Type   cloud.InstanceType
+	Region cloud.Region
+	// Platform supplies execution times; nil selects the default.
+	Platform *cloud.Platform
+	// MinVMs VMs are kept alive even when idle; the pool never exceeds
+	// MaxVMs.
+	MinVMs, MaxVMs int
+	// EagerScaleDown releases a VM the moment it idles with an empty
+	// queue, instead of waiting for its BTU boundary. The BTU is already
+	// paid either way, so eager release can only lose capacity — the
+	// ablation quantifying why Mao & Humphrey-style auto-scalers terminate
+	// at the billing boundary.
+	EagerScaleDown bool
+	// Dispatch selects the ready-queue order: FIFO (default) or SJF
+	// (shortest job first), the classic mean-response-time optimization
+	// for heavy-tailed task sizes.
+	Dispatch Dispatch
+	// Seed drives arrivals and instance generation.
+	Seed uint64
+}
+
+// Dispatch is a ready-queue ordering policy.
+type Dispatch int
+
+// The dispatch policies.
+const (
+	// FIFO serves ready tasks in arrival order.
+	FIFO Dispatch = iota
+	// SJF serves the shortest ready task first (ties by arrival). With
+	// Pareto-sized tasks it cuts mean response time at the cost of
+	// delaying the heavy tail.
+	SJF
+)
+
+// String names the policy.
+func (d Dispatch) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case SJF:
+		return "sjf"
+	}
+	return fmt.Sprintf("Dispatch(%d)", int(d))
+}
+
+// Result is the measured outcome of an online run.
+type Result struct {
+	// ResponseTimes summarizes per-instance response times (arrival to
+	// completion of the instance's last task), in seconds; Responses holds
+	// the raw values in completion order for SLA analysis.
+	ResponseTimes stats.Summary
+	Responses     []float64
+	// TotalCost is the rental bill in USD.
+	TotalCost float64
+	// PeakVMs is the largest concurrently rented pool size.
+	PeakVMs int
+	// VMsRented counts distinct rentals over the run.
+	VMsRented int
+	// BusySeconds and PaidSeconds give the pool utilization.
+	BusySeconds, PaidSeconds float64
+	// Makespan is the completion time of the last task, from the first
+	// arrival at time zero.
+	Makespan float64
+	// Events counts dispatched simulator events.
+	Events int
+}
+
+// Utilization returns BusySeconds/PaidSeconds, or 0 for an idle run.
+func (r *Result) Utilization() float64 {
+	if r.PaidSeconds == 0 {
+		return 0
+	}
+	return r.BusySeconds / r.PaidSeconds
+}
+
+// MeetFraction returns the fraction of instances whose response time was
+// within the deadline — the online SLA view of a pool configuration.
+func (r *Result) MeetFraction(deadline float64) float64 {
+	if len(r.Responses) == 0 {
+		return 0
+	}
+	met := 0
+	for _, t := range r.Responses {
+		if t <= deadline {
+			met++
+		}
+	}
+	return float64(met) / float64(len(r.Responses))
+}
+
+// vm is one pool machine.
+type vm struct {
+	rentAt   float64
+	busy     bool
+	busySum  float64
+	dead     bool
+	paidBTUs int
+}
+
+// readyTask is a dispatchable task of some instance.
+type readyTask struct {
+	inst    int
+	task    dag.TaskID
+	readyAt float64
+	seq     int // FIFO tie-break
+}
+
+// Run executes the online simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := checkConfig(&cfg); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(cfg.Seed)
+	res := &Result{}
+
+	type instance struct {
+		wf        *dag.Workflow
+		arrivedAt float64
+		pending   []int // unfinished predecessor counts per task
+		remaining int
+	}
+	instances := make([]*instance, 0, cfg.Instances)
+
+	var (
+		q         eventq.Queue
+		now       float64
+		pool      []*vm
+		queue     []readyTask
+		nextSeq   int
+		tasksLeft int // tasks not yet finished, across arrived and future instances
+	)
+	// Until every instance has arrived we cannot know the total; track
+	// arrivals separately so the pool does not retire early.
+	arrivalsLeft := cfg.Instances
+
+	alive := func() (idleVMs []*vm, n int) {
+		for _, m := range pool {
+			if m.dead {
+				continue
+			}
+			n++
+			if !m.busy {
+				idleVMs = append(idleVMs, m)
+			}
+		}
+		return idleVMs, n
+	}
+
+	// retire bills a VM through its current BTU boundary and removes it
+	// from the pool.
+	retire := func(m *vm) {
+		m.dead = true
+		res.TotalCost += float64(m.paidBTUs) * cfg.Region.Price(cfg.Type)
+		res.PaidSeconds += float64(m.paidBTUs) * cloud.BTU
+		res.BusySeconds += m.busySum
+	}
+
+	var dispatch func()
+
+	// btuCheck releases an idle VM at its BTU boundary, or extends the
+	// lease by another BTU when it is still working (or protected by
+	// MinVMs).
+	var btuCheck func(m *vm)
+	btuCheck = func(m *vm) {
+		if m.dead {
+			return
+		}
+		// After the last task of the last instance the warm-pool floor no
+		// longer applies: everything drains so the simulation terminates.
+		drained := arrivalsLeft == 0 && tasksLeft == 0
+		_, n := alive()
+		if !m.busy && len(queue) == 0 && (n > cfg.MinVMs || drained) {
+			retire(m)
+			return
+		}
+		m.paidBTUs++
+		q.Push(m.rentAt+float64(m.paidBTUs)*cloud.BTU, func() { btuCheck(m) })
+	}
+
+	rent := func() *vm {
+		m := &vm{rentAt: now, paidBTUs: 1}
+		pool = append(pool, m)
+		res.VMsRented++
+		if _, n := alive(); n > res.PeakVMs {
+			res.PeakVMs = n
+		}
+		q.Push(m.rentAt+cloud.BTU, func() { btuCheck(m) })
+		return m
+	}
+
+	responseTimes := make([]float64, 0, cfg.Instances)
+
+	var startTask func(m *vm, rt readyTask)
+	startTask = func(m *vm, rt readyTask) {
+		inst := instances[rt.inst]
+		m.busy = true
+		et := cfg.Platform.ExecTime(inst.wf.Task(rt.task).Work, cfg.Type)
+		m.busySum += et
+		q.Push(now+et, func() {
+			m.busy = false
+			tasksLeft--
+			inst.remaining--
+			if inst.remaining == 0 {
+				responseTimes = append(responseTimes, now-inst.arrivedAt)
+			}
+			for _, s := range inst.wf.Succ(rt.task) {
+				inst.pending[s]--
+				if inst.pending[s] == 0 {
+					queue = append(queue, readyTask{inst: rt.inst, task: s, readyAt: now, seq: nextSeq})
+					nextSeq++
+				}
+			}
+			dispatch()
+			if cfg.EagerScaleDown && !m.busy && !m.dead && len(queue) == 0 {
+				if _, n := alive(); n > cfg.MinVMs || (arrivalsLeft == 0 && tasksLeft == 0) {
+					retire(m)
+				}
+			}
+		})
+	}
+
+	dispatch = func() {
+		if len(queue) == 0 {
+			return
+		}
+		switch cfg.Dispatch {
+		case SJF:
+			sort.SliceStable(queue, func(i, j int) bool {
+				wi := instances[queue[i].inst].wf.Task(queue[i].task).Work
+				wj := instances[queue[j].inst].wf.Task(queue[j].task).Work
+				if wi != wj {
+					return wi < wj
+				}
+				return queue[i].seq < queue[j].seq
+			})
+		default:
+			sort.SliceStable(queue, func(i, j int) bool {
+				if queue[i].readyAt != queue[j].readyAt {
+					return queue[i].readyAt < queue[j].readyAt
+				}
+				return queue[i].seq < queue[j].seq
+			})
+		}
+		idle, n := alive()
+		// Scale up: one new VM per queued task beyond the idle capacity.
+		for len(queue) > len(idle) && n < cfg.MaxVMs {
+			idle = append(idle, rent())
+			n++
+		}
+		k := len(queue)
+		if len(idle) < k {
+			k = len(idle)
+		}
+		for i := 0; i < k; i++ {
+			startTask(idle[i], queue[i])
+		}
+		queue = queue[k:]
+	}
+
+	arrive := func(i int) {
+		wf := cfg.Instance(i, r)
+		if err := wf.Freeze(); err != nil {
+			panic(fmt.Sprintf("online: instance %d invalid: %v", i, err))
+		}
+		arrivalsLeft--
+		tasksLeft += wf.Len()
+		inst := &instance{wf: wf, arrivedAt: now, remaining: wf.Len()}
+		inst.pending = make([]int, wf.Len())
+		for id := 0; id < wf.Len(); id++ {
+			inst.pending[id] = len(wf.Pred(dag.TaskID(id)))
+		}
+		instances = append(instances, inst)
+		for _, e := range wf.Entries() {
+			queue = append(queue, readyTask{inst: len(instances) - 1, task: e, readyAt: now, seq: nextSeq})
+			nextSeq++
+		}
+		dispatch()
+	}
+
+	// Pre-schedule all arrivals (exponential gaps).
+	t := 0.0
+	for i := 0; i < cfg.Instances; i++ {
+		i := i
+		q.Push(t, func() { arrive(i) })
+		t += expSample(r, cfg.MeanInterarrival)
+	}
+	// Warm pool.
+	for i := 0; i < cfg.MinVMs; i++ {
+		rent()
+	}
+
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if e.Time < now-1e-9 {
+			return nil, fmt.Errorf("online: time ran backwards (%v -> %v)", now, e.Time)
+		}
+		now = e.Time
+		res.Events++
+		e.Fire()
+	}
+
+	// Close out: retire every surviving VM.
+	for _, m := range pool {
+		if !m.dead {
+			retire(m)
+		}
+	}
+	if len(responseTimes) != cfg.Instances {
+		return nil, fmt.Errorf("online: %d of %d instances completed", len(responseTimes), cfg.Instances)
+	}
+	res.ResponseTimes = stats.Summarize(responseTimes)
+	res.Responses = responseTimes
+	res.Makespan = now
+	return res, nil
+}
+
+func checkConfig(cfg *Config) error {
+	if cfg.MeanInterarrival <= 0 {
+		return fmt.Errorf("online: non-positive mean interarrival %v", cfg.MeanInterarrival)
+	}
+	if cfg.Instances <= 0 {
+		return fmt.Errorf("online: non-positive instance count %d", cfg.Instances)
+	}
+	if cfg.Instance == nil {
+		return fmt.Errorf("online: nil instance builder")
+	}
+	if cfg.MinVMs < 0 || cfg.MaxVMs <= 0 || cfg.MinVMs > cfg.MaxVMs {
+		return fmt.Errorf("online: bad pool bounds [%d, %d]", cfg.MinVMs, cfg.MaxVMs)
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = cloud.NewPlatform()
+	}
+	return nil
+}
+
+// expSample draws an exponential variate with the given mean.
+func expSample(r *stats.RNG, mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

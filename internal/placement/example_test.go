@@ -1,0 +1,34 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/plan"
+)
+
+// Example packs a mixed VM fleet onto 8-core physical machines with the
+// three heuristics and compares consolidation quality.
+func Example() {
+	demands := []placement.VMDemand{
+		{ID: plan.VMID(0), Cores: 4}, {ID: plan.VMID(1), Cores: 8},
+		{ID: plan.VMID(2), Cores: 2}, {ID: plan.VMID(3), Cores: 4},
+		{ID: plan.VMID(4), Cores: 1}, {ID: plan.VMID(5), Cores: 2},
+	}
+	for _, h := range []placement.Heuristic{
+		placement.NextFit, placement.FirstFitDecreasing, placement.BestFitDecreasing,
+	} {
+		pl, err := placement.Pack(demands, 8, h)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s %d PMs at %.0f%% utilization\n",
+			h, pl.PMCount(), 100*pl.Utilization())
+	}
+	fmt.Printf("lower bound: %d PMs\n", placement.LowerBound(demands, 8))
+	// Output:
+	// next-fit               4 PMs at 66% utilization
+	// first-fit-decreasing   3 PMs at 88% utilization
+	// best-fit-decreasing    3 PMs at 88% utilization
+	// lower bound: 3 PMs
+}

@@ -1,0 +1,202 @@
+// Package placement covers the first of the paper's three cloud
+// scheduling levels (Sect. I): "finding the appropriate Physical Machines
+// (PMs) for a set of Virtual Machines (VMs)" — the NP-hard bin-packing
+// problem it cites via Bobroff et al. The provider-side heuristics here
+// pack the VM fleet a schedule rents onto homogeneous PMs and report
+// consolidation quality, closing the loop from task scheduling down to
+// physical provisioning.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// VMDemand is one VM's resource demand in cores.
+type VMDemand struct {
+	ID    plan.VMID
+	Cores int
+}
+
+// PM is one physical machine and the VMs assigned to it.
+type PM struct {
+	Capacity int
+	Used     int
+	VMs      []plan.VMID
+}
+
+// Free returns the remaining core capacity.
+func (p *PM) Free() int { return p.Capacity - p.Used }
+
+// Placement is a complete VM→PM assignment.
+type Placement struct {
+	PMs []*PM
+}
+
+// PMCount returns the number of physical machines used.
+func (pl *Placement) PMCount() int { return len(pl.PMs) }
+
+// Utilization returns used cores over provisioned cores, in [0, 1].
+func (pl *Placement) Utilization() float64 {
+	var used, cap int
+	for _, pm := range pl.PMs {
+		used += pm.Used
+		cap += pm.Capacity
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(used) / float64(cap)
+}
+
+// Validate checks that no PM is over capacity and every VM is placed
+// exactly once among the given demands.
+func (pl *Placement) Validate(demands []VMDemand) error {
+	seen := map[plan.VMID]bool{}
+	byID := map[plan.VMID]int{}
+	for _, d := range demands {
+		byID[d.ID] = d.Cores
+	}
+	for i, pm := range pl.PMs {
+		sum := 0
+		for _, id := range pm.VMs {
+			cores, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("placement: PM %d hosts unknown VM %d", i, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("placement: VM %d placed twice", id)
+			}
+			seen[id] = true
+			sum += cores
+		}
+		if sum != pm.Used {
+			return fmt.Errorf("placement: PM %d used %d, VMs sum to %d", i, pm.Used, sum)
+		}
+		if pm.Used > pm.Capacity {
+			return fmt.Errorf("placement: PM %d over capacity (%d > %d)", i, pm.Used, pm.Capacity)
+		}
+	}
+	if len(seen) != len(demands) {
+		return fmt.Errorf("placement: %d of %d VMs placed", len(seen), len(demands))
+	}
+	return nil
+}
+
+// Demands extracts the core demands of every busy VM in a schedule.
+func Demands(s *plan.Schedule) []VMDemand {
+	var out []VMDemand
+	for _, vm := range s.VMs {
+		if len(vm.Slots) == 0 {
+			continue
+		}
+		out = append(out, VMDemand{ID: vm.ID, Cores: vm.Type.Cores()})
+	}
+	return out
+}
+
+// Heuristic is a VM→PM packing strategy.
+type Heuristic int
+
+// The implemented packing heuristics.
+const (
+	// FirstFitDecreasing sorts demands by decreasing cores and places each
+	// on the first PM with room — the classic 11/9·OPT+1 heuristic.
+	FirstFitDecreasing Heuristic = iota
+	// BestFitDecreasing places each demand on the fullest PM that still
+	// fits it.
+	BestFitDecreasing
+	// NextFit keeps only the latest PM open — the cheapest online policy,
+	// used as the consolidation lower bar.
+	NextFit
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFitDecreasing:
+		return "first-fit-decreasing"
+	case BestFitDecreasing:
+		return "best-fit-decreasing"
+	case NextFit:
+		return "next-fit"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// Pack assigns the demands to PMs of the given core capacity. It fails if
+// any single demand exceeds the PM capacity.
+func Pack(demands []VMDemand, pmCores int, h Heuristic) (*Placement, error) {
+	if pmCores <= 0 {
+		return nil, fmt.Errorf("placement: non-positive PM capacity %d", pmCores)
+	}
+	for _, d := range demands {
+		if d.Cores <= 0 {
+			return nil, fmt.Errorf("placement: VM %d demands %d cores", d.ID, d.Cores)
+		}
+		if d.Cores > pmCores {
+			return nil, fmt.Errorf("placement: VM %d (%d cores) exceeds PM capacity %d",
+				d.ID, d.Cores, pmCores)
+		}
+	}
+	ordered := append([]VMDemand(nil), demands...)
+	if h == FirstFitDecreasing || h == BestFitDecreasing {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			if ordered[i].Cores != ordered[j].Cores {
+				return ordered[i].Cores > ordered[j].Cores
+			}
+			return ordered[i].ID < ordered[j].ID
+		})
+	}
+	pl := &Placement{}
+	place := func(pm *PM, d VMDemand) {
+		pm.Used += d.Cores
+		pm.VMs = append(pm.VMs, d.ID)
+	}
+	for _, d := range ordered {
+		var target *PM
+		switch h {
+		case FirstFitDecreasing:
+			for _, pm := range pl.PMs {
+				if pm.Free() >= d.Cores {
+					target = pm
+					break
+				}
+			}
+		case BestFitDecreasing:
+			bestFree := pmCores + 1
+			for _, pm := range pl.PMs {
+				if free := pm.Free(); free >= d.Cores && free < bestFree {
+					target, bestFree = pm, free
+				}
+			}
+		case NextFit:
+			if n := len(pl.PMs); n > 0 && pl.PMs[n-1].Free() >= d.Cores {
+				target = pl.PMs[n-1]
+			}
+		default:
+			return nil, fmt.Errorf("placement: unknown heuristic %d", int(h))
+		}
+		if target == nil {
+			target = &PM{Capacity: pmCores}
+			pl.PMs = append(pl.PMs, target)
+		}
+		place(target, d)
+	}
+	return pl, nil
+}
+
+// LowerBound returns the information-theoretic minimum PM count:
+// ceil(total demand / capacity).
+func LowerBound(demands []VMDemand, pmCores int) int {
+	total := 0
+	for _, d := range demands {
+		total += d.Cores
+	}
+	if total == 0 {
+		return 0
+	}
+	return (total + pmCores - 1) / pmCores
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+)
+
+func TestNewVMInPlacesAcrossRegions(t *testing.T) {
+	w := dag.New("cross")
+	a := w.AddTask("a", 100)
+	bt := w.AddTask("b", 100)
+	w.AddEdge(a, bt, 4<<30) // 4 GB across the edge
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	p := cloud.NewPlatform()
+	b := NewBuilder(w, p, cloud.USEastVirginia)
+	vmUS := b.NewVM(cloud.Small)
+	vmEU := b.NewVMIn(cloud.Small, cloud.EUDublin)
+	if vmUS.Region != cloud.USEastVirginia || vmEU.Region != cloud.EUDublin {
+		t.Fatalf("regions = %v, %v", vmUS.Region, vmEU.Region)
+	}
+	b.PlaceOn(a, vmUS)
+	b.PlaceOn(bt, vmEU)
+	s := b.Done()
+
+	// The cross-region edge is billed at the source region's outbound
+	// price: 4 GB x $0.12.
+	if got := s.TransferCost(); math.Abs(got-0.48) > 1e-9 {
+		t.Errorf("TransferCost = %v, want 0.48", got)
+	}
+	if got := s.TotalCost(); math.Abs(got-(0.48+0.08+0.085)) > 1e-9 {
+		t.Errorf("TotalCost = %v", got)
+	}
+	// EU prices apply to the EU VM.
+	if got := vmEU.Cost(); got != 0.085 {
+		t.Errorf("EU VM cost = %v, want 0.085", got)
+	}
+}
+
+func TestSameRegionTransfersAreFree(t *testing.T) {
+	w := dag.New("local")
+	a := w.AddTask("a", 100)
+	bt := w.AddTask("b", 100)
+	w.AddEdge(a, bt, 4<<30)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(w, cloud.NewPlatform(), cloud.EUDublin)
+	b.PlaceOn(a, b.NewVM(cloud.Small))
+	b.PlaceOn(bt, b.NewVM(cloud.Small))
+	if got := b.Done().TransferCost(); got != 0 {
+		t.Errorf("intra-region TransferCost = %v, want 0", got)
+	}
+}
+
+func TestSameVMTransfersAreFreeAndInstant(t *testing.T) {
+	w := dag.New("colocated")
+	a := w.AddTask("a", 100)
+	bt := w.AddTask("b", 100)
+	w.AddEdge(a, bt, 4<<30)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(w, cloud.NewPlatform(), cloud.EUDublin)
+	vm := b.NewVM(cloud.Small)
+	b.PlaceOn(a, vm)
+	b.PlaceOn(bt, vm)
+	s := b.Done()
+	if s.TransferCost() != 0 {
+		t.Errorf("same-VM TransferCost = %v", s.TransferCost())
+	}
+	if s.Start[bt] != s.End[a] {
+		t.Errorf("same-VM consumer delayed: starts %v after end %v", s.Start[bt], s.End[a])
+	}
+}

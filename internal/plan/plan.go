@@ -1,0 +1,395 @@
+// Package plan defines the schedule representation shared by every
+// scheduling algorithm, provisioning policy and analysis tool in this
+// repository: which VM each task runs on, when, and what the resulting
+// lease periods cost.
+//
+// A Schedule is produced by a Builder (used by the planners in
+// internal/sched and internal/provision) and is then consumed by the
+// metrics, validation, simulation and reporting packages.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+)
+
+// VMID identifies a VM within one schedule, densely numbered from 0 in
+// rental order.
+type VMID int
+
+// Slot is one task occupying a VM for [Start, End).
+type Slot struct {
+	Task       dag.TaskID
+	Start, End float64
+}
+
+// VM is one rented virtual machine and its timeline of task slots, ordered
+// by start time. The lease begins at the first slot's start (the paper
+// ignores boot time: static scheduling allows pre-booting) and ends at the
+// last slot's end, rounded up to whole BTUs for billing.
+//
+// A Prepaid VM models the private half of a hybrid cloud (the setting of
+// HCOC in the paper's related work): capacity the user already owns. It
+// bills nothing, counts no idle, and has no BTU boundary.
+type VM struct {
+	ID      VMID
+	Type    cloud.InstanceType
+	Region  cloud.Region
+	Prepaid bool
+	Slots   []Slot
+}
+
+// Busy returns the summed duration of all slots.
+func (vm *VM) Busy() float64 {
+	var b float64
+	for _, s := range vm.Slots {
+		b += s.End - s.Start
+	}
+	return b
+}
+
+// LeaseStart returns the start of the lease (first slot start), or 0 for an
+// empty VM.
+func (vm *VM) LeaseStart() float64 {
+	if len(vm.Slots) == 0 {
+		return 0
+	}
+	return vm.Slots[0].Start
+}
+
+// LeaseEnd returns the end of the lease (last slot end), or 0 for an empty
+// VM.
+func (vm *VM) LeaseEnd() float64 {
+	if len(vm.Slots) == 0 {
+		return 0
+	}
+	return vm.Slots[len(vm.Slots)-1].End
+}
+
+// Span returns the wall-clock length of the lease.
+func (vm *VM) Span() float64 { return vm.LeaseEnd() - vm.LeaseStart() }
+
+// PaidSeconds returns the billed lease length: Span rounded up to whole
+// BTUs. An empty or prepaid VM bills nothing.
+func (vm *VM) PaidSeconds() float64 {
+	if len(vm.Slots) == 0 || vm.Prepaid {
+		return 0
+	}
+	return float64(cloud.BTUs(vm.Span())) * cloud.BTU
+}
+
+// Idle returns the paid-but-unused time: gaps between slots plus the tail
+// up to the BTU boundary. This is the quantity of the paper's Fig. 5.
+// Prepaid VMs report zero (nothing was paid).
+func (vm *VM) Idle() float64 {
+	if len(vm.Slots) == 0 || vm.Prepaid {
+		return 0
+	}
+	return vm.PaidSeconds() - vm.Busy()
+}
+
+// Cost returns the rental price of the lease in USD; zero for prepaid VMs.
+func (vm *VM) Cost() float64 {
+	if len(vm.Slots) == 0 || vm.Prepaid {
+		return 0
+	}
+	return cloud.LeaseCost(vm.Span(), vm.Type, vm.Region)
+}
+
+// PaidBoundary returns the absolute time up to which the current lease is
+// already paid: LeaseStart + BTUs(Span)·BTU. For an empty or prepaid VM it
+// returns +Inf (the first task may start anywhere; prepaid capacity has no
+// billing boundary). The *NotExceed provisioning policies refuse reuses
+// that would push a task past this boundary.
+func (vm *VM) PaidBoundary() float64 {
+	if len(vm.Slots) == 0 || vm.Prepaid {
+		return math.Inf(1)
+	}
+	return vm.LeaseStart() + vm.PaidSeconds()
+}
+
+// Avail returns the earliest time a new task may start on this VM: the end
+// of its last slot, or 0 for an empty VM (the builder clamps actual starts
+// to the task's ready time).
+func (vm *VM) Avail() float64 { return vm.LeaseEnd() }
+
+// Schedule is a complete mapping of a workflow onto rented VMs.
+type Schedule struct {
+	Workflow *dag.Workflow
+	Platform *cloud.Platform
+	VMs      []*VM
+
+	// Placement, Start and End are indexed by TaskID.
+	Placement []VMID
+	Start     []float64
+	End       []float64
+}
+
+// Makespan returns the completion time of the last task. Task starts are
+// anchored at time 0 (the earliest entry task).
+func (s *Schedule) Makespan() float64 {
+	var m float64
+	for _, e := range s.End {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// RentalCost returns the total VM rental price in USD.
+func (s *Schedule) RentalCost() float64 {
+	var c float64
+	for _, vm := range s.VMs {
+		c += vm.Cost()
+	}
+	return c
+}
+
+// TransferCost returns the total inter-region data transfer price in USD.
+// It is zero for the paper's single-region experiments.
+func (s *Schedule) TransferCost() float64 {
+	var c float64
+	for _, e := range s.Workflow.Edges() {
+		from := s.VMs[s.Placement[e.From]]
+		to := s.VMs[s.Placement[e.To]]
+		if from.ID != to.ID {
+			c += s.Platform.TransferCost(e.Data, from.Region, to.Region)
+		}
+	}
+	return c
+}
+
+// TotalCost returns rental plus transfer cost.
+func (s *Schedule) TotalCost() float64 { return s.RentalCost() + s.TransferCost() }
+
+// IdleTime returns the summed paid-but-unused VM time in seconds (Fig. 5).
+func (s *Schedule) IdleTime() float64 {
+	var idle float64
+	for _, vm := range s.VMs {
+		idle += vm.Idle()
+	}
+	return idle
+}
+
+// VMCount returns the number of VMs that actually ran at least one task.
+func (s *Schedule) VMCount() int {
+	n := 0
+	for _, vm := range s.VMs {
+		if len(vm.Slots) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TaskVM returns the VM hosting a task.
+func (s *Schedule) TaskVM(t dag.TaskID) *VM { return s.VMs[s.Placement[t]] }
+
+// String summarizes the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{vms: %d, makespan: %.1fs, cost: $%.3f, idle: %.1fs}",
+		s.VMCount(), s.Makespan(), s.TotalCost(), s.IdleTime())
+}
+
+// Builder incrementally constructs a Schedule. Planners create VMs, query
+// ready/availability times and place tasks; the builder maintains the
+// timing bookkeeping. Placement order must respect precedence: placing a
+// task before one of its predecessors panics.
+type Builder struct {
+	wf     *dag.Workflow
+	p      *cloud.Platform
+	region cloud.Region
+
+	vms    []*VM
+	placed []bool
+	start  []float64
+	end    []float64
+	vmOf   []VMID
+}
+
+// NewBuilder returns a Builder for one workflow on one platform, renting
+// all VMs in a single region (the paper's CPU-intensive setting).
+func NewBuilder(wf *dag.Workflow, p *cloud.Platform, region cloud.Region) *Builder {
+	if err := wf.Freeze(); err != nil {
+		panic(fmt.Sprintf("plan: invalid workflow: %v", err))
+	}
+	n := wf.Len()
+	b := &Builder{
+		wf: wf, p: p, region: region,
+		placed: make([]bool, n),
+		start:  make([]float64, n),
+		end:    make([]float64, n),
+		vmOf:   make([]VMID, n),
+	}
+	for i := range b.vmOf {
+		b.vmOf[i] = -1
+	}
+	return b
+}
+
+// Workflow returns the workflow being scheduled.
+func (b *Builder) Workflow() *dag.Workflow { return b.wf }
+
+// Platform returns the platform model.
+func (b *Builder) Platform() *cloud.Platform { return b.p }
+
+// Region returns the rental region.
+func (b *Builder) Region() cloud.Region { return b.region }
+
+// NewVM rents a fresh VM of the given type in the builder's home region
+// and returns it.
+func (b *Builder) NewVM(t cloud.InstanceType) *VM {
+	return b.NewVMIn(t, b.region)
+}
+
+// NewVMIn rents a fresh VM in an explicit region — the federation case the
+// paper's transfer pricing (Table II's last column) exists for. Schedules
+// that spread VMs across regions pay inter-region transfer costs on every
+// cross-region edge.
+func (b *Builder) NewVMIn(t cloud.InstanceType, region cloud.Region) *VM {
+	vm := &VM{ID: VMID(len(b.vms)), Type: t, Region: region}
+	b.vms = append(b.vms, vm)
+	return vm
+}
+
+// NewPrepaidVM adds a private-cloud machine: capacity the user already
+// owns, which bills nothing and has no BTU boundary. It is the substrate
+// of the hybrid-cloud schedulers (HCOC).
+func (b *Builder) NewPrepaidVM(t cloud.InstanceType) *VM {
+	vm := b.NewVM(t)
+	vm.Prepaid = true
+	return vm
+}
+
+// VMs returns the rented VMs in rental order. The slice must not be
+// modified, but inspecting VM state is fine.
+func (b *Builder) VMs() []*VM { return b.vms }
+
+// Placed reports whether the task has been placed.
+func (b *Builder) Placed(t dag.TaskID) bool { return b.placed[t] }
+
+// FinishTime returns the finish time of a placed task; it panics otherwise.
+func (b *Builder) FinishTime(t dag.TaskID) float64 {
+	if !b.placed[t] {
+		panic(fmt.Sprintf("plan: FinishTime of unplaced task %d", t))
+	}
+	return b.end[t]
+}
+
+// VMOf returns the VM a placed task runs on; it panics otherwise.
+func (b *Builder) VMOf(t dag.TaskID) *VM {
+	if !b.placed[t] {
+		panic(fmt.Sprintf("plan: VMOf of unplaced task %d", t))
+	}
+	return b.vms[b.vmOf[t]]
+}
+
+// ReadyOn returns the earliest time all inputs of task t are available on
+// vm: the max over predecessors of their finish time plus the transfer time
+// (zero when the predecessor ran on the same VM). All predecessors must be
+// placed.
+func (b *Builder) ReadyOn(t dag.TaskID, vm *VM) float64 {
+	var ready float64
+	for _, p := range b.wf.Pred(t) {
+		if !b.placed[p] {
+			panic(fmt.Sprintf("plan: ReadyOn(%d): predecessor %d not placed", t, p))
+		}
+		at := b.end[p]
+		if b.vmOf[p] != vm.ID {
+			data, _ := b.wf.Data(p, t)
+			at += b.p.TransferTime(data, b.vms[b.vmOf[p]].Type, vm.Type)
+		}
+		if at > ready {
+			ready = at
+		}
+	}
+	return ready
+}
+
+// ExecTime returns the execution time of task t on an instance of type typ.
+func (b *Builder) ExecTime(t dag.TaskID, typ cloud.InstanceType) float64 {
+	return b.p.ExecTime(b.wf.Task(t).Work, typ)
+}
+
+// StartOn returns the time task t would start if placed on vm now: the
+// later of its ready time and the VM's availability.
+func (b *Builder) StartOn(t dag.TaskID, vm *VM) float64 {
+	start := b.ReadyOn(t, vm)
+	if len(vm.Slots) > 0 && vm.Avail() > start {
+		start = vm.Avail()
+	}
+	return start
+}
+
+// FitsBTU reports whether placing task t on vm would keep the VM's busy
+// span within the already-paid BTU boundary — the reuse condition of the
+// *NotExceed provisioning policies. An empty VM always fits.
+func (b *Builder) FitsBTU(t dag.TaskID, vm *VM) bool {
+	if len(vm.Slots) == 0 {
+		return true
+	}
+	end := b.StartOn(t, vm) + b.ExecTime(t, vm.Type)
+	return end <= vm.PaidBoundary()+1e-9
+}
+
+// PlaceOn schedules task t on vm at the earliest feasible time and returns
+// the slot. It panics if t is already placed or a predecessor is not.
+func (b *Builder) PlaceOn(t dag.TaskID, vm *VM) Slot {
+	if b.placed[t] {
+		panic(fmt.Sprintf("plan: task %d placed twice", t))
+	}
+	start := b.StartOn(t, vm)
+	end := start + b.ExecTime(t, vm.Type)
+	slot := Slot{Task: t, Start: start, End: end}
+	vm.Slots = append(vm.Slots, slot)
+	b.placed[t] = true
+	b.start[t] = start
+	b.end[t] = end
+	b.vmOf[t] = vm.ID
+	return slot
+}
+
+// BusiestVM returns the VM with the largest accumulated execution time
+// among those for which keep returns true, or nil if none qualifies. Ties
+// break toward the lower VM ID. This implements the paper's "the VM with
+// the largest execution time is chosen" rule of the StartPar* policies.
+func (b *Builder) BusiestVM(keep func(*VM) bool) *VM {
+	var best *VM
+	for _, vm := range b.vms {
+		if keep != nil && !keep(vm) {
+			continue
+		}
+		if best == nil || vm.Busy() > best.Busy() {
+			best = vm
+		}
+	}
+	return best
+}
+
+// Done finalizes the schedule. Every task must have been placed.
+func (b *Builder) Done() *Schedule {
+	for t, ok := range b.placed {
+		if !ok {
+			panic(fmt.Sprintf("plan: Done with unplaced task %d", t))
+		}
+	}
+	placement := make([]VMID, len(b.vmOf))
+	copy(placement, b.vmOf)
+	s := &Schedule{
+		Workflow:  b.wf,
+		Platform:  b.p,
+		VMs:       b.vms,
+		Placement: placement,
+		Start:     append([]float64(nil), b.start...),
+		End:       append([]float64(nil), b.end...),
+	}
+	for _, vm := range s.VMs {
+		sort.Slice(vm.Slots, func(i, j int) bool { return vm.Slots[i].Start < vm.Slots[j].Start })
+	}
+	return s
+}

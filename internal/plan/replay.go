@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+)
+
+// Assignment is a schedule skeleton: per VM, its instance type and the
+// ordered queue of tasks it executes. The dynamic algorithms (CPA-Eager,
+// Gain, AllPar1LnSDyn) iterate by mutating types and replaying.
+type Assignment struct {
+	Types  []cloud.InstanceType
+	Queues [][]dag.TaskID
+	// Prepaid marks private-cloud VMs (see VM.Prepaid); nil means none.
+	Prepaid []bool
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	c := Assignment{
+		Types:   append([]cloud.InstanceType(nil), a.Types...),
+		Queues:  make([][]dag.TaskID, len(a.Queues)),
+		Prepaid: append([]bool(nil), a.Prepaid...),
+	}
+	for i, q := range a.Queues {
+		c.Queues[i] = append([]dag.TaskID(nil), q...)
+	}
+	return c
+}
+
+// AssignmentOf extracts the skeleton of an existing schedule, so a planner
+// can iterate on it.
+func AssignmentOf(s *Schedule) Assignment {
+	a := Assignment{
+		Types:   make([]cloud.InstanceType, len(s.VMs)),
+		Queues:  make([][]dag.TaskID, len(s.VMs)),
+		Prepaid: make([]bool, len(s.VMs)),
+	}
+	for i, vm := range s.VMs {
+		a.Types[i] = vm.Type
+		a.Prepaid[i] = vm.Prepaid
+		for _, slot := range vm.Slots {
+			a.Queues[i] = append(a.Queues[i], slot.Task)
+		}
+	}
+	return a
+}
+
+// Replay rebuilds the timed schedule implied by an assignment: every VM
+// runs its queue in order, every task starts as soon as its inputs are
+// available and its VM is free. Replay returns an error when the queues
+// contradict the workflow's precedence constraints (deadlock) or do not
+// cover every task exactly once.
+func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignment) (*Schedule, error) {
+	if len(a.Types) != len(a.Queues) {
+		return nil, errors.New("plan: assignment types/queues length mismatch")
+	}
+	if a.Prepaid != nil && len(a.Prepaid) != len(a.Types) {
+		return nil, errors.New("plan: assignment prepaid length mismatch")
+	}
+	seen := make([]bool, wf.Len())
+	total := 0
+	for _, q := range a.Queues {
+		for _, t := range q {
+			if int(t) < 0 || int(t) >= wf.Len() {
+				return nil, fmt.Errorf("plan: assignment references unknown task %d", t)
+			}
+			if seen[t] {
+				return nil, fmt.Errorf("plan: task %d assigned twice", t)
+			}
+			seen[t] = true
+			total++
+		}
+	}
+	if total != wf.Len() {
+		return nil, fmt.Errorf("plan: assignment covers %d of %d tasks", total, wf.Len())
+	}
+
+	b := NewBuilder(wf, p, region)
+	vms := make([]*VM, len(a.Types))
+	for i, typ := range a.Types {
+		if a.Prepaid != nil && a.Prepaid[i] {
+			vms[i] = b.NewPrepaidVM(typ)
+		} else {
+			vms[i] = b.NewVM(typ)
+		}
+	}
+	heads := make([]int, len(a.Queues))
+	for placed := 0; placed < total; {
+		// Among VM queue heads whose predecessors are all placed, pick the
+		// one that can start earliest (ties: lowest task ID) — the same
+		// greedy the original planners used.
+		bestVM := -1
+		var bestStart float64
+		var bestTask dag.TaskID
+		for i, q := range a.Queues {
+			if heads[i] >= len(q) {
+				continue
+			}
+			t := q[heads[i]]
+			ready := true
+			for _, pr := range wf.Pred(t) {
+				if !b.Placed(pr) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			start := b.StartOn(t, vms[i])
+			if bestVM < 0 || start < bestStart || (start == bestStart && t < bestTask) {
+				bestVM, bestStart, bestTask = i, start, t
+			}
+		}
+		if bestVM < 0 {
+			return nil, errors.New("plan: assignment deadlocks against precedence constraints")
+		}
+		b.PlaceOn(a.Queues[bestVM][heads[bestVM]], vms[bestVM])
+		heads[bestVM]++
+		placed++
+	}
+	return b.Done(), nil
+}

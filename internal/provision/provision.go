@@ -1,0 +1,182 @@
+// Package provision implements the paper's five VM provisioning policies
+// (Sect. III-A): the rules deciding, for each ready task, whether to reuse
+// an existing VM or rent a new one, and whether a reuse may stretch a VM's
+// lease past its already-paid BTU boundary.
+//
+//   - OneVMperTask       — a fresh VM for every task.
+//   - StartParNotExceed  — fresh VMs for entry tasks only; everything else
+//     queues on the busiest VM unless that would exceed its paid BTU.
+//   - StartParExceed     — like the previous, but BTU overruns never
+//     trigger a new rental.
+//   - AllParNotExceed    — every parallel task of a level gets its own VM,
+//     reusing VMs that are idle at the task's ready time when the paid BTU
+//     allows it.
+//   - AllParExceed       — like the previous, without the BTU restriction.
+//
+// Policies are stateful per schedule construction (the AllPar* pair tracks
+// which VMs the current level already claimed), so callers obtain a fresh
+// instance from New for every run.
+package provision
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+)
+
+// Kind enumerates the five provisioning policies.
+type Kind int
+
+// The five policies of Sect. III-A.
+const (
+	OneVMperTask Kind = iota
+	StartParNotExceed
+	StartParExceed
+	AllParNotExceed
+	AllParExceed
+)
+
+// Kinds lists all policies in the paper's presentation order.
+func Kinds() []Kind {
+	return []Kind{OneVMperTask, StartParNotExceed, StartParExceed, AllParNotExceed, AllParExceed}
+}
+
+// String returns the paper's name for the policy.
+func (k Kind) String() string {
+	switch k {
+	case OneVMperTask:
+		return "OneVMperTask"
+	case StartParNotExceed:
+		return "StartParNotExceed"
+	case StartParExceed:
+		return "StartParExceed"
+	case AllParNotExceed:
+		return "AllParNotExceed"
+	case AllParExceed:
+		return "AllParExceed"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a policy by its paper name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("provision: unknown policy %q", s)
+}
+
+// Policy decides which VM hosts each task during schedule construction. A
+// Policy instance carries per-run state and must not be shared between
+// concurrent schedule constructions.
+type Policy struct {
+	kind Kind
+	// claimed marks VMs already used by the current parallel group, so the
+	// AllPar* policies give every parallel task its own VM.
+	claimed map[plan.VMID]bool
+}
+
+// New returns a fresh policy instance of the given kind.
+func New(kind Kind) *Policy {
+	return &Policy{kind: kind, claimed: map[plan.VMID]bool{}}
+}
+
+// Kind returns the policy's kind.
+func (p *Policy) Kind() Kind { return p.kind }
+
+// Name returns the paper's name for the policy.
+func (p *Policy) Name() string { return p.kind.String() }
+
+// BeginGroup starts a new parallel group (a workflow level). The AllPar*
+// policies release their per-level VM claims; the other policies ignore it.
+func (p *Policy) BeginGroup() {
+	if len(p.claimed) > 0 {
+		p.claimed = map[plan.VMID]bool{}
+	}
+}
+
+// Pick returns the VM task t must run on, renting a new VM of type typ when
+// the policy calls for one. All predecessors of t must already be placed.
+func (p *Policy) Pick(b *plan.Builder, t dag.TaskID, typ cloud.InstanceType) *plan.VM {
+	switch p.kind {
+	case OneVMperTask:
+		return b.NewVM(typ)
+	case StartParNotExceed, StartParExceed:
+		return p.pickStartPar(b, t, typ)
+	case AllParNotExceed, AllParExceed:
+		return p.pickAllPar(b, t, typ)
+	}
+	panic(fmt.Sprintf("provision: invalid kind %d", p.kind))
+}
+
+// pickStartPar implements the StartPar* pair: entry tasks each open a VM;
+// later tasks queue sequentially on the VM with the largest accumulated
+// execution time, unless (NotExceed only) that would stretch the lease past
+// the paid BTU boundary.
+func (p *Policy) pickStartPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceType) *plan.VM {
+	if len(b.Workflow().Pred(t)) == 0 {
+		return b.NewVM(typ)
+	}
+	vm := b.BusiestVM(func(vm *plan.VM) bool { return vm.Type == typ })
+	if vm == nil {
+		return b.NewVM(typ)
+	}
+	if p.kind == StartParNotExceed && !b.FitsBTU(t, vm) {
+		return b.NewVM(typ)
+	}
+	return vm
+}
+
+// pickAllPar implements the AllPar* pair: within the current parallel
+// group each task takes a distinct VM, preferring (a) the VM of its largest
+// predecessor, then (b) the busiest VM that is free by the task's ready
+// time, and renting a new VM when neither exists. NotExceed additionally
+// requires the reuse to fit inside the VM's paid BTU.
+func (p *Policy) pickAllPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceType) *plan.VM {
+	ok := func(vm *plan.VM) bool {
+		if vm.Type != typ || p.claimed[vm.ID] {
+			return false
+		}
+		// The VM must be free when the task's inputs are available, so
+		// reuse never serializes tasks that the level runs in parallel.
+		if vm.Avail() > b.ReadyOn(t, vm)+1e-9 {
+			return false
+		}
+		if p.kind == AllParNotExceed && !b.FitsBTU(t, vm) {
+			return false
+		}
+		return true
+	}
+
+	var vm *plan.VM
+	if pred := p.largestPred(b, t); pred != nil && ok(pred) {
+		vm = pred
+	} else {
+		vm = b.BusiestVM(ok)
+	}
+	if vm == nil {
+		vm = b.NewVM(typ)
+	}
+	p.claimed[vm.ID] = true
+	return vm
+}
+
+// largestPred returns the VM hosting t's predecessor with the largest
+// reference work, or nil for entry tasks.
+func (p *Policy) largestPred(b *plan.Builder, t dag.TaskID) *plan.VM {
+	wf := b.Workflow()
+	var best dag.TaskID = -1
+	for _, pr := range wf.Pred(t) {
+		if best < 0 || wf.Task(pr).Work > wf.Task(best).Work {
+			best = pr
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return b.VMOf(best)
+}

@@ -1,0 +1,281 @@
+package provision
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dag/dagtest"
+	"repro/internal/plan"
+)
+
+func newBuilder(w *dag.Workflow) *plan.Builder {
+	return plan.NewBuilder(w, cloud.NewPlatform(), cloud.USEastVirginia)
+}
+
+// place runs the policy for tasks in topological order, calling BeginGroup
+// at each level boundary, and returns the finished schedule.
+func place(w *dag.Workflow, p *Policy, typ cloud.InstanceType) *plan.Schedule {
+	b := newBuilder(w)
+	for _, lvl := range w.Levels() {
+		p.BeginGroup()
+		for _, t := range lvl {
+			b.PlaceOn(t, p.Pick(b, t, typ))
+		}
+	}
+	return b.Done()
+}
+
+func TestKindString(t *testing.T) {
+	want := []string{"OneVMperTask", "StartParNotExceed", "StartParExceed",
+		"AllParNotExceed", "AllParExceed"}
+	for i, k := range Kinds() {
+		if k.String() != want[i] {
+			t.Errorf("Kind %d = %q, want %q", i, k.String(), want[i])
+		}
+		got, err := ParseKind(want[i])
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", want[i], got, err)
+		}
+	}
+	if _, err := ParseKind("Nope"); err == nil {
+		t.Error("ParseKind(Nope) succeeded")
+	}
+}
+
+func TestOneVMperTaskRentsPerTask(t *testing.T) {
+	w := dagtest.ForkJoin(3, 100) // 5 tasks
+	s := place(w, New(OneVMperTask), cloud.Small)
+	if s.VMCount() != 5 {
+		t.Errorf("VMCount = %d, want 5", s.VMCount())
+	}
+	for _, vm := range s.VMs {
+		if len(vm.Slots) != 1 {
+			t.Errorf("VM %d has %d slots, want 1", vm.ID, len(vm.Slots))
+		}
+	}
+}
+
+func TestStartParExceedSingleEntryUsesOneVM(t *testing.T) {
+	// The paper: with a single initial task, StartParExceed schedules the
+	// whole workflow sequentially on one VM.
+	w := dagtest.ForkJoin(4, 900)
+	s := place(w, New(StartParExceed), cloud.Small)
+	if s.VMCount() != 1 {
+		t.Errorf("VMCount = %d, want 1", s.VMCount())
+	}
+	// 6 tasks x 900s sequential.
+	if got := s.Makespan(); got != 5400 {
+		t.Errorf("makespan = %v, want 5400", got)
+	}
+}
+
+func TestStartParOneVMPerEntry(t *testing.T) {
+	w := dag.New("two-entries")
+	a := w.AddTask("a", 100)
+	b := w.AddTask("b", 100)
+	c := w.AddTask("c", 100)
+	w.AddEdge(a, c, 0)
+	w.AddEdge(b, c, 0)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{StartParNotExceed, StartParExceed} {
+		s := place(w, New(kind), cloud.Small)
+		if s.VMCount() != 2 {
+			t.Errorf("%v: VMCount = %d, want 2", kind, s.VMCount())
+		}
+		// c joins the busiest entry VM.
+		if s.Start[c] != 100 {
+			t.Errorf("%v: c starts at %v, want 100", kind, s.Start[c])
+		}
+	}
+}
+
+func TestStartParNotExceedRentsOnBTUOverflow(t *testing.T) {
+	// Chain of four 1000s tasks: the first three fill [0,3000) of the
+	// entry VM's 3600s BTU; the fourth would end at 4000 > 3600, so
+	// NotExceed rents a second VM while Exceed stays on the first.
+	w := dagtest.Chain(4, 1000)
+	sNot := place(w, New(StartParNotExceed), cloud.Small)
+	if sNot.VMCount() != 2 {
+		t.Errorf("StartParNotExceed VMCount = %d, want 2", sNot.VMCount())
+	}
+	sExc := place(w, New(StartParExceed), cloud.Small)
+	if sExc.VMCount() != 1 {
+		t.Errorf("StartParExceed VMCount = %d, want 1", sExc.VMCount())
+	}
+	// Both take the same wall-clock time (the chain is sequential either
+	// way), but NotExceed pays 2 fresh BTUs vs 2 stacked BTUs — same here.
+	if sNot.Makespan() != 4000 || sExc.Makespan() != 4000 {
+		t.Errorf("makespans = %v, %v; want 4000", sNot.Makespan(), sExc.Makespan())
+	}
+}
+
+func TestAllParExceedForkJoin(t *testing.T) {
+	w := dagtest.ForkJoin(4, 600)
+	s := place(w, New(AllParExceed), cloud.Small)
+	// entry on vm0; level 1: one mid reuses vm0 (its predecessor's VM),
+	// three rent new; exit reuses one of them. Total 4 VMs.
+	if s.VMCount() != 4 {
+		t.Errorf("VMCount = %d, want 4", s.VMCount())
+	}
+	// All mids run in parallel at [600, 1200): makespan 600*3.
+	if got := s.Makespan(); got != 1800 {
+		t.Errorf("makespan = %v, want 1800", got)
+	}
+	mids := w.Levels()[1]
+	for _, m := range mids {
+		if s.Start[m] != 600 {
+			t.Errorf("mid %d starts at %v, want 600 (parallel)", m, s.Start[m])
+		}
+	}
+}
+
+func TestAllParGivesParallelTasksDistinctVMs(t *testing.T) {
+	w := dagtest.ForkJoin(6, 100)
+	for _, kind := range []Kind{AllParNotExceed, AllParExceed} {
+		s := place(w, New(kind), cloud.Small)
+		mids := w.Levels()[1]
+		seen := map[plan.VMID]bool{}
+		for _, m := range mids {
+			id := s.Placement[m]
+			if seen[id] {
+				t.Errorf("%v: two parallel tasks share VM %d", kind, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestAllParNotExceedRentsOnBTUOverflow(t *testing.T) {
+	// entry 3000s fills most of the BTU; the single level-1 task (500s
+	// would fit, 700s would not).
+	build := func(second float64) *dag.Workflow {
+		w := dag.New("btu")
+		a := w.AddTask("a", 3000)
+		b := w.AddTask("b", second)
+		w.AddEdge(a, b, 0)
+		if err := w.Freeze(); err != nil {
+			panic(err)
+		}
+		return w
+	}
+	if s := place(build(500), New(AllParNotExceed), cloud.Small); s.VMCount() != 1 {
+		t.Errorf("fitting task: VMCount = %d, want 1", s.VMCount())
+	}
+	if s := place(build(700), New(AllParNotExceed), cloud.Small); s.VMCount() != 2 {
+		t.Errorf("overflowing task: VMCount = %d, want 2", s.VMCount())
+	}
+	if s := place(build(700), New(AllParExceed), cloud.Small); s.VMCount() != 1 {
+		t.Errorf("AllParExceed must reuse despite overflow: VMCount = %d", s.VMCount())
+	}
+}
+
+func TestAllParSequentialWorkflowSingleVM(t *testing.T) {
+	// The paper: with no parallelism AllPar[Not]Exceed degenerate to
+	// StartPar[Not]Exceed. A short chain stays on one VM.
+	w := dagtest.Chain(5, 100)
+	for _, kind := range []Kind{AllParNotExceed, AllParExceed} {
+		s := place(w, New(kind), cloud.Small)
+		if s.VMCount() != 1 {
+			t.Errorf("%v: VMCount = %d, want 1", kind, s.VMCount())
+		}
+	}
+}
+
+func TestAllParPrefersLargestPredecessorVM(t *testing.T) {
+	// b(large) and c(small) feed d. d must land on b's VM.
+	w := dag.New("join")
+	a := w.AddTask("a", 100)
+	b := w.AddTask("b", 500)
+	c := w.AddTask("c", 100)
+	d := w.AddTask("d", 100)
+	w.AddEdge(a, b, 0)
+	w.AddEdge(a, c, 0)
+	w.AddEdge(b, d, 0)
+	w.AddEdge(c, d, 0)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := place(w, New(AllParExceed), cloud.Small)
+	if s.Placement[d] != s.Placement[b] {
+		t.Errorf("d placed on VM %d, want b's VM %d", s.Placement[d], s.Placement[b])
+	}
+}
+
+func TestBeginGroupReleasesClaims(t *testing.T) {
+	// Two consecutive 2-wide levels: without BeginGroup the second level
+	// would be forced onto new VMs; with it, the VMs are reused.
+	w := dag.New("two-levels")
+	a1 := w.AddTask("a1", 100)
+	a2 := w.AddTask("a2", 100)
+	b1 := w.AddTask("b1", 100)
+	b2 := w.AddTask("b2", 100)
+	w.AddEdge(a1, b1, 0)
+	w.AddEdge(a2, b2, 0)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := place(w, New(AllParExceed), cloud.Small)
+	if s.VMCount() != 2 {
+		t.Errorf("VMCount = %d, want 2 (level VMs reused)", s.VMCount())
+	}
+}
+
+func TestPickPanicsOnInvalidKind(t *testing.T) {
+	p := &Policy{kind: Kind(99), claimed: map[plan.VMID]bool{}}
+	w := dagtest.Chain(1, 1)
+	b := newBuilder(w)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	p.Pick(b, 0, cloud.Small)
+}
+
+// Worst-case scenario property from Sect. IV-B: when every task exceeds one
+// BTU, StartParNotExceed and AllParNotExceed degenerate to OneVMperTask.
+func TestWorstCaseCollapsesToOneVMperTask(t *testing.T) {
+	for _, w := range []*dag.Workflow{
+		dagtest.Chain(6, 10080),
+		dagtest.ForkJoin(5, 10080),
+	} {
+		ref := place(w, New(OneVMperTask), cloud.Small)
+		for _, kind := range []Kind{StartParNotExceed, AllParNotExceed} {
+			s := place(w.Clone(), New(kind), cloud.Small)
+			if s.VMCount() != ref.VMCount() {
+				t.Errorf("%s/%v: VMCount = %d, want %d", w.Name, kind, s.VMCount(), ref.VMCount())
+			}
+			if s.TotalCost() != ref.TotalCost() {
+				t.Errorf("%s/%v: cost = %v, want %v", w.Name, kind, s.TotalCost(), ref.TotalCost())
+			}
+		}
+	}
+}
+
+// Best-case scenario property from Sect. IV-B: when all tasks fit into a
+// single BTU, the NotExceed variants equal their Exceed counterparts.
+func TestBestCaseNotExceedEqualsExceed(t *testing.T) {
+	for _, w := range []*dag.Workflow{
+		dagtest.Chain(8, 3600.0/8),
+		dagtest.ForkJoin(6, 100),
+	} {
+		pairs := [][2]Kind{
+			{StartParNotExceed, StartParExceed},
+			{AllParNotExceed, AllParExceed},
+		}
+		for _, pair := range pairs {
+			s1 := place(w.Clone(), New(pair[0]), cloud.Small)
+			s2 := place(w.Clone(), New(pair[1]), cloud.Small)
+			if s1.VMCount() != s2.VMCount() || s1.TotalCost() != s2.TotalCost() ||
+				s1.Makespan() != s2.Makespan() {
+				t.Errorf("%s: %v != %v: (%d, %v, %v) vs (%d, %v, %v)",
+					w.Name, pair[0], pair[1],
+					s1.VMCount(), s1.TotalCost(), s1.Makespan(),
+					s2.VMCount(), s2.TotalCost(), s2.Makespan())
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteSweepCSV emits the full sweep grid as CSV: one row per
+// workflow/scenario/strategy cell, with the absolute and relative metrics.
+// The format is stable and round-trips through standard tooling (gnuplot,
+// pandas, spreadsheet imports).
+func WriteSweepCSV(w io.Writer, s *core.Sweep) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"workflow", "scenario", "strategy",
+		"gain_pct", "loss_pct", "makespan_s", "cost_usd", "idle_s", "vms",
+		"baseline_makespan_s", "baseline_cost_usd", "category",
+		"energy_busy_j", "energy_idle_j", "corent_usd",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, sc := range s.Scenarios() {
+		for _, wf := range s.Workflows() {
+			for _, r := range s.Points(wf, sc) {
+				row := []string{
+					wf, sc.String(), r.Strategy,
+					ftoa(r.Point.GainPct), ftoa(r.Point.LossPct),
+					ftoa(r.Point.Makespan), ftoa(r.Point.Cost),
+					ftoa(r.Point.IdleTime), strconv.Itoa(r.Point.VMCount),
+					ftoa(r.BaselineMakespan), ftoa(r.BaselineCost),
+					r.Category.String(),
+					ftoa(r.Energy.BusyJ), ftoa(r.Energy.IdleJ), ftoa(r.CoRentRecovered),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGnuplotData emits one whitespace-separated data block per
+// workflow (Pareto scenario), in the column layout the paper's Fig. 4
+// gnuplot scripts expect: strategy, gain, loss, idle.
+func WriteGnuplotData(w io.Writer, s *core.Sweep) error {
+	for _, wf := range s.Workflows() {
+		if _, err := fmt.Fprintf(w, "# workflow: %s\n# strategy gain_pct loss_pct idle_s\n", wf); err != nil {
+			return err
+		}
+		for _, r := range s.Points(wf, s.Scenarios()[0]) {
+			if _, err := fmt.Fprintf(w, "%q %.4f %.4f %.1f\n",
+				r.Strategy, r.Point.GainPct, r.Point.LossPct, r.Point.IdleTime); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ftoa renders a float compactly for CSV cells.
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }

@@ -1,0 +1,29 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// EnergyTable renders the energy and co-rent accounting of one
+// workflow/scenario pane: the paper's Sect. V argues the idle-heavy
+// policies waste energy "for no intended purpose" and suggests co-renting
+// the idle time; this table quantifies both per strategy.
+func EnergyTable(s *core.Sweep, workflow string, sc workload.Scenario) string {
+	const kWh = 3.6e6
+	var b strings.Builder
+	fmt.Fprintf(&b, "Energy and co-rent accounting — %s / %v\n", workflow, sc)
+	fmt.Fprintf(&b, "  %-22s %10s %10s %8s %12s %12s\n",
+		"strategy", "busy kWh", "idle kWh", "wasted", "co-rent $", "eff. cost $")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 80))
+	for _, r := range s.Points(workflow, sc) {
+		fmt.Fprintf(&b, "  %-22s %10.2f %10.2f %7.0f%% %12.3f %12.3f\n",
+			r.Strategy,
+			r.Energy.BusyJ/kWh, r.Energy.IdleJ/kWh, 100*r.Energy.WastedFraction,
+			r.CoRentRecovered, r.Point.Cost-r.CoRentRecovered)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure3 renders the CDF of the Pareto execution-time distribution
+// (paper Fig. 3): n samples drawn with the given seed, plotted over the
+// paper's 500..4000s x-range.
+func Figure3(seed uint64, n int) string {
+	d := workload.ExecDist()
+	samples := d.SampleN(stats.NewRNG(seed), n)
+	e := stats.NewECDF(samples)
+	var pts [][2]float64
+	for x := 500.0; x <= 4000; x += 50 {
+		pts = append(pts, [2]float64{x, e.At(x)})
+	}
+	return LinePlot(
+		fmt.Sprintf("Figure 3: CDF of Pareto(alpha=%.1f, scale=%.0f) execution times (%d samples)",
+			workload.ExecShape, workload.ExecScale, n),
+		pts, 72, 20)
+}
+
+// Figure4 renders one pane of the paper's Fig. 4: the gain/loss scatter
+// for one workflow under the Pareto scenario.
+func Figure4(s *core.Sweep, workflow string) string {
+	sc := NewScatter(fmt.Sprintf("Figure 4 (%s): makespan gain vs. cost loss", workflow))
+	marks := Marks(len(s.Strategies))
+	for i, r := range s.Points(workflow, workload.Pareto) {
+		sc.Add(r.Point.GainPct, r.Point.LossPct, marks[i], r.Strategy)
+	}
+	return sc.Render()
+}
+
+// Figure4All renders all four Fig. 4 panes.
+func Figure4All(s *core.Sweep) string {
+	var b strings.Builder
+	for _, wf := range s.Workflows() {
+		b.WriteString(Figure4(s, wf))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure5 renders one pane of the paper's Fig. 5: total idle time per
+// strategy for one workflow under the Pareto scenario.
+func Figure5(s *core.Sweep, workflow string) string {
+	points := s.Points(workflow, workload.Pareto)
+	labels := make([]string, len(points))
+	values := make([]float64, len(points))
+	for i, r := range points {
+		labels[i] = r.Strategy
+		values[i] = r.Point.IdleTime
+	}
+	return BarChart(fmt.Sprintf("Figure 5 (%s): idle time", workflow), "s", labels, values, 48)
+}
+
+// Figure5All renders all four Fig. 5 panes.
+func Figure5All(s *core.Sweep) string {
+	var b strings.Builder
+	for _, wf := range s.Workflows() {
+		b.WriteString(Figure5(s, wf))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// WriteHTML emits a self-contained HTML report for one workflow under the
+// Pareto scenario: the gain/loss table for all strategies plus embedded
+// SVG Gantt charts for a chosen subset. No external assets are referenced;
+// the file opens directly in a browser.
+func WriteHTML(w io.Writer, s *core.Sweep, workflow string, ganttStrategies []string) error {
+	structural, ok := s.Config.Workflows[workflow]
+	if !ok {
+		return fmt.Errorf("report: unknown workflow %q", workflow)
+	}
+	realized := workload.Pareto.Apply(structural, s.Config.Seed)
+	opts := sched.Options{Platform: s.Config.Platform, Region: s.Config.Region}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s — provisioning/scheduling report</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; }
+ table { border-collapse: collapse; }
+ th, td { border: 1px solid #999; padding: 4px 10px; text-align: right; }
+ th:first-child, td:first-child { text-align: left; }
+ tr.square { background: #e6f4e6; }
+ h2 { margin-top: 1.5em; }
+</style></head><body>
+`, html.EscapeString(workflow))
+	fmt.Fprintf(&b, "<h1>%s — Pareto scenario, seed %d</h1>\n",
+		html.EscapeString(workflow), s.Config.Seed)
+
+	// Strategy table.
+	b.WriteString("<table>\n<tr><th>strategy</th><th>gain %</th><th>loss %</th>" +
+		"<th>makespan (s)</th><th>cost ($)</th><th>idle (s)</th><th>VMs</th></tr>\n")
+	for _, r := range s.Points(workflow, workload.Pareto) {
+		cls := ""
+		if r.Point.InTargetSquare() {
+			cls = ` class="square"`
+		}
+		fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%.1f</td><td>%.1f</td><td>%.0f</td><td>%.3f</td><td>%.0f</td><td>%d</td></tr>\n",
+			cls, html.EscapeString(r.Strategy), r.Point.GainPct, r.Point.LossPct,
+			r.Point.Makespan, r.Point.Cost, r.Point.IdleTime, r.Point.VMCount)
+	}
+	b.WriteString("</table>\n<p>Green rows both gain time and save money against OneVMperTask-s.</p>\n")
+
+	// Gantt charts.
+	for _, name := range ganttStrategies {
+		alg, err := sched.ByName(name)
+		if err != nil {
+			return err
+		}
+		var sch *plan.Schedule
+		if sch, err = alg.Schedule(realized.Clone(), opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(name))
+		var svg strings.Builder
+		if err := trace.SVG(&svg, sch); err != nil {
+			return err
+		}
+		b.WriteString(svg.String())
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WriteLaTeX emits the sweep's gain/loss grid as booktabs LaTeX tables —
+// one table per scenario, one column pair per workflow — ready to \input
+// into a paper. Strategy names are escaped for LaTeX.
+func WriteLaTeX(w io.Writer, s *core.Sweep) error {
+	var b strings.Builder
+	for _, sc := range s.Scenarios() {
+		fmt.Fprintf(&b, "%% %s scenario\n", sc)
+		b.WriteString("\\begin{table}\n\\centering\n")
+		fmt.Fprintf(&b, "\\caption{Makespan gain and cost loss (\\%%) vs.\\ OneVMperTask-s, %s scenario.}\n", latexEscape(sc.String()))
+		b.WriteString("\\begin{tabular}{l")
+		for range s.Workflows() {
+			b.WriteString("rr")
+		}
+		b.WriteString("}\n\\toprule\nStrategy")
+		for _, wf := range s.Workflows() {
+			fmt.Fprintf(&b, " & \\multicolumn{2}{c}{%s}", latexEscape(wf))
+		}
+		b.WriteString(" \\\\\n")
+		for range s.Workflows() {
+			b.WriteString(" & gain & loss")
+		}
+		b.WriteString(" \\\\\n\\midrule\n")
+		for _, strat := range s.Strategies {
+			fmt.Fprintf(&b, "%s", latexEscape(strat))
+			for _, wf := range s.Workflows() {
+				r, ok := s.Get(wf, sc, strat)
+				if !ok {
+					b.WriteString(" & -- & --")
+					continue
+				}
+				fmt.Fprintf(&b, " & %.1f & %.1f", r.Point.GainPct, r.Point.LossPct)
+			}
+			b.WriteString(" \\\\\n")
+		}
+		b.WriteString("\\bottomrule\n\\end{tabular}\n\\end{table}\n\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteLaTeXTable4 emits the Table IV summary as a booktabs table.
+func WriteLaTeXTable4(w io.Writer, s *core.Sweep) error {
+	var b strings.Builder
+	b.WriteString("\\begin{table}\n\\centering\n")
+	b.WriteString("\\caption{Savings fluctuation vs.\\ stable gain for AllPar[Not]Exceed.}\n")
+	b.WriteString("\\begin{tabular}{l")
+	for range s.Workflows() {
+		b.WriteString("c")
+	}
+	b.WriteString("cr}\n\\toprule\nType")
+	for _, wf := range s.Workflows() {
+		fmt.Fprintf(&b, " & %s", latexEscape(wf))
+	}
+	b.WriteString(" & Max interval & Gain \\\\\n\\midrule\n")
+	for _, row := range s.Table4() {
+		fmt.Fprintf(&b, "%s", row.Type)
+		for _, wf := range s.Workflows() {
+			fmt.Fprintf(&b, " & $%s$", row.LossByWorkflow[wf])
+		}
+		fmt.Fprintf(&b, " & $%s$ & %.0f\\%% \\\\\n", row.MaxLoss, row.MeanGainPct)
+	}
+	b.WriteString("\\bottomrule\n\\end{tabular}\n\\end{table}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// latexEscape escapes the LaTeX special characters that appear in strategy
+// and workflow names.
+func latexEscape(s string) string {
+	return strings.NewReplacer(
+		"&", "\\&", "%", "\\%", "$", "\\$", "#", "\\#",
+		"_", "\\_", "{", "\\{", "}", "\\}",
+	).Replace(s)
+}

@@ -1,0 +1,202 @@
+// Package report renders the experiment results in the shapes the paper
+// publishes them: the Fig. 3 CDF curve, the Fig. 4 gain-vs-loss scatter
+// panes, the Fig. 5 idle-time bar charts, and Tables I-V — all as plain
+// text for terminals and logs, plus CSV/gnuplot-ready data files for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scatter is a text scatter plot. Points are plotted on a fixed-range
+// grid; each series is drawn with its own rune.
+type Scatter struct {
+	Title          string
+	XLabel, YLabel string
+	XMin, XMax     float64
+	YMin, YMax     float64
+	Width, Height  int
+
+	points []scatterPoint
+}
+
+type scatterPoint struct {
+	x, y  float64
+	mark  rune
+	label string
+}
+
+// NewScatter returns a scatter plot with the axis ranges of the paper's
+// Fig. 4: gain and loss both spanning [-100, 300] percent.
+func NewScatter(title string) *Scatter {
+	return &Scatter{
+		Title:  title,
+		XLabel: "% gain",
+		YLabel: "% $ loss",
+		XMin:   -100, XMax: 300,
+		YMin: -100, YMax: 300,
+		Width: 72, Height: 28,
+	}
+}
+
+// Add places one labelled point. Points outside the ranges are clamped to
+// the border, like gnuplot does with clipped points.
+func (s *Scatter) Add(x, y float64, mark rune, label string) {
+	s.points = append(s.points, scatterPoint{x: x, y: y, mark: mark, label: label})
+}
+
+// Render draws the plot.
+func (s *Scatter) Render() string {
+	grid := make([][]rune, s.Height)
+	for i := range grid {
+		grid[i] = make([]rune, s.Width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// Axis lines at x=0 and y=0 when in range.
+	if col, ok := s.col(0); ok {
+		for r := range grid {
+			grid[r][col] = '|'
+		}
+	}
+	if row, ok := s.row(0); ok {
+		for c := range grid[row] {
+			if grid[row][c] == '|' {
+				grid[row][c] = '+'
+			} else {
+				grid[row][c] = '-'
+			}
+		}
+	}
+	for _, p := range s.points {
+		c, _ := s.col(clamp(p.x, s.XMin, s.XMax))
+		r, _ := s.row(clamp(p.y, s.YMin, s.YMax))
+		grid[r][c] = p.mark
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	fmt.Fprintf(&b, "%s (x: %s %.0f..%.0f, y: %s %.0f..%.0f)\n",
+		strings.Repeat("=", 8), s.XLabel, s.XMin, s.XMax, s.YLabel, s.YMin, s.YMax)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	// Legend.
+	for _, p := range s.points {
+		fmt.Fprintf(&b, "  %c %-22s (%7.1f, %7.1f)\n", p.mark, p.label, p.x, p.y)
+	}
+	return b.String()
+}
+
+func (s *Scatter) col(x float64) (int, bool) {
+	if x < s.XMin || x > s.XMax {
+		return 0, false
+	}
+	c := int((x - s.XMin) / (s.XMax - s.XMin) * float64(s.Width-1))
+	return c, true
+}
+
+// row maps y to a grid row; larger y = higher on screen = smaller row.
+func (s *Scatter) row(y float64) (int, bool) {
+	if y < s.YMin || y > s.YMax {
+		return 0, false
+	}
+	r := int((s.YMax - y) / (s.YMax - s.YMin) * float64(s.Height-1))
+	return r, true
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, x))
+}
+
+// Marks assigns a deterministic plot rune to each of n series, cycling
+// through a readable alphabet.
+func Marks(n int) []rune {
+	alphabet := []rune("ox*#@%&+svlmcgdart123456789")
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[i%len(alphabet)]
+	}
+	return out
+}
+
+// BarChart renders labelled horizontal bars scaled to the largest value,
+// the text analogue of the paper's Fig. 5 panes.
+func BarChart(title, unit string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("report: %d labels for %d values", len(labels), len(values)))
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.0f%s\n", maxL, labels[i], strings.Repeat("#", n), v, unit)
+	}
+	return b.String()
+}
+
+// LinePlot renders a y-vs-x curve as ASCII, used for the Fig. 3 CDF. The
+// points must be sorted by x.
+func LinePlot(title string, pts [][2]float64, width, height int) string {
+	if len(pts) == 0 {
+		return title + "\n(no data)\n"
+	}
+	xMin, xMax := pts[0][0], pts[len(pts)-1][0]
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		yMin = math.Min(yMin, p[1])
+		yMax = math.Max(yMax, p[1])
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range pts {
+		c := int((p[0] - xMin) / (xMax - xMin) * float64(width-1))
+		r := int((yMax - p[1]) / (yMax - yMin) * float64(height-1))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "y: %.2f..%.2f\n", yMin, yMax)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "x: %.0f..%.0f\n", xMin, xMax)
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// StabilityTable renders the multi-seed robustness analysis: per workflow,
+// each strategy's gain and loss mean ± std across Pareto draws and the
+// fraction of draws it spent inside the target square. Strategies are
+// listed in catalog order within each workflow.
+func StabilityTable(rows []core.Stability) string {
+	var b strings.Builder
+	b.WriteString("Stability across Pareto draws (gain/loss mean±std, % of draws in target square)\n")
+	current := ""
+	for _, r := range rows {
+		if r.Workflow != current {
+			current = r.Workflow
+			fmt.Fprintf(&b, "\n== %s ==\n", current)
+			fmt.Fprintf(&b, "  %-22s %18s %18s %10s\n", "strategy", "gain%", "loss%", "in-square")
+		}
+		fmt.Fprintf(&b, "  %-22s %8.1f ± %6.1f %8.1f ± %6.1f %9.0f%%\n",
+			r.Strategy, r.Gain.Mean, r.Gain.Std, r.Loss.Mean, r.Loss.Std,
+			100*r.InSquareFraction)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Summary renders the sweep's executive summary: per workflow, the target-
+// square membership, the best strategy per axis, and the Pareto front —
+// the one-screen answer to "what did the experiment say".
+func Summary(s *core.Sweep) string {
+	var b strings.Builder
+	b.WriteString("Executive summary (Pareto scenario, vs. OneVMperTask-s)\n")
+	for _, wf := range s.Workflows() {
+		points := s.Points(wf, workload.Pareto)
+		inSquare := 0
+		var bestGain, bestSavings metrics.Point
+		for _, r := range points {
+			if r.Point.InTargetSquare() {
+				inSquare++
+			}
+			if r.Point.GainPct > bestGain.GainPct {
+				bestGain = r.Point
+			}
+			if r.Point.SavingsPct() > bestSavings.SavingsPct() {
+				bestSavings = r.Point
+			}
+		}
+		fmt.Fprintf(&b, "\n== %s ==\n", wf)
+		fmt.Fprintf(&b, "  %d of %d strategies dominate the baseline on both axes\n",
+			inSquare, len(points))
+		fmt.Fprintf(&b, "  fastest:  %-22s gain %6.1f%% at loss %6.1f%%\n",
+			bestGain.Strategy, bestGain.GainPct, bestGain.LossPct)
+		fmt.Fprintf(&b, "  cheapest: %-22s savings %6.1f%% at gain %6.1f%%\n",
+			bestSavings.Strategy, bestSavings.SavingsPct(), bestSavings.GainPct)
+		front := s.ParetoFront(wf, workload.Pareto)
+		names := make([]string, len(front))
+		for i, r := range front {
+			names[i] = r.Strategy
+		}
+		fmt.Fprintf(&b, "  Pareto front (%d): %s\n", len(front), strings.Join(names, " -> "))
+	}
+
+	// Overall: the strategies that make the target square most often.
+	counts := map[string]int{}
+	for _, wf := range s.Workflows() {
+		for _, sc := range s.Scenarios() {
+			for _, r := range s.Points(wf, sc) {
+				if r.Point.InTargetSquare() {
+					counts[r.Strategy]++
+				}
+			}
+		}
+	}
+	type entry struct {
+		name string
+		n    int
+	}
+	var entries []entry
+	for name, n := range counts {
+		entries = append(entries, entry{name, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].name < entries[j].name
+	})
+	b.WriteString("\nmost consistently in the target square across the whole grid:\n")
+	for i, e := range entries {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-22s %d of %d cells\n", e.name, e.n,
+			len(s.Workflows())*len(s.Scenarios()))
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/provision"
+)
+
+// This file implements the simple allocation baselines the paper's related
+// work (Sect. II) attributes to commercial clouds — Round Robin (Amazon
+// EC2's front-end allocation) and Least-Load (Rackspace's least
+// connections) — applied to a fixed-size VM pool. They are not part of the
+// paper's 19-strategy catalog; they exist as comparison baselines to show
+// what workflow-oblivious allocation costs, and they share every interface
+// with the catalog strategies.
+
+// RoundRobin schedules tasks in topological order onto a fixed pool of k
+// VMs, cycling through the pool regardless of load or dependencies.
+type RoundRobin struct {
+	Pool int
+	Type cloud.InstanceType
+}
+
+// NewRoundRobin returns a RoundRobin baseline over a pool of k VMs. It
+// panics unless k is positive.
+func NewRoundRobin(k int, typ cloud.InstanceType) RoundRobin {
+	if k <= 0 {
+		panic(fmt.Sprintf("sched: RoundRobin pool %d", k))
+	}
+	return RoundRobin{Pool: k, Type: typ}
+}
+
+// Name implements Algorithm.
+func (r RoundRobin) Name() string {
+	return fmt.Sprintf("RoundRobin%d-%s", r.Pool, r.Type.Suffix())
+}
+
+// Schedule implements Algorithm.
+func (r RoundRobin) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	vms := make([]*plan.VM, r.Pool)
+	for i := range vms {
+		vms[i] = b.NewVM(r.Type)
+	}
+	for i, t := range wf.TopoOrder() {
+		b.PlaceOn(t, vms[i%r.Pool])
+	}
+	return b.Done(), nil
+}
+
+// LeastLoad schedules tasks in topological order, each onto the pool VM
+// with the smallest accumulated execution time — the "least connections"
+// analogue for batch tasks.
+type LeastLoad struct {
+	Pool int
+	Type cloud.InstanceType
+}
+
+// NewLeastLoad returns a LeastLoad baseline over a pool of k VMs. It
+// panics unless k is positive.
+func NewLeastLoad(k int, typ cloud.InstanceType) LeastLoad {
+	if k <= 0 {
+		panic(fmt.Sprintf("sched: LeastLoad pool %d", k))
+	}
+	return LeastLoad{Pool: k, Type: typ}
+}
+
+// Name implements Algorithm.
+func (l LeastLoad) Name() string {
+	return fmt.Sprintf("LeastLoad%d-%s", l.Pool, l.Type.Suffix())
+}
+
+// Schedule implements Algorithm.
+func (l LeastLoad) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	vms := make([]*plan.VM, l.Pool)
+	for i := range vms {
+		vms[i] = b.NewVM(l.Type)
+	}
+	for _, t := range wf.TopoOrder() {
+		best := vms[0]
+		for _, vm := range vms[1:] {
+			if vm.Busy() < best.Busy() {
+				best = vm
+			}
+		}
+		b.PlaceOn(t, best)
+	}
+	return b.Done(), nil
+}
+
+// SHEFT is a deadline-driven elastic scheduler in the spirit of Lin & Lu's
+// SHEFT, which the paper cites as the canonical HEFT-for-clouds extension:
+// it starts from the cheapest sensible plan (HEFT + StartParExceed on
+// small instances) and, while the makespan misses the deadline, escalates
+// — first by upgrading every VM to the next faster instance type, then by
+// falling back to the fully parallel AllParExceed provisioning at
+// increasing instance types. The cheapest configuration that meets the
+// deadline wins; if none does, the fastest one is returned along with
+// ErrDeadlineUnreachable.
+type SHEFT struct {
+	Deadline float64 // seconds
+}
+
+// ErrDeadlineUnreachable reports that no configuration met the deadline;
+// the returned schedule is the fastest found.
+var ErrDeadlineUnreachable = fmt.Errorf("sched: deadline unreachable")
+
+// NewSHEFT returns a deadline-driven scheduler. It panics unless the
+// deadline is positive.
+func NewSHEFT(deadline float64) SHEFT {
+	if deadline <= 0 {
+		panic(fmt.Sprintf("sched: SHEFT deadline %v", deadline))
+	}
+	return SHEFT{Deadline: deadline}
+}
+
+// Name implements Algorithm.
+func (s SHEFT) Name() string { return fmt.Sprintf("SHEFT(%.0fs)", s.Deadline) }
+
+// Schedule implements Algorithm.
+func (s SHEFT) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	// Candidate ladder, cheap to fast: serialize on one type, then go
+	// parallel per type. Within a rung the first deadline-meeting plan is
+	// also the cheapest overall because both axes only add money.
+	var ladder []Algorithm
+	for _, typ := range cloud.InstanceTypes() {
+		ladder = append(ladder, NewHEFT(provision.StartParExceed, typ))
+	}
+	for _, typ := range cloud.InstanceTypes() {
+		ladder = append(ladder, NewAllPar(provision.AllParExceed, typ))
+	}
+	var fastest *plan.Schedule
+	for _, alg := range ladder {
+		sch, err := alg.Schedule(wf, opts)
+		if err != nil {
+			return nil, err
+		}
+		if sch.Makespan() <= s.Deadline {
+			return sch, nil
+		}
+		if fastest == nil || sch.Makespan() < fastest.Makespan() {
+			fastest = sch
+		}
+	}
+	return fastest, ErrDeadlineUnreachable
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
+	"repro/internal/provision"
+	"repro/internal/validate"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func TestRoundRobinCyclesPool(t *testing.T) {
+	w := dagtest.Chain(6, 100)
+	s, err := NewRoundRobin(3, cloud.Small).Schedule(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VMCount() != 3 {
+		t.Errorf("VMCount = %d, want 3", s.VMCount())
+	}
+	for _, vm := range s.VMs {
+		if len(vm.Slots) != 2 {
+			t.Errorf("VM %d hosts %d tasks, want 2", vm.ID, len(vm.Slots))
+		}
+	}
+	if err := validate.Schedule(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinIgnoresDependenciesBadly(t *testing.T) {
+	// The point of the baseline: on a chain it scatters sequential tasks
+	// across VMs, renting more capacity with zero makespan benefit versus
+	// keeping the chain on one VM.
+	w := dagtest.Chain(8, 1000)
+	rr, err := NewRoundRobin(4, cloud.Small).Schedule(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ByName("StartParExceed-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := one.Schedule(w.Clone(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Makespan() < single.Makespan()-1e-9 {
+		t.Errorf("round robin makespan %v beat the single VM %v on a chain",
+			rr.Makespan(), single.Makespan())
+	}
+	if rr.TotalCost() <= single.TotalCost() {
+		t.Errorf("round robin cost %v not above single-VM cost %v",
+			rr.TotalCost(), single.TotalCost())
+	}
+}
+
+func TestLeastLoadBalancesIndependentTasks(t *testing.T) {
+	// Ten independent equal tasks over 5 VMs: near-perfect balance.
+	wf := dagtest.ForkJoin(10, 500)
+	s, err := NewLeastLoad(5, cloud.Small).Schedule(wf, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.Schedule(s); err != nil {
+		t.Error(err)
+	}
+	// Entry+exit plus 10 mids over 5 VMs: max slots per VM small.
+	for _, vm := range s.VMs {
+		if len(vm.Slots) > 4 {
+			t.Errorf("VM %d overloaded with %d tasks", vm.ID, len(vm.Slots))
+		}
+	}
+}
+
+func TestPoolBaselinesPanicOnBadPool(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rr":   func() { NewRoundRobin(0, cloud.Small) },
+		"ll":   func() { NewLeastLoad(-1, cloud.Small) },
+		"shft": func() { NewSHEFT(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSHEFTPicksCheapestMeetingDeadline(t *testing.T) {
+	wf := workload.Pareto.Apply(workflows.CSTEM(), 7)
+	opts := DefaultOptions()
+
+	// A very loose deadline: the single small VM (cheapest rung) wins.
+	serial, err := NewHEFT(provision.StartParExceed, cloud.Small).Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSHEFT(serial.Makespan()+1).Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalCost()-serial.TotalCost()) > 1e-9 {
+		t.Errorf("loose deadline cost %v, want the serial plan's %v", s.TotalCost(), serial.TotalCost())
+	}
+
+	// A tighter deadline forces escalation but must still be met.
+	tight := serial.Makespan() / 3
+	s, err = NewSHEFT(tight).Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() > tight {
+		t.Errorf("makespan %v misses deadline %v", s.Makespan(), tight)
+	}
+	if s.TotalCost() <= serial.TotalCost() {
+		t.Errorf("tight deadline should cost more than the serial plan")
+	}
+}
+
+func TestSHEFTUnreachableDeadline(t *testing.T) {
+	wf := workload.WorstCase.Apply(workflows.PaperSequential(), 0)
+	s, err := NewSHEFT(1).Schedule(wf, DefaultOptions())
+	if !errors.Is(err, ErrDeadlineUnreachable) {
+		t.Fatalf("err = %v, want ErrDeadlineUnreachable", err)
+	}
+	if s == nil {
+		t.Fatal("no fallback schedule returned")
+	}
+	// The fallback is the fastest rung: everything on xlarge.
+	for _, vm := range s.VMs {
+		if len(vm.Slots) > 0 && vm.Type != cloud.XLarge {
+			t.Errorf("fallback uses %v, want xlarge", vm.Type)
+		}
+	}
+}
+
+func TestBaselinesLoseToWorkflowAwareStrategies(t *testing.T) {
+	// On the Pareto Montage the catalog's AllParExceed-s must beat both
+	// commercial baselines on cost at comparable or better makespan than
+	// round robin.
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 42)
+	opts := DefaultOptions()
+	smart, err := NewAllPar(provision.AllParExceed, cloud.Small).Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{NewRoundRobin(6, cloud.Small), NewLeastLoad(6, cloud.Small)} {
+		s, err := alg.Schedule(wf.Clone(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.TotalCost() > s.TotalCost()+1e-9 && smart.Makespan() > s.Makespan()+1e-9 {
+			t.Errorf("%s dominates AllParExceed-s (cost %v vs %v, makespan %v vs %v)",
+				alg.Name(), s.TotalCost(), smart.TotalCost(), s.Makespan(), smart.Makespan())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+)
+
+// Gain is the budget-constrained workflow scheduler of Sakellariou et al.
+// as used in the paper (Sect. III-B): starting from the baseline HEFT +
+// OneVMperTask schedule on small instances, it repeatedly computes a gain
+// matrix over (task, faster VM type) pairs,
+//
+//	gain = (execTime_current − execTime_new) / (cost_new − cost_current),
+//
+// upgrades the pair with the greatest gain, and stops when no upgrade fits
+// the budget of four times the baseline cost.
+type Gain struct{}
+
+// NewGain returns the Gain scheduler.
+func NewGain() Gain { return Gain{} }
+
+// Name implements Algorithm; the paper's figures label it "GAIN".
+func (Gain) Name() string { return "GAIN" }
+
+// gainBudgetFactor is the paper's budget for Gain: four times the baseline
+// HEFT + OneVMperTask-small cost.
+const gainBudgetFactor = 4.0
+
+// Schedule implements Algorithm.
+func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	u, err := newUpgradeState(wf, opts, gainBudgetFactor)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Build the gain matrix under the current assignment and walk it
+		// best-first: if the best upgrade no longer fits the budget, try
+		// the next, and stop when none applies.
+		type cell struct {
+			task dag.TaskID
+			typ  cloud.InstanceType
+			gain float64
+		}
+		var cells []cell
+		for id := 0; id < wf.Len(); id++ {
+			t := dag.TaskID(id)
+			cur := u.typeOf(t)
+			curCost := u.leaseCost(t, cur)
+			for typ := cur + 1; typ <= cloud.XLarge; typ++ {
+				dt := u.execTime(t) - u.opts.Platform.ExecTime(wf.Task(t).Work, typ)
+				dc := u.leaseCost(t, typ) - curCost
+				g := math.Inf(1)
+				if dc > 0 {
+					g = dt / dc
+				} else if dt <= 0 {
+					continue // no time saved and no cost saved: useless
+				}
+				cells = append(cells, cell{task: t, typ: typ, gain: g})
+			}
+		}
+		// Sort best-first, deterministically: higher gain, then lower task
+		// ID, then slower (cheaper) target type.
+		for i := 1; i < len(cells); i++ {
+			for j := i; j > 0; j-- {
+				a, b := cells[j-1], cells[j]
+				if b.gain > a.gain ||
+					(b.gain == a.gain && (b.task < a.task ||
+						(b.task == a.task && b.typ < a.typ))) {
+					cells[j-1], cells[j] = b, a
+				} else {
+					break
+				}
+			}
+		}
+		applied := false
+		for _, c := range cells {
+			if u.tryUpgrade(c.task, c.typ) {
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return u.sched, nil
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/provision"
+)
+
+// AllPar1LnSDyn extends AllPar1LnS with per-level VM speed escalation
+// (Sect. III-B): after packing a level into sequential bins, it repeatedly
+// upgrades the VM of the level's longest task to the next faster instance
+// type — within a budget equal to the level's AllParNotExceed cost (the
+// worst-case rent, since that policy gives every parallel task its own
+// VM) — and, whenever the level makespan shifts to another bin, upgrades
+// that bin until the longest task dictates the makespan again. A failed
+// repair (budget exceeded or no faster type) rolls the level back to its
+// last valid configuration.
+type AllPar1LnSDyn struct{}
+
+// NewAllPar1LnSDyn returns the dynamic parallelism-reducing scheduler.
+func NewAllPar1LnSDyn() AllPar1LnSDyn { return AllPar1LnSDyn{} }
+
+// Name implements Algorithm.
+func (AllPar1LnSDyn) Name() string { return "AllPar1LnSDyn" }
+
+// levelPlan is the per-level escalation state: the packed bins and the
+// instance type currently assigned to each bin's VM.
+type levelPlan struct {
+	bins  [][]dag.TaskID
+	types []cloud.InstanceType
+}
+
+// time returns bin i's sequential execution time under its current type.
+func (lp *levelPlan) time(wf *dag.Workflow, p *cloud.Platform, i int) float64 {
+	var sum float64
+	for _, t := range lp.bins[i] {
+		sum += p.ExecTime(wf.Task(t).Work, lp.types[i])
+	}
+	return sum
+}
+
+// cost returns the level's rent under the current types: one lease per bin,
+// billed in whole BTUs.
+func (lp *levelPlan) cost(wf *dag.Workflow, p *cloud.Platform, region cloud.Region) float64 {
+	var sum float64
+	for i := range lp.bins {
+		sum += cloud.LeaseCost(lp.time(wf, p, i), lp.types[i], region)
+	}
+	return sum
+}
+
+// slowest returns the index of the bin with the largest execution time
+// (ties toward the lower index).
+func (lp *levelPlan) slowest(wf *dag.Workflow, p *cloud.Platform) int {
+	best, bestT := 0, math.Inf(-1)
+	for i := range lp.bins {
+		if t := lp.time(wf, p, i); t > bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+// escalate runs the paper's per-level speed escalation. budget is the
+// AllParNotExceed cost of the level.
+func (lp *levelPlan) escalate(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, budget float64) {
+	const eps = 1e-9
+	for {
+		// Upgrade the longest task's VM (bin 0 always holds it alone).
+		faster, ok := lp.types[0].Faster()
+		if !ok {
+			return
+		}
+		saved := append([]cloud.InstanceType(nil), lp.types...)
+		lp.types[0] = faster
+		if lp.cost(wf, p, region) > budget+eps {
+			lp.types = saved
+			return
+		}
+		// Repair: while the makespan is dictated by another bin, speed that
+		// bin up until it drops below the longest task again.
+		ok = true
+		for {
+			m := lp.slowest(wf, p)
+			if m == 0 || lp.time(wf, p, m) <= lp.time(wf, p, 0)+eps {
+				break
+			}
+			mf, up := lp.types[m].Faster()
+			if !up {
+				ok = false
+				break
+			}
+			lp.types[m] = mf
+			if lp.cost(wf, p, region) > budget+eps {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			lp.types = saved
+			return
+		}
+	}
+}
+
+// Schedule implements Algorithm.
+func (AllPar1LnSDyn) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	pol := provision.New(provision.AllParNotExceed)
+	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	for _, level := range wf.Levels() {
+		lp := levelPlan{bins: levelBins(wf, level)}
+		lp.types = make([]cloud.InstanceType, len(lp.bins))
+		for i := range lp.types {
+			lp.types[i] = baseType
+		}
+		// The worst-case budget: every parallel task of the level on its
+		// own small VM (AllParNotExceed provisioning, Sect. III-B).
+		var budget float64
+		for _, t := range level {
+			budget += cloud.LeaseCost(opts.Platform.ExecTime(wf.Task(t).Work, baseType), baseType, opts.Region)
+		}
+		lp.escalate(wf, opts.Platform, opts.Region, budget)
+
+		pol.BeginGroup()
+		for i, bin := range lp.bins {
+			vm := pol.Pick(b, bin[0], lp.types[i])
+			for _, t := range bin {
+				b.PlaceOn(t, vm)
+			}
+		}
+	}
+	return b.Done(), nil
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dag/dagtest"
+	"repro/internal/sim"
+	"repro/internal/validate"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func TestPCHClustersArePaths(t *testing.T) {
+	wf := workload.Pareto.Apply(workflows.PaperMontage(), 3)
+	p := NewPCH(cloud.Small)
+	clusters := p.Clusters(wf, cloud.NewPlatform())
+
+	seen := make([]bool, wf.Len())
+	total := 0
+	for _, cluster := range clusters {
+		if len(cluster) == 0 {
+			t.Fatal("empty cluster")
+		}
+		for i, id := range cluster {
+			if seen[id] {
+				t.Fatalf("task %d in two clusters", id)
+			}
+			seen[id] = true
+			total++
+			if i > 0 {
+				if _, ok := wf.Data(cluster[i-1], id); !ok {
+					t.Fatalf("cluster break: %d -> %d is not an edge", cluster[i-1], id)
+				}
+			}
+		}
+	}
+	if total != wf.Len() {
+		t.Fatalf("clusters cover %d of %d tasks", total, wf.Len())
+	}
+}
+
+func TestPCHChainIsOneCluster(t *testing.T) {
+	wf := dagtest.Chain(6, 500)
+	clusters := NewPCH(cloud.Small).Clusters(wf, cloud.NewPlatform())
+	if len(clusters) != 1 || len(clusters[0]) != 6 {
+		t.Errorf("chain clusters = %v", clusters)
+	}
+	s, err := NewPCH(cloud.Small).Schedule(wf, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VMCount() != 1 {
+		t.Errorf("chain on %d VMs, want 1", s.VMCount())
+	}
+}
+
+func TestPCHEliminatesPathTransfers(t *testing.T) {
+	// On the data-heavy MapReduce, PCH's clustered paths move far fewer
+	// bytes than one-VM-per-task.
+	wf := workload.DataHeavy.Apply(workflows.PaperMapReduce(), 5)
+	opts := DefaultOptions()
+	pch, err := NewPCH(cloud.Small).Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline().Schedule(wf.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := sim.Run(pch, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sim.Run(base, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Transfers >= rb.Transfers {
+		t.Errorf("PCH transfers %d >= OneVMperTask %d", rp.Transfers, rb.Transfers)
+	}
+	// And on this transfer-bound workload it finishes sooner.
+	if pch.Makespan() >= base.Makespan() {
+		t.Errorf("PCH makespan %v >= baseline %v on a data-heavy workload",
+			pch.Makespan(), base.Makespan())
+	}
+}
+
+func TestPCHName(t *testing.T) {
+	if got := NewPCH(cloud.Medium).Name(); got != "PCH-m" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// Property: PCH schedules are valid and simulator-consistent on random
+// DAGs — in particular the cross-cluster dependency order that Replay must
+// untangle.
+func TestQuickPCHValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		w := dagtest.Random(seed, dagtest.DefaultConfig())
+		for _, typ := range []cloud.InstanceType{cloud.Small, cloud.Large} {
+			s, err := NewPCH(typ).Schedule(w.Clone(), DefaultOptions())
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if validate.Schedule(s) != nil || sim.Verify(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCHHandlesCrossClusterDependencies(t *testing.T) {
+	// A join whose two inputs land in different clusters: the second
+	// cluster's head must wait, and Replay must not deadlock.
+	w := dag.New("join")
+	a := w.AddTask("a", 100)
+	b := w.AddTask("b", 900)
+	c := w.AddTask("c", 100)
+	d := w.AddTask("d", 500)
+	w.AddEdge(a, b, 1<<20)
+	w.AddEdge(c, d, 1<<20)
+	w.AddEdge(a, d, 1<<20)
+	w.AddEdge(b, d, 0)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPCH(cloud.Small).Schedule(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.Schedule(s); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+)
+
+// RankFunc selects how HEFT estimates a task's execution time when
+// computing upward ranks on a heterogeneous VM pool. Zhao & Sakellariou's
+// experimental investigation (the paper's ref. [8]) showed the choice
+// changes HEFT's schedules measurably; these are their canonical variants,
+// expressed over the four instance types.
+type RankFunc int
+
+// The rank estimation variants.
+const (
+	// RankMean averages the execution time over all instance types — the
+	// textbook HEFT choice.
+	RankMean RankFunc = iota
+	// RankBest uses the fastest type's execution time.
+	RankBest
+	// RankWorst uses the slowest type's execution time.
+	RankWorst
+)
+
+// RankFuncs lists all variants.
+func RankFuncs() []RankFunc { return []RankFunc{RankMean, RankBest, RankWorst} }
+
+// String names the variant.
+func (r RankFunc) String() string {
+	switch r {
+	case RankMean:
+		return "mean"
+	case RankBest:
+		return "best"
+	case RankWorst:
+		return "worst"
+	}
+	return fmt.Sprintf("RankFunc(%d)", int(r))
+}
+
+// estimate returns the variant's execution-time estimate for a task.
+func (r RankFunc) estimate(p *cloud.Platform, work float64) float64 {
+	switch r {
+	case RankMean:
+		var sum float64
+		for _, typ := range cloud.InstanceTypes() {
+			sum += p.ExecTime(work, typ)
+		}
+		return sum / float64(len(cloud.InstanceTypes()))
+	case RankBest:
+		return p.ExecTime(work, cloud.XLarge)
+	case RankWorst:
+		return p.ExecTime(work, cloud.Small)
+	}
+	panic(fmt.Sprintf("sched: invalid rank func %d", int(r)))
+}
+
+// HeterogeneousHEFT is the classic HEFT of Topcuoglu et al. over a fixed
+// heterogeneous VM pool: the pool is rented up front (one VM per entry in
+// Pool), tasks are ordered by upward rank under the chosen RankFunc, and
+// each task is placed on the VM minimising its finish time. It serves as
+// the faithful grid-style HEFT baseline next to the paper's
+// provisioning-driven variants, and as the harness for comparing rank
+// functions (ref. [8]).
+type HeterogeneousHEFT struct {
+	Pool []cloud.InstanceType
+	Rank RankFunc
+}
+
+// NewHeterogeneousHEFT returns a HEFT over the given pool. It panics on an
+// empty pool.
+func NewHeterogeneousHEFT(pool []cloud.InstanceType, rank RankFunc) HeterogeneousHEFT {
+	if len(pool) == 0 {
+		panic("sched: HeterogeneousHEFT with empty pool")
+	}
+	return HeterogeneousHEFT{Pool: append([]cloud.InstanceType(nil), pool...), Rank: rank}
+}
+
+// Name implements Algorithm.
+func (h HeterogeneousHEFT) Name() string {
+	return fmt.Sprintf("HEFT%d-%s", len(h.Pool), h.Rank)
+}
+
+// Schedule implements Algorithm.
+func (h HeterogeneousHEFT) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	m := dag.CostModel{
+		Exec: func(t dag.Task) float64 { return h.Rank.estimate(opts.Platform, t.Work) },
+		Comm: func(e dag.Edge) float64 {
+			// Mean transfer estimate across the pool's links.
+			var sum float64
+			for _, typ := range h.Pool {
+				sum += opts.Platform.TransferTime(e.Data, typ, typ)
+			}
+			return sum / float64(len(h.Pool))
+		},
+	}
+	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	vms := make([]*plan.VM, len(h.Pool))
+	for i, typ := range h.Pool {
+		vms[i] = b.NewVM(typ)
+	}
+	for _, t := range wf.RankOrder(m) {
+		var best *plan.VM
+		bestFinish := math.Inf(1)
+		for _, vm := range vms {
+			finish := b.StartOn(t, vm) + b.ExecTime(t, vm.Type)
+			if finish < bestFinish-1e-12 {
+				best, bestFinish = vm, finish
+			}
+		}
+		b.PlaceOn(t, best)
+	}
+	return b.Done(), nil
+}
+
+// Loss is the LOSS counterpart of Gain from Sakellariou et al.'s
+// budget-constrained scheduling (the paper's ref. [10]): instead of
+// upgrading a cheap schedule while money remains, it starts from the
+// fastest assignment (every task on its own xlarge VM) and repeatedly
+// applies the re-assignment with the smallest makespan loss per dollar
+// saved until the schedule fits the budget.
+type Loss struct {
+	// Budget is the absolute spending cap in USD. If zero, BudgetFactor
+	// applies.
+	Budget float64
+	// BudgetFactor caps spending at this multiple of the baseline
+	// HEFT + OneVMperTask-small cost (default 4, mirroring Gain's budget).
+	BudgetFactor float64
+}
+
+// NewLoss returns a LOSS scheduler with the default 4x budget factor.
+func NewLoss() Loss { return Loss{BudgetFactor: gainBudgetFactor} }
+
+// Name implements Algorithm.
+func (Loss) Name() string { return "LOSS" }
+
+// Schedule implements Algorithm.
+func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	opts.fill()
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	factor := l.BudgetFactor
+	if factor <= 0 {
+		factor = gainBudgetFactor
+	}
+	u, err := newUpgradeState(wf, opts, factor)
+	if err != nil {
+		return nil, err
+	}
+	if l.Budget > 0 {
+		u.budget = l.Budget
+	}
+	// Start from the fastest assignment.
+	for vmIdx := range u.assign.Types {
+		u.assign.Types[vmIdx] = cloud.XLarge
+	}
+	s, err := plan.Replay(wf, opts.Platform, opts.Region, u.assign)
+	if err != nil {
+		return nil, err
+	}
+	u.sched = s
+
+	for u.sched.TotalCost() > u.budget+1e-9 {
+		// Candidate downgrades: one type step per task. Pick the smallest
+		// makespan-loss per dollar saved; money saved is computed on the
+		// task's own lease (one VM per task).
+		type cand struct {
+			task  dag.TaskID
+			typ   cloud.InstanceType
+			ratio float64 // seconds lost per dollar saved (lower is better)
+		}
+		var cands []cand
+		for id := 0; id < wf.Len(); id++ {
+			t := dag.TaskID(id)
+			cur := u.typeOf(t)
+			slower, ok := cur.Slower()
+			if !ok {
+				continue
+			}
+			dt := u.opts.Platform.ExecTime(wf.Task(t).Work, slower) - u.execTime(t)
+			dc := u.leaseCost(t, cur) - u.leaseCost(t, slower)
+			if dc <= 0 {
+				continue // no money saved; useless downgrade
+			}
+			cands = append(cands, cand{task: t, typ: slower, ratio: dt / dc})
+		}
+		if len(cands) == 0 {
+			return u.sched, fmt.Errorf("sched: LOSS cannot reach budget %v (cost %v)",
+				u.budget, u.sched.TotalCost())
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].ratio != cands[j].ratio {
+				return cands[i].ratio < cands[j].ratio
+			}
+			return cands[i].task < cands[j].task
+		})
+		c := cands[0]
+		u.assign.Types[u.taskVM[c.task]] = c.typ
+		if u.sched, err = plan.Replay(wf, opts.Platform, opts.Region, u.assign); err != nil {
+			return nil, err
+		}
+	}
+	return u.sched, nil
+}

@@ -1,0 +1,134 @@
+// Package sched implements the task-allocation algorithms of the paper's
+// Sect. III-B and the catalog of 19 named strategies evaluated in Sect. V:
+//
+//   - HEFT with the OneVMperTask / StartParNotExceed / StartParExceed
+//     provisioning policies (homogeneous, one per instance type);
+//   - the level-based AllParNotExceed / AllParExceed algorithms
+//     (homogeneous, one per instance type);
+//   - AllPar1LnS — level scheduling with parallelism reduction
+//     (sequentializing short tasks behind the level's longest task);
+//   - AllPar1LnSDyn — AllPar1LnS plus per-level VM speed escalation within
+//     an AllParNotExceed-derived budget;
+//   - CPA-Eager — critical-path VM upgrades within a 2x budget;
+//   - Gain — gain-matrix VM upgrades within a 4x budget.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/provision"
+)
+
+// Options carries the platform context for one scheduling run.
+type Options struct {
+	Platform *cloud.Platform
+	Region   cloud.Region
+}
+
+// DefaultOptions returns the paper's setting: the default platform model in
+// the cheapest region (US East Virginia).
+func DefaultOptions() Options {
+	return Options{Platform: cloud.NewPlatform(), Region: cloud.USEastVirginia}
+}
+
+func (o *Options) fill() {
+	if o.Platform == nil {
+		o.Platform = cloud.NewPlatform()
+	}
+}
+
+// Algorithm produces a complete schedule for a workflow.
+type Algorithm interface {
+	// Name returns the strategy label used in the paper's figures, e.g.
+	// "AllParExceed-m" or "CPA-Eager".
+	Name() string
+	// Schedule maps every task of the workflow onto VMs. Implementations
+	// are deterministic: equal inputs yield equal schedules.
+	Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
+}
+
+// costModel returns the homogeneous cost model for ranking: execution on a
+// fixed instance type and store-and-forward transfers on its link.
+func costModel(p *cloud.Platform, typ cloud.InstanceType) dag.CostModel {
+	return dag.CostModel{
+		Exec: func(t dag.Task) float64 { return p.ExecTime(t.Work, typ) },
+		Comm: func(e dag.Edge) float64 { return p.TransferTime(e.Data, typ, typ) },
+	}
+}
+
+// levelOrder returns the tasks of one level sorted by decreasing execution
+// time (ties by ID), the deterministic in-level order used by the level-
+// based algorithms ("level ranking + ET descending", Table I).
+func levelOrder(wf *dag.Workflow, level []dag.TaskID) []dag.TaskID {
+	out := append([]dag.TaskID(nil), level...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			wa, wb := wf.Task(a).Work, wf.Task(b).Work
+			if wb > wa || (wb == wa && b < a) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Catalog returns the 19 strategies of the paper's Figs. 4 and 5: the five
+// provisioning policies at small/medium/large plus the four heterogeneous
+// algorithms. Order matches the figures' legends.
+func Catalog() []Algorithm {
+	var out []Algorithm
+	for _, typ := range []cloud.InstanceType{cloud.Small, cloud.Medium, cloud.Large} {
+		out = append(out,
+			NewHEFT(provision.StartParNotExceed, typ),
+			NewHEFT(provision.StartParExceed, typ),
+			NewAllPar(provision.AllParExceed, typ),
+			NewAllPar(provision.AllParNotExceed, typ),
+			NewHEFT(provision.OneVMperTask, typ),
+		)
+	}
+	out = append(out, NewCPAEager(), NewGain(), NewAllPar1LnS(), NewAllPar1LnSDyn())
+	return out
+}
+
+// ByName returns the catalog strategy with the given figure label.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range Catalog() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: unknown strategy %q", name)
+}
+
+// Baseline returns the paper's reference strategy, HEFT with OneVMperTask
+// on small instances, against which gain and loss percentages are computed.
+func Baseline() Algorithm { return NewHEFT(provision.OneVMperTask, cloud.Small) }
+
+// FullCatalog returns the paper's 19 strategies plus this repository's
+// additional baselines — the commercial-cloud allocators over a
+// max-parallelism-sized pool, the classic heterogeneous HEFT under its
+// three rank functions, and LOSS — for research comparisons beyond the
+// paper's grid. The pool size k applies to the pool-based baselines.
+func FullCatalog(k int) []Algorithm {
+	out := Catalog()
+	out = append(out,
+		NewRoundRobin(k, cloud.Small),
+		NewLeastLoad(k, cloud.Small),
+		NewLoss(),
+		NewPCH(cloud.Small),
+	)
+	pool := make([]cloud.InstanceType, k)
+	for i := range pool {
+		pool[i] = cloud.InstanceTypes()[i%len(cloud.InstanceTypes())]
+	}
+	for _, rf := range RankFuncs() {
+		out = append(out, NewHeterogeneousHEFT(pool, rf))
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/plan"
+	"repro/internal/provision"
+)
+
+// upgradeState is the shared machinery of the two budget-constrained
+// upgrade algorithms (CPA-Eager and Gain): both start from the baseline
+// HEFT + OneVMperTask schedule on small instances — one VM per task — and
+// iteratively re-type individual VMs, re-evaluating the schedule by replay.
+type upgradeState struct {
+	wf     *dag.Workflow
+	opts   Options
+	assign plan.Assignment
+	taskVM []int // VM index per task (one VM per task)
+	sched  *plan.Schedule
+	budget float64
+}
+
+// newUpgradeState builds the baseline schedule and derives the budget as
+// budgetFactor times its cost (paper Sect. IV: 2x for CPA-Eager, 4x for
+// Gain).
+func newUpgradeState(wf *dag.Workflow, opts Options, budgetFactor float64) (*upgradeState, error) {
+	base, err := NewHEFT(provision.OneVMperTask, cloud.Small).Schedule(wf, opts)
+	if err != nil {
+		return nil, err
+	}
+	u := &upgradeState{
+		wf:     wf,
+		opts:   opts,
+		assign: plan.AssignmentOf(base),
+		taskVM: make([]int, wf.Len()),
+		sched:  base,
+		budget: budgetFactor * base.TotalCost(),
+	}
+	for i, q := range u.assign.Queues {
+		if len(q) != 1 {
+			return nil, fmt.Errorf("sched: OneVMperTask baseline has %d tasks on VM %d", len(q), i)
+		}
+		u.taskVM[q[0]] = i
+	}
+	return u, nil
+}
+
+// typeOf returns the instance type currently assigned to a task's VM.
+func (u *upgradeState) typeOf(t dag.TaskID) cloud.InstanceType {
+	return u.assign.Types[u.taskVM[t]]
+}
+
+// execTime returns a task's execution time under its current VM type.
+func (u *upgradeState) execTime(t dag.TaskID) float64 {
+	return u.opts.Platform.ExecTime(u.wf.Task(t).Work, u.typeOf(t))
+}
+
+// leaseCost returns the rent of a task's dedicated VM under a hypothetical
+// type: one lease spanning exactly the execution time.
+func (u *upgradeState) leaseCost(t dag.TaskID, typ cloud.InstanceType) float64 {
+	return cloud.LeaseCost(u.opts.Platform.ExecTime(u.wf.Task(t).Work, typ), typ, u.opts.Region)
+}
+
+// tryUpgrade re-types task t's VM and keeps the change if the schedule's
+// total cost stays within budget; otherwise it reverts. It reports whether
+// the change was kept.
+func (u *upgradeState) tryUpgrade(t dag.TaskID, typ cloud.InstanceType) bool {
+	vm := u.taskVM[t]
+	old := u.assign.Types[vm]
+	if typ == old {
+		return false
+	}
+	u.assign.Types[vm] = typ
+	s, err := plan.Replay(u.wf, u.opts.Platform, u.opts.Region, u.assign)
+	if err != nil || s.TotalCost() > u.budget+1e-9 {
+		u.assign.Types[vm] = old
+		return false
+	}
+	u.sched = s
+	return true
+}
+
+// criticalPath returns the tasks of the heaviest entry→exit path under the
+// current per-task types (execution plus cross-VM transfer estimates).
+func (u *upgradeState) criticalPath() []dag.TaskID {
+	m := dag.CostModel{
+		Exec: func(t dag.Task) float64 { return u.execTime(t.ID) },
+		Comm: func(e dag.Edge) float64 {
+			// One VM per task: producer and consumer are always on
+			// distinct VMs, so every edge pays a transfer.
+			return u.opts.Platform.TransferTime(e.Data, u.typeOf(e.From), u.typeOf(e.To))
+		},
+	}
+	path, _ := u.wf.CriticalPath(m)
+	return path
+}

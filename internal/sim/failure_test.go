@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dag/dagtest"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// These tests inject corrupted schedules into the simulator and assert it
+// fails loudly instead of producing silently wrong measurements.
+
+func TestSimDetectsDeadlockedQueues(t *testing.T) {
+	// Two VMs whose queues reference each other's outputs in reversed
+	// order: vm0 runs [b] (needs a), vm1 runs [a] but queued behind a
+	// never-ready head. Construct directly: vm0 queue [b, a] where b needs
+	// a — the head b waits for a, and a sits behind b on the same VM.
+	w := dagtest.Chain(2, 100)
+	s := mustSchedule(t, sched.Baseline(), w)
+	// Merge both tasks onto VM 0 in reverse order.
+	vm0 := s.VMs[0]
+	vm0.Slots = []plan.Slot{
+		{Task: 1, Start: 0, End: 100},
+		{Task: 0, Start: 100, End: 200},
+	}
+	s.VMs = []*plan.VM{vm0}
+	s.Placement[0] = vm0.ID
+	s.Placement[1] = vm0.ID
+	_, err := Run(s, Config{})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestVerifyDetectsTamperedPlannedTimes(t *testing.T) {
+	w := dagtest.ForkJoin(3, 400)
+	s := mustSchedule(t, sched.Baseline(), w)
+	s.Start[2] += 5 // planner lies about a start time
+	if err := Verify(s); err == nil {
+		t.Error("tampered start time not detected")
+	}
+	s.Start[2] -= 5
+	s.End[2] += 5
+	if err := Verify(s); err == nil {
+		t.Error("tampered end time not detected")
+	}
+}
+
+func TestVerifyDetectsWrongVMType(t *testing.T) {
+	// Re-typing a VM after planning changes execution times; the replayed
+	// makespan diverges from the planned one.
+	w := dagtest.Chain(3, 1000)
+	s := mustSchedule(t, sched.Baseline(), w)
+	s.VMs[0].Type = cloud.XLarge
+	if err := Verify(s); err == nil {
+		t.Error("re-typed VM not detected")
+	}
+}
+
+func TestVerifyDetectsDroppedTransferData(t *testing.T) {
+	// Inflate an edge's payload after planning: the simulator sees a later
+	// ready time than the planner recorded.
+	w := dag.New("pair")
+	a := w.AddTask("a", 100)
+	b := w.AddTask("b", 100)
+	w.AddEdge(a, b, 0)
+	if err := w.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := mustSchedule(t, sched.Baseline(), w)
+	w2 := dag.New("pair")
+	w2.AddTask("a", 100)
+	w2.AddTask("b", 100)
+	w2.AddEdge(a, b, 8<<30)
+	if err := w2.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s.Workflow = w2
+	if err := Verify(s); err == nil {
+		t.Error("inflated edge data not detected")
+	}
+}
+
+func TestRunEmptyVMsAreFree(t *testing.T) {
+	w := dagtest.Chain(1, 100)
+	s := mustSchedule(t, sched.Baseline(), w)
+	// Add an unused VM: it must not bill or deadlock.
+	b := &plan.VM{ID: plan.VMID(len(s.VMs)), Type: cloud.XLarge, Region: cloud.USEastVirginia}
+	s.VMs = append(s.VMs, b)
+	res, err := Run(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RentalCost != s.RentalCost() {
+		t.Errorf("cost %v changed by an empty VM (want %v)", res.RentalCost, s.RentalCost())
+	}
+}

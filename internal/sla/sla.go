@@ -1,0 +1,104 @@
+// Package sla answers deadline questions over non-deterministic
+// workloads: with runtime splits and loops, a static strategy induces a
+// makespan *distribution*, and an SLA is a probability of finishing in
+// time. This operationalizes the deadline-centric related work the paper
+// surveys (SHEFT, Byun et al.'s cost-optimized deadline provisioning) on
+// top of this repository's template and strategy machinery.
+package sla
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+)
+
+// Estimate is the outcome of evaluating one strategy against a deadline.
+type Estimate struct {
+	Strategy string
+	// MeetProbability is the fraction of realized instances finishing by
+	// the deadline.
+	MeetProbability float64
+	// MeanCost and MeanMakespan summarize the per-instance outcomes.
+	MeanCost     float64
+	MeanMakespan float64
+}
+
+// Evaluate samples n instances of the template (seeds seed, seed+1, ...)
+// and measures how often the strategy meets the deadline, along with mean
+// cost and makespan.
+func Evaluate(t ndwf.Template, alg sched.Algorithm, opts sched.Options,
+	deadline float64, n int, seed uint64) (Estimate, error) {
+	if deadline <= 0 {
+		return Estimate{}, fmt.Errorf("sla: non-positive deadline %v", deadline)
+	}
+	if n <= 0 {
+		return Estimate{}, fmt.Errorf("sla: non-positive sample count %d", n)
+	}
+	est := Estimate{Strategy: alg.Name()}
+	met := 0
+	for i := 0; i < n; i++ {
+		wf, err := t.Sample(seed + uint64(i))
+		if err != nil {
+			return Estimate{}, err
+		}
+		s, err := alg.Schedule(wf, opts)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("sla: %s on instance %d: %w", alg.Name(), i, err)
+		}
+		if s.Makespan() <= deadline {
+			met++
+		}
+		est.MeanCost += s.TotalCost() / float64(n)
+		est.MeanMakespan += s.Makespan() / float64(n)
+	}
+	est.MeetProbability = float64(met) / float64(n)
+	return est, nil
+}
+
+// CheapestMeeting evaluates all strategies and returns the cheapest one
+// whose meet probability reaches the target, with all estimates for
+// inspection (sorted by mean cost). If none qualifies, it returns the
+// highest-probability strategy and ErrNoStrategyMeets.
+func CheapestMeeting(t ndwf.Template, algs []sched.Algorithm, opts sched.Options,
+	deadline, target float64, n int, seed uint64) (Estimate, []Estimate, error) {
+	if target < 0 || target > 1 {
+		return Estimate{}, nil, fmt.Errorf("sla: target probability %v outside [0, 1]", target)
+	}
+	if len(algs) == 0 {
+		return Estimate{}, nil, fmt.Errorf("sla: no strategies given")
+	}
+	all := make([]Estimate, 0, len(algs))
+	for _, alg := range algs {
+		est, err := Evaluate(t, alg, opts, deadline, n, seed)
+		if err != nil {
+			return Estimate{}, nil, err
+		}
+		all = append(all, est)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].MeanCost != all[j].MeanCost {
+			return all[i].MeanCost < all[j].MeanCost
+		}
+		return all[i].Strategy < all[j].Strategy
+	})
+	for _, est := range all {
+		if est.MeetProbability >= target {
+			return est, all, nil
+		}
+	}
+	best := all[0]
+	bestP := math.Inf(-1)
+	for _, est := range all {
+		if est.MeetProbability > bestP {
+			best, bestP = est, est.MeetProbability
+		}
+	}
+	return best, all, ErrNoStrategyMeets
+}
+
+// ErrNoStrategyMeets reports that no evaluated strategy reached the target
+// probability; the returned estimate is the closest one.
+var ErrNoStrategyMeets = fmt.Errorf("sla: no strategy meets the target probability")

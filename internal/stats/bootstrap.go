@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// String renders the interval.
+func (ci CI) String() string {
+	return fmt.Sprintf("[%.2f, %.2f]@%.0f%%", ci.Lo, ci.Hi, 100*ci.Level)
+}
+
+// Contains reports whether x lies inside the interval.
+func (ci CI) Contains(x float64) bool { return x >= ci.Lo && x <= ci.Hi }
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval for
+// the sample mean: resamples draws with replacement, recomputes the mean
+// each time, and takes the (1-level)/2 tails. Deterministic for a given
+// seed. It panics on an empty sample, a non-positive resample count or a
+// level outside (0, 1).
+func BootstrapMeanCI(xs []float64, level float64, resamples int, seed uint64) CI {
+	if len(xs) == 0 {
+		panic("stats: BootstrapMeanCI of empty sample")
+	}
+	if resamples <= 0 {
+		panic(fmt.Sprintf("stats: non-positive resample count %d", resamples))
+	}
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: confidence level %v outside (0, 1)", level))
+	}
+	r := NewRNG(seed)
+	means := make([]float64, resamples)
+	n := len(xs)
+	for i := range means {
+		var sum float64
+		for k := 0; k < n; k++ {
+			sum += xs[r.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    Percentile(means, alpha),
+		Hi:    Percentile(means, 1-alpha),
+		Level: level,
+	}
+}

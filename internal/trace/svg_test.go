@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/provision"
+	"repro/internal/workflows"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	s := fig1Schedule(t, provision.AllParExceed)
+	var buf bytes.Buffer
+	if err := SVG(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Structural checks: it is parseable XML with the expected elements.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	rects, texts := 0, 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "rect":
+				rects++
+			case "text":
+				texts++
+			}
+		}
+	}
+	// One background + one block per task at minimum.
+	if rects < s.Workflow.Len() {
+		t.Errorf("rects = %d, want >= %d", rects, s.Workflow.Len())
+	}
+	if texts == 0 {
+		t.Error("no labels")
+	}
+	for _, want := range []string{"<svg", "makespan", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmptySchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, &plan.Schedule{Workflow: workflows.Fig1SubWorkflow()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty schedule") {
+		t.Errorf("empty SVG = %q", buf.String())
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	if got := escapeXML(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escapeXML = %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package validate checks schedule invariants that every scheduling
+// algorithm in this repository must preserve, independent of how the
+// schedule was built:
+//
+//   - every task placed exactly once, with end = start + work/speedup;
+//   - precedence: no task starts before each predecessor's finish plus the
+//     transfer time when they sit on different VMs;
+//   - exclusivity: a VM never runs two tasks at once;
+//   - billing: lease spans cover all slots and costs match the BTU model.
+//
+// It is used by the test suites and by the experiment driver in paranoid
+// mode.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/plan"
+)
+
+const eps = 1e-6
+
+// Schedule verifies all invariants and returns the first violation found,
+// or nil when the schedule is sound.
+func Schedule(s *plan.Schedule) error {
+	if err := placement(s); err != nil {
+		return err
+	}
+	if err := precedence(s); err != nil {
+		return err
+	}
+	if err := exclusivity(s); err != nil {
+		return err
+	}
+	return billing(s)
+}
+
+// placement checks the task-side bookkeeping: every task appears in exactly
+// one slot of its assigned VM, with consistent times and the correct
+// speed-up-scaled duration.
+func placement(s *plan.Schedule) error {
+	wf := s.Workflow
+	n := wf.Len()
+	if len(s.Placement) != n || len(s.Start) != n || len(s.End) != n {
+		return fmt.Errorf("validate: bookkeeping sized %d/%d/%d for %d tasks",
+			len(s.Placement), len(s.Start), len(s.End), n)
+	}
+	seen := make([]int, n)
+	for _, vm := range s.VMs {
+		for _, slot := range vm.Slots {
+			id := int(slot.Task)
+			if id < 0 || id >= n {
+				return fmt.Errorf("validate: VM %d hosts unknown task %d", vm.ID, id)
+			}
+			seen[id]++
+			if s.Placement[id] != vm.ID {
+				return fmt.Errorf("validate: task %d in VM %d slots but Placement says %d",
+					id, vm.ID, s.Placement[id])
+			}
+			if math.Abs(slot.Start-s.Start[id]) > eps || math.Abs(slot.End-s.End[id]) > eps {
+				return fmt.Errorf("validate: task %d slot [%v,%v) disagrees with schedule [%v,%v)",
+					id, slot.Start, slot.End, s.Start[id], s.End[id])
+			}
+			want := s.Platform.ExecTime(wf.Task(slot.Task).Work, vm.Type)
+			if math.Abs((slot.End-slot.Start)-want) > eps {
+				return fmt.Errorf("validate: task %d duration %v, want %v on %v",
+					id, slot.End-slot.Start, want, vm.Type)
+			}
+		}
+	}
+	for id, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("validate: task %d placed %d times", id, c)
+		}
+	}
+	return nil
+}
+
+// precedence checks data dependencies including transfer delays.
+func precedence(s *plan.Schedule) error {
+	for _, e := range s.Workflow.Edges() {
+		ready := s.End[e.From]
+		from, to := s.TaskVM(e.From), s.TaskVM(e.To)
+		if from.ID != to.ID {
+			ready += s.Platform.TransferTime(e.Data, from.Type, to.Type)
+		}
+		if s.Start[e.To] < ready-eps {
+			return fmt.Errorf("validate: task %d starts at %v before input from %d is ready at %v",
+				e.To, s.Start[e.To], e.From, ready)
+		}
+	}
+	return nil
+}
+
+// exclusivity checks that no VM overlaps two slots.
+func exclusivity(s *plan.Schedule) error {
+	for _, vm := range s.VMs {
+		for i := 1; i < len(vm.Slots); i++ {
+			prev, cur := vm.Slots[i-1], vm.Slots[i]
+			if cur.Start < prev.End-eps {
+				return fmt.Errorf("validate: VM %d runs tasks %d and %d concurrently ([%v,%v) vs [%v,%v))",
+					vm.ID, prev.Task, cur.Task, prev.Start, prev.End, cur.Start, cur.End)
+			}
+		}
+	}
+	return nil
+}
+
+// billing checks the BTU accounting.
+func billing(s *plan.Schedule) error {
+	var cost, idle float64
+	for _, vm := range s.VMs {
+		if len(vm.Slots) == 0 {
+			continue
+		}
+		span := vm.Span()
+		if span < -eps {
+			return fmt.Errorf("validate: VM %d has negative lease span %v", vm.ID, span)
+		}
+		if vm.Prepaid {
+			// Private-cloud capacity: no bill, no BTU accounting.
+			if vm.Cost() != 0 || vm.Idle() != 0 {
+				return fmt.Errorf("validate: prepaid VM %d bills cost %v, idle %v",
+					vm.ID, vm.Cost(), vm.Idle())
+			}
+			continue
+		}
+		wantCost := cloud.LeaseCost(span, vm.Type, vm.Region)
+		if math.Abs(vm.Cost()-wantCost) > eps {
+			return fmt.Errorf("validate: VM %d cost %v, want %v", vm.ID, vm.Cost(), wantCost)
+		}
+		paid := float64(cloud.BTUs(span)) * cloud.BTU
+		if vm.Busy() > paid+eps {
+			return fmt.Errorf("validate: VM %d busy %v exceeds paid %v", vm.ID, vm.Busy(), paid)
+		}
+		cost += vm.Cost()
+		idle += vm.Idle()
+	}
+	if math.Abs(cost-s.RentalCost()) > eps {
+		return fmt.Errorf("validate: rental cost %v, VMs sum to %v", s.RentalCost(), cost)
+	}
+	if math.Abs(idle-s.IdleTime()) > eps {
+		return fmt.Errorf("validate: idle %v, VMs sum to %v", s.IdleTime(), idle)
+	}
+	return nil
+}
+
+// NotExceedLease verifies the defining property of the *NotExceed
+// provisioning policies: whenever a VM hosts more than one task, no later
+// slot pushes the lease past the BTU boundary that was already paid before
+// the slot was appended. Algorithms built on Exceed policies will generally
+// fail this check — it exists so tests can assert the distinction.
+func NotExceedLease(s *plan.Schedule) error {
+	for _, vm := range s.VMs {
+		if vm.Prepaid {
+			continue // no billing boundary to respect
+		}
+		for i := 1; i < len(vm.Slots); i++ {
+			spanBefore := vm.Slots[i-1].End - vm.Slots[0].Start
+			boundary := vm.Slots[0].Start + float64(cloud.BTUs(spanBefore))*cloud.BTU
+			if vm.Slots[i].End > boundary+eps {
+				return fmt.Errorf("validate: VM %d slot %d ends at %v past paid boundary %v",
+					vm.ID, i, vm.Slots[i].End, boundary)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package wfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag/dagtest"
+	"repro/internal/workflows"
+)
+
+func TestRoundTripPaperWorkflows(t *testing.T) {
+	for name, wf := range workflows.Paper() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, wf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Len() != wf.Len() {
+			t.Errorf("%s: %d tasks after round trip, want %d", name, got.Len(), wf.Len())
+		}
+		if len(got.Edges()) != len(wf.Edges()) {
+			t.Errorf("%s: %d edges after round trip, want %d", name, len(got.Edges()), len(wf.Edges()))
+		}
+		for i, task := range wf.Tasks() {
+			g := got.Task(task.ID)
+			if g.Name != task.Name || g.Work != task.Work {
+				t.Errorf("%s: task %d = %+v, want %+v", name, i, g, task)
+			}
+		}
+		for _, e := range wf.Edges() {
+			if d, ok := got.Data(e.From, e.To); !ok || d != e.Data {
+				t.Errorf("%s: edge %d->%d = %v/%v, want %v", name, e.From, e.To, d, ok, e.Data)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"no tasks":      `{"name": "x", "tasks": [], "edges": []}`,
+		"bad edge":      `{"name": "x", "tasks": [{"name":"a","work":1}], "edges": [{"from":0,"to":5}]}`,
+		"self loop":     `{"name": "x", "tasks": [{"name":"a","work":1}], "edges": [{"from":0,"to":0}]}`,
+		"negative work": `{"name": "x", "tasks": [{"name":"a","work":-1}], "edges": []}`,
+		"negative data": `{"name": "x", "tasks": [{"name":"a","work":1},{"name":"b","work":1}], "edges": [{"from":0,"to":1,"data":-5}]}`,
+		"cycle": `{"name": "x", "tasks": [{"name":"a","work":1},{"name":"b","work":1}],
+			"edges": [{"from":0,"to":1},{"from":1,"to":0}]}`,
+		"unknown field": `{"name": "x", "bogus": 1, "tasks": [{"name":"a","work":1}], "edges": []}`,
+		"not json":      `hello`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestDecodeNamesAnonymousTasks(t *testing.T) {
+	doc := `{"name": "x", "tasks": [{"work": 5}], "edges": []}`
+	w, err := Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Task(0).Name; got != "t0" {
+		t.Errorf("anonymous task named %q, want t0", got)
+	}
+}
+
+// Property: random DAGs survive an encode/decode round trip with identical
+// structure and weights.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		wf := dagtest.Random(seed, dagtest.DefaultConfig())
+		var buf bytes.Buffer
+		if err := Encode(&buf, wf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != wf.Len() || len(got.Edges()) != len(wf.Edges()) {
+			return false
+		}
+		for _, e := range wf.Edges() {
+			if d, ok := got.Data(e.From, e.To); !ok || d != e.Data {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

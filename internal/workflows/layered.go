@@ -1,0 +1,38 @@
+package workflows
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Layered returns a synthetic workflow of depth levels, each width tasks
+// wide, with one entry and one exit task and full connectivity between
+// consecutive levels. It is the parametric shape used by the boundary
+// exploration (internal/frontier): width 1 degenerates to the Sequential
+// chain, large widths approximate the MapReduce fan. It panics unless both
+// dimensions are positive.
+func Layered(depth, width int) *dag.Workflow {
+	if depth <= 0 || width <= 0 {
+		panic(fmt.Sprintf("workflows: Layered(%d, %d)", depth, width))
+	}
+	w := dag.New(fmt.Sprintf("layered-%dx%d", depth, width))
+	entry := w.AddTask("entry", defaultWork)
+	prev := []dag.TaskID{entry}
+	for l := 0; l < depth; l++ {
+		cur := make([]dag.TaskID, width)
+		for i := 0; i < width; i++ {
+			cur[i] = w.AddTask(fmt.Sprintf("l%d-%d", l, i), defaultWork)
+			for _, p := range prev {
+				w.AddEdge(p, cur[i], defaultData)
+			}
+		}
+		prev = cur
+	}
+	exit := w.AddTask("exit", defaultWork)
+	for _, p := range prev {
+		w.AddEdge(p, exit, defaultData)
+	}
+	mustFreeze(w)
+	return w
+}

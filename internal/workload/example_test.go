@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+// Example applies each of the paper's execution-time scenarios to the
+// CSTEM workflow and shows the resulting per-task work regimes.
+func Example() {
+	wf := workflows.CSTEM()
+	for _, sc := range workload.Scenarios() {
+		w := sc.Apply(wf, 42)
+		mean := w.TotalWork() / float64(w.Len())
+		fmt.Printf("%-10s mean task %6.0fs, total %7.0fs\n", sc, mean, w.TotalWork())
+	}
+	// Output:
+	// Pareto     mean task    753s, total   11298s
+	// Best case  mean task    240s, total    3600s
+	// Worst case mean task  10080s, total  151200s
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workflows"
+)
+
+func TestScenarioStringsRoundTrip(t *testing.T) {
+	for _, s := range Scenarios() {
+		got, err := ParseScenario(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScenario(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScenario("nope"); err == nil {
+		t.Error("ParseScenario(nope) succeeded")
+	}
+}
+
+func TestParetoApplyIsSeededAndDeterministic(t *testing.T) {
+	base := workflows.PaperMontage()
+	a := Pareto.Apply(base, 42)
+	b := Pareto.Apply(base, 42)
+	c := Pareto.Apply(base, 43)
+	if a.TotalWork() != b.TotalWork() {
+		t.Error("same seed produced different workloads")
+	}
+	if a.TotalWork() == c.TotalWork() {
+		t.Error("different seeds produced identical workloads")
+	}
+	// The original is untouched.
+	if base.TotalWork() != float64(base.Len())*1000 {
+		t.Errorf("base workflow mutated: TotalWork = %v", base.TotalWork())
+	}
+}
+
+func TestParetoApplyDistribution(t *testing.T) {
+	// Aggregate many draws: sample mean must approach the analytic 1000s.
+	w := dagtest.Chain(2000, 1)
+	applied := Pareto.Apply(w, 7)
+	mean := applied.TotalWork() / float64(applied.Len())
+	if math.Abs(mean-1000)/1000 > 0.15 {
+		t.Errorf("mean execution time = %v, want ~1000", mean)
+	}
+	// Every task respects the scale floor.
+	for _, task := range applied.Tasks() {
+		if task.Work < ExecScale {
+			t.Fatalf("task %d work %v below Pareto scale %v", task.ID, task.Work, ExecScale)
+		}
+	}
+	// Data sizes respect their floor too (500 MB).
+	for _, e := range applied.Edges() {
+		if e.Data < DataScale*(1<<20) {
+			t.Fatalf("edge %d->%d data %v below scale", e.From, e.To, e.Data)
+		}
+	}
+}
+
+func TestBestCaseFitsOneBTU(t *testing.T) {
+	w := workflows.PaperMontage()
+	applied := BestCase.Apply(w, 0)
+	if math.Abs(applied.TotalWork()-cloud.BTU) > 1e-6 {
+		t.Errorf("best case total work = %v, want exactly one BTU", applied.TotalWork())
+	}
+	e := applied.Task(0).Work
+	for _, task := range applied.Tasks() {
+		if task.Work != e {
+			t.Error("best case tasks are not equal length")
+			break
+		}
+	}
+	for _, edge := range applied.Edges() {
+		if edge.Data != 0 {
+			t.Error("best case edges must carry no data")
+			break
+		}
+	}
+}
+
+func TestWorstCaseExceedsBTUOnFastestVM(t *testing.T) {
+	w := workflows.CSTEM()
+	applied := WorstCase.Apply(w, 0)
+	for _, task := range applied.Tasks() {
+		if task.Work/cloud.XLarge.Speedup() <= cloud.BTU {
+			t.Fatalf("task work %v fits a BTU on xlarge; worst case must not", task.Work)
+		}
+	}
+}
+
+func TestApplyPanicsOnInvalidScenario(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Scenario(99).Apply(workflows.CSTEM(), 0)
+}
+
+func TestDistConstantsMatchPaper(t *testing.T) {
+	if ExecShape != 2.0 || ExecScale != 500 {
+		t.Error("execution-time distribution deviates from the paper")
+	}
+	if DataShape != 1.3 || DataScale != 500 {
+		t.Error("data-size distribution deviates from the paper")
+	}
+	if WorstCaseWork <= 2.7*cloud.BTU {
+		t.Error("worst-case work must exceed 2.7 BTU")
+	}
+	if ExecDist().Mean() != 1000 {
+		t.Errorf("exec dist mean = %v, want 1000", ExecDist().Mean())
+	}
+}
+
+func TestFig3CDFShape(t *testing.T) {
+	// The paper's Fig. 3 CDF: ~75% of execution times fall below 1000s and
+	// ~97% below 3000s for Pareto(2, 500).
+	d := ExecDist()
+	r := stats.NewRNG(3)
+	e := stats.NewECDF(d.SampleN(r, 50000))
+	if got := e.At(1000); math.Abs(got-0.75) > 0.02 {
+		t.Errorf("CDF(1000) = %v, want ~0.75", got)
+	}
+	if got := e.At(3000); math.Abs(got-(1-math.Pow(500.0/3000.0, 2))) > 0.02 {
+		t.Errorf("CDF(3000) = %v", got)
+	}
+}
+
+func TestDataHeavyScenario(t *testing.T) {
+	base := workflows.PaperMontage()
+	light := Pareto.Apply(base, 9)
+	heavy := DataHeavy.Apply(base, 9)
+	// Same seed: identical execution times, 100x the data.
+	if light.TotalWork() != heavy.TotalWork() {
+		t.Error("DataHeavy changed execution times")
+	}
+	le, he := light.Edges(), heavy.Edges()
+	for i := range le {
+		if math.Abs(he[i].Data-DataHeavyFactor*le[i].Data) > 1e-6*he[i].Data {
+			t.Fatalf("edge %d: heavy %v, want %v", i, he[i].Data, DataHeavyFactor*le[i].Data)
+		}
+	}
+	if got, err := ParseScenario("Data heavy"); err != nil || got != DataHeavy {
+		t.Errorf("ParseScenario(Data heavy) = %v, %v", got, err)
+	}
+	// But it stays out of the paper's scenario list.
+	for _, sc := range Scenarios() {
+		if sc == DataHeavy {
+			t.Error("DataHeavy leaked into the paper scenario list")
+		}
+	}
+}
+
+func TestDataHeavyMakesTransfersMatter(t *testing.T) {
+	// On the data-heavy workload, the single-VM policy (no transfers at
+	// all) closes much of its makespan gap to the fully parallel baseline:
+	// the transfer time eats the parallelism benefit. Quantify by the
+	// ratio of makespans (parallel / single-VM); it must rise from the
+	// CPU-bound to the data-bound scenario.
+	wf := workflows.PaperMapReduce()
+	opts := sched.DefaultOptions()
+	ratio := func(sc Scenario) float64 {
+		w := sc.Apply(wf, 4)
+		par, err := sched.Baseline().Schedule(w.Clone(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := sched.NewHEFT(provision.StartParExceed, cloud.Small).Schedule(w.Clone(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return par.Makespan() / single.Makespan()
+	}
+	cpu, data := ratio(Pareto), ratio(DataHeavy)
+	if data <= cpu {
+		t.Errorf("parallel/single makespan ratio: cpu-bound %v, data-bound %v — transfers had no effect", cpu, data)
+	}
+}
