@@ -13,6 +13,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/cloud"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/provision"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sla"
 	"repro/internal/stats"
@@ -473,5 +476,50 @@ func BenchmarkSLAEvaluate(b *testing.B) {
 		if _, err := sla.Evaluate(tpl, sched.Baseline(), sched.DefaultOptions(), 1500, 100, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceScheduleCold times a full uncached POST /v1/schedule
+// round trip — admission, planning, baseline comparison, encoding —
+// varying the seed each iteration so every request misses the cache.
+func BenchmarkServiceScheduleCold(b *testing.B) {
+	svc := service.New(service.Config{CacheSize: 1})
+	defer svc.Close()
+	h := svc.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"workflow_name":"montage24","strategy":"AllParExceed-m","scenario":"Pareto","seed":%d}`, i)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/schedule", strings.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}
+
+// BenchmarkServiceScheduleCached times the hit path: the same request
+// repeated, answered from the sharded LRU without touching the planner.
+func BenchmarkServiceScheduleCached(b *testing.B) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	h := svc.Handler()
+	const body = `{"workflow_name":"montage24","strategy":"AllParExceed-m","scenario":"Pareto","seed":7}`
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("POST", "/v1/schedule", strings.NewReader(body)))
+	if warm.Code != 200 {
+		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body.Bytes())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/schedule", strings.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	if svc.Metrics().CacheHits < uint64(b.N) {
+		b.Fatalf("cache hits %d < %d iterations", svc.Metrics().CacheHits, b.N)
 	}
 }

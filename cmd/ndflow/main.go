@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/ndwf"
 	"repro/internal/sched"
 	"repro/internal/sla"
@@ -91,7 +92,7 @@ func run(in, emit string, seed uint64, n int, strategy string, deadline, target 
 		}
 		return wfio.Encode(os.Stdout, wf)
 	case "stats":
-		alg, err := sched.ByName(strategy)
+		alg, err := core.StrategyByName(strategy)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,105 @@
+// Command wfservd is the scheduling-as-a-service daemon: a long-running
+// HTTP/JSON server answering workflow-planning requests with the
+// repository's strategy catalog (see internal/service).
+//
+// Usage:
+//
+//	wfservd -addr :8080
+//	wfservd -addr 127.0.0.1:9090 -workers 8 -queue 64 -cache 8192
+//
+// Endpoints:
+//
+//	POST /v1/schedule   plan one workflow with one strategy
+//	POST /v1/compare    run all 19 catalog strategies on one workflow
+//	GET  /v1/catalog    valid strategy/workflow/scenario/region names
+//	GET  /metrics       operational counters + latency percentiles (JSON)
+//	GET  /healthz       200 serving / 503 draining
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, flips
+// /healthz to 503, drains in-flight requests (bounded by -drain), and
+// exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "submission queue depth (0 = 4x workers)")
+		cacheN  = flag.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request planning timeout")
+		drain   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheN,
+		RequestTimeout: *timeout,
+	}
+	if err := run(ctx, *addr, cfg, *drain, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "wfservd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal), then drains and
+// returns. If ready is non-nil it receives the bound listen address once
+// the daemon is accepting connections (used by tests binding port 0).
+func run(ctx context.Context, addr string, cfg service.Config, drain time.Duration, ready chan<- string) error {
+	svc := service.New(cfg)
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "wfservd: serving on %s (%d workers, queue %d, cache %d)\n",
+		ln.Addr(), cfg.Fill().Workers, cfg.Fill().QueueDepth, cfg.Fill().CacheSize)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop routing (healthz 503), stop accepting, finish
+	// in-flight requests, then stop the worker pool (deferred Close).
+	fmt.Fprintln(os.Stderr, "wfservd: signal received, draining")
+	svc.StartDraining()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wfservd: drained, bye")
+	return nil
+}

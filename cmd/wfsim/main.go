@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/cloud"
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/metrics"
@@ -24,7 +25,6 @@ import (
 	"repro/internal/trace"
 	"repro/internal/validate"
 	"repro/internal/wfio"
-	"repro/internal/workflows"
 	"repro/internal/workload"
 )
 
@@ -44,8 +44,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, alg := range sched.Catalog() {
-			fmt.Println(alg.Name())
+		for _, name := range core.StrategyNames() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -71,7 +71,7 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 	if err != nil {
 		return err
 	}
-	alg, err := sched.ByName(strategy)
+	alg, err := core.StrategyByName(strategy)
 	if err != nil {
 		return err
 	}
@@ -148,17 +148,10 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 }
 
 func loadWorkflow(arg string) (*dag.Workflow, error) {
-	switch arg {
-	case "Montage":
-		return workflows.PaperMontage(), nil
-	case "CSTEM":
-		return workflows.CSTEM(), nil
-	case "MapReduce":
-		return workflows.PaperMapReduce(), nil
-	case "Sequential":
-		return workflows.PaperSequential(), nil
-	case "Fig1":
-		return workflows.Fig1SubWorkflow(), nil
+	// Built-in names and generator specs ("montage24", "mapreduce16x8")
+	// resolve through the shared registry; anything else is a file path.
+	if wf, err := core.NamedWorkflow(arg); err == nil {
+		return wf, nil
 	}
 	f, err := os.Open(arg)
 	if err != nil {

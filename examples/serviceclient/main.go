@@ -1,0 +1,117 @@
+// Service client: drive the scheduling-as-a-service API end to end. The
+// example embeds a service instance on an ephemeral port (so it is
+// self-contained — against a real deployment, point base at your wfservd
+// address), then walks the API:
+//
+//  1. GET  /v1/catalog   — discover valid names;
+//  2. POST /v1/schedule  — plan Montage-24 with AllParExceed-m, twice,
+//     showing the second answer arrives from the result cache;
+//  3. POST /v1/schedule  — a custom inline workflow, keeping its own
+//     weights and replaying the plan through the simulator;
+//  4. POST /v1/compare   — all 19 strategies on one workflow;
+//  5. GET  /metrics      — the counters the load balancer watches.
+//
+// Run with:
+//
+//	go run ./examples/serviceclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"repro/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close()
+	base := ts.URL
+
+	// 1. What does this service speak?
+	var catalog service.CatalogResponse
+	getJSON(base+"/v1/catalog", &catalog)
+	fmt.Printf("catalog: %d strategies, %d built-in workflows, scenarios %v\n",
+		len(catalog.Strategies), len(catalog.Workflows), catalog.Scenarios)
+
+	// 2. Plan the paper's Montage twice: cold, then cached.
+	req := `{"workflow_name":"montage24","strategy":"AllParExceed-m","scenario":"Pareto","seed":42}`
+	var plan service.ScheduleResponse
+	hdr := postJSON(base+"/v1/schedule", req, &plan)
+	fmt.Printf("\nschedule %s / %s  (X-Cache: %s)\n", plan.Workflow, plan.Strategy, hdr.Get("X-Cache"))
+	fmt.Printf("  makespan %7.0fs   gain %5.1f%%  vs baseline %7.0fs\n",
+		plan.Makespan, plan.GainPct, plan.BaselineMakespan)
+	fmt.Printf("  cost     $%7.3f  loss %5.1f%%  on %d VMs, %s\n",
+		plan.Cost, plan.LossPct, plan.VMCount, plan.Category)
+	hdr = postJSON(base+"/v1/schedule", req, &plan)
+	fmt.Printf("  resubmitted: X-Cache: %s (no re-planning)\n", hdr.Get("X-Cache"))
+
+	// 3. A custom inline workflow, pre-weighted ("As is"), simulated with
+	// a 60 s VM boot the planner ignores.
+	inline := `{
+	  "workflow": {
+	    "name": "etl",
+	    "tasks": [{"name":"extract","work":900},{"name":"clean","work":2400},
+	              {"name":"train","work":7200},{"name":"report","work":600}],
+	    "edges": [{"from":0,"to":1,"data":2147483648},{"from":1,"to":2,"data":1073741824},{"from":2,"to":3}]
+	  },
+	  "scenario": "As is", "strategy": "CPA-Eager", "simulate": true, "boot_s": 60
+	}`
+	postJSON(base+"/v1/schedule", inline, &plan)
+	fmt.Printf("\ninline %s / %s: planned %0.fs, simulated with boot %.0fs -> %.0fs (%d events)\n",
+		plan.Workflow, plan.Strategy, plan.Makespan,
+		plan.Simulation.BootS, plan.Simulation.Makespan, plan.Simulation.Events)
+
+	// 4. Race the whole catalog on CSTEM.
+	var cmp service.CompareResponse
+	postJSON(base+"/v1/compare", `{"workflow_name":"CSTEM","scenario":"Pareto","seed":42}`, &cmp)
+	sort.SliceStable(cmp.Results, func(i, j int) bool { return cmp.Results[i].GainPct > cmp.Results[j].GainPct })
+	fmt.Printf("\ncompare %s: %d strategies, top 5 by gain:\n", cmp.Workflow, len(cmp.Results))
+	for _, row := range cmp.Results[:5] {
+		fmt.Printf("  %-22s gain %5.1f%%  loss %7.1f%%  %s\n",
+			row.Strategy, row.GainPct, row.LossPct, row.Category)
+	}
+
+	// 5. Operational counters.
+	var m service.MetricsSnapshot
+	getJSON(base+"/metrics", &m)
+	fmt.Printf("\nmetrics: %d requests, cache hit ratio %.2f, p95 plan latency %.3fs\n",
+		m.RequestsTotal, m.CacheHitRatio, m.LatencyP95S)
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postJSON(url, body string, v any) http.Header {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck
+		log.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, eb.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+	return resp.Header
+}

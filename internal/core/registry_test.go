@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workflows"
+)
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range StrategyNames() {
+		alg, err := StrategyByName(name)
+		if err != nil {
+			t.Fatalf("StrategyByName(%q): %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Fatalf("StrategyByName(%q) resolved %q", name, alg.Name())
+		}
+	}
+	if len(StrategyNames()) != len(sched.Catalog()) {
+		t.Fatalf("StrategyNames() has %d entries, catalog %d",
+			len(StrategyNames()), len(sched.Catalog()))
+	}
+}
+
+func TestStrategyByNameCaseInsensitive(t *testing.T) {
+	alg, err := StrategyByName("allparexceed-m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "AllParExceed-m" {
+		t.Fatalf("resolved %q", alg.Name())
+	}
+	if _, err := StrategyByName("NoSuchStrategy"); err == nil {
+		t.Fatal("unknown strategy did not error")
+	} else if !strings.Contains(err.Error(), "AllParExceed-m") {
+		t.Fatalf("error does not list valid names: %v", err)
+	}
+}
+
+func TestNamedWorkflowDisplayNames(t *testing.T) {
+	for _, name := range WorkflowNames() {
+		wf, err := NamedWorkflow(name)
+		if err != nil {
+			t.Fatalf("NamedWorkflow(%q): %v", name, err)
+		}
+		if wf.Len() == 0 {
+			t.Fatalf("NamedWorkflow(%q): empty workflow", name)
+		}
+	}
+	// Case-insensitive display-name lookup.
+	wf, err := NamedWorkflow("montage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := wf.Len(), workflows.PaperMontage().Len(); got != want {
+		t.Fatalf("montage has %d tasks, want paper's %d", got, want)
+	}
+}
+
+func TestNamedWorkflowGenerators(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks int
+	}{
+		{"montage24", workflows.Montage(24).Len()},
+		{"Montage24", workflows.Montage(24).Len()},
+		{"mapreduce16x8", workflows.MapReduce(16, 8).Len()},
+		{"mapreduce16", workflows.MapReduce(16, 4).Len()},
+		{"sequential20", workflows.Sequential(20).Len()},
+		{"layered3x4", workflows.Layered(3, 4).Len()},
+		{"epigenomics6", workflows.Epigenomics(6).Len()},
+		{"inspiral2x5", workflows.Inspiral(2, 5).Len()},
+		{"cybershake12", workflows.CyberShake(12).Len()},
+		{"cstem", workflows.CSTEM().Len()},
+		{"fig1", workflows.Fig1SubWorkflow().Len()},
+	}
+	for _, c := range cases {
+		wf, err := NamedWorkflow(c.name)
+		if err != nil {
+			t.Fatalf("NamedWorkflow(%q): %v", c.name, err)
+		}
+		if wf.Len() != c.tasks {
+			t.Fatalf("NamedWorkflow(%q): %d tasks, want %d", c.name, wf.Len(), c.tasks)
+		}
+	}
+}
+
+func TestNamedWorkflowErrors(t *testing.T) {
+	for _, name := range []string{"", "nosuch", "montage0", "cstem7", "mapreduce1x2x3", "sequential-4"} {
+		if _, err := NamedWorkflow(name); err == nil {
+			t.Fatalf("NamedWorkflow(%q) did not error", name)
+		}
+	}
+}

@@ -29,7 +29,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dax"
-	"repro/internal/sched"
 	"repro/internal/wfio"
 	"repro/internal/workflows"
 	"repro/internal/workload"
@@ -113,7 +112,7 @@ func Resolve(f File, baseDir string) (core.Config, error) {
 		cfg.Scenarios = append(cfg.Scenarios, sc)
 	}
 	for _, name := range f.Strategies {
-		alg, err := sched.ByName(name)
+		alg, err := core.StrategyByName(name)
 		if err != nil {
 			return core.Config{}, fmt.Errorf("expconf: %w", err)
 		}
@@ -161,10 +160,13 @@ func buildWorkflow(spec WorkflowSpec, baseDir string) (*dag.Workflow, error) {
 	case spec.Builder != "":
 		return builtWorkflow(spec)
 	default:
-		if wf, ok := workflows.Extended()[spec.Name]; ok {
-			return wf, nil
+		// Display names and generator specs ("montage24") share the
+		// registry with the CLI and the service daemon.
+		wf, err := core.NamedWorkflow(spec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
 		}
-		return nil, fmt.Errorf("expconf: unknown built-in workflow %q", spec.Name)
+		return wf, nil
 	}
 }
 

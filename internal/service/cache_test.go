@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/workflows"
+)
+
+// keyInShard fabricates a key routed to a specific shard.
+func keyInShard(shard int, tag byte) cacheKey {
+	var k cacheKey
+	k[0] = byte(shard)
+	k[1] = tag
+	return k
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(cacheShards) // one entry per shard
+	k1, k2 := keyInShard(3, 1), keyInShard(3, 2)
+	c.Put(k1, []byte("one"))
+	c.Put(k2, []byte("two")) // same shard: evicts k1
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("k1 survived eviction in a capacity-1 shard")
+	}
+	if b, ok := c.Get(k2); !ok || !bytes.Equal(b, []byte("two")) {
+		t.Fatalf("k2 = %q, %v", b, ok)
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	c := newCache(2 * cacheShards) // two entries per shard
+	k1, k2, k3 := keyInShard(5, 1), keyInShard(5, 2), keyInShard(5, 3)
+	c.Put(k1, []byte("one"))
+	c.Put(k2, []byte("two"))
+	c.Get(k1)                  // k1 most recent, k2 oldest
+	c.Put(k3, []byte("three")) // evicts k2
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c := newCache(64)
+	k := keyInShard(0, 1)
+	c.Put(k, []byte("old"))
+	c.Put(k, []byte("new"))
+	if b, _ := c.Get(k); !bytes.Equal(b, []byte("new")) {
+		t.Fatalf("got %q after overwrite", b)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", c.Len())
+	}
+}
+
+func TestProblemKeySensitivity(t *testing.T) {
+	wf := workflows.PaperMontage()
+	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0)
+
+	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0)
+	if base != same {
+		t.Fatal("identical problems hash differently")
+	}
+
+	variants := map[string]cacheKey{
+		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0),
+		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0),
+		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0),
+		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0),
+		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0),
+		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0),
+		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0),
+		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30),
+	}
+	seen := map[cacheKey]string{base: "base"}
+	for name, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestProblemKeyIgnoresNames pins the deliberate normalization: renaming
+// tasks does not change the planning problem.
+func TestProblemKeyIgnoresNames(t *testing.T) {
+	a := workflows.PaperMontage()
+	b := a.Clone()
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	b.Name = "renamed"
+	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0)
+	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0)
+	if ka != kb {
+		t.Fatal("renaming the workflow changed the cache key")
+	}
+}

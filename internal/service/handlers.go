@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code != http.StatusTooManyRequests {
+		s.met.errorsTotal.Add(1)
+	}
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeCached emits a response body produced (now or earlier) by the
+// planners, tagging cache status in the X-Cache header.
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck
+}
+
+// decodeBody strictly decodes a JSON request body.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// runCached is the shared serve path of the two planning endpoints:
+// answer from the cache, or admit the planning job to the pool and cache
+// its marshaled result.
+func (s *Server) runCached(w http.ResponseWriter, r *http.Request, key cacheKey,
+	plan func(context.Context) (any, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		writeCached(w, body, true)
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	started := time.Now()
+	out, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		return plan(ctx)
+	})
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.met.rejectedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "submission queue full, retry later")
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.met.timeoutsTotal.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "request timed out after %v", s.cfg.RequestTimeout)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "planning failed: %v", err)
+		return
+	}
+	body, merr := json.MarshalIndent(out, "", "  ")
+	if merr != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", merr)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	s.met.latency.Observe(time.Since(started))
+	writeCached(w, body, false)
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.met.scheduleRequests.Add(1)
+	var req ScheduleRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, herr := resolveSchedule(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
+		return
+	}
+	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
+		res.region, res.seed, res.simulate, res.bootS)
+	s.runCached(w, r, key, func(context.Context) (any, error) {
+		return s.planSchedule(res)
+	})
+}
+
+// handleCompare serves POST /v1/compare.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.met.compareRequests.Add(1)
+	var req CompareRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, herr := resolveCompare(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
+		return
+	}
+	key := problemKey("compare", res.structural, res.scenario.String(), "",
+		res.region, res.seed, false, 0)
+	s.runCached(w, r, key, func(context.Context) (any, error) {
+		return s.planCompare(res)
+	})
+}
+
+// planSchedule runs one strategy (plus the baseline) on one workflow.
+func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
+	wf := res.scenario.Apply(res.structural, res.seed)
+	opts := sched.Options{Platform: cloud.NewPlatform(), Region: res.region}
+	sch, err := res.alg.Schedule(wf.Clone(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", res.alg.Name(), res.wfName, err)
+	}
+	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline on %s: %w", res.wfName, err)
+	}
+	point := metrics.Compare(res.alg.Name(), sch, base)
+
+	out := &ScheduleResponse{
+		Workflow:         res.wfName,
+		Tasks:            wf.Len(),
+		Scenario:         res.scenario.String(),
+		Strategy:         res.alg.Name(),
+		Region:           res.region.String(),
+		Seed:             res.seed,
+		Makespan:         sch.Makespan(),
+		Cost:             sch.TotalCost(),
+		IdleTime:         sch.IdleTime(),
+		VMCount:          sch.VMCount(),
+		GainPct:          point.GainPct,
+		LossPct:          point.LossPct,
+		Category:         metrics.Classify(point).String(),
+		BaselineMakespan: base.Makespan(),
+		BaselineCost:     base.TotalCost(),
+	}
+	for _, vm := range sch.VMs {
+		if len(vm.Slots) == 0 {
+			continue
+		}
+		vj := VMJSON{ID: int(vm.ID), Type: vm.Type.String()}
+		for _, slot := range vm.Slots {
+			vj.Slots = append(vj.Slots, SlotJSON{
+				Task:  int(slot.Task),
+				Name:  wf.Task(slot.Task).Name,
+				Start: slot.Start,
+				End:   slot.End,
+			})
+		}
+		out.VMs = append(out.VMs, vj)
+	}
+	if res.simulate {
+		simRes, err := sim.Run(sch, sim.Config{BootTime: res.bootS})
+		if err != nil {
+			return nil, fmt.Errorf("simulating %s on %s: %w", res.alg.Name(), res.wfName, err)
+		}
+		out.Simulation = &SimulationJSON{
+			Makespan:   simRes.Makespan,
+			RentalCost: simRes.RentalCost,
+			IdleTime:   simRes.IdleTime,
+			BootS:      res.bootS,
+			Events:     simRes.Events,
+			Transfers:  simRes.Transfers,
+		}
+	}
+	return out, nil
+}
+
+// planCompare sweeps the whole catalog over one workflow/scenario pane by
+// reusing the experiment driver. The sweep runs serially (Workers: 1):
+// request-level parallelism already comes from the service's pool, and
+// nesting a second fan-out per request would oversubscribe the host under
+// load.
+func (s *Server) planCompare(res *resolved) (*CompareResponse, error) {
+	cfg := core.Config{
+		Seed:          res.seed,
+		Region:        res.region,
+		Workflows:     map[string]*dag.Workflow{res.wfName: res.structural},
+		WorkflowOrder: []string{res.wfName},
+		Scenarios:     []workload.Scenario{res.scenario},
+		Workers:       1,
+	}
+	sw, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cells := sw.Points(res.wfName, res.scenario)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("empty sweep for %s/%s", res.wfName, res.scenario)
+	}
+	out := &CompareResponse{
+		Workflow:         res.wfName,
+		Tasks:            res.structural.Len(),
+		Scenario:         res.scenario.String(),
+		Region:           res.region.String(),
+		Seed:             res.seed,
+		BaselineMakespan: cells[0].BaselineMakespan,
+		BaselineCost:     cells[0].BaselineCost,
+	}
+	for _, c := range cells {
+		out.Results = append(out.Results, CompareRow{
+			Strategy: c.Strategy,
+			Makespan: c.Point.Makespan,
+			Cost:     c.Point.Cost,
+			IdleTime: c.Point.IdleTime,
+			VMCount:  c.Point.VMCount,
+			GainPct:  c.Point.GainPct,
+			LossPct:  c.Point.LossPct,
+			Category: c.Category.String(),
+		})
+	}
+	return out, nil
+}
+
+// handleCatalog serves GET /v1/catalog.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := CatalogResponse{
+		Strategies: core.StrategyNames(),
+		Algorithms: []string{"HEFT", "AllPar"},
+		Workflows:  core.WorkflowNames(),
+		Generators: core.GeneratorSpecs(),
+	}
+	for _, k := range provision.Kinds() {
+		resp.Policies = append(resp.Policies, k.String())
+	}
+	for _, t := range cloud.InstanceTypes() {
+		resp.Instances = append(resp.Instances, t.String())
+	}
+	for _, sc := range append(workload.Scenarios(), workload.DataHeavy, workload.AsIs) {
+		resp.Scenarios = append(resp.Scenarios, sc.String())
+	}
+	for _, region := range cloud.Regions() {
+		resp.Regions = append(resp.Regions, region.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once the
+// daemon starts draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/workload"
+)
+
+// cacheKey addresses one planning problem in the result cache. Two
+// requests that hash to the same key describe structurally identical
+// inputs and therefore identical outputs: the planners are deterministic
+// and every stochastic draw is derived from the seed below.
+type cacheKey [sha256.Size]byte
+
+// hasher accumulates the canonical encoding of a planning problem.
+type hasher struct {
+	buf []byte
+}
+
+func (h *hasher) u64(v uint64) {
+	h.buf = binary.BigEndian.AppendUint64(h.buf, v)
+}
+
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
+// workflow folds in the workflow's structure: task work values and the
+// edge relation with data sizes, in the workflow's canonical (TaskID)
+// order. Task and workflow names are deliberately excluded — renaming a
+// task cannot change its schedule.
+func (h *hasher) workflow(wf *dag.Workflow) {
+	tasks := wf.Tasks()
+	h.u64(uint64(len(tasks)))
+	for _, t := range tasks {
+		h.f64(t.Work)
+	}
+	edges := wf.Edges()
+	h.u64(uint64(len(edges)))
+	for _, e := range edges {
+		h.u64(uint64(e.From))
+		h.u64(uint64(e.To))
+		h.f64(e.Data)
+	}
+}
+
+// problemKey hashes one resolved request. The operation tag separates
+// /v1/schedule from /v1/compare entries; scenarioName is the scenario
+// string or "none"; strategy is empty for compare (which always runs the
+// whole catalog).
+func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy string,
+	region cloud.Region, seed uint64, simulate bool, bootS float64) cacheKey {
+	var h hasher
+	h.str(op)
+	h.workflow(wf)
+	h.str(scenarioName)
+	h.str(strategy)
+	h.str(region.String())
+	h.u64(seed)
+	if simulate {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+	h.f64(bootS)
+	return sha256.Sum256(h.buf)
+}
+
+// scenarioName canonicalizes the scenario selector for hashing: the
+// parsed scenario's String() for real scenarios, "none" for the
+// keep-the-weights passthrough.
+func scenarioName(sc workload.Scenario, none bool) string {
+	if none {
+		return "none"
+	}
+	return sc.String()
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free streaming latency histogram with geometric
+// buckets: bucket i covers (histBase·2^(i-1), histBase·2^i]. Quantiles are
+// answered from the bucket counts, so memory is constant no matter how
+// many observations stream through — the property the /metrics endpoint
+// needs under sustained load.
+const (
+	histBuckets = 28                    // 10µs · 2^27 ≈ 22 min, plenty of headroom
+	histBase    = 10 * time.Microsecond // lower edge of bucket 0
+)
+
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sumNS  atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(float64(d) / float64(histBase))))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(uint64(d))
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) in
+// seconds: the upper edge of the bucket holding the q·N-th sample. With
+// no samples it returns 0.
+func (h *histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			upper := float64(histBase) * math.Pow(2, float64(i))
+			return upper / float64(time.Second)
+		}
+	}
+	return float64(histBase) * math.Pow(2, histBuckets-1) / float64(time.Second)
+}
+
+// Mean returns the mean latency in seconds (0 with no samples).
+func (h *histogram) Mean() float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.sumNS.Load()) / float64(total) / float64(time.Second)
+}
+
+// serviceMetrics aggregates the daemon's operational counters. All fields
+// are atomics: handlers on every connection update them concurrently.
+type serviceMetrics struct {
+	start time.Time
+
+	requestsTotal    atomic.Uint64 // every HTTP request seen by the mux
+	scheduleRequests atomic.Uint64 // POST /v1/schedule
+	compareRequests  atomic.Uint64 // POST /v1/compare
+	rejectedTotal    atomic.Uint64 // 429 admission-control rejections
+	timeoutsTotal    atomic.Uint64 // deadline-exceeded planning requests
+	errorsTotal      atomic.Uint64 // 4xx/5xx other than 429
+	cacheHits        atomic.Uint64
+	cacheMisses      atomic.Uint64
+	inflight         atomic.Int64 // planning jobs currently admitted
+
+	latency histogram // end-to-end plan latency (cache misses)
+}
+
+// MetricsSnapshot is the JSON document served by GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	RequestsTotal    uint64  `json:"requests_total"`
+	ScheduleRequests uint64  `json:"schedule_requests"`
+	CompareRequests  uint64  `json:"compare_requests"`
+	RejectedTotal    uint64  `json:"rejected_total"`
+	TimeoutsTotal    uint64  `json:"timeouts_total"`
+	ErrorsTotal      uint64  `json:"errors_total"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	CacheEntries     int     `json:"cache_entries"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueCapacity    int     `json:"queue_capacity"`
+	Workers          int     `json:"workers"`
+	Inflight         int64   `json:"inflight"`
+	LatencyMeanS     float64 `json:"latency_mean_seconds"`
+	LatencyP50S      float64 `json:"latency_p50_seconds"`
+	LatencyP95S      float64 `json:"latency_p95_seconds"`
+	LatencyP99S      float64 `json:"latency_p99_seconds"`
+}
+
+func (m *serviceMetrics) snapshot(queueDepth, queueCap, workers, cacheLen int) MetricsSnapshot {
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	return MetricsSnapshot{
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		RequestsTotal:    m.requestsTotal.Load(),
+		ScheduleRequests: m.scheduleRequests.Load(),
+		CompareRequests:  m.compareRequests.Load(),
+		RejectedTotal:    m.rejectedTotal.Load(),
+		TimeoutsTotal:    m.timeoutsTotal.Load(),
+		ErrorsTotal:      m.errorsTotal.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheHitRatio:    ratio,
+		CacheEntries:     cacheLen,
+		QueueDepth:       queueDepth,
+		QueueCapacity:    queueCap,
+		Workers:          workers,
+		Inflight:         m.inflight.Load(),
+		LatencyMeanS:     m.latency.Mean(),
+		LatencyP50S:      m.latency.Quantile(0.50),
+		LatencyP95S:      m.latency.Quantile(0.95),
+		LatencyP99S:      m.latency.Quantile(0.99),
+	}
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	// 90 fast samples, 10 slow ones: p50 must sit near the fast mode,
+	// p99 at or above the slow mode.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Millisecond)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.005 {
+		t.Fatalf("p50 = %v s, want ~1ms bucket", p50)
+	}
+	if p99 < 0.5 {
+		t.Fatalf("p99 = %v s, want ≥ 0.5", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if mean := h.Mean(); mean < 0.01 || mean > 0.1 {
+		t.Fatalf("mean = %v s, want ≈ 0.0509", mean)
+	}
+}
+
+func TestHistogramEmptyAndBounds(t *testing.T) {
+	var h histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must answer 0")
+	}
+	h.Observe(-time.Second) // clamped, not a panic
+	h.Observe(0)
+	h.Observe(365 * 24 * time.Hour) // beyond the last bucket: clamped into it
+	if got := h.total.Load(); got != 3 {
+		t.Fatalf("total = %d, want 3", got)
+	}
+	if h.Quantile(1.0) <= 0 {
+		t.Fatal("max quantile must be positive after observations")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.total.Load(); got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, time.Second, time.Minute, time.Hour,
+	} {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf(%v) = %d below previous %d", d, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%v) = %d out of range", d, b)
+		}
+		prev = b
+	}
+}

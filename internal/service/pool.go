@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull is returned by Submit when the bounded submission queue
+// cannot take another job — the admission-control signal the handlers map
+// to 429 + Retry-After.
+var errQueueFull = errors.New("service: submission queue full")
+
+// job is one unit of planning work queued for the pool.
+type job struct {
+	ctx  context.Context
+	run  func(context.Context) (any, error)
+	res  any
+	err  error
+	done chan struct{}
+}
+
+// pool is a fixed-size worker pool draining a bounded queue. Admission is
+// non-blocking: a full queue rejects immediately rather than holding the
+// caller (and its HTTP connection) hostage. Jobs whose context expires
+// while queued are skipped, so a burst of abandoned requests cannot
+// occupy workers.
+type pool struct {
+	queue   chan *job
+	workers int
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining a queue of the given depth.
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pool{queue: make(chan *job, depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+		} else {
+			j.res, j.err = j.run(j.ctx)
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues run and waits for its result. It returns errQueueFull
+// without blocking when the queue is saturated, and ctx.Err() if the
+// context expires before the job completes (the job itself is then either
+// skipped by its worker or keeps running to completion for the cache's
+// benefit — its result is simply not awaited).
+func (p *pool) Submit(ctx context.Context, run func(context.Context) (any, error)) (any, error) {
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errQueueFull
+	}
+	select {
+	case p.queue <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, errQueueFull
+	}
+
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Depth returns the current number of queued (not yet started) jobs.
+func (p *pool) Depth() int { return len(p.queue) }
+
+// Close stops admission, drains every queued job, and waits for the
+// workers to exit. Safe to call more than once.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

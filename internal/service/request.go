@@ -1,0 +1,312 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/wfio"
+	"repro/internal/workload"
+)
+
+// ScheduleRequest is the body of POST /v1/schedule. Exactly one workflow
+// source must be set: an inline workflow document or a registry name
+// ("Montage", "montage24", "mapreduce16x8", ...). The strategy is either a
+// catalog label (Strategy) or a composed algorithm + provisioning-policy +
+// instance-type triple.
+type ScheduleRequest struct {
+	// Workflow is an inline workflow document (the wfio JSON shape).
+	Workflow *wfio.File `json:"workflow,omitempty"`
+	// WorkflowName names a built-in workflow or parametric generator.
+	WorkflowName string `json:"workflow_name,omitempty"`
+	// Scenario re-weights the workflow: "Pareto" (default), "Best case",
+	// "Worst case", "Data heavy", or "As is"/"none" to keep the
+	// workflow's own weights.
+	Scenario string `json:"scenario,omitempty"`
+	// Strategy is a catalog label, e.g. "AllParExceed-m" or "CPA-Eager".
+	Strategy string `json:"strategy,omitempty"`
+	// Algorithm + Policy + Instance compose a strategy explicitly:
+	// algorithm "HEFT" or "AllPar", a provisioning policy of Sect. III-A,
+	// and an instance type ("small"/"medium"/"large"/"xlarge").
+	Algorithm string `json:"algorithm,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	Instance  string `json:"instance,omitempty"`
+	// Region prices the VMs; default is the paper's US East Virginia.
+	Region string `json:"region,omitempty"`
+	// Seed drives the Pareto draws.
+	Seed uint64 `json:"seed,omitempty"`
+	// Simulate additionally replays the plan through the discrete-event
+	// simulator; BootS un-ignores VM boot time in that replay.
+	Simulate bool    `json:"simulate,omitempty"`
+	BootS    float64 `json:"boot_s,omitempty"`
+}
+
+// CompareRequest is the body of POST /v1/compare: one workflow, one
+// scenario, all 19 catalog strategies.
+type CompareRequest struct {
+	Workflow     *wfio.File `json:"workflow,omitempty"`
+	WorkflowName string     `json:"workflow_name,omitempty"`
+	Scenario     string     `json:"scenario,omitempty"`
+	Region       string     `json:"region,omitempty"`
+	Seed         uint64     `json:"seed,omitempty"`
+}
+
+// SlotJSON is one task occupation in a VM timeline.
+type SlotJSON struct {
+	Task  int     `json:"task"`
+	Name  string  `json:"name"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// VMJSON is one rented VM and its timeline.
+type VMJSON struct {
+	ID    int        `json:"id"`
+	Type  string     `json:"type"`
+	Slots []SlotJSON `json:"slots"`
+}
+
+// SimulationJSON reports the discrete-event replay of a plan.
+type SimulationJSON struct {
+	Makespan   float64 `json:"makespan_s"`
+	RentalCost float64 `json:"rental_cost_usd"`
+	IdleTime   float64 `json:"idle_s"`
+	BootS      float64 `json:"boot_s"`
+	Events     int     `json:"events"`
+	Transfers  int     `json:"transfers"`
+}
+
+// ScheduleResponse is the body answering POST /v1/schedule.
+type ScheduleResponse struct {
+	Workflow         string          `json:"workflow"`
+	Tasks            int             `json:"tasks"`
+	Scenario         string          `json:"scenario"`
+	Strategy         string          `json:"strategy"`
+	Region           string          `json:"region"`
+	Seed             uint64          `json:"seed"`
+	Makespan         float64         `json:"makespan_s"`
+	Cost             float64         `json:"cost_usd"`
+	IdleTime         float64         `json:"idle_s"`
+	VMCount          int             `json:"vm_count"`
+	GainPct          float64         `json:"gain_pct"`
+	LossPct          float64         `json:"loss_pct"`
+	Category         string          `json:"category"`
+	BaselineMakespan float64         `json:"baseline_makespan_s"`
+	BaselineCost     float64         `json:"baseline_cost_usd"`
+	VMs              []VMJSON        `json:"vms"`
+	Simulation       *SimulationJSON `json:"simulation,omitempty"`
+}
+
+// CompareRow is one strategy's outcome within a comparison.
+type CompareRow struct {
+	Strategy string  `json:"strategy"`
+	Makespan float64 `json:"makespan_s"`
+	Cost     float64 `json:"cost_usd"`
+	IdleTime float64 `json:"idle_s"`
+	VMCount  int     `json:"vm_count"`
+	GainPct  float64 `json:"gain_pct"`
+	LossPct  float64 `json:"loss_pct"`
+	Category string  `json:"category"`
+}
+
+// CompareResponse is the body answering POST /v1/compare.
+type CompareResponse struct {
+	Workflow         string       `json:"workflow"`
+	Tasks            int          `json:"tasks"`
+	Scenario         string       `json:"scenario"`
+	Region           string       `json:"region"`
+	Seed             uint64       `json:"seed"`
+	BaselineMakespan float64      `json:"baseline_makespan_s"`
+	BaselineCost     float64      `json:"baseline_cost_usd"`
+	Results          []CompareRow `json:"results"`
+}
+
+// CatalogResponse is the body answering GET /v1/catalog.
+type CatalogResponse struct {
+	Strategies []string `json:"strategies"`
+	Algorithms []string `json:"algorithms"`
+	Policies   []string `json:"policies"`
+	Instances  []string `json:"instances"`
+	Workflows  []string `json:"workflows"`
+	Generators []string `json:"generators"`
+	Scenarios  []string `json:"scenarios"`
+	Regions    []string `json:"regions"`
+}
+
+// httpError carries the status code a resolution failure maps to.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func unprocessable(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolved is a fully validated planning problem.
+type resolved struct {
+	wfName     string
+	structural *dag.Workflow
+	scenario   workload.Scenario
+	alg        sched.Algorithm // nil for compare
+	region     cloud.Region
+	seed       uint64
+	simulate   bool
+	bootS      float64
+}
+
+// resolveWorkflow picks the workflow source.
+func resolveWorkflow(inline *wfio.File, name string) (string, *dag.Workflow, *httpError) {
+	switch {
+	case inline != nil && name != "":
+		return "", nil, unprocessable("set either workflow or workflow_name, not both")
+	case inline != nil:
+		wf, err := wfio.FromFile(*inline)
+		if err != nil {
+			return "", nil, unprocessable("invalid workflow: %v", err)
+		}
+		label := wf.Name
+		if label == "" {
+			label = "custom"
+		}
+		return label, wf, nil
+	case name != "":
+		wf, err := core.NamedWorkflow(name)
+		if err != nil {
+			return "", nil, unprocessable("%v", err)
+		}
+		return name, wf, nil
+	default:
+		return "", nil, unprocessable("missing workflow: set workflow or workflow_name")
+	}
+}
+
+func resolveScenario(s string) (workload.Scenario, *httpError) {
+	if s == "" {
+		return workload.Pareto, nil
+	}
+	sc, err := workload.ParseScenario(s)
+	if err != nil {
+		return 0, unprocessable("%v", err)
+	}
+	return sc, nil
+}
+
+func resolveRegion(s string) (cloud.Region, *httpError) {
+	if s == "" {
+		return cloud.USEastVirginia, nil
+	}
+	region, err := cloud.ParseRegion(s)
+	if err != nil {
+		return 0, unprocessable("%v", err)
+	}
+	return region, nil
+}
+
+// resolveStrategy maps the request's strategy selectors to one catalog or
+// composed algorithm.
+func resolveStrategy(req *ScheduleRequest) (sched.Algorithm, *httpError) {
+	composed := req.Algorithm != "" || req.Policy != "" || req.Instance != ""
+	switch {
+	case req.Strategy != "" && composed:
+		return nil, unprocessable("set either strategy or algorithm/policy/instance, not both")
+	case req.Strategy != "":
+		alg, err := core.StrategyByName(req.Strategy)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		return alg, nil
+	case composed:
+		if req.Algorithm == "" {
+			return nil, unprocessable("composed strategy needs an algorithm (HEFT or AllPar)")
+		}
+		kind := provision.OneVMperTask
+		if req.Policy != "" {
+			var err error
+			if kind, err = provision.ParseKind(req.Policy); err != nil {
+				return nil, unprocessable("%v", err)
+			}
+		}
+		typ := cloud.Small
+		if req.Instance != "" {
+			var err error
+			if typ, err = cloud.ParseInstanceType(req.Instance); err != nil {
+				return nil, unprocessable("%v", err)
+			}
+		}
+		switch {
+		case strings.EqualFold(req.Algorithm, "HEFT"):
+			// Table I pairing: HEFT goes with OneVMperTask/StartPar*;
+			// the AllPar policies belong to the level-based algorithm.
+			// (Allowing the mix would also alias another strategy's
+			// label, poisoning the result cache.)
+			if kind == provision.AllParExceed || kind == provision.AllParNotExceed {
+				return nil, unprocessable("HEFT pairs with OneVMperTask or StartPar[Not]Exceed, not %q", kind)
+			}
+			return sched.NewHEFT(kind, typ), nil
+		case strings.EqualFold(req.Algorithm, "AllPar"):
+			if kind != provision.AllParExceed && kind != provision.AllParNotExceed {
+				return nil, unprocessable("AllPar requires an AllPar[Not]Exceed policy, got %q", kind)
+			}
+			return sched.NewAllPar(kind, typ), nil
+		default:
+			return nil, unprocessable("unknown algorithm %q (valid: HEFT, AllPar)", req.Algorithm)
+		}
+	default:
+		return nil, unprocessable("missing strategy: set strategy or algorithm/policy/instance")
+	}
+}
+
+// resolveSchedule validates a schedule request end to end.
+func resolveSchedule(req *ScheduleRequest) (*resolved, *httpError) {
+	name, wf, herr := resolveWorkflow(req.Workflow, req.WorkflowName)
+	if herr != nil {
+		return nil, herr
+	}
+	sc, herr := resolveScenario(req.Scenario)
+	if herr != nil {
+		return nil, herr
+	}
+	alg, herr := resolveStrategy(req)
+	if herr != nil {
+		return nil, herr
+	}
+	region, herr := resolveRegion(req.Region)
+	if herr != nil {
+		return nil, herr
+	}
+	if req.BootS < 0 {
+		return nil, unprocessable("negative boot_s %v", req.BootS)
+	}
+	if req.BootS > 0 && !req.Simulate {
+		return nil, unprocessable("boot_s requires simulate: the planner ignores boot time")
+	}
+	return &resolved{
+		wfName: name, structural: wf, scenario: sc, alg: alg,
+		region: region, seed: req.Seed, simulate: req.Simulate, bootS: req.BootS,
+	}, nil
+}
+
+// resolveCompare validates a compare request.
+func resolveCompare(req *CompareRequest) (*resolved, *httpError) {
+	name, wf, herr := resolveWorkflow(req.Workflow, req.WorkflowName)
+	if herr != nil {
+		return nil, herr
+	}
+	sc, herr := resolveScenario(req.Scenario)
+	if herr != nil {
+		return nil, herr
+	}
+	region, herr := resolveRegion(req.Region)
+	if herr != nil {
+		return nil, herr
+	}
+	return &resolved{wfName: name, structural: wf, scenario: sc, region: region, seed: req.Seed}, nil
+}

@@ -1,0 +1,118 @@
+// Package service is the scheduling-as-a-service layer: a long-running
+// HTTP/JSON front end over the repository's planners, built for load
+// rather than one-shot CLI runs. The moving parts:
+//
+//   - a fixed-size worker pool (default GOMAXPROCS) draining a bounded
+//     submission queue, with explicit admission control — a full queue
+//     answers 429 + Retry-After instead of accepting unbounded work;
+//   - a sharded LRU result cache keyed by a canonical SHA-256 of the
+//     planning problem (workflow structure, scenario, strategy, region,
+//     seed, simulation knobs), so identical submissions are answered
+//     without re-planning, byte-for-byte identically;
+//   - per-request timeouts and context cancellation;
+//   - operational introspection: GET /metrics (request/cache/queue
+//     counters plus p50/p95/p99 planning latency from a constant-memory
+//     streaming histogram) and GET /healthz.
+//
+// Endpoints: POST /v1/schedule (one workflow, one strategy), POST
+// /v1/compare (one workflow, the whole 19-strategy catalog via
+// internal/core), GET /v1/catalog (valid names), GET /metrics,
+// GET /healthz. The daemon around this package is cmd/wfservd.
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable: Fill
+// substitutes production defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the submission queue; 0 selects 4x Workers.
+	QueueDepth int
+	// CacheSize bounds the result cache (entries); 0 selects 4096.
+	CacheSize int
+	// RequestTimeout bounds one planning request end to end; 0 selects
+	// 30 seconds.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds a request body; 0 selects 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Fill substitutes defaults for zero fields and returns the config.
+func (c Config) Fill() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is one scheduling service instance.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	cache    *cache
+	met      serviceMetrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.Fill()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		cache: newCache(cfg.CacheSize),
+		met:   serviceMetrics{start: time.Now()},
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/compare", s.handleCompare)
+	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requestsTotal.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// StartDraining flips /healthz to 503 so load balancers stop routing new
+// traffic here; in-flight requests are unaffected. The daemon calls this
+// on SIGTERM before http.Server.Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the worker pool and releases the server's resources. Call
+// after the HTTP listener has shut down.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics returns a point-in-time snapshot of the operational counters —
+// the same document GET /metrics serves.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.met.snapshot(s.pool.Depth(), s.cfg.QueueDepth, s.cfg.Workers, s.cache.Len())
+}

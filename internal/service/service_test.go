@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer spins up a service plus an HTTP front end for it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestScheduleAndCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	body := `{"workflow_name":"montage24","strategy":"AllParExceed-m","scenario":"Pareto","seed":7}`
+
+	resp1, b1 := postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d, body %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first request X-Cache = %q, want MISS", got)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if out.Makespan <= 0 || out.Cost <= 0 || out.VMCount <= 0 {
+		t.Fatalf("degenerate schedule: %+v", out)
+	}
+	if out.Strategy != "AllParExceed-m" || out.Workflow != "montage24" {
+		t.Fatalf("labels wrong: %+v", out)
+	}
+	if out.BaselineMakespan <= 0 || out.Category == "" || len(out.VMs) == 0 {
+		t.Fatalf("missing baseline/category/VMs: %+v", out)
+	}
+
+	resp2, b2 := postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached response bytes differ from the original")
+	}
+
+	m := s.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("cache counters: hits %d misses %d, want 1/1", m.CacheHits, m.CacheMisses)
+	}
+
+	// A different seed is a different problem: no false sharing.
+	resp3, _ := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"montage24","strategy":"AllParExceed-m","scenario":"Pareto","seed":8}`)
+	if got := resp3.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("different seed X-Cache = %q, want MISS", got)
+	}
+}
+
+func TestScheduleComposedStrategy(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, b := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"Sequential","algorithm":"HEFT","policy":"StartParExceed","instance":"medium","scenario":"Best case"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != "StartParExceed-m" {
+		t.Fatalf("composed strategy resolved to %q", out.Strategy)
+	}
+
+	// The composed form and the catalog label are the same problem, so
+	// the second spelling must hit the first's cache entry.
+	resp2, _ := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"Sequential","strategy":"StartParExceed-m","scenario":"Best case"}`)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("catalog spelling X-Cache = %q, want HIT", got)
+	}
+}
+
+func TestScheduleInlineWorkflowWithSimulation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	body := `{
+		"workflow": {
+			"name": "diamond",
+			"tasks": [{"name":"a","work":600},{"name":"b","work":1200},{"name":"c","work":900},{"name":"d","work":300}],
+			"edges": [{"from":0,"to":1,"data":1048576},{"from":0,"to":2},{"from":1,"to":3},{"from":2,"to":3}]
+		},
+		"scenario": "As is",
+		"strategy": "CPA-Eager",
+		"simulate": true,
+		"boot_s": 60
+	}`
+	resp, b := postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workflow != "diamond" || out.Tasks != 4 || out.Scenario != "As is" {
+		t.Fatalf("labels wrong: %+v", out)
+	}
+	if out.Simulation == nil {
+		t.Fatal("simulate=true returned no simulation block")
+	}
+	if out.Simulation.Makespan < out.Makespan {
+		t.Fatalf("simulated makespan %v with 60s boot below planned %v",
+			out.Simulation.Makespan, out.Makespan)
+	}
+}
+
+func TestScheduleValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"bad json", `{"workflow_name":`, http.StatusBadRequest},
+		{"unknown field", `{"bogus_field":1}`, http.StatusBadRequest},
+		{"unknown strategy", `{"workflow_name":"Montage","strategy":"NoSuchStrategy"}`, http.StatusUnprocessableEntity},
+		{"unknown workflow", `{"workflow_name":"nosuch","strategy":"GAIN"}`, http.StatusUnprocessableEntity},
+		{"missing workflow", `{"strategy":"GAIN"}`, http.StatusUnprocessableEntity},
+		{"missing strategy", `{"workflow_name":"Montage"}`, http.StatusUnprocessableEntity},
+		{"both workflow sources", `{"workflow_name":"Montage","workflow":{"tasks":[{"work":1}]},"strategy":"GAIN"}`, http.StatusUnprocessableEntity},
+		{"both strategy forms", `{"workflow_name":"Montage","strategy":"GAIN","algorithm":"HEFT"}`, http.StatusUnprocessableEntity},
+		{"unknown scenario", `{"workflow_name":"Montage","strategy":"GAIN","scenario":"frob"}`, http.StatusUnprocessableEntity},
+		{"unknown region", `{"workflow_name":"Montage","strategy":"GAIN","region":"mars"}`, http.StatusUnprocessableEntity},
+		{"unknown algorithm", `{"workflow_name":"Montage","algorithm":"simulated-annealing"}`, http.StatusUnprocessableEntity},
+		{"allpar with wrong policy", `{"workflow_name":"Montage","algorithm":"AllPar","policy":"OneVMperTask"}`, http.StatusUnprocessableEntity},
+		{"negative boot", `{"workflow_name":"Montage","strategy":"GAIN","simulate":true,"boot_s":-1}`, http.StatusUnprocessableEntity},
+		{"boot without simulate", `{"workflow_name":"Montage","strategy":"GAIN","boot_s":10}`, http.StatusUnprocessableEntity},
+		{"invalid inline workflow", `{"workflow":{"tasks":[{"work":1}],"edges":[{"from":0,"to":9}]},"strategy":"GAIN"}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, b := postJSON(t, ts.URL+"/v1/schedule", c.body)
+			if resp.StatusCode != c.code {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, c.code, b)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body %q not a JSON error envelope", b)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	if resp := getJSON(t, ts.URL+"/v1/schedule", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule: status %d, want 405", resp.StatusCode)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/catalog", `{}`)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/catalog: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Occupy the only worker with a job that blocks until released, then
+	// fill the queue's single slot with a second one.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	defer release()
+
+	go s.pool.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	go s.pool.Submit(context.Background(), func(context.Context) (any, error) { return nil, nil })
+	for i := 0; s.pool.Depth() != 1; i++ {
+		if i > 1000 {
+			t.Fatal("queued job never showed up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, b := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, body %s, want 429", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if got := s.Metrics().RejectedTotal; got != 1 {
+		t.Fatalf("rejected_total = %d, want 1", got)
+	}
+
+	// After releasing the pool, the same request is served.
+	release()
+	resp2, b2 := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d, body %s", resp2.StatusCode, b2)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, RequestTimeout: time.Nanosecond})
+	resp, b := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s, want 503", resp.StatusCode, b)
+	}
+	if got := s.Metrics().TimeoutsTotal; got != 1 {
+		t.Fatalf("timeouts_total = %d, want 1", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	body := `{"workflow_name":"Montage","scenario":"Best case"}`
+	resp, b := postJSON(t, ts.URL+"/v1/compare", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out CompareResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 19 {
+		t.Fatalf("compare returned %d strategies, want the catalog's 19", len(out.Results))
+	}
+	if out.BaselineMakespan <= 0 || out.BaselineCost <= 0 {
+		t.Fatalf("degenerate baseline: %+v", out)
+	}
+	seen := map[string]bool{}
+	for _, row := range out.Results {
+		if row.Makespan <= 0 || row.Category == "" {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		seen[row.Strategy] = true
+	}
+	if !seen["OneVMperTask-s"] || !seen["CPA-Eager"] || !seen["GAIN"] {
+		t.Fatalf("catalog strategies missing from %v", seen)
+	}
+
+	// Identical comparison: cache hit.
+	resp2, b2 := postJSON(t, ts.URL+"/v1/compare", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second compare X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("cached compare bytes differ")
+	}
+	m := s.Metrics()
+	if m.CompareRequests != 2 || m.CacheHits != 1 {
+		t.Fatalf("compare counters: %+v", m)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	var out CatalogResponse
+	if resp := getJSON(t, ts.URL+"/v1/catalog", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Strategies) != 19 {
+		t.Fatalf("catalog lists %d strategies, want 19", len(out.Strategies))
+	}
+	if len(out.Workflows) == 0 || len(out.Scenarios) == 0 || len(out.Regions) == 0 ||
+		len(out.Policies) != 5 || len(out.Instances) == 0 || len(out.Generators) == 0 {
+		t.Fatalf("catalog incomplete: %+v", out)
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", resp.StatusCode)
+	}
+	s.StartDraining()
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	postJSON(t, ts.URL+"/v1/schedule", `{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+	postJSON(t, ts.URL+"/v1/schedule", `{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+
+	var m MetricsSnapshot
+	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if m.ScheduleRequests != 2 || m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("snapshot %+v", m)
+	}
+	if m.CacheHitRatio != 0.5 {
+		t.Fatalf("hit ratio %v, want 0.5", m.CacheHitRatio)
+	}
+	if m.Workers != 1 || m.QueueCapacity != 4 {
+		t.Fatalf("pool geometry %+v", m)
+	}
+	if m.LatencyP50S <= 0 || m.LatencyP99S < m.LatencyP50S {
+		t.Fatalf("latency percentiles %+v", m)
+	}
+}

@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -31,6 +32,10 @@ const (
 	BestCase
 	WorstCase
 	DataHeavy
+	// AsIs keeps the workflow's own task weights and data sizes — the
+	// identity scenario for workflows that arrive already weighted (JSON
+	// or DAX imports, service submissions).
+	AsIs
 )
 
 // Scenarios lists the paper's three evaluation scenarios. DataHeavy is
@@ -53,15 +58,21 @@ func (s Scenario) String() string {
 		return "Worst case"
 	case DataHeavy:
 		return "Data heavy"
+	case AsIs:
+		return "As is"
 	}
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
-// ParseScenario resolves a scenario by name, including the extra
-// DataHeavy scenario.
+// ParseScenario resolves a scenario by name (case-insensitively),
+// including the extra DataHeavy and AsIs scenarios; "none" is accepted as
+// an alias for "As is".
 func ParseScenario(s string) (Scenario, error) {
-	for _, sc := range append(Scenarios(), DataHeavy) {
-		if sc.String() == s {
+	if strings.EqualFold(s, "none") {
+		return AsIs, nil
+	}
+	for _, sc := range append(Scenarios(), DataHeavy, AsIs) {
+		if strings.EqualFold(sc.String(), s) {
 			return sc, nil
 		}
 	}
@@ -113,6 +124,8 @@ func (s Scenario) Apply(wf *dag.Workflow, seed uint64) *dag.Workflow {
 	case WorstCase:
 		out.SetWork(func(dag.Task) float64 { return WorstCaseWork })
 		out.SetData(func(dag.Edge) float64 { return 0 })
+	case AsIs:
+		// Identity: the clone keeps the workflow's own weights.
 	default:
 		panic(fmt.Sprintf("workload: invalid scenario %d", int(s)))
 	}
