@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expconf"
+	"repro/internal/fault"
 	"repro/internal/report"
 	"repro/internal/workflows"
 )
@@ -36,16 +37,61 @@ func main() {
 		confPath = flag.String("config", "", "JSON experiment description (see internal/expconf); overrides -seed/-extended")
 		htmlDir  = flag.String("html", "", "write one self-contained HTML report per workflow into this directory")
 		texPath  = flag.String("latex", "", "write the grid as booktabs LaTeX tables to this file")
+
+		faultPreset = flag.String("fault-scenario", "", "named fault preset: "+strings.Join(fault.PresetNames(), ", "))
+		faultRate   = flag.Float64("fault-rate", 0, "VM crash rate per VM-hour (0 = perfect cloud)")
+		taskFail    = flag.Float64("task-fail", 0, "per-attempt transient task failure probability")
+		recovery    = flag.String("recovery", "", "recovery policy under faults: retry, resubmit, or fail")
+		rebootS     = flag.Float64("reboot", 0, "boot lag of replacement VMs in seconds")
+		faultSeed   = flag.Uint64("fault-seed", 1, "base seed for the fault draws")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *table, *csvPath, *gnuPath, *paranoid, *grid, *seeds, *mdPath, *extended, *confPath, *htmlDir, *texPath); err != nil {
+	faults, err := faultConfig(*faultPreset, *faultRate, *taskFail, *recovery, *rebootS, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if err := run(*seed, *table, *csvPath, *gnuPath, *paranoid, *grid, *seeds, *mdPath, *extended, *confPath, *htmlDir, *texPath, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds int, mdPath string, extended bool, confPath, htmlDir, texPath string) error {
+// faultConfig assembles the CLI fault model: a preset as the base, with
+// explicit flags overriding its fields.
+func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS float64, seed uint64) (*fault.Config, error) {
+	var cfg fault.Config
+	if preset != "" {
+		var err error
+		if cfg, err = fault.Preset(preset); err != nil {
+			return nil, err
+		}
+	}
+	if rate > 0 {
+		cfg.CrashRate = rate
+	}
+	if taskFail > 0 {
+		cfg.TaskFailProb = taskFail
+	}
+	if recovery != "" {
+		rec, err := fault.ParseRecovery(recovery)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Recovery = rec
+	}
+	if rebootS > 0 {
+		cfg.RebootS = rebootS
+	}
+	cfg.Seed = seed
+	if !cfg.Active() {
+		return nil, nil
+	}
+	return &cfg, nil
+}
+
+func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds int, mdPath string, extended bool, confPath, htmlDir, texPath string, faults *fault.Config) error {
 	cfg := core.Config{Seed: seed, Paranoid: paranoid}
 	if extended {
 		cfg.Workflows = workflows.Extended()
@@ -56,6 +102,10 @@ func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds
 		if cfg, err = expconf.LoadFile(confPath); err != nil {
 			return err
 		}
+	}
+	if faults.Active() {
+		// CLI fault flags override any config-file fault block.
+		cfg.Faults = faults
 	}
 	s, err := core.Run(cfg)
 	if err != nil {
@@ -95,6 +145,10 @@ func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds
 	if grid {
 		printGrid(s)
 		fmt.Println(report.Summary(s))
+	}
+	if cfg.Faults.Active() {
+		fmt.Printf("fault model: %s (seed %d)\n", cfg.Faults, cfg.Faults.Seed)
+		printReliability(s)
 	}
 	if seeds > 0 {
 		rows, err := core.MultiSeed(core.Config{Paranoid: paranoid}, seed, seeds)
@@ -172,6 +226,31 @@ func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds
 		}
 	}
 	return nil
+}
+
+// printReliability dumps one row per grid cell with the fault-replay
+// outcome: what was injected, what recovery cost, and whether the
+// workflow still finished.
+func printReliability(s *core.Sweep) {
+	for _, sc := range s.Scenarios() {
+		for _, wf := range s.Workflows() {
+			fmt.Printf("=== reliability: %s / %v ===\n", wf, sc)
+			for _, r := range s.Points(wf, sc) {
+				rel := r.Reliability
+				if rel == nil {
+					continue
+				}
+				status := "ok"
+				if !rel.Completed {
+					status = fmt.Sprintf("FAILED(%s) %3.0f%%", rel.FailReason, 100*rel.CompletedFraction)
+				}
+				fmt.Printf("  %-22s %-28s crashes %2d  fails %2d  retries %2d  resub %2d  wasted %8.0fs  +mk %8.1fs  +$%.4f\n",
+					r.Strategy, status, rel.VMCrashes, rel.TaskFailures,
+					rel.Retries, rel.Resubmits, rel.WastedBTUSeconds,
+					rel.AddedMakespan, rel.AddedCost)
+			}
+		}
+	}
 }
 
 func printGrid(s *core.Sweep) {

@@ -10,20 +10,20 @@ import (
 
 func TestRunAllTables(t *testing.T) {
 	for _, table := range []string{"1", "2", "3", "4", "5", "all", "none"} {
-		if err := run(1, table, "", "", false, false, 0, "", false, "", "", ""); err != nil {
+		if err := run(1, table, "", "", false, false, 0, "", false, "", "", "", nil); err != nil {
 			t.Errorf("table %s: %v", table, err)
 		}
 	}
 }
 
 func TestRunUnknownTable(t *testing.T) {
-	if err := run(1, "9", "", "", false, false, 0, "", false, "", "", ""); err == nil {
+	if err := run(1, "9", "", "", false, false, 0, "", false, "", "", "", nil); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
 
 func TestRunGrid(t *testing.T) {
-	if err := run(1, "none", "", "", false, true, 0, "", false, "", "", ""); err != nil {
+	if err := run(1, "none", "", "", false, true, 0, "", false, "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -32,7 +32,7 @@ func TestRunWritesCSVAndGnuplot(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "grid.csv")
 	gnuPath := filepath.Join(dir, "fig4.dat")
-	if err := run(1, "none", csvPath, gnuPath, false, false, 0, "", false, "", "", ""); err != nil {
+	if err := run(1, "none", csvPath, gnuPath, false, false, 0, "", false, "", "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(csvPath)
@@ -53,20 +53,20 @@ func TestRunWritesCSVAndGnuplot(t *testing.T) {
 }
 
 func TestRunParanoid(t *testing.T) {
-	if err := run(1, "none", "", "", true, false, 0, "", false, "", "", ""); err != nil {
+	if err := run(1, "none", "", "", true, false, 0, "", false, "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunStabilitySeeds(t *testing.T) {
-	if err := run(1, "none", "", "", false, false, 2, "", false, "", "", ""); err != nil {
+	if err := run(1, "none", "", "", false, false, 2, "", false, "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunExtendedCorpusWithMarkdown(t *testing.T) {
 	mdPath := filepath.Join(t.TempDir(), "report.md")
-	if err := run(1, "4", "", "", false, false, 0, mdPath, true, "", "", ""); err != nil {
+	if err := run(1, "4", "", "", false, false, 0, mdPath, true, "", "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(mdPath)
@@ -93,17 +93,17 @@ func TestRunWithConfigFile(t *testing.T) {
 	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "none", "", "", false, true, 0, "", false, cfgPath, "", ""); err != nil {
+	if err := run(1, "none", "", "", false, true, 0, "", false, cfgPath, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "none", "", "", false, false, 0, "", false, "/no/such/file.json", "", ""); err == nil {
+	if err := run(1, "none", "", "", false, false, 0, "", false, "/no/such/file.json", "", "", nil); err == nil {
 		t.Error("missing config accepted")
 	}
 }
 
 func TestRunWritesHTMLReports(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "html")
-	if err := run(1, "none", "", "", false, false, 0, "", false, "", dir, ""); err != nil {
+	if err := run(1, "none", "", "", false, false, 0, "", false, "", dir, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "montage.html"))
@@ -117,7 +117,7 @@ func TestRunWritesHTMLReports(t *testing.T) {
 
 func TestRunWritesLaTeX(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tables.tex")
-	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", path); err != nil {
+	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", path, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -126,5 +126,34 @@ func TestRunWritesLaTeX(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "\\toprule") {
 		t.Error("LaTeX output malformed")
+	}
+}
+
+func TestFaultConfig(t *testing.T) {
+	if cfg, err := faultConfig("", 0, 0, "", 0, 1); err != nil || cfg != nil {
+		t.Errorf("inactive flags: cfg=%v err=%v, want nil/nil", cfg, err)
+	}
+	cfg, err := faultConfig("flaky", 0, 0, "retry", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CrashRate != 0.05 || cfg.Recovery.String() != "retry" || cfg.Seed != 9 {
+		t.Errorf("preset+override mismatch: %+v", cfg)
+	}
+	if _, err := faultConfig("no-such-preset", 0, 0, "", 0, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := faultConfig("", 0.5, 0, "bogus", 0, 1); err == nil {
+		t.Error("unknown recovery accepted")
+	}
+}
+
+func TestRunFaultSweep(t *testing.T) {
+	faults, err := faultConfig("", 0.5, 0.02, "resubmit", 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", "", faults); err != nil {
+		t.Error(err)
 	}
 }

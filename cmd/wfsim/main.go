@@ -7,6 +7,7 @@
 //	wfsim -wf Montage -strategy AllParExceed-m -scenario Pareto -seed 42
 //	wfsim -wf my-workflow.json -strategy CPA-Eager -gantt=false
 //	wfsim -wf CSTEM -strategy GAIN -boot 120
+//	wfsim -wf Montage -strategy HEFT-s -fault-rate 0.5 -recovery resubmit
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dax"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -40,6 +42,13 @@ func main() {
 		svgPath  = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this file")
 		csvPath  = flag.String("tracecsv", "", "write the schedule's task slots as CSV to this file")
 		list     = flag.Bool("list", false, "list available strategies and exit")
+
+		faultRate = flag.Float64("fault-rate", 0, "VM crash rate per VM-hour (0 = perfect cloud)")
+		taskFail  = flag.Float64("task-fail", 0, "per-attempt transient task failure probability")
+		recovery  = flag.String("recovery", "retry", "recovery policy under faults: retry, resubmit, or fail")
+		retries   = flag.Int("retries", 0, "max retries per task (0 = default, negative = none)")
+		rebootS   = flag.Float64("reboot", 0, "boot lag of replacement VMs in seconds")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault draws")
 	)
 	flag.Parse()
 
@@ -49,13 +58,29 @@ func main() {
 		}
 		return
 	}
-	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath); err != nil {
+	var faults *fault.Config
+	if *faultRate > 0 || *taskFail > 0 {
+		rec, err := fault.ParseRecovery(*recovery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfsim:", err)
+			os.Exit(1)
+		}
+		faults = &fault.Config{
+			CrashRate:    *faultRate,
+			TaskFailProb: *taskFail,
+			Recovery:     rec,
+			MaxRetries:   *retries,
+			RebootS:      *rebootS,
+			Seed:         *faultSeed,
+		}
+	}
+	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath string) error {
+func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath string, faults *fault.Config) error {
 	wf, err := loadWorkflow(wfArg)
 	if err != nil {
 		return err
@@ -132,16 +157,30 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 		fmt.Printf("wrote %s\n", csvPath)
 	}
 
-	res, err := sim.Run(s, sim.Config{BootTime: boot})
+	res, err := sim.Run(s, sim.Config{BootTime: boot, Faults: faults})
 	if err != nil {
 		return err
 	}
-	if boot > 0 {
+	switch {
+	case faults.Active():
+		rel := metrics.ReliabilityOf(s, res)
+		status := "completed"
+		if !rel.Completed {
+			status = fmt.Sprintf("FAILED (%s) after %.0f%% of tasks", rel.FailReason, 100*rel.CompletedFraction)
+		}
+		fmt.Printf("faults     %s, seed %d\n", *faults, faults.Seed)
+		fmt.Printf("outcome    %s\n", status)
+		fmt.Printf("injected   %d VM crashes, %d task failures (%d retries, %d resubmits, %d replacement VMs)\n",
+			res.VMCrashes, res.TaskFailures, res.Retries, res.Resubmits, res.ReplacementVMs)
+		fmt.Printf("penalty    %+.1f s makespan, %+.4f $ cost, %.0f wasted BTU-seconds\n",
+			rel.AddedMakespan, rel.AddedCost, rel.WastedBTUSeconds)
+	case boot > 0:
 		fmt.Printf("simulated with %.0fs boot: makespan %.1f s (+%.1f), cost $%.4f, idle %.1f s\n",
 			boot, res.Makespan, res.Makespan-s.Makespan(), res.RentalCost, res.IdleTime)
-	} else if err := sim.Verify(s); err != nil {
-		return fmt.Errorf("simulator disagrees with planner: %w", err)
-	} else {
+	default:
+		if err := sim.Verify(s); err != nil {
+			return fmt.Errorf("simulator disagrees with planner: %w", err)
+		}
 		fmt.Printf("simulator check: OK (%d events, %d transfers)\n", res.Events, res.Transfers)
 	}
 	return nil

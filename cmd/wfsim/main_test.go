@@ -4,11 +4,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func TestRunBuiltinWorkflows(t *testing.T) {
 	for _, wf := range []string{"Montage", "CSTEM", "MapReduce", "Sequential", "Fig1"} {
-		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
 			t.Errorf("%s: %v", wf, err)
 		}
 	}
@@ -16,21 +18,21 @@ func TestRunBuiltinWorkflows(t *testing.T) {
 
 func TestRunScenarios(t *testing.T) {
 	for _, sc := range []string{"Pareto", "Best case", "Worst case", "none"} {
-		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", ""); err != nil {
+		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
 			t.Errorf("%s: %v", sc, err)
 		}
 	}
 }
 
 func TestRunWithBootTime(t *testing.T) {
-	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", ""); err != nil {
+	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.svg")
-	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, ""); err != nil {
+	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -49,7 +51,7 @@ func TestRunJSONWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -64,7 +66,7 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", ""); err != nil {
+	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -72,16 +74,16 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cases := map[string]func() error{
 		"unknown workflow": func() error {
-			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "")
+			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", nil)
 		},
 		"unknown strategy": func() error {
-			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "")
+			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "", nil)
 		},
 		"unknown scenario": func() error {
-			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "")
+			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "", nil)
 		},
 		"unknown region": func() error {
-			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "")
+			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "", nil)
 		},
 	}
 	for name, f := range cases {
@@ -93,7 +95,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunWritesTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path); err != nil {
+	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -102,5 +104,17 @@ func TestRunWritesTraceCSV(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty trace CSV")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	faults := &fault.Config{CrashRate: 0.5, TaskFailProb: 0.05, Recovery: fault.Resubmit, RebootS: 30, Seed: 7}
+	if err := run("Montage", "OneVMperTask-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", faults); err != nil {
+		t.Error(err)
+	}
+	// The fail policy may abort the run; that is still a successful report.
+	failFast := &fault.Config{TaskFailProb: 1, Recovery: fault.Fail, Seed: 7}
+	if err := run("Sequential", "OneVMperTask-s", "Best case", 1, "us-east-virginia", 0, false, "", "", failFast); err != nil {
+		t.Error(err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -48,6 +49,14 @@ type Config struct {
 	// replays it through the discrete-event simulator, failing the sweep on
 	// any disagreement.
 	Paranoid bool
+	// Faults, when active, additionally replays every schedule through
+	// the discrete-event simulator under the given fault model and
+	// attaches reliability metrics to each cell. Every cell derives an
+	// independent fault seed from Faults.Seed and its own key, so results
+	// are reproducible and independent of worker scheduling. A config
+	// with zero rates changes nothing: the grid's points stay identical
+	// to a fault-free sweep.
+	Faults *fault.Config
 	// Workers bounds the number of goroutines evaluating grid cells
 	// concurrently. Zero selects GOMAXPROCS; one forces serial execution.
 	// Results are identical regardless of the worker count — every
@@ -104,6 +113,9 @@ type Result struct {
 	// would return at 30% of the on-demand rate (the paper's co-rent
 	// suggestion).
 	CoRentRecovered float64
+	// Reliability is the faulty-replay outcome of the cell; nil when the
+	// sweep ran without a fault model (see Config.Faults).
+	Reliability *metrics.Reliability
 }
 
 // Sweep holds a completed experiment grid.
@@ -120,6 +132,11 @@ type Sweep struct {
 // from its own key.
 func Run(cfg Config) (*Sweep, error) {
 	cfg = cfg.Fill()
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Fill().Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	s := &Sweep{Config: cfg, results: map[Key]Result{}}
 	for _, alg := range cfg.Strategies {
 		s.Strategies = append(s.Strategies, alg.Name())
@@ -213,6 +230,21 @@ func Run(cfg Config) (*Sweep, error) {
 					BaselineCost:     j.p.base.TotalCost(),
 					Energy:           metrics.DefaultEnergyModel().Energy(sch),
 					CoRentRecovered:  recovered,
+				}
+				if cfg.Faults.Active() {
+					// Each cell replays under its own derived fault seed:
+					// deterministic, and independent of the order workers
+					// pick up jobs.
+					fc := *cfg.Faults
+					fc.Seed = fault.CellSeed(fc.Seed, j.p.wfName, j.p.sc.String(), j.alg.Name())
+					fres, err := sim.Run(sch, sim.Config{Faults: &fc})
+					if err != nil {
+						errs[i] = fmt.Errorf("core: faulty replay of %s on %s/%v: %w",
+							j.alg.Name(), j.p.wfName, j.p.sc, err)
+						continue
+					}
+					rel := metrics.ReliabilityOf(sch, fres)
+					results[i].Reliability = &rel
 				}
 			}
 		}()

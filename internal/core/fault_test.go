@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// faultCfg is the stress scenario of the sweep determinism tests: strong
+// enough that faults actually land in most cells.
+func faultCfg(seed uint64) *fault.Config {
+	return &fault.Config{
+		CrashRate:    0.5,
+		TaskFailProb: 0.02,
+		Recovery:     fault.Resubmit,
+		RebootS:      60,
+		Seed:         seed,
+	}
+}
+
+func TestFaultSweepAllStrategiesComplete(t *testing.T) {
+	// The full 19-strategy catalog on one pane, replayed under faults:
+	// every cell must carry reliability metrics.
+	s, err := Run(Config{Seed: 1, Scenarios: []workload.Scenario{workload.Pareto}, Faults: faultCfg(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Strategies) != 19 {
+		t.Fatalf("strategies = %d, want 19", len(s.Strategies))
+	}
+	sawFault := false
+	for _, wf := range s.Workflows() {
+		for _, name := range s.Strategies {
+			r := s.MustGet(wf, workload.Pareto, name)
+			if r.Reliability == nil {
+				t.Fatalf("%s/%s: no reliability metrics", wf, name)
+			}
+			if r.Reliability.VMCrashes > 0 || r.Reliability.TaskFailures > 0 {
+				sawFault = true
+			}
+			if !r.Reliability.Completed && r.Reliability.FailReason == "" {
+				t.Errorf("%s/%s: incomplete without a reason", wf, name)
+			}
+		}
+	}
+	if !sawFault {
+		t.Error("stress fault config injected nothing across the whole grid")
+	}
+}
+
+func TestFaultSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Same seed + same fault config ⇒ identical grids, serial or parallel:
+	// each cell derives its fault stream from its key, not from execution
+	// order.
+	base := Config{Seed: 3, Scenarios: []workload.Scenario{workload.Pareto}, Faults: faultCfg(11)}
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+
+	a, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(parallel) // and a straight rerun
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s2 := range []*Sweep{b, c} {
+		for _, wf := range a.Workflows() {
+			for _, name := range a.Strategies {
+				ra := a.MustGet(wf, workload.Pareto, name)
+				rb := s2.MustGet(wf, workload.Pareto, name)
+				if !reflect.DeepEqual(ra, rb) {
+					t.Fatalf("%s/%s differs between runs:\na %+v\nb %+v", wf, name, ra, rb)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroRateFaultsLeaveGridUntouched(t *testing.T) {
+	// Acceptance: with fault rate 0 every strategy reproduces its
+	// fault-free makespan/cost exactly.
+	clean, err := Run(Config{Seed: 42, Scenarios: []workload.Scenario{workload.Pareto}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Run(Config{Seed: 42, Scenarios: []workload.Scenario{workload.Pareto},
+		Faults: &fault.Config{Recovery: fault.Retry, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wf := range clean.Workflows() {
+		for _, name := range clean.Strategies {
+			rc := clean.MustGet(wf, workload.Pareto, name)
+			rz := zero.MustGet(wf, workload.Pareto, name)
+			if rc.Point != rz.Point || rc.Category != rz.Category {
+				t.Errorf("%s/%s: zero-rate faults changed the point:\nclean %+v\nzero  %+v",
+					wf, name, rc.Point, rz.Point)
+			}
+			if rz.Reliability == nil {
+				continue // inactive fault model records nothing
+			}
+		}
+	}
+}
+
+func TestFaultSweepRejectsInvalidConfig(t *testing.T) {
+	_, err := Run(Config{Scenarios: []workload.Scenario{workload.Pareto},
+		Faults: &fault.Config{CrashRate: -1}})
+	if err == nil {
+		t.Error("negative crash rate accepted by the sweep")
+	}
+}
+
+// TestFaultSweepParallelStress drives a parallel faulty sweep for the
+// -race detector: reliability replays must not share mutable state across
+// workers.
+func TestFaultSweepParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cfg := Config{Seed: 5, Faults: faultCfg(21), Workers: 8}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dax"
+	"repro/internal/fault"
 	"repro/internal/wfio"
 	"repro/internal/workflows"
 	"repro/internal/workload"
@@ -48,6 +49,63 @@ type File struct {
 	LatencyS float64 `json:"latency_s,omitempty"`
 	// Workers bounds the sweep's concurrency (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Fault replays every cell under a fault model (nil = perfect cloud).
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec configures the sweep's fault model. Preset names a scenario
+// from internal/fault ("calm", "flaky", "hostile"); explicit fields
+// override the preset's values.
+type FaultSpec struct {
+	Preset       string  `json:"preset,omitempty"`
+	CrashRate    float64 `json:"crash_rate,omitempty"`     // VM crashes per VM-hour
+	TaskFailProb float64 `json:"task_fail_prob,omitempty"` // per-attempt failure probability
+	Recovery     string  `json:"recovery,omitempty"`       // retry, resubmit, fail
+	MaxRetries   int     `json:"max_retries,omitempty"`
+	BackoffS     float64 `json:"backoff_s,omitempty"`
+	RebootS      float64 `json:"reboot_s,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+}
+
+// resolveFault turns a FaultSpec into a fault.Config.
+func resolveFault(spec *FaultSpec) (*fault.Config, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	cfg := fault.Config{}
+	if spec.Preset != "" {
+		var err error
+		if cfg, err = fault.Preset(spec.Preset); err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+	}
+	if spec.CrashRate != 0 {
+		cfg.CrashRate = spec.CrashRate
+	}
+	if spec.TaskFailProb != 0 {
+		cfg.TaskFailProb = spec.TaskFailProb
+	}
+	if spec.Recovery != "" {
+		rec, err := fault.ParseRecovery(spec.Recovery)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		cfg.Recovery = rec
+	}
+	if spec.MaxRetries != 0 {
+		cfg.MaxRetries = spec.MaxRetries
+	}
+	if spec.BackoffS != 0 {
+		cfg.BackoffS = spec.BackoffS
+	}
+	if spec.RebootS != 0 {
+		cfg.RebootS = spec.RebootS
+	}
+	cfg.Seed = spec.Seed
+	if err := cfg.Fill().Validate(); err != nil {
+		return nil, fmt.Errorf("expconf: %w", err)
+	}
+	return &cfg, nil
 }
 
 // WorkflowSpec names one workflow of the corpus. Exactly one source must
@@ -88,6 +146,11 @@ func LoadFile(path string) (core.Config, error) {
 // Resolve turns a parsed document into a runnable core.Config.
 func Resolve(f File, baseDir string) (core.Config, error) {
 	cfg := core.Config{Seed: f.Seed, Paranoid: f.Paranoid, Workers: f.Workers}
+	faults, err := resolveFault(f.Fault)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Faults = faults
 	if f.LatencyS < 0 {
 		return core.Config{}, fmt.Errorf("expconf: negative latency %v", f.LatencyS)
 	}

@@ -183,3 +183,40 @@ func TestLoadPlatformOverrides(t *testing.T) {
 		t.Error("negative latency accepted")
 	}
 }
+
+func TestLoadFaultSpec(t *testing.T) {
+	doc := `{
+	  "workflows": [{"name": "Sequential"}],
+	  "scenarios": ["Best case"],
+	  "fault": {"preset": "flaky", "crash_rate": 0.2, "recovery": "retry", "seed": 9}
+	}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil {
+		t.Fatal("fault spec dropped")
+	}
+	// The preset supplies task_fail_prob and reboot_s; explicit fields win.
+	if cfg.Faults.CrashRate != 0.2 || cfg.Faults.TaskFailProb != 0.01 || cfg.Faults.Seed != 9 {
+		t.Errorf("resolved fault config %+v", cfg.Faults)
+	}
+	if cfg.Faults.Recovery.String() != "retry" {
+		t.Errorf("recovery = %v, want retry", cfg.Faults.Recovery)
+	}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatalf("faulty sweep from config: %v", err)
+	}
+}
+
+func TestLoadFaultSpecErrors(t *testing.T) {
+	for _, doc := range []string{
+		`{"fault": {"preset": "apocalypse"}}`,
+		`{"fault": {"recovery": "pray"}}`,
+		`{"fault": {"crash_rate": -1}}`,
+	} {
+		if _, err := Load(strings.NewReader(doc), "."); err == nil {
+			t.Errorf("document accepted: %s", doc)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dag/dagtest"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestReliabilityOfCleanRunIsZero(t *testing.T) {
+	w := dagtest.ForkJoin(4, 800)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(s, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ReliabilityOf(s, res)
+	if !r.Completed || r.CompletedFraction != 1 {
+		t.Errorf("clean run: %+v", r)
+	}
+	if r.VMCrashes != 0 || r.TaskFailures != 0 || r.Retries != 0 || r.Resubmits != 0 {
+		t.Errorf("clean run counted faults: %+v", r)
+	}
+	const eps = 1e-6
+	if r.WastedBTUSeconds > eps || r.WastedBTUSeconds < -eps {
+		t.Errorf("clean WastedBTUSeconds = %v", r.WastedBTUSeconds)
+	}
+	if r.AddedMakespan > eps || r.AddedMakespan < -eps || r.AddedCost > eps || r.AddedCost < -eps {
+		t.Errorf("clean premiums: %+v", r)
+	}
+}
+
+func TestReliabilityOfFaultyRun(t *testing.T) {
+	w := dagtest.Chain(3, 500)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(s, sim.Config{Faults: &fault.Config{
+		TaskFailProb: 1, Recovery: fault.Retry, MaxRetries: 1, BackoffS: 5, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ReliabilityOf(s, res)
+	if r.Completed {
+		t.Fatal("certain failure reported completed")
+	}
+	if r.CompletedFraction != 0 {
+		t.Errorf("CompletedFraction = %v, want 0", r.CompletedFraction)
+	}
+	if r.TaskFailures == 0 || r.FailReason == "" {
+		t.Errorf("faulty run lost its failure record: %+v", r)
+	}
+	if r.WastedBTUSeconds <= 0 {
+		t.Errorf("WastedBTUSeconds = %v, want > 0", r.WastedBTUSeconds)
+	}
+	if !strings.Contains(r.String(), "failed") {
+		t.Errorf("String() = %q, want a failed marker", r.String())
+	}
+}

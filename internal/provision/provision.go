@@ -165,6 +165,16 @@ func (p *Policy) pickAllPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceTyp
 	return vm
 }
 
+// Replace rents the replacement for a VM that failed at execution time:
+// a fresh lease of the same instance type in the same region, billed from
+// scratch (a recovered VM pays a new BTU, and the simulator additionally
+// charges the replacement boot lag). This is the provisioning rule the
+// recovery policies of internal/fault re-provision through; dead prepaid
+// (private-cloud) capacity is replaced by equally prepaid capacity.
+func Replace(dead *plan.VM, id plan.VMID) *plan.VM {
+	return &plan.VM{ID: id, Type: dead.Type, Region: dead.Region, Prepaid: dead.Prepaid}
+}
+
 // largestPred returns the VM hosting t's predecessor with the largest
 // reference work, or nil for entry tasks.
 func (p *Policy) largestPred(b *plan.Builder, t dag.TaskID) *plan.VM {

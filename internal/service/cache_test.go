@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cloud"
+	"repro/internal/fault"
 	"repro/internal/workflows"
 )
 
@@ -62,22 +63,30 @@ func TestCachePutOverwrites(t *testing.T) {
 
 func TestProblemKeySensitivity(t *testing.T) {
 	wf := workflows.PaperMontage()
-	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0)
+	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil)
 
-	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0)
+	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil)
 	if base != same {
 		t.Fatal("identical problems hash differently")
 	}
 
 	variants := map[string]cacheKey{
-		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0),
-		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0),
-		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0),
-		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0),
-		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0),
-		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0),
-		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0),
-		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30),
+		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
+		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
+		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
+		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0, nil),
+		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0, nil),
+		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0, nil),
+		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0, nil),
+		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30, nil),
+		"faults": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 1}),
+		"fault-rate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
+			&fault.Config{CrashRate: 0.6, Recovery: fault.Retry, Seed: 1}),
+		"fault-recovery": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Resubmit, Seed: 1}),
+		"fault-seed": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 2}),
 	}
 	seen := map[cacheKey]string{base: "base"}
 	for name, k := range variants {
@@ -97,8 +106,8 @@ func TestProblemKeyIgnoresNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Name = "renamed"
-	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0)
-	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0)
+	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil)
+	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil)
 	if ka != kb {
 		t.Fatal("renaming the workflow changed the cache key")
 	}

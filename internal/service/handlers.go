@@ -11,6 +11,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/provision"
 	"repro/internal/sched"
@@ -125,7 +126,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
-		res.region, res.seed, res.simulate, res.bootS)
+		res.region, res.seed, res.simulate, res.bootS, res.faults)
 	s.runCached(w, r, key, func(context.Context) (any, error) {
 		return s.planSchedule(res)
 	})
@@ -148,7 +149,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := problemKey("compare", res.structural, res.scenario.String(), "",
-		res.region, res.seed, false, 0)
+		res.region, res.seed, false, 0, nil)
 	s.runCached(w, r, key, func(context.Context) (any, error) {
 		return s.planCompare(res)
 	})
@@ -201,7 +202,7 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 		out.VMs = append(out.VMs, vj)
 	}
 	if res.simulate {
-		simRes, err := sim.Run(sch, sim.Config{BootTime: res.bootS})
+		simRes, err := sim.Run(sch, sim.Config{BootTime: res.bootS, Faults: res.faults})
 		if err != nil {
 			return nil, fmt.Errorf("simulating %s on %s: %w", res.alg.Name(), res.wfName, err)
 		}
@@ -212,6 +213,21 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 			BootS:      res.bootS,
 			Events:     simRes.Events,
 			Transfers:  simRes.Transfers,
+		}
+		if res.faults.Active() {
+			rel := metrics.ReliabilityOf(sch, simRes)
+			out.Simulation.Reliability = &ReliabilityJSON{
+				Completed:         rel.Completed,
+				CompletedFraction: rel.CompletedFraction,
+				FailReason:        rel.FailReason,
+				VMCrashes:         rel.VMCrashes,
+				TaskFailures:      rel.TaskFailures,
+				Retries:           rel.Retries,
+				Resubmits:         rel.Resubmits,
+				WastedBTUSeconds:  rel.WastedBTUSeconds,
+				AddedMakespan:     rel.AddedMakespan,
+				AddedCost:         rel.AddedCost,
+			}
 		}
 	}
 	return out, nil
@@ -270,10 +286,14 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := CatalogResponse{
-		Strategies: core.StrategyNames(),
-		Algorithms: []string{"HEFT", "AllPar"},
-		Workflows:  core.WorkflowNames(),
-		Generators: core.GeneratorSpecs(),
+		Strategies:   core.StrategyNames(),
+		Algorithms:   []string{"HEFT", "AllPar"},
+		Workflows:    core.WorkflowNames(),
+		Generators:   core.GeneratorSpecs(),
+		FaultPresets: fault.PresetNames(),
+	}
+	for _, rec := range fault.Recoveries() {
+		resp.Recoveries = append(resp.Recoveries, rec.String())
 	}
 	for _, k := range provision.Kinds() {
 		resp.Policies = append(resp.Policies, k.String())

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -56,7 +57,7 @@ func (h *hasher) workflow(wf *dag.Workflow) {
 // string or "none"; strategy is empty for compare (which always runs the
 // whole catalog).
 func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy string,
-	region cloud.Region, seed uint64, simulate bool, bootS float64) cacheKey {
+	region cloud.Region, seed uint64, simulate bool, bootS float64, faults *fault.Config) cacheKey {
 	var h hasher
 	h.str(op)
 	h.workflow(wf)
@@ -70,7 +71,26 @@ func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy strin
 		h.u64(0)
 	}
 	h.f64(bootS)
+	h.faults(faults)
 	return sha256.Sum256(h.buf)
+}
+
+// faults folds in the fault model; the replay is deterministic in these
+// fields, so two requests differing in any of them are distinct problems.
+func (h *hasher) faults(cfg *fault.Config) {
+	if cfg == nil {
+		h.u64(0)
+		return
+	}
+	h.u64(1)
+	h.f64(cfg.CrashRate)
+	h.f64(cfg.TaskFailProb)
+	h.str(cfg.Recovery.String())
+	h.u64(uint64(int64(cfg.MaxRetries)))
+	h.f64(cfg.BackoffS)
+	h.f64(cfg.MaxBackoffS)
+	h.f64(cfg.RebootS)
+	h.u64(cfg.Seed)
 }
 
 // scenarioName canonicalizes the scenario selector for hashing: the

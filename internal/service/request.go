@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/fault"
 	"repro/internal/provision"
 	"repro/internal/sched"
 	"repro/internal/wfio"
@@ -44,6 +45,16 @@ type ScheduleRequest struct {
 	// simulator; BootS un-ignores VM boot time in that replay.
 	Simulate bool    `json:"simulate,omitempty"`
 	BootS    float64 `json:"boot_s,omitempty"`
+	// Fault options inject failures into the simulated replay (they
+	// require Simulate, like BootS): FaultRate is VM crashes per VM-hour,
+	// TaskFailProb the per-attempt transient failure probability, Recovery
+	// one of "retry", "resubmit", "fail". FaultSeed drives the fault
+	// draws; MaxRetries caps transient retries per task (0 = default).
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	TaskFailProb float64 `json:"task_fail_prob,omitempty"`
+	Recovery     string  `json:"recovery,omitempty"`
+	MaxRetries   int     `json:"max_retries,omitempty"`
+	FaultSeed    uint64  `json:"fault_seed,omitempty"`
 }
 
 // CompareRequest is the body of POST /v1/compare: one workflow, one
@@ -79,6 +90,22 @@ type SimulationJSON struct {
 	BootS      float64 `json:"boot_s"`
 	Events     int     `json:"events"`
 	Transfers  int     `json:"transfers"`
+	// Reliability is present when the replay ran under a fault model.
+	Reliability *ReliabilityJSON `json:"reliability,omitempty"`
+}
+
+// ReliabilityJSON reports the fault-replay outcome of a plan.
+type ReliabilityJSON struct {
+	Completed         bool    `json:"completed"`
+	CompletedFraction float64 `json:"completed_fraction"`
+	FailReason        string  `json:"fail_reason,omitempty"`
+	VMCrashes         int     `json:"vm_crashes"`
+	TaskFailures      int     `json:"task_failures"`
+	Retries           int     `json:"retries"`
+	Resubmits         int     `json:"resubmits"`
+	WastedBTUSeconds  float64 `json:"wasted_btu_s"`
+	AddedMakespan     float64 `json:"added_makespan_s"`
+	AddedCost         float64 `json:"added_cost_usd"`
 }
 
 // ScheduleResponse is the body answering POST /v1/schedule.
@@ -128,14 +155,16 @@ type CompareResponse struct {
 
 // CatalogResponse is the body answering GET /v1/catalog.
 type CatalogResponse struct {
-	Strategies []string `json:"strategies"`
-	Algorithms []string `json:"algorithms"`
-	Policies   []string `json:"policies"`
-	Instances  []string `json:"instances"`
-	Workflows  []string `json:"workflows"`
-	Generators []string `json:"generators"`
-	Scenarios  []string `json:"scenarios"`
-	Regions    []string `json:"regions"`
+	Strategies   []string `json:"strategies"`
+	Algorithms   []string `json:"algorithms"`
+	Policies     []string `json:"policies"`
+	Instances    []string `json:"instances"`
+	Workflows    []string `json:"workflows"`
+	Generators   []string `json:"generators"`
+	Scenarios    []string `json:"scenarios"`
+	Regions      []string `json:"regions"`
+	Recoveries   []string `json:"recoveries"`
+	FaultPresets []string `json:"fault_presets"`
 }
 
 // httpError carries the status code a resolution failure maps to.
@@ -160,6 +189,7 @@ type resolved struct {
 	seed       uint64
 	simulate   bool
 	bootS      float64
+	faults     *fault.Config // nil for a perfect-cloud replay
 }
 
 // resolveWorkflow picks the workflow source.
@@ -288,10 +318,49 @@ func resolveSchedule(req *ScheduleRequest) (*resolved, *httpError) {
 	if req.BootS > 0 && !req.Simulate {
 		return nil, unprocessable("boot_s requires simulate: the planner ignores boot time")
 	}
+	faults, herr := resolveFaults(req)
+	if herr != nil {
+		return nil, herr
+	}
 	return &resolved{
 		wfName: name, structural: wf, scenario: sc, alg: alg,
 		region: region, seed: req.Seed, simulate: req.Simulate, bootS: req.BootS,
+		faults: faults,
 	}, nil
+}
+
+// resolveFaults validates the request's fault options. Fault injection
+// only affects the simulated replay, so — like boot_s — it requires
+// simulate.
+func resolveFaults(req *ScheduleRequest) (*fault.Config, *httpError) {
+	set := req.FaultRate != 0 || req.TaskFailProb != 0 || req.Recovery != "" ||
+		req.MaxRetries != 0 || req.FaultSeed != 0
+	if !set {
+		return nil, nil
+	}
+	if !req.Simulate {
+		return nil, unprocessable("fault options require simulate: the planner assumes a perfect cloud")
+	}
+	cfg := fault.Config{
+		CrashRate:    req.FaultRate,
+		TaskFailProb: req.TaskFailProb,
+		MaxRetries:   req.MaxRetries,
+		Seed:         req.FaultSeed,
+	}
+	if req.Recovery != "" {
+		rec, err := fault.ParseRecovery(req.Recovery)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		cfg.Recovery = rec
+	}
+	if err := cfg.Fill().Validate(); err != nil {
+		return nil, unprocessable("%v", err)
+	}
+	if !cfg.Active() {
+		return nil, nil // recovery/retries/seed alone, with zero rates: a no-op
+	}
+	return &cfg, nil
 }
 
 // resolveCompare validates a compare request.

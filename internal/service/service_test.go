@@ -180,6 +180,10 @@ func TestScheduleValidationErrors(t *testing.T) {
 		{"allpar with wrong policy", `{"workflow_name":"Montage","algorithm":"AllPar","policy":"OneVMperTask"}`, http.StatusUnprocessableEntity},
 		{"negative boot", `{"workflow_name":"Montage","strategy":"GAIN","simulate":true,"boot_s":-1}`, http.StatusUnprocessableEntity},
 		{"boot without simulate", `{"workflow_name":"Montage","strategy":"GAIN","boot_s":10}`, http.StatusUnprocessableEntity},
+		{"faults without simulate", `{"workflow_name":"Montage","strategy":"GAIN","fault_rate":0.5}`, http.StatusUnprocessableEntity},
+		{"negative fault rate", `{"workflow_name":"Montage","strategy":"GAIN","simulate":true,"fault_rate":-1}`, http.StatusUnprocessableEntity},
+		{"bad task_fail_prob", `{"workflow_name":"Montage","strategy":"GAIN","simulate":true,"task_fail_prob":1.5}`, http.StatusUnprocessableEntity},
+		{"unknown recovery", `{"workflow_name":"Montage","strategy":"GAIN","simulate":true,"fault_rate":0.5,"recovery":"pray"}`, http.StatusUnprocessableEntity},
 		{"invalid inline workflow", `{"workflow":{"tasks":[{"work":1}],"edges":[{"from":0,"to":9}]},"strategy":"GAIN"}`, http.StatusUnprocessableEntity},
 	}
 	for _, c := range cases {
@@ -319,6 +323,53 @@ func TestCatalogEndpoint(t *testing.T) {
 	if len(out.Workflows) == 0 || len(out.Scenarios) == 0 || len(out.Regions) == 0 ||
 		len(out.Policies) != 5 || len(out.Instances) == 0 || len(out.Generators) == 0 {
 		t.Fatalf("catalog incomplete: %+v", out)
+	}
+	if len(out.Recoveries) != 3 || len(out.FaultPresets) == 0 {
+		t.Fatalf("catalog missing fault options: recoveries %v, presets %v",
+			out.Recoveries, out.FaultPresets)
+	}
+}
+
+func TestScheduleWithFaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	body := `{"workflow_name":"montage24","strategy":"OneVMperTask-s","scenario":"Pareto","seed":7,
+		"simulate":true,"fault_rate":1.0,"task_fail_prob":0.05,"recovery":"resubmit","fault_seed":3}`
+
+	resp, b := postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Simulation == nil || out.Simulation.Reliability == nil {
+		t.Fatalf("fault replay returned no reliability block: %+v", out.Simulation)
+	}
+	rel := out.Simulation.Reliability
+	if rel.Completed && rel.CompletedFraction != 1 {
+		t.Fatalf("inconsistent completion: %+v", rel)
+	}
+	if !rel.Completed && rel.FailReason == "" {
+		t.Fatalf("failed without a reason: %+v", rel)
+	}
+
+	// Same fault problem: cache hit with identical bytes (determinism over
+	// the wire).
+	resp2, b2 := postJSON(t, ts.URL+"/v1/schedule", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("identical fault request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("cached fault response bytes differ")
+	}
+
+	// A different fault seed is a different problem.
+	resp3, _ := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"montage24","strategy":"OneVMperTask-s","scenario":"Pareto","seed":7,
+		  "simulate":true,"fault_rate":1.0,"task_fail_prob":0.05,"recovery":"resubmit","fault_seed":4}`)
+	if got := resp3.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("different fault seed X-Cache = %q, want MISS", got)
 	}
 }
 

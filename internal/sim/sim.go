@@ -10,6 +10,29 @@
 // The simulator also supports a non-zero VM boot time, the effect the paper
 // explicitly ignores (static scheduling allows pre-booting); setting it
 // quantifies what pre-booting is worth.
+//
+// # Fault injection
+//
+// Config.Faults un-ignores the other idealization of the paper: the
+// perfect cloud. With an active fault model (internal/fault) the replay
+// loses VMs mid-lease (exponential time-to-crash, the Poisson process of
+// the IaaS reliability literature) and aborts task attempts partway
+// through (per-attempt Bernoulli draws), then recovers per the configured
+// policy:
+//
+//   - retry: the failed attempt re-runs on the same VM after a capped
+//     exponential backoff; a crashed VM is replaced in place (same type,
+//     fresh lease through provision.Replace, replacement boot lag) and its
+//     surviving queue re-runs there;
+//   - resubmit: the failed task moves to a freshly provisioned VM, paying
+//     a new BTU and the boot lag;
+//   - fail: the first fault aborts the workflow, and the Result reports
+//     the completed fraction and the sunk cost.
+//
+// Outputs of completed tasks are durable: a consumer whose VM is replaced
+// re-stages its inputs for free. Every stochastic draw is a pure function
+// of (fault seed, entity identity, attempt), so a faulty run is replayable
+// bit-for-bit and independent of event interleaving.
 package sim
 
 import (
@@ -19,7 +42,9 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/eventq"
+	"repro/internal/fault"
 	"repro/internal/plan"
+	"repro/internal/provision"
 )
 
 // Config tunes the simulation.
@@ -28,26 +53,57 @@ type Config struct {
 	// its first task could otherwise start, and becomes usable BootTime
 	// seconds later. Zero reproduces the paper's pre-booted setting.
 	BootTime float64
+	// Faults injects stochastic VM crashes and transient task failures
+	// into the replay (see the package comment). Nil — or a config whose
+	// rates are both zero — reproduces the paper's perfect cloud exactly.
+	Faults *fault.Config
 }
 
 // Result holds the measured execution of a schedule.
 type Result struct {
 	// TaskStart and TaskEnd are the observed task times, indexed by TaskID.
+	// TaskStart records the latest attempt's start; TaskEnd is NaN for
+	// tasks that never completed (aborted runs).
 	TaskStart, TaskEnd []float64
-	// Makespan is the observed completion time of the last task.
+	// Makespan is the observed completion time of the last task (for
+	// aborted runs: the time the last surviving lease ended).
 	Makespan float64
 	// RentalCost is the total lease price given the observed lease spans
-	// (boot time included: a booting VM is a billed VM).
+	// (boot time included: a booting VM is a billed VM). Crashed leases
+	// bill up to the crash.
 	RentalCost float64
 	// IdleTime is the total paid-but-unused VM time, booting included.
+	// Time burned by failed attempts counts as used here; WastedSeconds
+	// reports it separately.
 	IdleTime float64
 	// Events counts dispatched simulator events.
 	Events int
 	// Transfers counts cross-VM data movements.
 	Transfers int
+
+	// Fault and recovery accounting. A fault-free run completes
+	// trivially: Completed is true, CompletedTasks equals the workflow
+	// size, and the remaining fields are zero.
+	Completed      bool
+	CompletedTasks int
+	// FailReason describes why an uncompleted run gave up.
+	FailReason string
+	// VMCrashes counts leases lost mid-flight; ReplacementVMs counts the
+	// fresh leases recovery opened (crash replacements and resubmission
+	// targets).
+	VMCrashes      int
+	ReplacementVMs int
+	// TaskFailures counts transient attempt aborts; Retries and Resubmits
+	// count the recovery actions taken for them.
+	TaskFailures int
+	Retries      int
+	Resubmits    int
+	// WastedSeconds is execution time burned by attempts that did not
+	// complete: transient aborts plus crash-interrupted work.
+	WastedSeconds float64
 }
 
-// vmState is the per-VM runtime state.
+// vmState is the per-VM runtime state (one lease incarnation).
 type vmState struct {
 	vm       *plan.VM
 	queue    []int // task IDs in slot order
@@ -58,12 +114,29 @@ type vmState struct {
 	busySum  float64
 	lastEnd  float64
 	bootDone bool
+	boot     float64 // boot lag before the first task (replacements re-pay it)
+	inc      uint64  // fault-stream incarnation identity
+	running  int     // task mid-attempt, or -1
+	dead     bool    // lease lost to a crash
+	deadAt   float64
 }
 
 // Run executes the schedule and returns the measured result.
 func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	if cfg.BootTime < 0 {
 		return nil, fmt.Errorf("sim: negative boot time %v", cfg.BootTime)
+	}
+	var inj *fault.Injector
+	var rebootS float64
+	if cfg.Faults != nil {
+		in, err := fault.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Faults.Active() {
+			inj = in
+			rebootS = in.Config().RebootS
+		}
 	}
 	wf := s.Workflow
 	n := wf.Len()
@@ -79,15 +152,18 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	vms := make([]*vmState, len(s.VMs))
 	vmOf := make([]int, n)
 	for i, vm := range s.VMs {
-		st := &vmState{vm: vm}
+		st := &vmState{vm: vm, boot: cfg.BootTime, inc: uint64(i), running: -1}
 		for _, slot := range vm.Slots {
 			st.queue = append(st.queue, int(slot.Task))
 			vmOf[slot.Task] = i
 		}
 		vms[i] = st
 	}
+	nextInc := uint64(len(vms))
 
 	pending := make([]int, n)
+	attempt := make([]int, n) // execution attempts started, for event staleness and fault draws
+	tfails := make([]int, n)  // transient failures, capped by MaxRetries
 	for id := 0; id < n; id++ {
 		pending[id] = len(wf.Pred(dag.TaskID(id)))
 	}
@@ -95,12 +171,78 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	var q eventq.Queue
 	now := 0.0
 	done := 0
+	aborted := false
+	// crashCap bounds pathological crash storms (a replacement can crash
+	// again); beyond it the run is declared failed rather than looping.
+	crashCap := 100*n + 100
+
+	abortRun := func(reason string) {
+		if !aborted {
+			aborted = true
+			res.FailReason = reason
+		}
+	}
 
 	var tryStart func(vi int)
-	finish := func(vi, task int) {
+
+	// spawn opens a replacement lease for dead's unfinished tasks and
+	// returns its index. Fault recovery re-provisions through
+	// provision.Replace: same instance type, fresh BTU, boot lag.
+	spawn := func(model *plan.VM, tasks []int) int {
+		vm := provision.Replace(model, plan.VMID(len(vms)))
+		st := &vmState{vm: vm, queue: tasks, boot: rebootS, inc: nextInc, running: -1}
+		nextInc++
+		vms = append(vms, st)
+		vi := len(vms) - 1
+		for _, t := range tasks {
+			vmOf[t] = vi
+		}
+		res.ReplacementVMs++
+		return vi
+	}
+
+	// crash kills a leased VM: the running attempt is lost and the
+	// remaining queue is recovered per policy.
+	crash := func(st *vmState, vi int) {
+		if st.dead {
+			return
+		}
+		if st.head >= len(st.queue) && !st.busy {
+			return // the lease already ended at lastEnd
+		}
+		st.dead = true
+		st.deadAt = now
+		res.VMCrashes++
+		remaining := append([]int(nil), st.queue[st.head:]...)
+		if st.running >= 0 {
+			burned := now - res.TaskStart[st.running]
+			res.WastedSeconds += burned
+			st.busySum += burned
+			remaining = append([]int{st.running}, remaining...)
+			st.running = -1
+		}
+		if res.VMCrashes > crashCap {
+			abortRun(fmt.Sprintf("crash storm: %d VM crashes exceeded the recovery cap", res.VMCrashes))
+			return
+		}
+		if inj.Config().Recovery == fault.Fail {
+			abortRun(fmt.Sprintf("VM %d crashed at t=%.1fs (recovery=fail)", st.vm.ID, now))
+			return
+		}
+		if len(remaining) > 0 {
+			tryStart(spawn(st.vm, remaining))
+		}
+	}
+
+	finish := func(vi, task, att int, et float64) {
 		st := vms[vi]
+		if st.dead || attempt[task] != att {
+			return // the attempt was aborted by a crash
+		}
 		st.busy = false
+		st.running = -1
 		st.lastEnd = now
+		st.busySum += et
 		res.TaskEnd[task] = now
 		done++
 		// Propagate outputs to successors.
@@ -112,18 +254,61 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 				arrive += s.Platform.TransferTime(data, st.vm.Type, vms[vmOf[succ]].vm.Type)
 				res.Transfers++
 			}
-			target := vmOf[succ]
 			q.Push(arrive, func() {
 				pending[succ]--
-				tryStart(target)
+				// Resolve the consumer's VM at arrival time: recovery may
+				// have moved it since this transfer was dispatched.
+				tryStart(vmOf[succ])
 			})
 		}
 		tryStart(vi)
 	}
 
+	// failAttempt handles a transient abort of one attempt.
+	failAttempt := func(vi, task, att int, burned float64) {
+		st := vms[vi]
+		if st.dead || attempt[task] != att {
+			return
+		}
+		res.TaskFailures++
+		res.WastedSeconds += burned
+		st.busySum += burned
+		st.lastEnd = now // the lease must cover the burned time
+		st.running = -1
+		tfails[task]++
+		if inj.Config().Recovery == fault.Fail {
+			abortRun(fmt.Sprintf("task %d failed at t=%.1fs (recovery=fail)", task, now))
+			return
+		}
+		if tfails[task] > inj.Config().MaxRetries {
+			abortRun(fmt.Sprintf("task %d exhausted %d retries", task, inj.Config().MaxRetries))
+			return
+		}
+		switch inj.Config().Recovery {
+		case fault.Retry:
+			res.Retries++
+			st.head-- // the task returns to the head of this VM's queue
+			delay := inj.Backoff(tfails[task])
+			// The VM is held (and billed) through the backoff window.
+			q.Push(now+delay, func() {
+				if st.dead {
+					return
+				}
+				st.busy = false
+				tryStart(vi)
+			})
+		case fault.Resubmit:
+			res.Resubmits++
+			st.busy = false
+			nvi := spawn(st.vm, []int{task})
+			tryStart(vi) // the old VM proceeds with its next slot
+			tryStart(nvi)
+		}
+	}
+
 	tryStart = func(vi int) {
 		st := vms[vi]
-		if st.busy || st.head >= len(st.queue) {
+		if st.dead || st.busy || st.head >= len(st.queue) {
 			return
 		}
 		task := st.queue[st.head]
@@ -136,9 +321,17 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// the lease (and billing) begins now, the task after boot.
 			st.started = true
 			st.leaseAt = start
-			if cfg.BootTime > 0 && !st.bootDone {
+			if inj != nil {
+				if life := inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
+					q.Push(start+life, func() { crash(st, vi) })
+				}
+			}
+			if st.boot > 0 && !st.bootDone {
 				st.busy = true
-				q.Push(start+cfg.BootTime, func() {
+				q.Push(start+st.boot, func() {
+					if st.dead {
+						return
+					}
 					st.busy = false
 					st.bootDone = true
 					tryStart(vi)
@@ -149,9 +342,17 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		et := s.Platform.ExecTime(wf.Task(dag.TaskID(task)).Work, st.vm.Type)
 		st.busy = true
 		st.head++
-		st.busySum += et
+		attempt[task]++
+		att := attempt[task]
+		st.running = task
 		res.TaskStart[task] = start
-		q.Push(start+et, func() { finish(vi, task) })
+		if inj != nil {
+			if fails, frac := inj.AttemptFails(task, att); fails {
+				q.Push(start+frac*et, func() { failAttempt(vi, task, att, frac*et) })
+				return
+			}
+		}
+		q.Push(start+et, func() { finish(vi, task, att, et) })
 	}
 
 	// Kick off: every VM tries its head at time 0 (entry tasks).
@@ -159,7 +360,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		tryStart(vi)
 	}
 
-	for {
+	for !aborted {
 		e, ok := q.Pop()
 		if !ok {
 			break
@@ -172,7 +373,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		e.Fire()
 	}
 
-	if done != n {
+	res.CompletedTasks = done
+	res.Completed = done == n
+	if done != n && !aborted {
 		return nil, fmt.Errorf("sim: deadlock: %d of %d tasks completed", done, n)
 	}
 
@@ -180,13 +383,22 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		if !st.started {
 			continue
 		}
-		if st.lastEnd > res.Makespan {
-			res.Makespan = st.lastEnd
+		end := st.lastEnd
+		if st.dead {
+			end = st.deadAt
+		}
+		if end > res.Makespan {
+			res.Makespan = end
 		}
 		if st.vm.Prepaid {
 			continue // private-cloud capacity: no bill, no idle accounting
 		}
-		span := st.lastEnd - st.leaseAt
+		if end < st.leaseAt {
+			// An aborted run tore the lease down before anything completed;
+			// a started lease still bills its minimum (one BTU).
+			end = st.leaseAt
+		}
+		span := end - st.leaseAt
 		res.RentalCost += cloud.LeaseCost(span, st.vm.Type, st.vm.Region)
 		res.IdleTime += float64(cloud.BTUs(span))*cloud.BTU - st.busySum
 	}
