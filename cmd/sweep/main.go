@@ -7,18 +7,31 @@
 //	sweep -table all
 //	sweep -table 3 -seed 7
 //	sweep -csv results.csv -gnuplot fig4.dat -paranoid
+//	sweep -table none -progress -trace-out sweep.trace.json
+//
+// -trace-out writes a Chrome trace-event JSON timeline (open in Perfetto)
+// with two views in one file: the wall-clock execution of the sweep (one
+// track per worker, one span per grid cell) and the simulated replay of
+// every cell (one process per cell, one track per VM lease). -events-out
+// writes the raw per-cell event streams as NDJSON; the stream is
+// byte-identical at any worker count. -progress reports live cells/sec
+// and an ETA on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expconf"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workflows"
 )
@@ -37,6 +50,9 @@ func main() {
 		confPath = flag.String("config", "", "JSON experiment description (see internal/expconf); overrides -seed/-extended")
 		htmlDir  = flag.String("html", "", "write one self-contained HTML report per workflow into this directory")
 		texPath  = flag.String("latex", "", "write the grid as booktabs LaTeX tables to this file")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (Perfetto) to this file")
+		evOut    = flag.String("events-out", "", "write the per-cell simulated event streams as NDJSON to this file")
+		progress = flag.Bool("progress", false, "report live sweep progress (cells/sec, ETA) on stderr")
 
 		faultPreset = flag.String("fault-scenario", "", "named fault preset: "+strings.Join(fault.PresetNames(), ", "))
 		faultRate   = flag.Float64("fault-rate", 0, "VM crash rate per VM-hour (0 = perfect cloud)")
@@ -52,10 +68,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	if err := run(*seed, *table, *csvPath, *gnuPath, *paranoid, *grid, *seeds, *mdPath, *extended, *confPath, *htmlDir, *texPath, faults); err != nil {
+	opts := options{
+		seed: *seed, table: *table, csvPath: *csvPath, gnuPath: *gnuPath,
+		paranoid: *paranoid, grid: *grid, seeds: *seeds, mdPath: *mdPath,
+		extended: *extended, confPath: *confPath, htmlDir: *htmlDir,
+		texPath: *texPath, traceOut: *traceOut, eventsOut: *evOut,
+		progress: *progress, faults: faults,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// options gathers the CLI surface of one sweep invocation.
+type options struct {
+	seed                uint64
+	table               string
+	csvPath, gnuPath    string
+	paranoid, grid      bool
+	seeds               int
+	mdPath              string
+	extended            bool
+	confPath            string
+	htmlDir, texPath    string
+	traceOut, eventsOut string
+	progress            bool
+	faults              *fault.Config
 }
 
 // faultConfig assembles the CLI fault model: a preset as the base, with
@@ -91,28 +130,50 @@ func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS
 	return &cfg, nil
 }
 
-func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds int, mdPath string, extended bool, confPath, htmlDir, texPath string, faults *fault.Config) error {
-	cfg := core.Config{Seed: seed, Paranoid: paranoid}
-	if extended {
+func run(o options) error {
+	cfg := core.Config{Seed: o.seed, Paranoid: o.paranoid}
+	if o.extended {
 		cfg.Workflows = workflows.Extended()
 		cfg.WorkflowOrder = workflows.ExtendedNames()
 	}
-	if confPath != "" {
+	if o.confPath != "" {
 		var err error
-		if cfg, err = expconf.LoadFile(confPath); err != nil {
+		if cfg, err = expconf.LoadFile(o.confPath); err != nil {
 			return err
 		}
 	}
-	if faults.Active() {
+	if o.faults.Active() {
 		// CLI fault flags override any config-file fault block.
-		cfg.Faults = faults
+		cfg.Faults = o.faults
+	}
+	var col *obs.Collector
+	if o.traceOut != "" || o.eventsOut != "" {
+		col = &obs.Collector{}
+		cfg.Recorder = col
+	}
+	if o.progress {
+		cfg.Progress = newProgressMeter(os.Stderr).update
 	}
 	s, err := core.Run(cfg)
 	if err != nil {
 		return err
 	}
+	if o.traceOut != "" {
+		if err := writeArtifact(o.traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, col.Events, s.CellSpans)
+		}); err != nil {
+			return err
+		}
+	}
+	if o.eventsOut != "" {
+		if err := writeArtifact(o.eventsOut, func(w io.Writer) error {
+			return obs.WriteNDJSON(w, col.Events)
+		}); err != nil {
+			return err
+		}
+	}
 
-	switch table {
+	switch o.table {
 	case "1":
 		fmt.Println(report.Table1())
 	case "2":
@@ -139,10 +200,10 @@ func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds
 		fmt.Println(t5)
 	case "none":
 	default:
-		return fmt.Errorf("unknown table %q", table)
+		return fmt.Errorf("unknown table %q", o.table)
 	}
 
-	if grid {
+	if o.grid {
 		printGrid(s)
 		fmt.Println(report.Summary(s))
 	}
@@ -150,82 +211,118 @@ func run(seed uint64, table, csvPath, gnuPath string, paranoid, grid bool, seeds
 		fmt.Printf("fault model: %s (seed %d)\n", cfg.Faults, cfg.Faults.Seed)
 		printReliability(s)
 	}
-	if seeds > 0 {
-		rows, err := core.MultiSeed(core.Config{Paranoid: paranoid}, seed, seeds)
+	if o.seeds > 0 {
+		rows, err := core.MultiSeed(core.Config{Paranoid: o.paranoid}, o.seed, o.seeds)
 		if err != nil {
 			return err
 		}
 		fmt.Println(report.StabilityTable(rows))
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
+	if o.csvPath != "" {
+		if err := writeArtifact(o.csvPath, func(w io.Writer) error {
+			return report.WriteSweepCSV(w, s)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := report.WriteSweepCSV(f, s); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
 	}
-	if mdPath != "" {
-		f, err := os.Create(mdPath)
-		if err != nil {
+	if o.mdPath != "" {
+		if err := writeArtifact(o.mdPath, func(w io.Writer) error {
+			return report.WriteMarkdown(w, s)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := report.WriteMarkdown(f, s); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", mdPath)
 	}
-	if gnuPath != "" {
-		f, err := os.Create(gnuPath)
-		if err != nil {
+	if o.gnuPath != "" {
+		if err := writeArtifact(o.gnuPath, func(w io.Writer) error {
+			return report.WriteGnuplotData(w, s)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := report.WriteGnuplotData(f, s); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", gnuPath)
 	}
-	if texPath != "" {
-		f, err := os.Create(texPath)
-		if err != nil {
+	if o.texPath != "" {
+		if err := writeArtifact(o.texPath, func(w io.Writer) error {
+			if err := report.WriteLaTeX(w, s); err != nil {
+				return err
+			}
+			return report.WriteLaTeXTable4(w, s)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := report.WriteLaTeX(f, s); err != nil {
-			return err
-		}
-		if err := report.WriteLaTeXTable4(f, s); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", texPath)
 	}
-	if htmlDir != "" {
-		if err := os.MkdirAll(htmlDir, 0o755); err != nil {
+	if o.htmlDir != "" {
+		if err := os.MkdirAll(o.htmlDir, 0o755); err != nil {
 			return err
 		}
 		gantts := []string{"OneVMperTask-s", "StartParExceed-s", "AllParExceed-m", "AllPar1LnSDyn"}
 		for _, wf := range s.Workflows() {
-			path := filepath.Join(htmlDir, strings.ToLower(wf)+".html")
-			f, err := os.Create(path)
-			if err != nil {
+			path := filepath.Join(o.htmlDir, strings.ToLower(wf)+".html")
+			if err := writeArtifact(path, func(w io.Writer) error {
+				return report.WriteHTML(w, s, wf, gantts)
+			}); err != nil {
 				return err
 			}
-			if err := report.WriteHTML(f, s, wf, gantts); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
 	return nil
+}
+
+// writeArtifact creates path, hands it to write, closes it, and reports
+// the artifact on stderr (stdout carries the tables).
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// progressMeter renders a live one-line progress report: completed cells,
+// throughput, and the ETA extrapolated from the mean cell rate. Updates
+// arrive concurrently from the sweep's workers; output is throttled so a
+// fast sweep does not flood the terminal.
+type progressMeter struct {
+	w     io.Writer
+	start time.Time
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+func newProgressMeter(w io.Writer) *progressMeter {
+	return &progressMeter{w: w, start: time.Now()}
+}
+
+func (p *progressMeter) update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	rate := float64(done) / elapsed
+	eta := 0.0
+	if rate > 0 {
+		eta = float64(total-done) / rate
+	}
+	fmt.Fprintf(p.w, "\rsweep: %d/%d cells (%.0f%%)  %.1f cells/s  ETA %.1fs ",
+		done, total, 100*float64(done)/float64(total), rate, eta)
+	if done == total {
+		fmt.Fprintf(p.w, "\rsweep: %d cells in %.1fs (%.1f cells/s)          \n",
+			total, elapsed, rate)
+	}
 }
 
 // printReliability dumps one row per grid cell with the fault-replay

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,20 +11,20 @@ import (
 
 func TestRunAllTables(t *testing.T) {
 	for _, table := range []string{"1", "2", "3", "4", "5", "all", "none"} {
-		if err := run(1, table, "", "", false, false, 0, "", false, "", "", "", nil); err != nil {
+		if err := run(options{seed: 1, table: table}); err != nil {
 			t.Errorf("table %s: %v", table, err)
 		}
 	}
 }
 
 func TestRunUnknownTable(t *testing.T) {
-	if err := run(1, "9", "", "", false, false, 0, "", false, "", "", "", nil); err == nil {
+	if err := run(options{seed: 1, table: "9"}); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
 
 func TestRunGrid(t *testing.T) {
-	if err := run(1, "none", "", "", false, true, 0, "", false, "", "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", grid: true}); err != nil {
 		t.Error(err)
 	}
 }
@@ -32,7 +33,7 @@ func TestRunWritesCSVAndGnuplot(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "grid.csv")
 	gnuPath := filepath.Join(dir, "fig4.dat")
-	if err := run(1, "none", csvPath, gnuPath, false, false, 0, "", false, "", "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", csvPath: csvPath, gnuPath: gnuPath}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(csvPath)
@@ -53,20 +54,20 @@ func TestRunWritesCSVAndGnuplot(t *testing.T) {
 }
 
 func TestRunParanoid(t *testing.T) {
-	if err := run(1, "none", "", "", true, false, 0, "", false, "", "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", paranoid: true}); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunStabilitySeeds(t *testing.T) {
-	if err := run(1, "none", "", "", false, false, 2, "", false, "", "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", seeds: 2}); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunExtendedCorpusWithMarkdown(t *testing.T) {
 	mdPath := filepath.Join(t.TempDir(), "report.md")
-	if err := run(1, "4", "", "", false, false, 0, mdPath, true, "", "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "4", mdPath: mdPath, extended: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(mdPath)
@@ -93,17 +94,17 @@ func TestRunWithConfigFile(t *testing.T) {
 	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "none", "", "", false, true, 0, "", false, cfgPath, "", "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", grid: true, confPath: cfgPath}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "none", "", "", false, false, 0, "", false, "/no/such/file.json", "", "", nil); err == nil {
+	if err := run(options{seed: 1, table: "none", confPath: "/no/such/file.json"}); err == nil {
 		t.Error("missing config accepted")
 	}
 }
 
 func TestRunWritesHTMLReports(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "html")
-	if err := run(1, "none", "", "", false, false, 0, "", false, "", dir, "", nil); err != nil {
+	if err := run(options{seed: 1, table: "none", htmlDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "montage.html"))
@@ -117,7 +118,7 @@ func TestRunWritesHTMLReports(t *testing.T) {
 
 func TestRunWritesLaTeX(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tables.tex")
-	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", path, nil); err != nil {
+	if err := run(options{seed: 1, table: "none", texPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -153,7 +154,59 @@ func TestRunFaultSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "none", "", "", false, false, 0, "", false, "", "", "", faults); err != nil {
+	if err := run(options{seed: 1, table: "none", faults: faults}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunWritesTraceAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	doc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s", "AllParExceed-s"],
+	  "workflows": [{"name": "Sequential"}]}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "sweep.trace.json")
+	evPath := filepath.Join(dir, "sweep.ndjson")
+	if err := run(options{seed: 1, table: "none", confPath: cfgPath,
+		traceOut: tracePath, eventsOut: evPath}); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docJSON struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &docJSON); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(docJSON.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// Two cells were swept: the NDJSON stream must carry both markers.
+	evData, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(evData), `"cell_start"`); got != 2 {
+		t.Fatalf("cell_start markers = %d, want 2", got)
+	}
+}
+
+func TestProgressMeter(t *testing.T) {
+	var sb strings.Builder
+	p := newProgressMeter(&sb)
+	p.update(1, 4)
+	p.update(4, 4)
+	out := sb.String()
+	if !strings.Contains(out, "1/4") || !strings.Contains(out, "cells/s") {
+		t.Fatalf("progress output missing fields: %q", out)
+	}
+	if !strings.Contains(out, "4 cells in") {
+		t.Fatalf("no completion line: %q", out)
 	}
 }

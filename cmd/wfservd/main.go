@@ -6,27 +6,37 @@
 //
 //	wfservd -addr :8080
 //	wfservd -addr 127.0.0.1:9090 -workers 8 -queue 64 -cache 8192
+//	wfservd -addr :8080 -pprof
 //
 // Endpoints:
 //
 //	POST /v1/schedule   plan one workflow with one strategy
 //	POST /v1/compare    run all 19 catalog strategies on one workflow
 //	GET  /v1/catalog    valid strategy/workflow/scenario/region names
-//	GET  /metrics       operational counters + latency percentiles (JSON)
+//	GET  /metrics       Prometheus text exposition (?format=json for the
+//	                    legacy snapshot document)
 //	GET  /healthz       200 serving / 503 draining
+//	GET  /debug/pprof/  runtime profiles     (only with -pprof)
+//	GET  /debug/vars    expvar metric bridge (only with -pprof)
 //
-// On SIGTERM or SIGINT the daemon stops accepting connections, flips
-// /healthz to 503, drains in-flight requests (bounded by -drain), and
-// exits cleanly.
+// Requests are logged through log/slog with per-request IDs (inbound
+// X-Request-ID is honored). On SIGTERM or SIGINT the daemon stops
+// accepting connections, flips /healthz to 503, drains in-flight requests
+// (bounded by -drain), and logs the drain outcome — how many requests
+// completed during the drain and how many were aborted by the deadline —
+// before exiting.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,20 +53,26 @@ func main() {
 		cacheN  = flag.Int("cache", 0, "result cache capacity in entries (0 = 4096)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request planning timeout")
 		drain   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		pprofOn = flag.Bool("pprof", false, "mount /debug/pprof/* and /debug/vars")
+		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheN,
 		RequestTimeout: *timeout,
 	}
-	if err := run(ctx, *addr, cfg, *drain, nil); err != nil {
-		fmt.Fprintln(os.Stderr, "wfservd:", err)
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	if err := run(ctx, *addr, cfg, *drain, *pprofOn, nil); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
@@ -64,20 +80,44 @@ func main() {
 // run serves until ctx is cancelled (the signal), then drains and
 // returns. If ready is non-nil it receives the bound listen address once
 // the daemon is accepting connections (used by tests binding port 0).
-func run(ctx context.Context, addr string, cfg service.Config, drain time.Duration, ready chan<- string) error {
+func run(ctx context.Context, addr string, cfg service.Config, drain time.Duration,
+	pprofOn bool, ready chan<- string) error {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	svc := service.New(cfg)
 	defer svc.Close()
+
+	handler := svc.Handler()
+	if pprofOn {
+		// Explicit mounts rather than the pprof package's init side
+		// effects on http.DefaultServeMux: the service's own mux stays in
+		// charge of everything outside /debug/.
+		svc.Registry().PublishExpvar("wfservd")
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "wfservd: serving on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), cfg.Fill().Workers, cfg.Fill().QueueDepth, cfg.Fill().CacheSize)
+	filled := cfg.Fill()
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"workers", filled.Workers, "queue", filled.QueueDepth,
+		"cache", filled.CacheSize, "pprof", pprofOn)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -90,16 +130,22 @@ func run(ctx context.Context, addr string, cfg service.Config, drain time.Durati
 
 	// Graceful drain: stop routing (healthz 503), stop accepting, finish
 	// in-flight requests, then stop the worker pool (deferred Close).
-	fmt.Fprintln(os.Stderr, "wfservd: signal received, draining")
+	logger.Info("signal received, draining", "deadline", drain.String())
 	svc.StartDraining()
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("drain: %w", err)
+	shutErr := httpSrv.Shutdown(drainCtx)
+	completed, aborted := svc.DrainCompleted(), svc.Active()
+	if shutErr != nil {
+		// The deadline expired with requests still in flight: report the
+		// casualties, then surface the error.
+		logger.Warn("drain deadline exceeded",
+			"completed", completed, "aborted", aborted)
+		return fmt.Errorf("drain: %w", shutErr)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "wfservd: drained, bye")
+	logger.Info("drained", "completed", completed, "aborted", aborted)
 	return nil
 }

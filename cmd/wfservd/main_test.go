@@ -27,7 +27,7 @@ func TestSIGTERMDrainsInflight(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, QueueDepth: 8}, 30*time.Second, ready)
+		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, QueueDepth: 8}, 30*time.Second, false, ready)
 	}()
 	var addr string
 	select {
@@ -103,8 +103,54 @@ func TestSIGTERMDrainsInflight(t *testing.T) {
 // TestRunListenError pins the failure path: a bad address errors out
 // instead of hanging.
 func TestRunListenError(t *testing.T) {
-	err := run(context.Background(), "256.256.256.256:1", service.Config{}, time.Second, nil)
+	err := run(context.Background(), "256.256.256.256:1", service.Config{}, time.Second, false, nil)
 	if err == nil {
 		t.Fatal("bogus listen address did not error")
+	}
+}
+
+// TestPprofAndExpvarMounts boots the daemon with -pprof semantics on and
+// checks the debug surface: the pprof index answers, /debug/vars serves
+// the expvar bridge with the wfservd registry inside, and the service's
+// own endpoints still resolve through the fallback mux.
+func TestPprofAndExpvarMounts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 1, QueueDepth: 4}, time.Second, true, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+	base := "http://" + addr
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(b), "wfservd") {
+			t.Fatalf("/debug/vars missing wfservd bridge: %s", b)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
 	}
 }

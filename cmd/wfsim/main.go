@@ -8,6 +8,12 @@
 //	wfsim -wf my-workflow.json -strategy CPA-Eager -gantt=false
 //	wfsim -wf CSTEM -strategy GAIN -boot 120
 //	wfsim -wf Montage -strategy HEFT-s -fault-rate 0.5 -recovery resubmit
+//	wfsim -wf Montage -strategy GAIN -trace-out montage.trace.json
+//
+// -trace-out writes the simulated replay as Chrome trace-event JSON
+// (open in Perfetto or chrome://tracing: one track per VM lease showing
+// boot/task/idle spans, BTU boundaries, and crashes); -events-out writes
+// the raw event stream as NDJSON.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/dax"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -41,6 +48,8 @@ func main() {
 		gantt    = flag.Bool("gantt", true, "print the per-VM Gantt chart")
 		svgPath  = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this file")
 		csvPath  = flag.String("tracecsv", "", "write the schedule's task slots as CSV to this file")
+		traceOut = flag.String("trace-out", "", "write the simulated replay as Chrome trace-event JSON (Perfetto) to this file")
+		evOut    = flag.String("events-out", "", "write the simulated replay's event stream as NDJSON to this file")
 		list     = flag.Bool("list", false, "list available strategies and exit")
 
 		faultRate = flag.Float64("fault-rate", 0, "VM crash rate per VM-hour (0 = perfect cloud)")
@@ -74,13 +83,13 @@ func main() {
 			Seed:         *faultSeed,
 		}
 	}
-	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath, faults); err != nil {
+	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath, *traceOut, *evOut, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath string, faults *fault.Config) error {
+func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath, traceOut, eventsOut string, faults *fault.Config) error {
 	wf, err := loadWorkflow(wfArg)
 	if err != nil {
 		return err
@@ -129,37 +138,39 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 		fmt.Println(trace.Gantt(s, 100))
 	}
 	if svgPath != "" {
-		f, err := os.Create(svgPath)
-		if err != nil {
+		if err := writeFile(svgPath, func(f *os.File) error { return trace.SVG(f, s) }); err != nil {
 			return err
 		}
-		if err := trace.SVG(f, s); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", svgPath)
 	}
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
+		if err := writeFile(csvPath, func(f *os.File) error { return trace.WriteCSV(f, s) }); err != nil {
 			return err
 		}
-		if err := trace.WriteCSV(f, s); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", csvPath)
 	}
 
-	res, err := sim.Run(s, sim.Config{BootTime: boot, Faults: faults})
+	simCfg := sim.Config{BootTime: boot, Faults: faults}
+	var col *obs.Collector
+	if traceOut != "" || eventsOut != "" {
+		col = &obs.Collector{}
+		simCfg.Recorder = col
+	}
+	res, err := sim.Run(s, simCfg)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, col.Events, nil)
+		}); err != nil {
+			return err
+		}
+	}
+	if eventsOut != "" {
+		if err := writeFile(eventsOut, func(f *os.File) error {
+			return obs.WriteNDJSON(f, col.Events)
+		}); err != nil {
+			return err
+		}
 	}
 	switch {
 	case faults.Active():
@@ -183,6 +194,24 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 		}
 		fmt.Printf("simulator check: OK (%d events, %d transfers)\n", res.Events, res.Transfers)
 	}
+	return nil
+}
+
+// writeFile creates path, hands it to write, closes it, and reports the
+// artifact on stdout.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

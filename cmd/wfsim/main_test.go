@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
@@ -10,7 +12,7 @@ import (
 
 func TestRunBuiltinWorkflows(t *testing.T) {
 	for _, wf := range []string{"Montage", "CSTEM", "MapReduce", "Sequential", "Fig1"} {
-		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
+		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
 			t.Errorf("%s: %v", wf, err)
 		}
 	}
@@ -18,21 +20,21 @@ func TestRunBuiltinWorkflows(t *testing.T) {
 
 func TestRunScenarios(t *testing.T) {
 	for _, sc := range []string{"Pareto", "Best case", "Worst case", "none"} {
-		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
+		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
 			t.Errorf("%s: %v", sc, err)
 		}
 	}
 }
 
 func TestRunWithBootTime(t *testing.T) {
-	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", "", nil); err != nil {
+	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.svg")
-	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, "", nil); err != nil {
+	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, "", "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -51,7 +53,7 @@ func TestRunJSONWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
+	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -66,7 +68,7 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", "", nil); err != nil {
+	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -74,16 +76,16 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cases := map[string]func() error{
 		"unknown workflow": func() error {
-			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", nil)
+			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
 		},
 		"unknown strategy": func() error {
-			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "", nil)
+			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
 		},
 		"unknown scenario": func() error {
-			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "", nil)
+			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
 		},
 		"unknown region": func() error {
-			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "", nil)
+			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "", "", "", nil)
 		},
 	}
 	for name, f := range cases {
@@ -95,7 +97,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunWritesTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path, nil); err != nil {
+	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -107,14 +109,46 @@ func TestRunWritesTraceCSV(t *testing.T) {
 	}
 }
 
+func TestRunWritesTraceAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	evPath := filepath.Join(dir, "run.ndjson")
+	if err := run("Montage", "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", tracePath, evPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output has no events")
+	}
+	evData, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(evData)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("NDJSON line %d invalid: %v", i+1, err)
+		}
+	}
+}
+
 func TestRunWithFaults(t *testing.T) {
 	faults := &fault.Config{CrashRate: 0.5, TaskFailProb: 0.05, Recovery: fault.Resubmit, RebootS: 30, Seed: 7}
-	if err := run("Montage", "OneVMperTask-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", faults); err != nil {
+	if err := run("Montage", "OneVMperTask-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", faults); err != nil {
 		t.Error(err)
 	}
 	// The fail policy may abort the run; that is still a successful report.
 	failFast := &fault.Config{TaskFailProb: 1, Recovery: fault.Fail, Seed: 7}
-	if err := run("Sequential", "OneVMperTask-s", "Best case", 1, "us-east-virginia", 0, false, "", "", failFast); err != nil {
+	if err := run("Sequential", "OneVMperTask-s", "Best case", 1, "us-east-virginia", 0, false, "", "", "", "", failFast); err != nil {
 		t.Error(err)
 	}
 }

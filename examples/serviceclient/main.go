@@ -79,9 +79,10 @@ func main() {
 			row.Strategy, row.GainPct, row.LossPct, row.Category)
 	}
 
-	// 5. Operational counters.
+	// 5. Operational counters. The bare endpoint serves Prometheus text;
+	// the JSON summary is behind ?format=json.
 	var m service.MetricsSnapshot
-	getJSON(base+"/metrics", &m)
+	getJSON(base+"/metrics?format=json", &m)
 	fmt.Printf("\nmetrics: %d requests, cache hit ratio %.2f, p95 plan latency %.3fs\n",
 		m.RequestsTotal, m.CacheHitRatio, m.LatencyP95S)
 }

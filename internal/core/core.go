@@ -14,11 +14,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -63,6 +65,19 @@ type Config struct {
 	// stochastic input is derived from the per-cell key, not from
 	// execution order.
 	Workers int
+	// Recorder, when non-nil, receives the simulated-time telemetry of
+	// every cell: each schedule is replayed through the discrete-event
+	// simulator (under Faults when active) with event recording on, and
+	// the per-cell streams are delivered in grid order, each introduced
+	// by a KindCellStart marker. The stream is byte-identical at any
+	// worker count. The sweep's wall-clock execution timeline lands in
+	// Sweep.CellSpans instead, keeping wall time out of the deterministic
+	// stream.
+	Recorder obs.Recorder
+	// Progress, when non-nil, is called after each evaluated cell with
+	// the running completion count and the grid size. It is called from
+	// worker goroutines and must be safe for concurrent use and cheap.
+	Progress func(done, total int)
 }
 
 // Fill populates nil fields with the paper's defaults and returns the
@@ -122,7 +137,11 @@ type Result struct {
 type Sweep struct {
 	Config     Config
 	Strategies []string
-	results    map[Key]Result
+	// CellSpans is the wall-clock execution timeline of the sweep — one
+	// span per evaluated cell, tagged with the worker that ran it. Only
+	// populated when Config.Recorder was set; ordered by grid index.
+	CellSpans []obs.WallSpan
+	results   map[Key]Result
 }
 
 // Run executes the sweep. With cfg.Paranoid set it cross-checks every
@@ -186,6 +205,16 @@ func Run(cfg Config) (*Sweep, error) {
 	}
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
+	// Per-cell event streams and wall spans, collected independently and
+	// merged in grid order after the join so that the recorded stream is
+	// identical at any worker count.
+	var cellEvents [][]obs.Event
+	var spans []obs.WallSpan
+	if cfg.Recorder != nil {
+		cellEvents = make([][]obs.Event, len(jobs))
+		spans = make([]obs.WallSpan, len(jobs))
+	}
+	runStart := time.Now()
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -198,10 +227,11 @@ func Run(cfg Config) (*Sweep, error) {
 		workers = 1
 	}
 	var next int64 = -1
+	var done int64
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
-		go func() {
+		go func(wkr int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
@@ -209,6 +239,7 @@ func Run(cfg Config) (*Sweep, error) {
 					return
 				}
 				j := jobs[i]
+				t0 := time.Since(runStart)
 				sch, err := j.alg.Schedule(j.p.w.Clone(), opts)
 				if err != nil {
 					errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
@@ -231,23 +262,51 @@ func Run(cfg Config) (*Sweep, error) {
 					Energy:           metrics.DefaultEnergyModel().Energy(sch),
 					CoRentRecovered:  recovered,
 				}
-				if cfg.Faults.Active() {
-					// Each cell replays under its own derived fault seed:
-					// deterministic, and independent of the order workers
-					// pick up jobs.
-					fc := *cfg.Faults
-					fc.Seed = fault.CellSeed(fc.Seed, j.p.wfName, j.p.sc.String(), j.alg.Name())
-					fres, err := sim.Run(sch, sim.Config{Faults: &fc})
+				// A cell replays through the simulator when the sweep runs
+				// under a fault model (for reliability metrics), when
+				// telemetry is requested, or both in one pass.
+				if cfg.Faults.Active() || cfg.Recorder != nil {
+					sc := sim.Config{}
+					if cfg.Faults.Active() {
+						// Each cell replays under its own derived fault seed:
+						// deterministic, and independent of the order workers
+						// pick up jobs.
+						fc := *cfg.Faults
+						fc.Seed = fault.CellSeed(fc.Seed, j.p.wfName, j.p.sc.String(), j.alg.Name())
+						sc.Faults = &fc
+					}
+					var col *obs.Collector
+					if cfg.Recorder != nil {
+						col = &obs.Collector{}
+						sc.Recorder = col
+					}
+					fres, err := sim.Run(sch, sc)
 					if err != nil {
-						errs[i] = fmt.Errorf("core: faulty replay of %s on %s/%v: %w",
+						errs[i] = fmt.Errorf("core: replay of %s on %s/%v: %w",
 							j.alg.Name(), j.p.wfName, j.p.sc, err)
 						continue
 					}
-					rel := metrics.ReliabilityOf(sch, fres)
-					results[i].Reliability = &rel
+					if cfg.Faults.Active() {
+						rel := metrics.ReliabilityOf(sch, fres)
+						results[i].Reliability = &rel
+					}
+					if col != nil {
+						cellEvents[i] = col.Events
+					}
+				}
+				if cfg.Recorder != nil {
+					spans[i] = obs.WallSpan{
+						Name:   j.p.wfName + "/" + j.p.sc.String() + "/" + j.alg.Name(),
+						Worker: wkr,
+						Start:  t0,
+						End:    time.Since(runStart),
+					}
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(int(atomic.AddInt64(&done, 1)), len(jobs))
 				}
 			}
-		}()
+		}(wkr)
 	}
 	wg.Wait()
 
@@ -256,6 +315,21 @@ func Run(cfg Config) (*Sweep, error) {
 			return nil, err
 		}
 		s.results[results[i].Key] = results[i]
+	}
+	// Replay the per-cell streams into the recorder in grid order, each
+	// behind its marker: the stream's bytes depend only on the grid and the
+	// seeds, never on worker interleaving.
+	if cfg.Recorder != nil {
+		for i, j := range jobs {
+			cfg.Recorder.Record(obs.Event{
+				Kind: obs.KindCellStart, VM: -1, Task: -1,
+				Label: j.p.wfName + "/" + j.p.sc.String() + "/" + j.alg.Name(),
+			})
+			for _, ev := range cellEvents[i] {
+				cfg.Recorder.Record(ev)
+			}
+		}
+		s.CellSpans = spans
 	}
 	return s, nil
 }

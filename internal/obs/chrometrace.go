@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace renders an event stream (plus optional wall-clock
+// sweep spans) as Chrome trace-event JSON, the format Perfetto and
+// chrome://tracing open directly.
+//
+// Simulated time becomes one process per sweep cell (or a single
+// "simulation" process for a lone run), with one track (thread) per VM
+// lease incarnation. Each track nests: the lease span encloses a boot
+// span, the task-attempt spans, and synthesized idle spans filling the
+// gaps up to the lease teardown; BTU rollovers and crashes appear as
+// instant markers. Cross-VM transfers render as async spans. Simulated
+// seconds are written as trace "microseconds" scaled by 1e6, so the
+// UI's second ruler reads directly as simulated seconds.
+//
+// Wall-clock spans become one extra "sweep wall-clock" process with one
+// track per worker — the execution timeline of the sweep itself.
+func WriteChromeTrace(w io.Writer, events []Event, walls []WallSpan) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	tw := &traceWriter{w: bw}
+
+	// Wall-clock process (pid 0).
+	if len(walls) > 0 {
+		tw.meta(0, 0, "process_name", map[string]any{"name": "sweep wall-clock"})
+		workers := map[int]bool{}
+		for _, sp := range walls {
+			if !workers[sp.Worker] {
+				workers[sp.Worker] = true
+				tw.meta(0, sp.Worker+1, "thread_name",
+					map[string]any{"name": fmt.Sprintf("worker %d", sp.Worker)})
+			}
+			tw.span(0, sp.Worker+1, sp.Name, "cell",
+				sp.Start.Seconds()*1e6, (sp.End-sp.Start).Seconds()*1e6, nil)
+		}
+	}
+
+	// Simulated-time processes: one per cell marker (pid 1, 2, ...).
+	for i, cell := range splitCells(events) {
+		tw.writeCell(i+1, cell.name, cell.events)
+	}
+	if tw.err != nil {
+		return tw.err
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// cellEvents is one simulated replay's event group.
+type cellEvents struct {
+	name   string
+	events []Event
+}
+
+// splitCells groups a stream on its KindCellStart markers. A stream with
+// no markers (a single wfsim run) is one anonymous cell.
+func splitCells(events []Event) []cellEvents {
+	var cells []cellEvents
+	cur := cellEvents{name: "simulation"}
+	for _, ev := range events {
+		if ev.Kind == KindCellStart {
+			if len(cur.events) > 0 {
+				cells = append(cells, cur)
+			}
+			cur = cellEvents{name: ev.Label}
+			continue
+		}
+		cur.events = append(cur.events, ev)
+	}
+	if len(cur.events) > 0 {
+		cells = append(cells, cur)
+	}
+	return cells
+}
+
+// traceWriter emits trace events as compact JSON, one per line.
+type traceWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+	flow  int // async transfer ID allocator
+}
+
+// traceEvent is one Chrome trace-event record. encoding/json emits the
+// fields in declared order, so output is deterministic.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (tw *traceWriter) emit(ev traceEvent) {
+	if tw.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if tw.first {
+		if _, err := tw.w.WriteString(",\n"); err != nil {
+			tw.err = err
+			return
+		}
+	}
+	tw.first = true
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+	}
+}
+
+func (tw *traceWriter) meta(pid, tid int, name string, args map[string]any) {
+	tw.emit(traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args})
+}
+
+func (tw *traceWriter) span(pid, tid int, name, cat string, ts, dur float64, args map[string]any) {
+	tw.emit(traceEvent{Name: name, Ph: "X", Ts: ts, Dur: &dur, Pid: pid, Tid: tid, Cat: cat, Args: args})
+}
+
+func (tw *traceWriter) instant(pid, tid int, name, cat string, ts float64) {
+	tw.emit(traceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Cat: cat, S: "t"})
+}
+
+// vmTrack accumulates one lease incarnation's timeline while scanning.
+type vmTrack struct {
+	vm         int
+	label      string  // instance type from the lease-start event
+	leaseStart float64 // simulated seconds
+	leaseEnd   float64
+	cost       float64
+	crashed    bool
+	busy       []busySpan
+	marks      []mark // BTU rollovers, crash
+	seen       bool
+}
+
+type busySpan struct {
+	name       string
+	start, end float64
+	attempt    int32
+	status     string // "", "failed", "crashed"
+}
+
+type mark struct {
+	name string
+	t    float64
+}
+
+// writeCell renders one simulated replay as a trace process.
+func (tw *traceWriter) writeCell(pid int, name string, events []Event) {
+	tw.meta(pid, 0, "process_name", map[string]any{"name": name})
+
+	tracks := map[int]*vmTrack{}
+	var order []int
+	track := func(vm int32) *vmTrack {
+		t, ok := tracks[int(vm)]
+		if !ok {
+			t = &vmTrack{vm: int(vm)}
+			tracks[int(vm)] = t
+			order = append(order, int(vm))
+		}
+		return t
+	}
+	// open maps a VM to its in-flight attempt's index in busy.
+	open := map[int]int{}
+
+	type transfer struct {
+		task       int32
+		from       int32
+		start, end float64
+		bytes      float64
+	}
+	var transfers []transfer
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindVMLeaseStart:
+			t := track(ev.VM)
+			t.seen = true
+			t.label = ev.Label
+			t.leaseStart = ev.T
+			t.leaseEnd = ev.T // until the stop event says otherwise
+			if ev.Value > 0 {
+				t.busy = append(t.busy, busySpan{name: "boot", start: ev.T, end: ev.T + ev.Value})
+			}
+		case KindVMLeaseStop:
+			t := track(ev.VM)
+			t.leaseEnd = ev.T
+			t.cost = ev.Value
+		case KindVMBTURollover:
+			t := track(ev.VM)
+			t.marks = append(t.marks, mark{name: "BTU", t: ev.T})
+		case KindVMCrash:
+			t := track(ev.VM)
+			t.crashed = true
+			t.marks = append(t.marks, mark{name: "crash", t: ev.T})
+			if i, ok := open[int(ev.VM)]; ok {
+				t.busy[i].end = ev.T
+				t.busy[i].status = "crashed"
+				delete(open, int(ev.VM))
+			}
+		case KindTaskStart:
+			t := track(ev.VM)
+			name := ev.Label
+			if name == "" {
+				name = fmt.Sprintf("task %d", ev.Task)
+			}
+			open[int(ev.VM)] = len(t.busy)
+			t.busy = append(t.busy, busySpan{
+				name: name, start: ev.T, end: ev.T + ev.Value, attempt: ev.Attempt,
+			})
+		case KindTaskFinish:
+			if i, ok := open[int(ev.VM)]; ok {
+				track(ev.VM).busy[i].end = ev.T
+				delete(open, int(ev.VM))
+			}
+		case KindTaskFail:
+			if i, ok := open[int(ev.VM)]; ok {
+				t := track(ev.VM)
+				t.busy[i].end = ev.T
+				t.busy[i].status = "failed"
+				delete(open, int(ev.VM))
+			}
+		case KindTransferStart:
+			transfers = append(transfers, transfer{
+				task: ev.Task, from: ev.VM, start: ev.T, end: ev.T, bytes: ev.Value,
+			})
+		case KindTransferEnd:
+			// Ends pair with the most recent unmatched start for the task.
+			for i := len(transfers) - 1; i >= 0; i-- {
+				if transfers[i].task == ev.Task && transfers[i].end == transfers[i].start {
+					transfers[i].end = ev.T
+					break
+				}
+			}
+		}
+	}
+
+	// Tracks render in VM order, not first-event order.
+	sort.Ints(order)
+	for _, vm := range order {
+		t := tracks[vm]
+		if !t.seen {
+			continue // events for a VM whose lease never opened
+		}
+		tid := vm + 1
+		tw.meta(pid, tid, "thread_name", map[string]any{"name": fmt.Sprintf("vm%d %s", vm, t.label)})
+
+		leaseName := "lease"
+		if t.crashed {
+			leaseName = "lease (crashed)"
+		}
+		args := map[string]any{"type": t.label}
+		if t.cost > 0 {
+			args["cost_usd"] = t.cost
+		}
+		tw.span(pid, tid, leaseName, "lease", t.leaseStart*1e6, (t.leaseEnd-t.leaseStart)*1e6, args)
+
+		// Busy spans, then idle fillers for the gaps between them.
+		sort.SliceStable(t.busy, func(i, j int) bool { return t.busy[i].start < t.busy[j].start })
+		cursor := t.leaseStart
+		for _, b := range t.busy {
+			if b.start > cursor+1e-9 {
+				tw.span(pid, tid, "idle", "idle", cursor*1e6, (b.start-cursor)*1e6, nil)
+			}
+			name := b.name
+			if b.status != "" {
+				name = fmt.Sprintf("%s (%s)", b.name, b.status)
+			}
+			var args map[string]any
+			if b.attempt > 1 {
+				args = map[string]any{"attempt": b.attempt}
+			}
+			tw.span(pid, tid, name, "task", b.start*1e6, (b.end-b.start)*1e6, args)
+			if b.end > cursor {
+				cursor = b.end
+			}
+		}
+		if t.leaseEnd > cursor+1e-9 {
+			tw.span(pid, tid, "idle", "idle", cursor*1e6, (t.leaseEnd-cursor)*1e6, nil)
+		}
+		for _, m := range t.marks {
+			tw.instant(pid, tid, m.name, "lease", m.t*1e6)
+		}
+	}
+
+	// Transfers: async begin/end pairs, rendered by Perfetto as their own
+	// per-ID tracks within the process.
+	for _, tr := range transfers {
+		tw.flow++
+		name := fmt.Sprintf("transfer to task %d", tr.task)
+		args := map[string]any{"from_vm": tr.from, "bytes": tr.bytes}
+		tw.emit(traceEvent{Name: name, Ph: "b", Ts: tr.start * 1e6, Pid: pid,
+			Tid: 0, Cat: "transfer", ID: tw.flow, Args: args})
+		tw.emit(traceEvent{Name: name, Ph: "e", Ts: tr.end * 1e6, Pid: pid,
+			Tid: 0, Cat: "transfer", ID: tw.flow})
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses Chrome trace-event JSON back into generic records.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+// spanNames collects the names of all complete ("X") spans.
+func spanNames(events []map[string]any) []string {
+	var names []string
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			names = append(names, ev["name"].(string))
+		}
+	}
+	return names
+}
+
+func TestSplitCells(t *testing.T) {
+	stream := []Event{
+		{Kind: KindCellStart, Label: "a"},
+		{Kind: KindTaskStart, Task: 0},
+		{Kind: KindCellStart, Label: "b"},
+		{Kind: KindTaskStart, Task: 1},
+		{Kind: KindTaskFinish, Task: 1},
+	}
+	cells := splitCells(stream)
+	if len(cells) != 2 || cells[0].name != "a" || cells[1].name != "b" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if len(cells[0].events) != 1 || len(cells[1].events) != 2 {
+		t.Errorf("cell sizes = %d, %d", len(cells[0].events), len(cells[1].events))
+	}
+
+	// No markers: one anonymous "simulation" cell.
+	cells = splitCells(stream[1:2])
+	if len(cells) != 1 || cells[0].name != "simulation" {
+		t.Fatalf("unmarked cells = %+v", cells)
+	}
+	if cells := splitCells(nil); len(cells) != 0 {
+		t.Errorf("empty stream cells = %+v", cells)
+	}
+}
+
+func TestWriteChromeTraceLifecycle(t *testing.T) {
+	// One lease with boot, a finished task, a failed attempt, a crash
+	// closing an open attempt, plus a transfer pair.
+	events := []Event{
+		{Kind: KindVMLeaseStart, T: 0, VM: 0, Task: -1, Value: 30, Label: "m1.small"},
+		{Kind: KindVMBootDone, T: 30, VM: 0, Task: -1},
+		{Kind: KindTaskStart, T: 30, VM: 0, Task: 0, Attempt: 1, Value: 50, Label: "tA"},
+		{Kind: KindTaskFail, T: 60, VM: 0, Task: 0, Attempt: 1, Value: 30},
+		{Kind: KindTaskStart, T: 60, VM: 0, Task: 0, Attempt: 2, Value: 50, Label: "tA"},
+		{Kind: KindTaskFinish, T: 110, VM: 0, Task: 0, Attempt: 2},
+		{Kind: KindTransferStart, T: 110, VM: 0, Task: 1, Value: 4096},
+		{Kind: KindTransferEnd, T: 120, VM: 1, Task: 1},
+		{Kind: KindVMBTURollover, T: 3600, VM: 0, Task: -1},
+		{Kind: KindTaskStart, T: 3600, VM: 0, Task: 2, Attempt: 1, Value: 500},
+		{Kind: KindVMCrash, T: 3700, VM: 0, Task: -1},
+		{Kind: KindVMLeaseStop, T: 3700, VM: 0, Task: -1, Value: 0.17},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.Bytes())
+	names := strings.Join(spanNames(recs), "\n")
+	for _, want := range []string{
+		"lease (crashed)", "boot", "tA (failed)", "tA", "task 2 (crashed)", "idle",
+	} {
+		if !strings.Contains(names, want) {
+			t.Errorf("spans missing %q:\n%s", want, names)
+		}
+	}
+	var instants, asyncs int
+	for _, ev := range recs {
+		switch ev["ph"] {
+		case "i":
+			instants++
+		case "b", "e":
+			asyncs++
+		}
+	}
+	if instants != 2 {
+		t.Errorf("instant marks = %d, want 2 (BTU + crash)", instants)
+	}
+	if asyncs != 2 {
+		t.Errorf("async events = %d, want transfer begin+end", asyncs)
+	}
+}
+
+func TestWriteChromeTraceWallSpans(t *testing.T) {
+	walls := []WallSpan{
+		{Name: "Montage/Pareto/GAIN", Worker: 0, Start: 0, End: 10 * time.Millisecond},
+		{Name: "CSTEM/Pareto/GAIN", Worker: 1, Start: 2 * time.Millisecond, End: 12 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, walls); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeTrace(t, buf.Bytes())
+	var procName string
+	cells := map[string]bool{}
+	for _, ev := range recs {
+		if ev["ph"] == "M" && ev["name"] == "process_name" && ev["pid"] == 0.0 {
+			procName = ev["args"].(map[string]any)["name"].(string)
+		}
+		if ev["ph"] == "X" && ev["cat"] == "cell" {
+			cells[ev["name"].(string)] = true
+		}
+	}
+	if procName != "sweep wall-clock" {
+		t.Errorf("wall process name = %q", procName)
+	}
+	if !cells["Montage/Pareto/GAIN"] || !cells["CSTEM/Pareto/GAIN"] {
+		t.Errorf("wall cells = %v", cells)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: KindVMLeaseStart, T: 0, VM: 1, Task: -1, Label: "small"},
+		{Kind: KindVMLeaseStart, T: 0, VM: 0, Task: -1, Label: "small"},
+		{Kind: KindTaskStart, T: 0, VM: 1, Task: 0, Attempt: 1, Value: 10},
+		{Kind: KindTaskFinish, T: 10, VM: 1, Task: 0},
+		{Kind: KindVMLeaseStop, T: 10, VM: 1, Task: -1},
+		{Kind: KindVMLeaseStop, T: 10, VM: 0, Task: -1},
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renderings of the same stream differ")
+	}
+	// Tracks render in VM order even when leases open out of order.
+	var threadNames []string
+	for _, ev := range decodeTrace(t, a.Bytes()) {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			threadNames = append(threadNames, ev["args"].(map[string]any)["name"].(string))
+		}
+	}
+	if len(threadNames) != 2 || !strings.HasPrefix(threadNames[0], "vm0") || !strings.HasPrefix(threadNames[1], "vm1") {
+		t.Errorf("thread order = %v, want vm0 then vm1", threadNames)
+	}
+}

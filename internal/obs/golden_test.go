@@ -1,0 +1,60 @@
+// Golden test for the Perfetto exporter: a fixed 2-VM Montage slice must
+// render to byte-identical Chrome trace JSON forever. Any drift means the
+// simulator's event emission or the exporter changed shape; regenerate
+// with -update only after inspecting the new trace in Perfetto.
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/obs"
+	"repro/internal/provision"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workflows"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenMontage2Trace(t *testing.T) {
+	// Montage with 2 tiles under AllParExceed on small instances packs
+	// onto exactly two VMs — a minimal schedule that still exercises
+	// parallel leases and cross-VM transfers.
+	w := workflows.Montage(2)
+	s, err := sched.NewAllPar(provision.AllParExceed, cloud.Small).Schedule(w.Clone(), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.VMCount(); got != 2 {
+		t.Fatalf("Montage(2)/AllParExceed uses %d VMs, the golden assumes 2", got)
+	}
+
+	col := &obs.Collector{}
+	if _, err := sim.Run(s, sim.Config{BootTime: 30, Recorder: col}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, col.Events, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "montage2.trace.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from %s (%d vs %d bytes); if the change is intended, "+
+			"inspect the new trace in Perfetto and re-run with -update", path, buf.Len(), len(want))
+	}
+}

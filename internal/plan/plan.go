@@ -41,6 +41,12 @@ type VM struct {
 	Region  cloud.Region
 	Prepaid bool
 	Slots   []Slot
+	// Held extends the lease to at least Held seconds from LeaseStart,
+	// even with zero task slots — a reservation kept (and billed) without
+	// running anything, as produced by speculative provisioning or a
+	// crash that empties a lease. The zero value changes nothing: a VM
+	// with slots and Held = 0 behaves exactly as before.
+	Held float64
 }
 
 // Busy returns the summed duration of all slots.
@@ -61,22 +67,31 @@ func (vm *VM) LeaseStart() float64 {
 	return vm.Slots[0].Start
 }
 
-// LeaseEnd returns the end of the lease (last slot end), or 0 for an empty
-// VM.
+// LeaseEnd returns the end of the lease: the last slot's end, extended to
+// LeaseStart + Held when the lease is held longer. It is 0 for a VM with
+// neither slots nor a hold.
 func (vm *VM) LeaseEnd() float64 {
-	if len(vm.Slots) == 0 {
-		return 0
+	end := vm.LeaseStart() + vm.Held
+	if len(vm.Slots) > 0 {
+		if slotEnd := vm.Slots[len(vm.Slots)-1].End; slotEnd > end {
+			end = slotEnd
+		}
 	}
-	return vm.Slots[len(vm.Slots)-1].End
+	return end
 }
 
 // Span returns the wall-clock length of the lease.
 func (vm *VM) Span() float64 { return vm.LeaseEnd() - vm.LeaseStart() }
 
+// leased reports whether the VM was ever actually held: it ran a task or
+// was reserved for a nonzero duration.
+func (vm *VM) leased() bool { return len(vm.Slots) > 0 || vm.Held > 0 }
+
 // PaidSeconds returns the billed lease length: Span rounded up to whole
-// BTUs. An empty or prepaid VM bills nothing.
+// BTUs. An unleased or prepaid VM bills nothing; a held-but-idle lease
+// bills like any other (the minimum one BTU).
 func (vm *VM) PaidSeconds() float64 {
-	if len(vm.Slots) == 0 || vm.Prepaid {
+	if !vm.leased() || vm.Prepaid {
 		return 0
 	}
 	return float64(cloud.BTUs(vm.Span())) * cloud.BTU
@@ -86,7 +101,7 @@ func (vm *VM) PaidSeconds() float64 {
 // up to the BTU boundary. This is the quantity of the paper's Fig. 5.
 // Prepaid VMs report zero (nothing was paid).
 func (vm *VM) Idle() float64 {
-	if len(vm.Slots) == 0 || vm.Prepaid {
+	if !vm.leased() || vm.Prepaid {
 		return 0
 	}
 	return vm.PaidSeconds() - vm.Busy()
@@ -94,19 +109,19 @@ func (vm *VM) Idle() float64 {
 
 // Cost returns the rental price of the lease in USD; zero for prepaid VMs.
 func (vm *VM) Cost() float64 {
-	if len(vm.Slots) == 0 || vm.Prepaid {
+	if !vm.leased() || vm.Prepaid {
 		return 0
 	}
 	return cloud.LeaseCost(vm.Span(), vm.Type, vm.Region)
 }
 
 // PaidBoundary returns the absolute time up to which the current lease is
-// already paid: LeaseStart + BTUs(Span)·BTU. For an empty or prepaid VM it
-// returns +Inf (the first task may start anywhere; prepaid capacity has no
-// billing boundary). The *NotExceed provisioning policies refuse reuses
+// already paid: LeaseStart + BTUs(Span)·BTU. For an unleased or prepaid VM
+// it returns +Inf (the first task may start anywhere; prepaid capacity has
+// no billing boundary). The *NotExceed provisioning policies refuse reuses
 // that would push a task past this boundary.
 func (vm *VM) PaidBoundary() float64 {
-	if len(vm.Slots) == 0 || vm.Prepaid {
+	if !vm.leased() || vm.Prepaid {
 		return math.Inf(1)
 	}
 	return vm.LeaseStart() + vm.PaidSeconds()

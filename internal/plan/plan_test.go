@@ -165,6 +165,37 @@ func TestVMLeaseAccounting(t *testing.T) {
 	}
 }
 
+func TestVMHeldLeaseAccounting(t *testing.T) {
+	// A held lease with no slots bills like any other: minimum one BTU.
+	vm := &VM{Type: cloud.Small, Region: cloud.USEastVirginia, Held: 10}
+	if got := vm.Span(); got != 10 {
+		t.Errorf("Span = %v, want 10", got)
+	}
+	if got := vm.PaidSeconds(); got != cloud.BTU {
+		t.Errorf("PaidSeconds = %v, want one BTU", got)
+	}
+	if got := vm.Idle(); got != cloud.BTU {
+		t.Errorf("Idle = %v, want one full BTU", got)
+	}
+	if vm.Cost() <= 0 {
+		t.Errorf("Cost = %v, want > 0", vm.Cost())
+	}
+	// Held shorter than the slots changes nothing.
+	vm = &VM{Type: cloud.Small, Region: cloud.USEastVirginia, Held: 5}
+	vm.Slots = []Slot{{Task: 0, Start: 0, End: 1000}}
+	if got := vm.LeaseEnd(); got != 1000 {
+		t.Errorf("LeaseEnd = %v, want 1000 (slots dominate)", got)
+	}
+	// Held longer than the slots extends the lease.
+	vm.Held = 4000
+	if got := vm.LeaseEnd(); got != 4000 {
+		t.Errorf("LeaseEnd = %v, want 4000 (hold dominates)", got)
+	}
+	if got := vm.PaidSeconds(); got != 2*cloud.BTU {
+		t.Errorf("PaidSeconds = %v, want 2 BTU", got)
+	}
+}
+
 func TestBusiestVM(t *testing.T) {
 	w := dagtest.Chain(3, 100)
 	b := NewBuilder(w, cloud.NewPlatform(), cloud.USEastVirginia)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/provision"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -34,7 +35,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	if code != http.StatusTooManyRequests {
-		s.met.errorsTotal.Add(1)
+		s.met.errors.Inc()
 	}
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
@@ -66,38 +67,48 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 
 // runCached is the shared serve path of the two planning endpoints:
 // answer from the cache, or admit the planning job to the pool and cache
-// its marshaled result.
-func (s *Server) runCached(w http.ResponseWriter, r *http.Request, key cacheKey,
+// its marshaled result. The endpoint name labels the latency series; the
+// request ID rides into the pool job's start/end events.
+func (s *Server) runCached(w http.ResponseWriter, r *http.Request, endpoint string, key cacheKey,
 	plan func(context.Context) (any, error)) {
+	rid := requestID(r.Context())
 	if body, ok := s.cache.Get(key); ok {
-		s.met.cacheHits.Add(1)
+		s.met.cacheHits.Inc()
+		s.record(obs.KindCacheHit, rid, 0)
 		writeCached(w, body, true)
 		return
 	}
-	s.met.cacheMisses.Add(1)
+	s.met.cacheMisses.Inc()
+	s.record(obs.KindCacheMiss, rid, 0)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	started := time.Now()
 	out, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
 		s.met.inflight.Add(1)
-		defer s.met.inflight.Add(-1)
+		s.record(obs.KindJobStart, rid, 0)
+		defer func() {
+			s.record(obs.KindJobEnd, rid, time.Since(started).Seconds())
+			s.met.inflight.Add(-1)
+		}()
 		return plan(ctx)
 	})
 	switch {
 	case errors.Is(err, errQueueFull):
-		s.met.rejectedTotal.Add(1)
+		s.met.rejected.Inc()
+		s.record(obs.KindQueueReject, rid, 0)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "submission queue full, retry later")
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.met.timeoutsTotal.Add(1)
+		s.met.timeouts.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, "request timed out after %v", s.cfg.RequestTimeout)
 		return
 	case err != nil:
 		s.writeError(w, http.StatusInternalServerError, "planning failed: %v", err)
 		return
 	}
+	s.record(obs.KindQueueAdmit, rid, 0)
 	body, merr := json.MarshalIndent(out, "", "  ")
 	if merr != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", merr)
@@ -105,7 +116,7 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, key cacheKey,
 	}
 	body = append(body, '\n')
 	s.cache.Put(key, body)
-	s.met.latency.Observe(time.Since(started))
+	s.met.latency.With(endpoint).Observe(time.Since(started).Seconds())
 	writeCached(w, body, false)
 }
 
@@ -115,7 +126,6 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	s.met.scheduleRequests.Add(1)
 	var req ScheduleRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -127,7 +137,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
 		res.region, res.seed, res.simulate, res.bootS, res.faults)
-	s.runCached(w, r, key, func(context.Context) (any, error) {
+	s.runCached(w, r, "schedule", key, func(context.Context) (any, error) {
 		return s.planSchedule(res)
 	})
 }
@@ -138,7 +148,6 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	s.met.compareRequests.Add(1)
 	var req CompareRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -150,7 +159,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	key := problemKey("compare", res.structural, res.scenario.String(), "",
 		res.region, res.seed, false, 0, nil)
-	s.runCached(w, r, key, func(context.Context) (any, error) {
+	s.runCached(w, r, "compare", key, func(context.Context) (any, error) {
 		return s.planCompare(res)
 	})
 }
@@ -206,6 +215,8 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simulating %s on %s: %w", res.alg.Name(), res.wfName, err)
 		}
+		s.met.recordSim(simRes.Events, simRes.Transfers, simRes.VMCrashes,
+			simRes.TaskFailures, simRes.Retries, simRes.Resubmits)
 		out.Simulation = &SimulationJSON{
 			Makespan:   simRes.Makespan,
 			RentalCost: simRes.RentalCost,
@@ -310,13 +321,20 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics serves GET /metrics.
+// handleMetrics serves GET /metrics: Prometheus text exposition by
+// default, the legacy JSON snapshot with ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Metrics())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.met.reg.WritePrometheus(w) //nolint:errcheck // the connection is gone; nothing to do
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the

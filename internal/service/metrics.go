@@ -1,100 +1,138 @@
 package service
 
 import (
-	"math"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// histogram is a lock-free streaming latency histogram with geometric
-// buckets: bucket i covers (histBase·2^(i-1), histBase·2^i]. Quantiles are
-// answered from the bucket counts, so memory is constant no matter how
-// many observations stream through — the property the /metrics endpoint
-// needs under sustained load.
-const (
-	histBuckets = 28                    // 10µs · 2^27 ≈ 22 min, plenty of headroom
-	histBase    = 10 * time.Microsecond // lower edge of bucket 0
-)
+// latencyBuckets are the planning-latency histogram bounds: geometric from
+// 10µs doubling for 28 buckets (≈ 22 min), plenty of headroom for the
+// slowest catalog sweep while keeping memory constant under load.
+var latencyBuckets = obs.ExponentialBuckets(10e-6, 2, 28)
 
-type histogram struct {
-	counts [histBuckets]atomic.Uint64
-	total  atomic.Uint64
-	sumNS  atomic.Uint64
+// endpointNames are the label values of wfservd_requests_total, fixed up
+// front so every series exists from the first scrape.
+var endpointNames = []string{"schedule", "compare", "catalog", "metrics", "healthz", "other"}
+
+// endpointOf maps a request path to its metrics label.
+func endpointOf(path string) string {
+	switch path {
+	case "/v1/schedule":
+		return "schedule"
+	case "/v1/compare":
+		return "compare"
+	case "/v1/catalog":
+		return "catalog"
+	case "/metrics":
+		return "metrics"
+	case "/healthz":
+		return "healthz"
+	}
+	return "other"
 }
 
-// bucketOf maps a duration to its bucket index.
-func bucketOf(d time.Duration) int {
-	if d <= histBase {
-		return 0
-	}
-	i := int(math.Ceil(math.Log2(float64(d) / float64(histBase))))
-	if i >= histBuckets {
-		return histBuckets - 1
-	}
-	return i
-}
-
-// Observe records one latency sample.
-func (h *histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.counts[bucketOf(d)].Add(1)
-	h.total.Add(1)
-	h.sumNS.Add(uint64(d))
-}
-
-// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) in
-// seconds: the upper edge of the bucket holding the q·N-th sample. With
-// no samples it returns 0.
-func (h *histogram) Quantile(q float64) float64 {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum uint64
-	for i := 0; i < histBuckets; i++ {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			upper := float64(histBase) * math.Pow(2, float64(i))
-			return upper / float64(time.Second)
-		}
-	}
-	return float64(histBase) * math.Pow(2, histBuckets-1) / float64(time.Second)
-}
-
-// Mean returns the mean latency in seconds (0 with no samples).
-func (h *histogram) Mean() float64 {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	return float64(h.sumNS.Load()) / float64(total) / float64(time.Second)
-}
-
-// serviceMetrics aggregates the daemon's operational counters. All fields
-// are atomics: handlers on every connection update them concurrently.
+// serviceMetrics is the daemon's operational instrumentation, built on the
+// obs.Registry so that one set of series backs three views: the Prometheus
+// text exposition of GET /metrics, the expvar bridge under /debug/vars,
+// and the legacy JSON snapshot (GET /metrics?format=json). All series are
+// materialized at construction, so a fresh server already exposes its full
+// schema.
 type serviceMetrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	requestsTotal    atomic.Uint64 // every HTTP request seen by the mux
-	scheduleRequests atomic.Uint64 // POST /v1/schedule
-	compareRequests  atomic.Uint64 // POST /v1/compare
-	rejectedTotal    atomic.Uint64 // 429 admission-control rejections
-	timeoutsTotal    atomic.Uint64 // deadline-exceeded planning requests
-	errorsTotal      atomic.Uint64 // 4xx/5xx other than 429
-	cacheHits        atomic.Uint64
-	cacheMisses      atomic.Uint64
-	inflight         atomic.Int64 // planning jobs currently admitted
-
-	latency histogram // end-to-end plan latency (cache misses)
+	requests    *obs.CounterVec // wfservd_requests_total{endpoint}
+	rejected    *obs.Counter    // wfservd_rejected_total
+	timeouts    *obs.Counter    // wfservd_timeouts_total
+	errors      *obs.Counter    // wfservd_errors_total
+	cacheReq    *obs.CounterVec // wfservd_cache_requests_total{result}
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	inflight    *obs.Gauge        // wfservd_inflight
+	latency     *obs.HistogramVec // wfservd_plan_duration_seconds{endpoint}
+	drainDone   *obs.Counter      // wfservd_drain_completed_total
+	simReplays  *obs.Counter      // wfservd_sim_replays_total
+	simOutcomes *obs.CounterVec   // wfservd_sim_outcomes_total{kind}
 }
 
-// MetricsSnapshot is the JSON document served by GET /metrics.
+// simOutcomeKinds are the label values of wfservd_sim_outcomes_total.
+var simOutcomeKinds = []string{"event", "transfer", "vm_crash", "task_failure", "retry", "resubmit"}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := obs.NewRegistry()
+	m := &serviceMetrics{start: time.Now(), reg: reg}
+
+	m.requests = reg.Counter("wfservd_requests_total",
+		"HTTP requests seen, by endpoint.", "endpoint")
+	for _, ep := range endpointNames {
+		m.requests.With(ep)
+	}
+	m.rejected = reg.Counter("wfservd_rejected_total",
+		"Requests refused by admission control (429).").With()
+	m.timeouts = reg.Counter("wfservd_timeouts_total",
+		"Planning requests that exceeded their deadline.").With()
+	m.errors = reg.Counter("wfservd_errors_total",
+		"Requests answered 4xx/5xx, excluding 429 rejections.").With()
+	m.cacheReq = reg.Counter("wfservd_cache_requests_total",
+		"Result-cache lookups, by outcome.", "result")
+	m.cacheHits = m.cacheReq.With("hit")
+	m.cacheMisses = m.cacheReq.With("miss")
+	m.inflight = reg.Gauge("wfservd_inflight",
+		"Planning jobs currently admitted to the pool.").With()
+	m.latency = reg.Histogram("wfservd_plan_duration_seconds",
+		"End-to-end planning latency of cache misses, by endpoint.",
+		latencyBuckets, "endpoint")
+	m.latency.With("schedule")
+	m.latency.With("compare")
+	m.drainDone = reg.Counter("wfservd_drain_completed_total",
+		"Requests that completed after draining began.").With()
+	m.simReplays = reg.Counter("wfservd_sim_replays_total",
+		"Discrete-event simulator replays run for requests.").With()
+	m.simOutcomes = reg.Counter("wfservd_sim_outcomes_total",
+		"Simulator replay outcomes, by kind.", "kind")
+	for _, k := range simOutcomeKinds {
+		m.simOutcomes.With(k)
+	}
+	return m
+}
+
+// registerRuntime adds the gauge functions that read live server state
+// (queue geometry, cache size, uptime). Split from newServiceMetrics
+// because the pool and cache do not exist yet when the metrics do.
+func (m *serviceMetrics) registerRuntime(s *Server) {
+	m.reg.GaugeFunc("wfservd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.reg.GaugeFunc("wfservd_queue_depth",
+		"Jobs waiting in the submission queue.",
+		func() float64 { return float64(s.pool.Depth()) })
+	m.reg.GaugeFunc("wfservd_queue_capacity",
+		"Submission-queue capacity.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	m.reg.GaugeFunc("wfservd_workers",
+		"Worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.reg.GaugeFunc("wfservd_cache_entries",
+		"Entries in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+}
+
+// recordSim feeds one simulator replay's outcome counts into the
+// wfservd_sim_* families.
+func (m *serviceMetrics) recordSim(events, transfers, crashes, failures, retries, resubmits int) {
+	m.simReplays.Inc()
+	m.simOutcomes.With("event").Add(float64(events))
+	m.simOutcomes.With("transfer").Add(float64(transfers))
+	m.simOutcomes.With("vm_crash").Add(float64(crashes))
+	m.simOutcomes.With("task_failure").Add(float64(failures))
+	m.simOutcomes.With("retry").Add(float64(retries))
+	m.simOutcomes.With("resubmit").Add(float64(resubmits))
+}
+
+// MetricsSnapshot is the JSON document served by GET /metrics?format=json —
+// the pre-registry schema, kept for scripted consumers, now answered from
+// the registry's series.
 type MetricsSnapshot struct {
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 	RequestsTotal    uint64  `json:"requests_total"`
@@ -118,27 +156,27 @@ type MetricsSnapshot struct {
 }
 
 func (m *serviceMetrics) snapshot(queueDepth, queueCap, workers, cacheLen int) MetricsSnapshot {
-	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
 	ratio := 0.0
 	if hits+misses > 0 {
-		ratio = float64(hits) / float64(hits+misses)
+		ratio = hits / (hits + misses)
 	}
 	return MetricsSnapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
-		RequestsTotal:    m.requestsTotal.Load(),
-		ScheduleRequests: m.scheduleRequests.Load(),
-		CompareRequests:  m.compareRequests.Load(),
-		RejectedTotal:    m.rejectedTotal.Load(),
-		TimeoutsTotal:    m.timeoutsTotal.Load(),
-		ErrorsTotal:      m.errorsTotal.Load(),
-		CacheHits:        hits,
-		CacheMisses:      misses,
+		RequestsTotal:    uint64(m.requests.Total()),
+		ScheduleRequests: uint64(m.requests.With("schedule").Value()),
+		CompareRequests:  uint64(m.requests.With("compare").Value()),
+		RejectedTotal:    uint64(m.rejected.Value()),
+		TimeoutsTotal:    uint64(m.timeouts.Value()),
+		ErrorsTotal:      uint64(m.errors.Value()),
+		CacheHits:        uint64(hits),
+		CacheMisses:      uint64(misses),
 		CacheHitRatio:    ratio,
 		CacheEntries:     cacheLen,
 		QueueDepth:       queueDepth,
 		QueueCapacity:    queueCap,
 		Workers:          workers,
-		Inflight:         m.inflight.Load(),
+		Inflight:         int64(m.inflight.Value()),
 		LatencyMeanS:     m.latency.Mean(),
 		LatencyP50S:      m.latency.Quantile(0.50),
 		LatencyP95S:      m.latency.Quantile(0.95),

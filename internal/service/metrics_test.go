@@ -1,22 +1,25 @@
 package service
 
 import (
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
-func TestHistogramQuantiles(t *testing.T) {
-	var h histogram
+func TestLatencyQuantiles(t *testing.T) {
+	m := newServiceMetrics()
+	h := m.latency.With("schedule")
 	// 90 fast samples, 10 slow ones: p50 must sit near the fast mode,
 	// p99 at or above the slow mode.
 	for i := 0; i < 90; i++ {
-		h.Observe(1 * time.Millisecond)
+		h.Observe(0.001)
 	}
 	for i := 0; i < 10; i++ {
-		h.Observe(500 * time.Millisecond)
+		h.Observe(0.5)
 	}
-	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	p50, p99 := m.latency.Quantile(0.50), m.latency.Quantile(0.99)
 	if p50 < 0.0005 || p50 > 0.005 {
 		t.Fatalf("p50 = %v s, want ~1ms bucket", p50)
 	}
@@ -26,58 +29,178 @@ func TestHistogramQuantiles(t *testing.T) {
 	if p99 < p50 {
 		t.Fatalf("p99 %v < p50 %v", p99, p50)
 	}
-	if mean := h.Mean(); mean < 0.01 || mean > 0.1 {
+	if mean := m.latency.Mean(); mean < 0.01 || mean > 0.1 {
 		t.Fatalf("mean = %v s, want ≈ 0.0509", mean)
 	}
 }
 
-func TestHistogramEmptyAndBounds(t *testing.T) {
-	var h histogram
-	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+func TestLatencyEmpty(t *testing.T) {
+	m := newServiceMetrics()
+	if m.latency.Quantile(0.5) != 0 || m.latency.Mean() != 0 {
 		t.Fatal("empty histogram must answer 0")
-	}
-	h.Observe(-time.Second) // clamped, not a panic
-	h.Observe(0)
-	h.Observe(365 * 24 * time.Hour) // beyond the last bucket: clamped into it
-	if got := h.total.Load(); got != 3 {
-		t.Fatalf("total = %d, want 3", got)
-	}
-	if h.Quantile(1.0) <= 0 {
-		t.Fatal("max quantile must be positive after observations")
 	}
 }
 
-func TestHistogramConcurrentObserve(t *testing.T) {
-	var h histogram
+func TestLatencyConcurrentObserve(t *testing.T) {
+	m := newServiceMetrics()
+	h := m.latency.With("schedule")
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				h.Observe(time.Duration(i) * time.Microsecond)
+				h.Observe(float64(i) * 1e-6)
 			}
 		}()
 	}
 	wg.Wait()
-	if got := h.total.Load(); got != 8000 {
-		t.Fatalf("total = %d, want 8000", got)
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
 	}
 }
 
-func TestBucketOfMonotone(t *testing.T) {
-	prev := -1
-	for _, d := range []time.Duration{
-		0, time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
-		time.Millisecond, 10 * time.Millisecond, time.Second, time.Minute, time.Hour,
+func TestEndpointOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/schedule": "schedule",
+		"/v1/compare":  "compare",
+		"/v1/catalog":  "catalog",
+		"/metrics":     "metrics",
+		"/healthz":     "healthz",
+		"/debug/vars":  "other",
+		"/":            "other",
 	} {
-		b := bucketOf(d)
-		if b < prev {
-			t.Fatalf("bucketOf(%v) = %d below previous %d", d, b, prev)
+		if got := endpointOf(path); got != want {
+			t.Errorf("endpointOf(%q) = %q, want %q", path, got, want)
 		}
-		if b < 0 || b >= histBuckets {
-			t.Fatalf("bucketOf(%v) = %d out of range", d, b)
+	}
+}
+
+func TestSnapshotFromRegistry(t *testing.T) {
+	m := newServiceMetrics()
+	m.requests.With("schedule").Inc()
+	m.requests.With("schedule").Inc()
+	m.requests.With("compare").Inc()
+	m.cacheHits.Inc()
+	m.cacheMisses.Add(3)
+	m.rejected.Inc()
+	m.timeouts.Inc()
+	m.errors.Inc()
+	m.inflight.Add(2)
+	m.recordSim(100, 5, 1, 2, 1, 1)
+
+	snap := m.snapshot(7, 16, 4, 9)
+	if snap.RequestsTotal != 3 || snap.ScheduleRequests != 2 || snap.CompareRequests != 1 {
+		t.Fatalf("request counters: %+v", snap)
+	}
+	if snap.CacheHits != 1 || snap.CacheMisses != 3 || snap.CacheHitRatio != 0.25 {
+		t.Fatalf("cache counters: %+v", snap)
+	}
+	if snap.RejectedTotal != 1 || snap.TimeoutsTotal != 1 || snap.ErrorsTotal != 1 {
+		t.Fatalf("error counters: %+v", snap)
+	}
+	if snap.QueueDepth != 7 || snap.QueueCapacity != 16 || snap.Workers != 4 || snap.CacheEntries != 9 {
+		t.Fatalf("pool geometry: %+v", snap)
+	}
+	if snap.Inflight != 2 {
+		t.Fatalf("inflight = %d, want 2", snap.Inflight)
+	}
+	if v := m.simOutcomes.With("event").Value(); v != 100 {
+		t.Fatalf("sim event counter = %v, want 100", v)
+	}
+	if time.Since(m.start) < 0 || snap.UptimeSeconds < 0 {
+		t.Fatal("uptime went backwards")
+	}
+}
+
+// parsePrometheusText is a minimal parser of the Prometheus text
+// exposition format (0.0.4): it validates the # HELP / # TYPE structure
+// line by line and returns series name (with labels) → value. It is the
+// smoke-check CI runs against GET /metrics — a syntax error in the
+// exposition writer fails here, not at the first real scrape.
+func parsePrometheusText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
 		}
-		prev = b
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			if name, _, ok := strings.Cut(rest, " "); !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+		// name{labels} value — labels may contain spaces inside quotes, but
+		// the value is always the last space-separated field.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		name, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("line %d: unbalanced labels: %q", ln+1, line)
+			}
+			base = base[:i]
+		}
+		famBase := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := typed[base]; !ok {
+			if _, ok := typed[famBase]; !ok {
+				t.Fatalf("line %d: series %q has no preceding # TYPE", ln+1, base)
+			}
+		}
+		series[name] = val
+	}
+	return series
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	m := newServiceMetrics()
+	m.requests.With("schedule").Inc()
+	m.latency.With("schedule").Observe(0.002)
+	var sb strings.Builder
+	if err := m.reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	series := parsePrometheusText(t, sb.String())
+	if v := series[`wfservd_requests_total{endpoint="schedule"}`]; v != 1 {
+		t.Fatalf("requests series = %v, want 1; got series:\n%s", v, sb.String())
+	}
+	if v := series[`wfservd_plan_duration_seconds_count{endpoint="schedule"}`]; v != 1 {
+		t.Fatalf("histogram count = %v, want 1", v)
+	}
+	// A fresh registry must already expose a healthy schema: the
+	// acceptance bar is ≥10 distinct series on a fresh server.
+	if len(series) < 10 {
+		t.Fatalf("only %d series exposed, want ≥ 10", len(series))
+	}
+	// Cumulative histograms: the +Inf bucket must equal the count.
+	inf := series[`wfservd_plan_duration_seconds_bucket{endpoint="schedule",le="+Inf"}`]
+	if count := series[`wfservd_plan_duration_seconds_count{endpoint="schedule"}`]; inf != count {
+		t.Fatalf("+Inf bucket %v != count %v", inf, count)
 	}
 }

@@ -10,9 +10,13 @@
 //     seed, simulation knobs), so identical submissions are answered
 //     without re-planning, byte-for-byte identically;
 //   - per-request timeouts and context cancellation;
-//   - operational introspection: GET /metrics (request/cache/queue
-//     counters plus p50/p95/p99 planning latency from a constant-memory
-//     streaming histogram) and GET /healthz.
+//   - operational introspection via internal/obs: GET /metrics serves the
+//     full labeled series set in Prometheus text format (request/cache/
+//     queue counters plus a planning-latency histogram per endpoint);
+//     ?format=json keeps the legacy snapshot document. The same registry
+//     feeds an expvar bridge, structured request logs flow through
+//     log/slog with per-request IDs, and cache/queue/job lifecycle events
+//     go to an obs.Recorder for timeline export.
 //
 // Endpoints: POST /v1/schedule (one workflow, one strategy), POST
 // /v1/compare (one workflow, the whole 19-strategy catalog via
@@ -21,10 +25,15 @@
 package service
 
 import (
+	"context"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value is usable: Fill
@@ -41,6 +50,14 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds a request body; 0 selects 8 MiB.
 	MaxBodyBytes int64
+	// Logger receives one structured line per request (id, method, path,
+	// status, duration). Nil disables request logging.
+	Logger *slog.Logger
+	// Recorder receives the service's lifecycle events (cache hit/miss,
+	// queue admit/reject, job start/end), stamped with wall seconds since
+	// server start and the request ID. Nil falls back to obs.Default()
+	// (the OBSDEBUG env toggle).
+	Recorder obs.Recorder
 }
 
 // Fill substitutes defaults for zero fields and returns the config.
@@ -68,21 +85,32 @@ type Server struct {
 	cfg      Config
 	pool     *pool
 	cache    *cache
-	met      serviceMetrics
+	met      *serviceMetrics
 	mux      *http.ServeMux
+	rec      obs.Recorder
+	logger   *slog.Logger
+	reqSeq   atomic.Uint64 // request-ID allocator
+	active   atomic.Int64  // requests currently inside Handler
 	draining atomic.Bool
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.Fill()
-	s := &Server{
-		cfg:   cfg,
-		pool:  newPool(cfg.Workers, cfg.QueueDepth),
-		cache: newCache(cfg.CacheSize),
-		met:   serviceMetrics{start: time.Now()},
-		mux:   http.NewServeMux(),
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Default()
 	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   newPool(cfg.Workers, cfg.QueueDepth),
+		cache:  newCache(cfg.CacheSize),
+		met:    newServiceMetrics(),
+		mux:    http.NewServeMux(),
+		rec:    rec,
+		logger: cfg.Logger,
+	}
+	s.met.registerRuntime(s)
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/v1/compare", s.handleCompare)
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
@@ -91,11 +119,69 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// requestIDKey carries the request ID through the context into the
+// planning closures, so pool job spans can name the request they serve.
+type requestIDKey struct{}
+
+// requestID returns the request's ID, or "" outside a request context.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the service's HTTP handler: per-request accounting,
+// request-ID assignment (honoring an inbound X-Request-ID), and one
+// structured log line per request when a logger is configured.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.met.requestsTotal.Add(1)
-		s.mux.ServeHTTP(w, r)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		s.met.requests.With(endpointOf(r.URL.Path)).Inc()
+		s.active.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		s.mux.ServeHTTP(sw, r)
+		s.active.Add(-1)
+		if s.Draining() {
+			// A request that finishes after SIGTERM is a drain success:
+			// the daemon reports these against the aborted remainder.
+			s.met.drainDone.Inc()
+		}
+		if s.logger != nil {
+			s.logger.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.code,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000)
+		}
+	})
+}
+
+// record emits one service lifecycle event, stamped with wall seconds
+// since server start. No-op without a recorder.
+func (s *Server) record(kind obs.Kind, label string, value float64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Record(obs.Event{
+		Kind: kind, T: time.Since(s.met.start).Seconds(),
+		VM: -1, Task: -1, Value: value, Label: label,
 	})
 }
 
@@ -107,12 +193,23 @@ func (s *Server) StartDraining() { s.draining.Store(true) }
 // Draining reports whether StartDraining has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Active returns the number of requests currently being served — after a
+// drain deadline expires, the requests about to be aborted.
+func (s *Server) Active() int64 { return s.active.Load() }
+
+// DrainCompleted returns how many requests finished after draining began.
+func (s *Server) DrainCompleted() uint64 { return uint64(s.met.drainDone.Value()) }
+
 // Close drains the worker pool and releases the server's resources. Call
 // after the HTTP listener has shut down.
 func (s *Server) Close() { s.pool.Close() }
 
 // Metrics returns a point-in-time snapshot of the operational counters —
-// the same document GET /metrics serves.
+// the document GET /metrics?format=json serves.
 func (s *Server) Metrics() MetricsSnapshot {
 	return s.met.snapshot(s.pool.Depth(), s.cfg.QueueDepth, s.cfg.Workers, s.cache.Len())
 }
+
+// Registry exposes the server's metrics registry, so the daemon can mount
+// the expvar bridge (and tests can scrape series directly).
+func (s *Server) Registry() *obs.Registry { return s.met.reg }

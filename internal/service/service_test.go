@@ -390,7 +390,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/schedule", `{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
 
 	var m MetricsSnapshot
-	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, ts.URL+"/metrics?format=json", &m); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	if m.ScheduleRequests != 2 || m.CacheHits != 1 || m.CacheMisses != 1 {
@@ -404,5 +404,74 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.LatencyP50S <= 0 || m.LatencyP99S < m.LatencyP50S {
 		t.Fatalf("latency percentiles %+v", m)
+	}
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	postJSON(t, ts.URL+"/v1/schedule", `{"workflow_name":"Sequential","strategy":"GAIN","scenario":"Best case"}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := parsePrometheusText(t, string(b))
+	if len(series) < 10 {
+		t.Fatalf("only %d series, acceptance wants ≥ 10", len(series))
+	}
+	if v := series[`wfservd_requests_total{endpoint="schedule"}`]; v != 1 {
+		t.Fatalf("schedule requests = %v, want 1", v)
+	}
+	if v := series[`wfservd_cache_requests_total{result="miss"}`]; v != 1 {
+		t.Fatalf("cache misses = %v, want 1", v)
+	}
+	if v, ok := series["wfservd_workers"]; !ok || v != 1 {
+		t.Fatalf("workers gauge = %v (present %v), want 1", v, ok)
+	}
+	if v := series[`wfservd_plan_duration_seconds_count{endpoint="schedule"}`]; v != 1 {
+		t.Fatalf("latency count = %v, want 1", v)
+	}
+}
+
+func TestRequestIDAndDrainAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// A generated request ID is echoed back.
+	resp := getJSON(t, ts.URL+"/healthz", nil)
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Fatal("no X-Request-ID on response")
+	}
+
+	// An inbound request ID is honored verbatim.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Fatalf("inbound request ID not echoed: %q", got)
+	}
+
+	// Requests finishing after StartDraining count as drain completions.
+	s.StartDraining()
+	getJSON(t, ts.URL+"/healthz", nil)
+	if got := s.DrainCompleted(); got != 1 {
+		t.Fatalf("DrainCompleted = %d, want 1", got)
+	}
+	if got := s.Active(); got != 0 {
+		t.Fatalf("Active = %d, want 0 at rest", got)
 	}
 }

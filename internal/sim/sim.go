@@ -43,6 +43,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/eventq"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/provision"
 )
@@ -57,6 +58,14 @@ type Config struct {
 	// into the replay (see the package comment). Nil — or a config whose
 	// rates are both zero — reproduces the paper's perfect cloud exactly.
 	Faults *fault.Config
+	// Recorder, when non-nil, receives the replay's lifecycle events
+	// (lease open/boot/BTU-rollover/stop/crash, task queued/start/finish/
+	// retry/resubmit, transfers) in simulated-time order. The stream is
+	// deterministic: same schedule + same config ⇒ identical events. Nil
+	// falls back to obs.Default() (the OBSDEBUG env toggle), which is
+	// itself nil in production — and a nil recorder costs one predictable
+	// branch per site, nothing more.
+	Recorder obs.Recorder
 }
 
 // Result holds the measured execution of a schedule.
@@ -125,6 +134,10 @@ type vmState struct {
 func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	if cfg.BootTime < 0 {
 		return nil, fmt.Errorf("sim: negative boot time %v", cfg.BootTime)
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Default()
 	}
 	var inj *fault.Injector
 	var rebootS float64
@@ -213,6 +226,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		st.dead = true
 		st.deadAt = now
 		res.VMCrashes++
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindVMCrash, T: now, VM: int32(vi), Task: -1})
+		}
 		remaining := append([]int(nil), st.queue[st.head:]...)
 		if st.running >= 0 {
 			burned := now - res.TaskStart[st.running]
@@ -245,6 +261,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		st.busySum += et
 		res.TaskEnd[task] = now
 		done++
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindTaskFinish, T: now,
+				VM: int32(vi), Task: int32(task), Attempt: int32(att)})
+		}
 		// Propagate outputs to successors.
 		for _, succ := range wf.Succ(dag.TaskID(task)) {
 			succ := int(succ)
@@ -253,9 +273,18 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 				data, _ := wf.Data(dag.TaskID(task), dag.TaskID(succ))
 				arrive += s.Platform.TransferTime(data, st.vm.Type, vms[vmOf[succ]].vm.Type)
 				res.Transfers++
+				if rec != nil {
+					rec.Record(obs.Event{Kind: obs.KindTransferStart, T: now,
+						VM: int32(vi), Task: int32(succ), Value: data})
+					rec.Record(obs.Event{Kind: obs.KindTransferEnd, T: arrive,
+						VM: int32(vmOf[succ]), Task: int32(succ), Value: data})
+				}
 			}
 			q.Push(arrive, func() {
 				pending[succ]--
+				if pending[succ] == 0 && rec != nil {
+					rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: now, VM: -1, Task: int32(succ)})
+				}
 				// Resolve the consumer's VM at arrival time: recovery may
 				// have moved it since this transfer was dispatched.
 				tryStart(vmOf[succ])
@@ -276,6 +305,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		st.lastEnd = now // the lease must cover the burned time
 		st.running = -1
 		tfails[task]++
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindTaskFail, T: now,
+				VM: int32(vi), Task: int32(task), Attempt: int32(att), Value: burned})
+		}
 		if inj.Config().Recovery == fault.Fail {
 			abortRun(fmt.Sprintf("task %d failed at t=%.1fs (recovery=fail)", task, now))
 			return
@@ -289,6 +322,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			res.Retries++
 			st.head-- // the task returns to the head of this VM's queue
 			delay := inj.Backoff(tfails[task])
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindTaskRetry, T: now,
+					VM: int32(vi), Task: int32(task), Attempt: int32(att), Value: delay})
+			}
 			// The VM is held (and billed) through the backoff window.
 			q.Push(now+delay, func() {
 				if st.dead {
@@ -301,6 +338,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			res.Resubmits++
 			st.busy = false
 			nvi := spawn(st.vm, []int{task})
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindTaskResubmit, T: now,
+					VM: int32(nvi), Task: int32(task), Attempt: int32(att)})
+			}
 			tryStart(vi) // the old VM proceeds with its next slot
 			tryStart(nvi)
 		}
@@ -321,6 +362,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// the lease (and billing) begins now, the task after boot.
 			st.started = true
 			st.leaseAt = start
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: start,
+					VM: int32(vi), Task: -1, Value: st.boot, Label: st.vm.Type.String()})
+			}
 			if inj != nil {
 				if life := inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
 					q.Push(start+life, func() { crash(st, vi) })
@@ -334,6 +379,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 					}
 					st.busy = false
 					st.bootDone = true
+					if rec != nil {
+						rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: now, VM: int32(vi), Task: -1})
+					}
 					tryStart(vi)
 				})
 				return
@@ -346,6 +394,11 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		att := attempt[task]
 		st.running = task
 		res.TaskStart[task] = start
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindTaskStart, T: start, VM: int32(vi),
+				Task: int32(task), Attempt: int32(att), Value: et,
+				Label: wf.Task(dag.TaskID(task)).Name})
+		}
 		if inj != nil {
 			if fails, frac := inj.AttemptFails(task, att); fails {
 				q.Push(start+frac*et, func() { failAttempt(vi, task, att, frac*et) })
@@ -356,6 +409,14 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	}
 
 	// Kick off: every VM tries its head at time 0 (entry tasks).
+	if rec != nil {
+		// Tasks with no pending inputs are ready before anything runs.
+		for id := 0; id < n; id++ {
+			if pending[id] == 0 {
+				rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: 0, VM: -1, Task: int32(id)})
+			}
+		}
+	}
 	for vi := range vms {
 		tryStart(vi)
 	}
@@ -379,7 +440,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: deadlock: %d of %d tasks completed", done, n)
 	}
 
-	for _, st := range vms {
+	for vi, st := range vms {
 		if !st.started {
 			continue
 		}
@@ -391,6 +452,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			res.Makespan = end
 		}
 		if st.vm.Prepaid {
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1})
+			}
 			continue // private-cloud capacity: no bill, no idle accounting
 		}
 		if end < st.leaseAt {
@@ -399,8 +463,19 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			end = st.leaseAt
 		}
 		span := end - st.leaseAt
-		res.RentalCost += cloud.LeaseCost(span, st.vm.Type, st.vm.Region)
+		cost := cloud.LeaseCost(span, st.vm.Type, st.vm.Region)
+		res.RentalCost += cost
 		res.IdleTime += float64(cloud.BTUs(span))*cloud.BTU - st.busySum
+		if rec != nil {
+			// Billing detail is only known now, so rollover markers and the
+			// teardown are appended after the replay's causal events; the
+			// exporters order by timestamp, not stream position.
+			for k := 1; k < cloud.BTUs(span); k++ {
+				rec.Record(obs.Event{Kind: obs.KindVMBTURollover,
+					T: st.leaseAt + float64(k)*cloud.BTU, VM: int32(vi), Task: -1})
+			}
+			rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1, Value: cost})
+		}
 	}
 	return res, nil
 }

@@ -21,10 +21,12 @@ func Gantt(s *plan.Schedule, width int) string {
 	if width < 10 {
 		width = 10
 	}
-	// Horizon: cover all paid lease time.
+	// Horizon: cover all paid lease time. A lease that billed without
+	// running anything (nonzero PaidSeconds, zero slots) still stretches
+	// the horizon — paid-but-idle capacity must be visible.
 	horizon := s.Makespan()
 	for _, vm := range s.VMs {
-		if len(vm.Slots) == 0 {
+		if vm.PaidSeconds() == 0 {
 			continue
 		}
 		if end := vm.LeaseStart() + vm.PaidSeconds(); end > horizon {
@@ -46,7 +48,7 @@ func Gantt(s *plan.Schedule, width int) string {
 	fmt.Fprintf(&b, "%s  makespan %.0fs  cost $%.3f  idle %.0fs\n",
 		s.Workflow.Name, s.Makespan(), s.TotalCost(), s.IdleTime())
 	for _, vm := range s.VMs {
-		if len(vm.Slots) == 0 {
+		if len(vm.Slots) == 0 && vm.PaidSeconds() == 0 {
 			continue
 		}
 		row := make([]rune, width)

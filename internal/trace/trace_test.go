@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
 	"repro/internal/plan"
 	"repro/internal/provision"
 	"repro/internal/sched"
@@ -69,6 +70,29 @@ func TestGanttEmptySchedule(t *testing.T) {
 	s := &plan.Schedule{Workflow: workflows.Fig1SubWorkflow()}
 	if out := Gantt(s, 40); !strings.Contains(out, "empty") {
 		t.Errorf("empty schedule rendering = %q", out)
+	}
+}
+
+func TestGanttHeldIdleLeaseRenders(t *testing.T) {
+	// Regression: a lease that billed without running anything (zero
+	// slots, nonzero PaidSeconds via Held) must render its own row, not
+	// collapse to "(empty schedule)".
+	s := &plan.Schedule{
+		Workflow: dagtest.Chain(1, 100),
+		VMs:      []*plan.VM{{ID: 0, Type: cloud.Small, Held: 10}},
+	}
+	if got := s.VMs[0].PaidSeconds(); got != cloud.BTU {
+		t.Fatalf("held lease PaidSeconds = %g, want one BTU (%g)", got, cloud.BTU)
+	}
+	out := Gantt(s, 40)
+	if strings.Contains(out, "empty") {
+		t.Fatalf("held lease rendered as empty schedule:\n%s", out)
+	}
+	if !strings.Contains(out, "vm0") {
+		t.Errorf("held lease row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "i") {
+		t.Errorf("held lease has no idle fill:\n%s", out)
 	}
 }
 
