@@ -67,7 +67,7 @@ func BenchmarkFigure1Provisioning(b *testing.B) {
 			default:
 				alg = sched.NewHEFT(kind, cloud.Small)
 			}
-			s, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+			s, err := alg.Schedule(wf, sched.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -220,7 +220,7 @@ func BenchmarkScheduleMontage(b *testing.B) {
 	alg := sched.NewHEFT(provision.StartParNotExceed, cloud.Small)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+		if _, err := alg.Schedule(wf, sched.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,7 +233,7 @@ func BenchmarkScheduleLargeMapReduce(b *testing.B) {
 	alg := sched.NewAllPar1LnSDyn()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+		if _, err := alg.Schedule(wf, sched.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -432,7 +432,7 @@ func BenchmarkScalability(b *testing.B) {
 		alg := sched.NewAllPar(provision.AllParExceed, cloud.Small)
 		b.Run(fmt.Sprintf("tasks-%d", wf.Len()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+				if _, err := alg.Schedule(wf, sched.DefaultOptions()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -447,7 +447,7 @@ func BenchmarkPCHClustering(b *testing.B) {
 	alg := sched.NewPCH(cloud.Small)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := alg.Schedule(wf.Clone(), sched.DefaultOptions()); err != nil {
+		if _, err := alg.Schedule(wf, sched.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -457,7 +457,7 @@ func BenchmarkPCHClustering(b *testing.B) {
 func BenchmarkHCOCDeadlineCurve(b *testing.B) {
 	wf := workload.Pareto.Apply(workflows.PaperMontage(), 1)
 	for i := 0; i < b.N; i++ {
-		if _, err := sched.NewHCOC(2, 8000, cloud.Large).Schedule(wf.Clone(), sched.DefaultOptions()); err != nil && err != sched.ErrDeadlineUnreachable {
+		if _, err := sched.NewHCOC(2, 8000, cloud.Large).Schedule(wf, sched.DefaultOptions()); err != nil && err != sched.ErrDeadlineUnreachable {
 			b.Fatal(err)
 		}
 	}

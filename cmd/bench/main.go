@@ -1,0 +1,176 @@
+// Command bench converts `go test -bench` output into the repository's
+// BENCH_sweep.json performance artifact and gates throughput regressions
+// against a committed baseline.
+//
+// It reads standard `go test -bench -benchmem` text on stdin, e.g.
+//
+//	BenchmarkFullParanoidSweep-8   193   12302648 ns/op   7218880 B/op   67048 allocs/op
+//
+// and writes a JSON document keyed by benchmark name with ns/op, B/op and
+// allocs/op, plus derived cells/s for the full-sweep benchmark (the paper
+// grid is 228 cells: 4 workflows x 3 scenarios x 19 strategies).
+//
+// With -against it additionally loads a previously committed artifact and
+// exits nonzero when the full sweep's throughput regressed by more than
+// -regress (default 20%) — the CI gate of scripts/bench.sh.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | bench -out BENCH_sweep.json
+//	go test -run '^$' -bench . -benchmem . | bench -against BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// sweepBench is the end-to-end benchmark whose throughput the regression
+// gate watches; sweepCells is its grid size.
+const (
+	sweepBench = "FullParanoidSweep"
+	sweepCells = 228
+)
+
+// Bench is one measured benchmark.
+type Bench struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// CellsPerSec is only set for the full-sweep benchmark: grid cells
+	// scheduled (and paranoia-checked) per second.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+}
+
+// Artifact is the BENCH_sweep.json schema.
+type Artifact struct {
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func parse(lines *bufio.Scanner) (map[string]Bench, error) {
+	out := map[string]Bench{}
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad iteration count in %q", lines.Text())
+		}
+		b := Bench{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value %q in %q", fields[i], lines.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		name := m[1]
+		// Sub-benchmarks keep their slash-joined names verbatim.
+		if name == sweepBench && b.NsPerOp > 0 {
+			b.CellsPerSec = sweepCells / (b.NsPerOp / 1e9)
+		}
+		out[name] = b
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write the JSON artifact to this path ('-' for stdout)")
+		against = flag.String("against", "", "baseline artifact to gate the full-sweep throughput against")
+		regress = flag.Float64("regress", 0.20, "tolerated fractional throughput regression vs the baseline")
+	)
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	benches, err := parse(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("bench: no benchmark lines on stdin (pipe `go test -bench -benchmem` output)"))
+	}
+	art := Artifact{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *against != "" {
+		if err := gate(art, *against, *regress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gate compares the run's full-sweep throughput against the baseline
+// artifact and errors on a regression beyond the tolerance.
+func gate(art Artifact, path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Artifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", path, err)
+	}
+	want, ok := base.Benchmarks[sweepBench]
+	if !ok || want.CellsPerSec <= 0 {
+		return fmt.Errorf("bench: baseline %s has no %s cells/s", path, sweepBench)
+	}
+	got, ok := art.Benchmarks[sweepBench]
+	if !ok || got.CellsPerSec <= 0 {
+		return fmt.Errorf("bench: this run has no %s cells/s to compare", sweepBench)
+	}
+	floor := want.CellsPerSec * (1 - tol)
+	fmt.Fprintf(os.Stderr, "bench: %s %.0f cells/s vs baseline %.0f (floor %.0f)\n",
+		sweepBench, got.CellsPerSec, want.CellsPerSec, floor)
+	if got.CellsPerSec < floor {
+		return fmt.Errorf("bench: %s regressed: %.0f cells/s < %.0f (baseline %.0f - %.0f%%)",
+			sweepBench, got.CellsPerSec, floor, want.CellsPerSec, tol*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

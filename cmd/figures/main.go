@@ -122,7 +122,7 @@ func writeArtifacts(dir string, s *core.Sweep) error {
 		default:
 			alg = sched.NewHEFT(kind, cloud.Small)
 		}
-		sch, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+		sch, err := alg.Schedule(wf, sched.DefaultOptions())
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func figure1() error {
 		default:
 			alg = sched.NewHEFT(kind, cloud.Small)
 		}
-		s, err := alg.Schedule(wf.Clone(), sched.DefaultOptions())
+		s, err := alg.Schedule(wf, sched.DefaultOptions())
 		if err != nil {
 			return err
 		}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -292,8 +293,12 @@ type progressMeter struct {
 	w     io.Writer
 	start time.Time
 
-	mu   sync.Mutex
-	last time.Time
+	// last holds the unix-nanos of the most recent reprint. Throttled
+	// calls bail on an atomic load + CAS without taking the mutex, so the
+	// per-cell Progress callback stays cheap as its contract requires.
+	last atomic.Int64
+
+	mu sync.Mutex // serializes the actual writes
 }
 
 func newProgressMeter(w io.Writer) *progressMeter {
@@ -301,13 +306,18 @@ func newProgressMeter(w io.Writer) *progressMeter {
 }
 
 func (p *progressMeter) update(done, total int) {
+	now := time.Now()
+	if done < total {
+		last := p.last.Load()
+		if now.UnixNano()-last < int64(100*time.Millisecond) ||
+			!p.last.CompareAndSwap(last, now.UnixNano()) {
+			return // too soon, or another worker won the reprint
+		}
+	} else {
+		p.last.Store(now.UnixNano())
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
-	if done < total && now.Sub(p.last) < 100*time.Millisecond {
-		return
-	}
-	p.last = now
 	elapsed := now.Sub(p.start).Seconds()
 	if elapsed <= 0 {
 		elapsed = 1e-9

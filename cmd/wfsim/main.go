@@ -111,14 +111,14 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 	}
 	opts := sched.Options{Platform: cloud.NewPlatform(), Region: region}
 
-	s, err := alg.Schedule(wf.Clone(), opts)
+	s, err := alg.Schedule(wf, opts)
 	if err != nil {
 		return err
 	}
 	if err := validate.Schedule(s); err != nil {
 		return fmt.Errorf("schedule failed validation: %w", err)
 	}
-	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	base, err := sched.Baseline().Schedule(wf, opts)
 	if err != nil {
 		return err
 	}

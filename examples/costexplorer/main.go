@@ -22,7 +22,7 @@ func main() {
 	wf := workload.Pareto.Apply(workflows.CSTEM(), 7)
 	opts := sched.DefaultOptions()
 
-	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	base, err := sched.Baseline().Schedule(wf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func main() {
 
 	fmt.Println("budget-constrained escalation:")
 	for _, alg := range []sched.Algorithm{sched.NewCPAEager(), sched.NewGain()} {
-		s, err := alg.Schedule(wf.Clone(), opts)
+		s, err := alg.Schedule(wf, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := alg.Schedule(wf.Clone(), opts)
+	s, err := alg.Schedule(wf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,13 +60,13 @@ func main() {
 
 	// Race the full catalog on it.
 	opts := sched.DefaultOptions()
-	base, err := sched.Baseline().Schedule(loaded.Clone(), opts)
+	base, err := sched.Baseline().Schedule(loaded, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var points []metrics.Point
 	for _, alg := range sched.Catalog() {
-		s, err := alg.Schedule(loaded.Clone(), opts)
+		s, err := alg.Schedule(loaded, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

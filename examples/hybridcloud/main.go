@@ -26,7 +26,7 @@ func main() {
 	const privateVMs = 2
 
 	// The free operating point: everything on the private pool.
-	allPrivate, err := sched.NewHCOC(privateVMs, 1e12, cloud.Large).Schedule(wf.Clone(), opts)
+	allPrivate, err := sched.NewHCOC(privateVMs, 1e12, cloud.Large).Schedule(wf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("  %-14s %12s %10s %12s\n", "deadline", "makespan", "cost", "public VMs")
 	for _, frac := range []float64{1.0, 0.85, 0.7, 0.55, 0.4, 0.25} {
 		deadline := base * frac
-		s, err := sched.NewHCOC(privateVMs, deadline, cloud.Large).Schedule(wf.Clone(), opts)
+		s, err := sched.NewHCOC(privateVMs, deadline, cloud.Large).Schedule(wf, opts)
 		missed := ""
 		if errors.Is(err, sched.ErrDeadlineUnreachable) {
 			missed = "  (unreachable — fastest found)"

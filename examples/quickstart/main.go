@@ -29,7 +29,7 @@ func main() {
 	// 2. Schedule it with the baseline (HEFT + one fresh small VM per
 	//    task) and with the level-based AllParExceed policy on medium VMs.
 	opts := sched.Options{Platform: cloud.NewPlatform(), Region: cloud.USEastVirginia}
-	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	base, err := sched.Baseline().Schedule(wf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := allPar.Schedule(wf.Clone(), opts)
+	s, err := allPar.Schedule(wf, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -177,8 +177,10 @@ func Run(cfg Config) (*Sweep, error) {
 			return nil, fmt.Errorf("core: workflow %q not in config", wfName)
 		}
 		for _, sc := range cfg.Scenarios {
+			// Apply returns a frozen workflow; from here on it is an immutable
+			// snapshot every cell of the pane shares read-only.
 			w := sc.Apply(structural, cfg.Seed)
-			base, err := baseline.Schedule(w.Clone(), opts)
+			base, err := baseline.Schedule(w, opts)
 			if err != nil {
 				return nil, fmt.Errorf("core: baseline on %s/%v: %w", wfName, sc, err)
 			}
@@ -191,8 +193,10 @@ func Run(cfg Config) (*Sweep, error) {
 		}
 	}
 
-	// Phase 2 (parallel): one job per (pane, strategy) cell. Each job
-	// clones its workflow, so no job shares mutable state with another.
+	// Phase 2 (parallel): one job per (pane, strategy) cell. Every cell of
+	// a pane shares the pane's frozen workflow snapshot read-only — the
+	// schedulers never mutate a frozen workflow, and the rank memo the
+	// catalog shares per pane is internally synchronized.
 	type job struct {
 		p   pane
 		alg sched.Algorithm
@@ -240,7 +244,7 @@ func Run(cfg Config) (*Sweep, error) {
 				}
 				j := jobs[i]
 				t0 := time.Since(runStart)
-				sch, err := j.alg.Schedule(j.p.w.Clone(), opts)
+				sch, err := j.alg.Schedule(j.p.w, opts)
 				if err != nil {
 					errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
 					continue

@@ -10,30 +10,46 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/sched"
 	"repro/internal/workflows"
 )
 
-// StrategyNames returns the catalog's strategy labels in figure order.
+var (
+	strategyOnce  sync.Once
+	strategyNames []string
+	strategyByLC  map[string]sched.Algorithm // keyed by lowercased label
+)
+
+func strategyIndex() {
+	strategyOnce.Do(func() {
+		catalog := sched.Catalog()
+		strategyNames = make([]string, len(catalog))
+		strategyByLC = make(map[string]sched.Algorithm, len(catalog))
+		for i, a := range catalog {
+			strategyNames[i] = a.Name()
+			strategyByLC[strings.ToLower(a.Name())] = a
+		}
+	})
+}
+
+// StrategyNames returns the catalog's strategy labels in figure order. The
+// returned slice is shared and must not be modified.
 func StrategyNames() []string {
-	catalog := sched.Catalog()
-	names := make([]string, len(catalog))
-	for i, a := range catalog {
-		names[i] = a.Name()
-	}
-	return names
+	strategyIndex()
+	return strategyNames
 }
 
 // StrategyByName resolves a catalog strategy by its figure label. Lookup
 // is case-insensitive, so "allparexceed-m" and "AllParExceed-m" name the
-// same strategy; the error lists the valid labels.
+// same strategy; the error lists the valid labels. The lookup map is built
+// once; catalog algorithms are stateless, so sharing them is safe.
 func StrategyByName(name string) (sched.Algorithm, error) {
-	for _, a := range sched.Catalog() {
-		if strings.EqualFold(a.Name(), name) {
-			return a, nil
-		}
+	strategyIndex()
+	if a, ok := strategyByLC[strings.ToLower(name)]; ok {
+		return a, nil
 	}
 	return nil, fmt.Errorf("core: unknown strategy %q (valid: %s)",
 		name, strings.Join(StrategyNames(), ", "))

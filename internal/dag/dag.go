@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TaskID identifies a task within one workflow. IDs are dense indices
@@ -41,6 +42,20 @@ type Edge struct {
 // Workflow is a mutable DAG under construction and an immutable one once
 // Freeze (or any query method, which freezes implicitly) has been called.
 // The zero value is an empty workflow ready for use.
+//
+// A frozen workflow is an immutable snapshot: every query method is safe
+// for concurrent use, so schedulers (and the sweep driver's workers) share
+// one frozen workflow read-only instead of cloning it per run. The only
+// mutations still permitted on a frozen workflow are SetWork and SetData,
+// which re-weight tasks or edges in place; they are not safe to call
+// concurrently with queries and they invalidate the snapshot's memoized
+// derived state (see below).
+//
+// Freezing also builds a per-snapshot memo: the topological order, the
+// level decomposition and the sorted edge list are computed once, and
+// upward-rank vectors are cached per cost-model identity (CostModel.Key),
+// so that a catalog of strategies scheduling the same workflow computes
+// each rank vector once instead of once per strategy.
 type Workflow struct {
 	Name string
 
@@ -53,6 +68,23 @@ type Workflow struct {
 	topo   []TaskID
 	level  []int
 	depth  int
+
+	// Derived state of the frozen snapshot, precomputed by Freeze:
+	// levels groups task IDs by level, edges is the sorted edge list, and
+	// succData/predData carry each edge's data size aligned with succ/pred
+	// (so hot paths avoid the data-map lookup). SetData rebuilds them.
+	levels   [][]TaskID
+	edges    []Edge
+	succData [][]float64
+	predData [][]float64
+
+	// ranks memoizes UpwardRanks (and rankOrders RankOrder) per
+	// CostModel.Key. Guarded by rankMu: rank queries on a shared frozen
+	// workflow may race from concurrent schedulers. SetWork and SetData
+	// drop the maps wholesale.
+	rankMu     sync.RWMutex
+	ranks      map[string][]float64
+	rankOrders map[string][]TaskID
 }
 
 // New returns an empty named workflow.
@@ -111,7 +143,8 @@ func (w *Workflow) valid(id TaskID) bool {
 }
 
 // Freeze validates the workflow (it must be a non-empty DAG) and makes it
-// immutable. Freeze is idempotent.
+// immutable. Freeze is idempotent. Once frozen, the workflow is safe for
+// concurrent read access — see the type comment.
 func (w *Workflow) Freeze() error {
 	if w.frozen {
 		return nil
@@ -125,8 +158,74 @@ func (w *Workflow) Freeze() error {
 	}
 	w.topo = topo
 	w.computeLevels()
+	w.groupLevels()
+	w.rebuildEdgeCaches()
 	w.frozen = true
 	return nil
+}
+
+// groupLevels precomputes the level decomposition: task IDs grouped by
+// level, in ID order within a level (the same content Levels always
+// returned, now built once at freeze time).
+func (w *Workflow) groupLevels() {
+	counts := make([]int, w.depth)
+	for _, l := range w.level {
+		counts[l]++
+	}
+	flat := make([]TaskID, len(w.tasks))
+	w.levels = make([][]TaskID, w.depth)
+	off := 0
+	for l, c := range counts {
+		w.levels[l] = flat[off : off : off+c]
+		off += c
+	}
+	// Visiting tasks in ID order fills each level in ID order directly.
+	for i := range w.tasks {
+		l := w.level[i]
+		w.levels[l] = append(w.levels[l], TaskID(i))
+	}
+}
+
+// rebuildEdgeCaches precomputes the sorted edge list and the per-endpoint
+// data-size slices aligned with succ/pred, eliminating data-map lookups
+// from rank computations, builders and the simulator. Called at freeze
+// time and again by SetData.
+func (w *Workflow) rebuildEdgeCaches() {
+	w.edges = w.computeEdges()
+	n := len(w.tasks)
+	var total int
+	for i := 0; i < n; i++ {
+		total += len(w.succ[i])
+	}
+	flat := make([]float64, 2*total)
+	w.succData = make([][]float64, n)
+	w.predData = make([][]float64, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		sd := flat[off : off+len(w.succ[i])]
+		off += len(w.succ[i])
+		for j, s := range w.succ[i] {
+			sd[j] = w.data[[2]TaskID{TaskID(i), s}]
+		}
+		w.succData[i] = sd
+	}
+	for i := 0; i < n; i++ {
+		pd := flat[off : off+len(w.pred[i])]
+		off += len(w.pred[i])
+		for j, p := range w.pred[i] {
+			pd[j] = w.data[[2]TaskID{p, TaskID(i)}]
+		}
+		w.predData[i] = pd
+	}
+}
+
+// invalidateRanks drops the memoized rank vectors; called by SetWork and
+// SetData, whose re-weighting changes every cost model's estimates.
+func (w *Workflow) invalidateRanks() {
+	w.rankMu.Lock()
+	w.ranks = nil
+	w.rankOrders = nil
+	w.rankMu.Unlock()
 }
 
 // mustFreeze freezes and panics on error; used by query methods so that a
@@ -145,7 +244,7 @@ func (w *Workflow) computeTopo() ([]TaskID, error) {
 	for to := range w.pred {
 		indeg[to] = len(w.pred[to])
 	}
-	var frontier []TaskID
+	frontier := make([]TaskID, 0, 8)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			frontier = append(frontier, TaskID(i))
@@ -222,8 +321,17 @@ func (w *Workflow) Data(from, to TaskID) (float64, bool) {
 	return d, ok
 }
 
-// Edges returns all edges sorted by (From, To).
+// Edges returns all edges sorted by (From, To). On a frozen workflow the
+// slice is the snapshot's memoized copy, computed once; it must not be
+// modified.
 func (w *Workflow) Edges() []Edge {
+	if w.frozen {
+		return w.edges
+	}
+	return w.computeEdges()
+}
+
+func (w *Workflow) computeEdges() []Edge {
 	out := make([]Edge, 0, len(w.data))
 	for k, d := range w.data {
 		out = append(out, Edge{From: k[0], To: k[1], Data: d})
@@ -237,9 +345,25 @@ func (w *Workflow) Edges() []Edge {
 	return out
 }
 
+// SuccData returns the data sizes of the edges to a task's successors,
+// aligned with Succ(id). The workflow is frozen if it was not already; the
+// returned slice must not be modified.
+func (w *Workflow) SuccData(id TaskID) []float64 {
+	w.mustFreeze()
+	return w.succData[id]
+}
+
+// PredData returns the data sizes of the edges from a task's predecessors,
+// aligned with Pred(id). The workflow is frozen if it was not already; the
+// returned slice must not be modified.
+func (w *Workflow) PredData(id TaskID) []float64 {
+	w.mustFreeze()
+	return w.predData[id]
+}
+
 // Entries returns the tasks with no predecessors, in ID order.
 func (w *Workflow) Entries() []TaskID {
-	var out []TaskID
+	out := make([]TaskID, 0, 4)
 	for i := range w.tasks {
 		if len(w.pred[i]) == 0 {
 			out = append(out, TaskID(i))
@@ -250,7 +374,7 @@ func (w *Workflow) Entries() []TaskID {
 
 // Exits returns the tasks with no successors, in ID order.
 func (w *Workflow) Exits() []TaskID {
-	var out []TaskID
+	out := make([]TaskID, 0, 4)
 	for i := range w.tasks {
 		if len(w.succ[i]) == 0 {
 			out = append(out, TaskID(i))
@@ -260,10 +384,11 @@ func (w *Workflow) Exits() []TaskID {
 }
 
 // TopoOrder returns a deterministic topological order. The workflow is
-// frozen if it was not already; TopoOrder panics if it is not a DAG.
+// frozen if it was not already; TopoOrder panics if it is not a DAG. The
+// returned slice is the snapshot's own and must not be modified.
 func (w *Workflow) TopoOrder() []TaskID {
 	w.mustFreeze()
-	return append([]TaskID(nil), w.topo...)
+	return w.topo
 }
 
 // Level returns the level (longest-path depth from the entries) of a task.
@@ -280,18 +405,11 @@ func (w *Workflow) Depth() int {
 
 // Levels groups task IDs by level, index 0 being the entry level. Tasks
 // within a level are in ID order. Tasks in the same level are mutually
-// independent (no path connects them).
+// independent (no path connects them). The returned slices are the
+// snapshot's memoized decomposition and must not be modified.
 func (w *Workflow) Levels() [][]TaskID {
 	w.mustFreeze()
-	out := make([][]TaskID, w.depth)
-	for _, id := range w.topo {
-		l := w.level[id]
-		out[l] = append(out[l], id)
-	}
-	for _, lvl := range out {
-		sort.Slice(lvl, func(i, j int) bool { return lvl[i] < lvl[j] })
-	}
-	return out
+	return w.levels
 }
 
 // TotalWork returns the sum of all task reference execution times.
@@ -317,8 +435,10 @@ func (w *Workflow) MaxParallelism() int {
 
 // SetWork rewrites every task's reference execution time using the given
 // assignment function. It is the hook the workload scenarios (Pareto, best
-// case, worst case) use to re-weight a structural workflow, and is the only
-// mutation allowed on a frozen workflow (it does not change the structure).
+// case, worst case) use to re-weight a structural workflow, and is (with
+// SetData) the only mutation allowed on a frozen workflow: it does not
+// change the structure, but it does invalidate the snapshot's memoized
+// rank vectors. It must not be called concurrently with queries.
 func (w *Workflow) SetWork(assign func(t Task) float64) {
 	for i := range w.tasks {
 		work := assign(w.tasks[i])
@@ -327,6 +447,7 @@ func (w *Workflow) SetWork(assign func(t Task) float64) {
 		}
 		w.tasks[i].Work = work
 	}
+	w.invalidateRanks()
 }
 
 // SetData rewrites every edge's data size using the given assignment
@@ -341,10 +462,15 @@ func (w *Workflow) SetData(assign func(e Edge) float64) {
 		}
 		w.data[[2]TaskID{e.From, e.To}] = d
 	}
+	if w.frozen {
+		w.rebuildEdgeCaches()
+	}
+	w.invalidateRanks()
 }
 
 // Clone returns a deep copy sharing no state with the receiver. The clone
-// is unfrozen, so its weights and structure may be modified.
+// is unfrozen, so its weights and structure may be modified; it carries
+// none of the receiver's memoized snapshot state.
 func (w *Workflow) Clone() *Workflow {
 	c := New(w.Name)
 	c.tasks = append([]Task(nil), w.tasks...)

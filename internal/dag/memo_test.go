@@ -1,0 +1,203 @@
+package dag
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func memoWorkflow(t *testing.T) *Workflow {
+	t.Helper()
+	w := New("memo")
+	a := w.AddTask("a", 100)
+	b := w.AddTask("b", 50)
+	c := w.AddTask("c", 75)
+	d := w.AddTask("d", 25)
+	w.AddEdge(a, b, 1e6)
+	w.AddEdge(a, c, 2e6)
+	w.AddEdge(b, d, 3e6)
+	w.AddEdge(c, d, 4e6)
+	if err := w.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return w
+}
+
+func memoModel(key string) CostModel {
+	return CostModel{
+		Exec: func(t Task) float64 { return t.Work },
+		Comm: func(e Edge) float64 { return e.Data / 1e6 },
+		Key:  key,
+	}
+}
+
+// A keyed model must return the identical (shared) rank slice on repeat
+// queries, and it must agree exactly with the unkeyed computation.
+func TestUpwardRanksMemoized(t *testing.T) {
+	w := memoWorkflow(t)
+	keyed := memoModel("test")
+	r1 := w.UpwardRanks(keyed)
+	r2 := w.UpwardRanks(keyed)
+	if &r1[0] != &r2[0] {
+		t.Fatal("keyed UpwardRanks did not return the memoized slice")
+	}
+	plain := w.UpwardRanks(memoModel(""))
+	for i := range plain {
+		if plain[i] != r1[i] {
+			t.Fatalf("rank[%d]: keyed %v, unkeyed %v", i, r1[i], plain[i])
+		}
+	}
+	o1 := w.RankOrder(keyed)
+	o2 := w.RankOrder(keyed)
+	if &o1[0] != &o2[0] {
+		t.Fatal("keyed RankOrder did not return the memoized slice")
+	}
+	po := w.RankOrder(memoModel(""))
+	for i := range po {
+		if po[i] != o1[i] {
+			t.Fatalf("order[%d]: keyed %v, unkeyed %v", i, o1[i], po[i])
+		}
+	}
+}
+
+// Distinct keys must not collide in the memo.
+func TestUpwardRanksKeyedSeparately(t *testing.T) {
+	w := memoWorkflow(t)
+	fast := CostModel{Exec: func(t Task) float64 { return t.Work / 2 }, Key: "fast"}
+	slow := CostModel{Exec: func(t Task) float64 { return t.Work }, Key: "slow"}
+	rf := w.UpwardRanks(fast)
+	rs := w.UpwardRanks(slow)
+	for i := range rf {
+		if rf[i]*2 != rs[i] {
+			t.Fatalf("rank[%d]: fast %v, slow %v (keys collided?)", i, rf[i], rs[i])
+		}
+	}
+}
+
+// SetWork and SetData re-weight the workflow, so cached rank vectors must
+// be dropped.
+func TestMemoInvalidatedByReweight(t *testing.T) {
+	w := memoWorkflow(t)
+	m := memoModel("test")
+	before := append([]float64(nil), w.UpwardRanks(m)...)
+	w.SetWork(func(t Task) float64 { return t.Work * 10 })
+	after := w.UpwardRanks(m)
+	for i := range before {
+		if after[i] == before[i] {
+			t.Fatalf("rank[%d] unchanged (%v) after SetWork: stale memo", i, before[i])
+		}
+	}
+	stale := append([]float64(nil), after...)
+	w.SetData(func(e Edge) float64 { return e.Data * 100 })
+	after2 := w.UpwardRanks(m)
+	changed := false
+	for i := range stale {
+		if after2[i] != stale[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ranks unchanged after SetData re-weighted every edge: stale memo")
+	}
+}
+
+// SuccData/PredData must align index-for-index with Succ/Pred and agree
+// with the Data map, including after SetData on a frozen workflow.
+func TestEdgeDataAlignment(t *testing.T) {
+	w := memoWorkflow(t)
+	for round := 0; round < 2; round++ {
+		for id := 0; id < w.Len(); id++ {
+			t1 := TaskID(id)
+			succ, sdata := w.Succ(t1), w.SuccData(t1)
+			if len(succ) != len(sdata) {
+				t.Fatalf("task %d: %d succs, %d succ data", id, len(succ), len(sdata))
+			}
+			for i, s := range succ {
+				want, _ := w.Data(t1, s)
+				if sdata[i] != want {
+					t.Fatalf("SuccData[%d][%d] = %v, Data = %v", id, i, sdata[i], want)
+				}
+			}
+			pred, pdata := w.Pred(t1), w.PredData(t1)
+			if len(pred) != len(pdata) {
+				t.Fatalf("task %d: %d preds, %d pred data", id, len(pred), len(pdata))
+			}
+			for i, p := range pred {
+				want, _ := w.Data(p, t1)
+				if pdata[i] != want {
+					t.Fatalf("PredData[%d][%d] = %v, Data = %v", id, i, pdata[i], want)
+				}
+			}
+		}
+		w.SetData(func(e Edge) float64 { return e.Data*3 + 7 })
+	}
+}
+
+// Concurrent keyed queries on a shared snapshot must race-cleanly agree.
+func TestUpwardRanksConcurrent(t *testing.T) {
+	w := memoWorkflow(t)
+	want := append([]float64(nil), w.UpwardRanks(memoModel(""))...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := memoModel("shared")
+			for i := 0; i < 100; i++ {
+				got := w.UpwardRanks(m)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("goroutine %d: rank[%d] = %v, want %v", g, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The memoized Levels grouping must match a straightforward recomputation
+// on randomized DAGs.
+func TestLevelsMemoMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		w := New("rand")
+		n := 5 + rng.Intn(40)
+		ids := make([]TaskID, n)
+		for i := range ids {
+			ids[i] = w.AddTask("", float64(1+rng.Intn(100)))
+		}
+		for i := 1; i < n; i++ {
+			for _, p := range rng.Perm(i)[:rng.Intn(i)%3] {
+				w.AddEdge(ids[p], ids[i], float64(rng.Intn(1000)))
+			}
+		}
+		if err := w.Freeze(); err != nil {
+			t.Fatalf("trial %d: Freeze: %v", trial, err)
+		}
+		want := make(map[int][]TaskID)
+		maxLevel := 0
+		for i := 0; i < n; i++ {
+			l := w.Level(TaskID(i))
+			want[l] = append(want[l], TaskID(i))
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+		got := w.Levels()
+		if len(got) != maxLevel+1 {
+			t.Fatalf("trial %d: %d levels, want %d", trial, len(got), maxLevel+1)
+		}
+		for l, tasks := range got {
+			if len(tasks) != len(want[l]) {
+				t.Fatalf("trial %d level %d: got %v, want %v", trial, l, tasks, want[l])
+			}
+			for i := range tasks {
+				if tasks[i] != want[l][i] {
+					t.Fatalf("trial %d level %d: got %v, want %v", trial, l, tasks, want[l])
+				}
+			}
+		}
+	}
+}

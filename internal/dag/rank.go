@@ -12,6 +12,15 @@ type CostModel struct {
 	// Comm returns the estimated transfer time of an edge, in seconds,
 	// assuming producer and consumer run on different machines.
 	Comm func(e Edge) float64
+	// Key, when non-empty, declares the model's identity for memoization:
+	// rank vectors computed under a keyed model are cached on the frozen
+	// workflow and shared by every subsequent query with the same key, so
+	// a catalog of strategies ranking under the same few cost models (one
+	// per instance type) computes each vector once. Two models with the
+	// same key MUST return identical estimates for every task and edge of
+	// the workflow; results of keyed queries must not be modified. An
+	// empty key disables caching.
+	Key string
 }
 
 // UniformComm returns a communication estimator that charges size/bandwidth
@@ -34,19 +43,46 @@ func ZeroComm(Edge) float64 { return 0 }
 //	rank(t) = exec(t) + max over successors s of (comm(t→s) + rank(s))
 //
 // Exit tasks have rank equal to their execution time. The returned slice is
-// indexed by TaskID.
+// indexed by TaskID. Under a keyed cost model the result is memoized on the
+// frozen workflow and the returned slice must not be modified.
 func (w *Workflow) UpwardRanks(m CostModel) []float64 {
 	w.mustFreeze()
+	if m.Key != "" {
+		w.rankMu.RLock()
+		rank, ok := w.ranks[m.Key]
+		w.rankMu.RUnlock()
+		if ok {
+			return rank
+		}
+	}
+	rank := w.computeUpwardRanks(m)
+	if m.Key != "" {
+		w.rankMu.Lock()
+		if cached, ok := w.ranks[m.Key]; ok {
+			rank = cached // a concurrent query computed the identical vector first
+		} else {
+			if w.ranks == nil {
+				w.ranks = make(map[string][]float64)
+			}
+			w.ranks[m.Key] = rank
+		}
+		w.rankMu.Unlock()
+	}
+	return rank
+}
+
+func (w *Workflow) computeUpwardRanks(m CostModel) []float64 {
 	rank := make([]float64, len(w.tasks))
 	// Walk the topological order backwards so successors are ranked first.
 	for i := len(w.topo) - 1; i >= 0; i-- {
 		id := w.topo[i]
 		best := 0.0
-		for _, s := range w.succ[id] {
+		succ := w.succ[id]
+		data := w.succData[id]
+		for j, s := range succ {
 			c := 0.0
 			if m.Comm != nil {
-				d, _ := w.Data(id, s)
-				c = m.Comm(Edge{From: id, To: s, Data: d})
+				c = m.Comm(Edge{From: id, To: s, Data: data[j]})
 			}
 			if v := c + rank[s]; v > best {
 				best = v
@@ -60,8 +96,19 @@ func (w *Workflow) UpwardRanks(m CostModel) []float64 {
 // RankOrder returns all task IDs sorted by decreasing upward rank, breaking
 // ties by increasing ID for determinism. This is HEFT's scheduling order;
 // it is always a valid topological order because a task's rank strictly
-// exceeds each successor's whenever execution times are positive.
+// exceeds each successor's whenever execution times are positive. Under a
+// keyed cost model the result is memoized on the frozen workflow and the
+// returned slice must not be modified.
 func (w *Workflow) RankOrder(m CostModel) []TaskID {
+	if m.Key != "" {
+		w.mustFreeze()
+		w.rankMu.RLock()
+		order, ok := w.rankOrders[m.Key]
+		w.rankMu.RUnlock()
+		if ok {
+			return order
+		}
+	}
 	rank := w.UpwardRanks(m)
 	order := make([]TaskID, len(w.tasks))
 	for i := range order {
@@ -74,6 +121,18 @@ func (w *Workflow) RankOrder(m CostModel) []TaskID {
 		}
 		return order[i] < order[j]
 	})
+	if m.Key != "" {
+		w.rankMu.Lock()
+		if cached, ok := w.rankOrders[m.Key]; ok {
+			order = cached
+		} else {
+			if w.rankOrders == nil {
+				w.rankOrders = make(map[string][]TaskID)
+			}
+			w.rankOrders[m.Key] = order
+		}
+		w.rankMu.Unlock()
+	}
 	return order
 }
 
@@ -94,11 +153,12 @@ func (w *Workflow) CriticalPath(m CostModel) ([]TaskID, float64) {
 		dist[id] = m.Exec(w.tasks[id])
 		bestVia := TaskID(-1)
 		best := 0.0
-		for _, s := range w.succ[id] {
+		succ := w.succ[id]
+		data := w.succData[id]
+		for j, s := range succ {
 			c := 0.0
 			if m.Comm != nil {
-				d, _ := w.Data(id, s)
-				c = m.Comm(Edge{From: id, To: s, Data: d})
+				c = m.Comm(Edge{From: id, To: s, Data: data[j]})
 			}
 			v := c + dist[s]
 			if v > best || (v == best && bestVia >= 0 && s < bestVia) {

@@ -4,6 +4,29 @@
 // deterministic.
 package eventq
 
+import "sync"
+
+// pool recycles queues (and their heap arrays) across simulation runs, so
+// replay-heavy paths do not re-grow a fresh heap per run.
+var pool = sync.Pool{New: func() any { return new(Queue) }}
+
+// Get returns an empty queue, reusing pooled heap capacity when available.
+// Pair it with Release when the simulation run is over; a queue obtained
+// from Get is indistinguishable from a zero-value Queue.
+func Get() *Queue { return pool.Get().(*Queue) }
+
+// Release empties the queue and returns it to the pool. Pending events are
+// dropped and their callbacks cleared, so pooled capacity never pins
+// simulator state alive.
+func Release(q *Queue) {
+	for i := range q.heap {
+		q.heap[i].Fire = nil
+	}
+	q.heap = q.heap[:0]
+	q.next = 0
+	pool.Put(q)
+}
+
 // Event is a scheduled callback in virtual time.
 type Event struct {
 	Time float64
@@ -23,6 +46,15 @@ type Queue struct {
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
+
+// Grow ensures capacity for at least n more events without reallocating.
+func (q *Queue) Grow(n int) {
+	if cap(q.heap)-len(q.heap) < n {
+		heap := make([]Event, len(q.heap), len(q.heap)+n)
+		copy(heap, q.heap)
+		q.heap = heap
+	}
+}
 
 // Push schedules an event. Events pushed with equal times fire in push
 // order.

@@ -56,11 +56,11 @@ func DataCrossover(structural *dag.Workflow, seed uint64, maxFactor float64, opt
 			Exec: func(t dag.Task) float64 { return t.Work },
 			Comm: func(e dag.Edge) float64 { return opts.Platform.TransferTime(e.Data, 0, 0) },
 		})
-		sb, err := sched.Baseline().Schedule(w.Clone(), opts)
+		sb, err := sched.Baseline().Schedule(w, opts)
 		if err != nil {
 			return nil, 0, err
 		}
-		sp, err := colocated.Schedule(w.Clone(), opts)
+		sp, err := colocated.Schedule(w, opts)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -148,12 +148,12 @@ func Explore(cfg Config) ([]Cell, error) {
 					draw := r.Split()
 					wf.SetWork(func(dag.Task) float64 { return dist.Sample(draw) })
 					wf.SetData(func(dag.Edge) float64 { return 0 })
-					base, err := baseline.Schedule(wf.Clone(), cfg.Opts)
+					base, err := baseline.Schedule(wf, cfg.Opts)
 					if err != nil {
 						return nil, fmt.Errorf("frontier: %s: %w", point, err)
 					}
 					for _, alg := range cfg.Strategies {
-						s, err := alg.Schedule(wf.Clone(), cfg.Opts)
+						s, err := alg.Schedule(wf, cfg.Opts)
 						if err != nil {
 							return nil, fmt.Errorf("frontier: %s/%s: %w", point, alg.Name(), err)
 						}

@@ -259,12 +259,12 @@ func ComparePoints(t Template, algs []sched.Algorithm, opts sched.Options, n int
 		if err != nil {
 			return nil, err
 		}
-		base, err := baseline.Schedule(wf.Clone(), opts)
+		base, err := baseline.Schedule(wf, opts)
 		if err != nil {
 			return nil, err
 		}
 		for k, alg := range algs {
-			s, err := alg.Schedule(wf.Clone(), opts)
+			s, err := alg.Schedule(wf, opts)
 			if err != nil {
 				return nil, fmt.Errorf("ndwf: %s: %w", alg.Name(), err)
 			}

@@ -225,6 +225,13 @@ type Builder struct {
 	start  []float64
 	end    []float64
 	vmOf   []VMID
+
+	// arena backs the first len(arena) VMs in one allocation. Its length
+	// is fixed at construction — NewVMIn hands out pointers into it, so it
+	// must never be reallocated; VMs beyond the arena fall back to
+	// individual allocations.
+	arena     []VM
+	arenaUsed int
 }
 
 // NewBuilder returns a Builder for one workflow on one platform, renting
@@ -236,10 +243,13 @@ func NewBuilder(wf *dag.Workflow, p *cloud.Platform, region cloud.Region) *Build
 	n := wf.Len()
 	b := &Builder{
 		wf: wf, p: p, region: region,
+		vms:    make([]*VM, 0, n),
 		placed: make([]bool, n),
 		start:  make([]float64, n),
 		end:    make([]float64, n),
 		vmOf:   make([]VMID, n),
+		// One VM per task is the most any catalog planner rents.
+		arena: make([]VM, n),
 	}
 	for i := range b.vmOf {
 		b.vmOf[i] = -1
@@ -267,7 +277,14 @@ func (b *Builder) NewVM(t cloud.InstanceType) *VM {
 // that spread VMs across regions pay inter-region transfer costs on every
 // cross-region edge.
 func (b *Builder) NewVMIn(t cloud.InstanceType, region cloud.Region) *VM {
-	vm := &VM{ID: VMID(len(b.vms)), Type: t, Region: region}
+	var vm *VM
+	if b.arenaUsed < len(b.arena) {
+		vm = &b.arena[b.arenaUsed]
+		b.arenaUsed++
+		*vm = VM{ID: VMID(len(b.vms)), Type: t, Region: region}
+	} else {
+		vm = &VM{ID: VMID(len(b.vms)), Type: t, Region: region}
+	}
 	b.vms = append(b.vms, vm)
 	return vm
 }
@@ -310,14 +327,15 @@ func (b *Builder) VMOf(t dag.TaskID) *VM {
 // placed.
 func (b *Builder) ReadyOn(t dag.TaskID, vm *VM) float64 {
 	var ready float64
-	for _, p := range b.wf.Pred(t) {
+	preds := b.wf.Pred(t)
+	data := b.wf.PredData(t)
+	for i, p := range preds {
 		if !b.placed[p] {
 			panic(fmt.Sprintf("plan: ReadyOn(%d): predecessor %d not placed", t, p))
 		}
 		at := b.end[p]
 		if b.vmOf[p] != vm.ID {
-			data, _ := b.wf.Data(p, t)
-			at += b.p.TransferTime(data, b.vms[b.vmOf[p]].Type, vm.Type)
+			at += b.p.TransferTime(data[i], b.vms[b.vmOf[p]].Type, vm.Type)
 		}
 		if at > ready {
 			ready = at
@@ -386,25 +404,39 @@ func (b *Builder) BusiestVM(keep func(*VM) bool) *VM {
 	return best
 }
 
-// Done finalizes the schedule. Every task must have been placed.
+// Done finalizes the schedule. Every task must have been placed. The
+// schedule takes ownership of the builder's bookkeeping buffers, so the
+// builder must not be used after Done.
 func (b *Builder) Done() *Schedule {
 	for t, ok := range b.placed {
 		if !ok {
 			panic(fmt.Sprintf("plan: Done with unplaced task %d", t))
 		}
 	}
-	placement := make([]VMID, len(b.vmOf))
-	copy(placement, b.vmOf)
 	s := &Schedule{
 		Workflow:  b.wf,
 		Platform:  b.p,
 		VMs:       b.vms,
-		Placement: placement,
-		Start:     append([]float64(nil), b.start...),
-		End:       append([]float64(nil), b.end...),
+		Placement: b.vmOf,
+		Start:     b.start,
+		End:       b.end,
 	}
 	for _, vm := range s.VMs {
-		sort.Slice(vm.Slots, func(i, j int) bool { return vm.Slots[i].Start < vm.Slots[j].Start })
+		// PlaceOn appends in non-decreasing start order (starts are clamped
+		// to the VM's availability), so the slots are almost always sorted
+		// already; sort only the rare timeline built out of order.
+		if !slotsSorted(vm.Slots) {
+			sort.Slice(vm.Slots, func(i, j int) bool { return vm.Slots[i].Start < vm.Slots[j].Start })
+		}
 	}
 	return s
+}
+
+func slotsSorted(slots []Slot) bool {
+	for i := 1; i < len(slots); i++ {
+		if slots[i].Start < slots[i-1].Start {
+			return false
+		}
+	}
+	return true
 }

@@ -87,6 +87,10 @@ func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignme
 		} else {
 			vms[i] = b.NewVM(typ)
 		}
+		// The queue length is exactly the slot count the replay will place.
+		if n := len(a.Queues[i]); n > 0 {
+			vms[i].Slots = make([]Slot, 0, n)
+		}
 	}
 	heads := make([]int, len(a.Queues))
 	for placed := 0; placed < total; {

@@ -61,7 +61,7 @@ func WriteHTML(w io.Writer, s *core.Sweep, workflow string, ganttStrategies []st
 			return err
 		}
 		var sch *plan.Schedule
-		if sch, err = alg.Schedule(realized.Clone(), opts); err != nil {
+		if sch, err = alg.Schedule(realized, opts); err != nil {
 			return err
 		}
 		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(name))

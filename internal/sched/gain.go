@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -67,19 +68,18 @@ func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 			}
 		}
 		// Sort best-first, deterministically: higher gain, then lower task
-		// ID, then slower (cheaper) target type.
-		for i := 1; i < len(cells); i++ {
-			for j := i; j > 0; j-- {
-				a, b := cells[j-1], cells[j]
-				if b.gain > a.gain ||
-					(b.gain == a.gain && (b.task < a.task ||
-						(b.task == a.task && b.typ < a.typ))) {
-					cells[j-1], cells[j] = b, a
-				} else {
-					break
-				}
+		// ID, then slower (cheaper) target type. (task, typ) pairs are
+		// unique, so this total order makes the unstable sort deterministic.
+		sort.Slice(cells, func(i, j int) bool {
+			a, b := cells[i], cells[j]
+			if a.gain != b.gain {
+				return a.gain > b.gain
 			}
-		}
+			if a.task != b.task {
+				return a.task < b.task
+			}
+			return a.typ < b.typ
+		})
 		applied := false
 		for _, c := range cells {
 			if u.tryUpgrade(c.task, c.typ) {

@@ -28,17 +28,33 @@ func NewAllPar1LnSDyn() AllPar1LnSDyn { return AllPar1LnSDyn{} }
 func (AllPar1LnSDyn) Name() string { return "AllPar1LnSDyn" }
 
 // levelPlan is the per-level escalation state: the packed bins and the
-// instance type currently assigned to each bin's VM.
+// instance type currently assigned to each bin's VM. memo caches each
+// bin's sequential time per instance type (-1 = not yet computed): the
+// escalation loop re-reads bin times many times per upgrade attempt, and a
+// bin's time under a fixed type never changes, so rollbacks reuse entries.
 type levelPlan struct {
 	bins  [][]dag.TaskID
 	types []cloud.InstanceType
+	memo  [][]float64
 }
 
 // time returns bin i's sequential execution time under its current type.
+// The cached value is computed by summing per-task times in bin order —
+// the exact float operation order of the uncached path — so memoization is
+// bit-identical.
 func (lp *levelPlan) time(wf *dag.Workflow, p *cloud.Platform, i int) float64 {
+	typ := lp.types[i]
+	if lp.memo != nil {
+		if v := lp.memo[i][typ]; v >= 0 {
+			return v
+		}
+	}
 	var sum float64
 	for _, t := range lp.bins[i] {
-		sum += p.ExecTime(wf.Task(t).Work, lp.types[i])
+		sum += p.ExecTime(wf.Task(t).Work, typ)
+	}
+	if lp.memo != nil {
+		lp.memo[i][typ] = sum
 	}
 	return sum
 }
@@ -118,8 +134,14 @@ func (AllPar1LnSDyn) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, e
 	for _, level := range wf.Levels() {
 		lp := levelPlan{bins: levelBins(wf, level)}
 		lp.types = make([]cloud.InstanceType, len(lp.bins))
+		lp.memo = make([][]float64, len(lp.bins))
 		for i := range lp.types {
 			lp.types[i] = baseType
+			row := make([]float64, int(cloud.XLarge)+1)
+			for j := range row {
+				row[j] = -1
+			}
+			lp.memo[i] = row
 		}
 		// The worst-case budget: every parallel task of the level on its
 		// own small VM (AllParNotExceed provisioning, Sect. III-B).

@@ -15,6 +15,8 @@ package sched
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -56,6 +58,11 @@ func costModel(p *cloud.Platform, typ cloud.InstanceType) dag.CostModel {
 	return dag.CostModel{
 		Exec: func(t dag.Task) float64 { return p.ExecTime(t.Work, typ) },
 		Comm: func(e dag.Edge) float64 { return p.TransferTime(e.Data, typ, typ) },
+		// ExecTime depends only on the instance type's speedup and
+		// TransferTime only on the type's bandwidth plus the platform
+		// latency, so (type, latency) fully identifies the model and the
+		// catalog's rank vectors are memoized per snapshot, one per type.
+		Key: fmt.Sprintf("homog:%s:lat=%g", typ, p.Latency),
 	}
 }
 
@@ -64,17 +71,15 @@ func costModel(p *cloud.Platform, typ cloud.InstanceType) dag.CostModel {
 // based algorithms ("level ranking + ET descending", Table I).
 func levelOrder(wf *dag.Workflow, level []dag.TaskID) []dag.TaskID {
 	out := append([]dag.TaskID(nil), level...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0; j-- {
-			a, b := out[j-1], out[j]
-			wa, wb := wf.Task(a).Work, wf.Task(b).Work
-			if wb > wa || (wb == wa && b < a) {
-				out[j-1], out[j] = b, a
-			} else {
-				break
-			}
+	// (work desc, ID asc) is a total order over distinct tasks, so the
+	// unstable sort is deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		wa, wb := wf.Task(out[i]).Work, wf.Task(out[j]).Work
+		if wa != wb {
+			return wa > wb
 		}
-	}
+		return out[i] < out[j]
+	})
 	return out
 }
 
@@ -96,12 +101,23 @@ func Catalog() []Algorithm {
 	return out
 }
 
-// ByName returns the catalog strategy with the given figure label.
+var (
+	byNameOnce sync.Once
+	byNameMap  map[string]Algorithm
+)
+
+// ByName returns the catalog strategy with the given figure label. The
+// lookup map is built once; catalog algorithms are stateless, so sharing
+// the instances across callers is safe.
 func ByName(name string) (Algorithm, error) {
-	for _, a := range Catalog() {
-		if a.Name() == name {
-			return a, nil
+	byNameOnce.Do(func() {
+		byNameMap = make(map[string]Algorithm)
+		for _, a := range Catalog() {
+			byNameMap[a.Name()] = a
 		}
+	})
+	if a, ok := byNameMap[name]; ok {
+		return a, nil
 	}
 	return nil, fmt.Errorf("sched: unknown strategy %q", name)
 }

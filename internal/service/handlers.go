@@ -166,13 +166,15 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 // planSchedule runs one strategy (plus the baseline) on one workflow.
 func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
+	// Apply returns a frozen workflow: an immutable snapshot both the
+	// strategy and the baseline schedule from directly, no clones.
 	wf := res.scenario.Apply(res.structural, res.seed)
 	opts := sched.Options{Platform: cloud.NewPlatform(), Region: res.region}
-	sch, err := res.alg.Schedule(wf.Clone(), opts)
+	sch, err := res.alg.Schedule(wf, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", res.alg.Name(), res.wfName, err)
 	}
-	base, err := sched.Baseline().Schedule(wf.Clone(), opts)
+	base, err := sched.Baseline().Schedule(wf, opts)
 	if err != nil {
 		return nil, fmt.Errorf("baseline on %s: %w", res.wfName, err)
 	}

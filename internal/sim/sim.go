@@ -162,10 +162,16 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		res.TaskEnd[i] = math.NaN()
 	}
 
+	// The initial VM states live in one block; replacement leases spawned by
+	// fault recovery are appended as individual allocations, which leaves
+	// the pointers into the block valid.
+	states := make([]vmState, len(s.VMs))
 	vms := make([]*vmState, len(s.VMs))
 	vmOf := make([]int, n)
 	for i, vm := range s.VMs {
-		st := &vmState{vm: vm, boot: cfg.BootTime, inc: uint64(i), running: -1}
+		st := &states[i]
+		*st = vmState{vm: vm, boot: cfg.BootTime, inc: uint64(i), running: -1,
+			queue: make([]int, 0, len(vm.Slots))}
 		for _, slot := range vm.Slots {
 			st.queue = append(st.queue, int(slot.Task))
 			vmOf[slot.Task] = i
@@ -181,7 +187,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		pending[id] = len(wf.Pred(dag.TaskID(id)))
 	}
 
-	var q eventq.Queue
+	q := eventq.Get()
+	defer eventq.Release(q)
+	q.Grow(n + len(s.VMs))
 	now := 0.0
 	done := 0
 	aborted := false
@@ -265,12 +273,14 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			rec.Record(obs.Event{Kind: obs.KindTaskFinish, T: now,
 				VM: int32(vi), Task: int32(task), Attempt: int32(att)})
 		}
-		// Propagate outputs to successors.
-		for _, succ := range wf.Succ(dag.TaskID(task)) {
+		// Propagate outputs to successors. SuccData is index-aligned with
+		// Succ, replacing a map lookup per edge.
+		sdata := wf.SuccData(dag.TaskID(task))
+		for si, succ := range wf.Succ(dag.TaskID(task)) {
 			succ := int(succ)
 			arrive := now
 			if vmOf[succ] != vi {
-				data, _ := wf.Data(dag.TaskID(task), dag.TaskID(succ))
+				data := sdata[si]
 				arrive += s.Platform.TransferTime(data, st.vm.Type, vms[vmOf[succ]].vm.Type)
 				res.Transfers++
 				if rec != nil {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Reproducible benchmark harness: runs the perf-tracked benchmarks and
+# converts the result into the BENCH_sweep.json artifact via cmd/bench.
+#
+#   scripts/bench.sh                          # 2s benchtime, writes BENCH_sweep.json
+#   BENCHTIME=100ms scripts/bench.sh          # quick CI pass
+#   AGAINST=BENCH_sweep.json OUT=/tmp/now.json scripts/bench.sh
+#                                             # gate vs the committed baseline
+#
+# Environment:
+#   BENCHTIME  go test -benchtime (default 2s)
+#   OUT        artifact path (default BENCH_sweep.json; '-' for stdout)
+#   AGAINST    baseline artifact; fails on >20% full-sweep throughput regression
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_sweep.json}"
+AGAINST="${AGAINST:-}"
+
+args=(-out "$OUT")
+if [ -n "$AGAINST" ]; then
+  args+=(-against "$AGAINST")
+fi
+
+go test -run '^$' -count 1 -benchmem -benchtime "$BENCHTIME" \
+  -bench '^(BenchmarkFullParanoidSweep|BenchmarkScheduleLargeMapReduce|BenchmarkScheduleMontage|BenchmarkHEFTRanks|BenchmarkSimReplay)$' . \
+  | tee /dev/stderr | go run ./cmd/bench "${args[@]}"
+
+if [ "$OUT" != "-" ]; then
+  echo "wrote $OUT" >&2
+fi
