@@ -1,0 +1,99 @@
+// Command wffuzz drives the randomized differential harness from the
+// command line: it draws seeded random cases (workflow × scenario ×
+// strategy × fault model), runs each through the plan↔sim oracles of
+// internal/validate, and reports every divergence. Failing cases are
+// greedily shrunk to minimal reproducers which can be emitted in the
+// native Go fuzz corpus format, ready to commit under
+// internal/fuzzcheck/testdata/fuzz/.
+//
+// Usage:
+//
+//	wffuzz -n 500 -seed 1
+//	wffuzz -n 10000 -seed 7 -emit internal/fuzzcheck/testdata/fuzz
+//
+// The case stream is a pure function of (seed, index): a divergence at
+// index i reproduces with the same seed on any machine. Exit status is 1
+// when any case diverged, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fuzzcheck"
+)
+
+type options struct {
+	n        int
+	seed     uint64
+	emit     string
+	progress int
+}
+
+func main() {
+	var opt options
+	flag.IntVar(&opt.n, "n", 200, "number of random cases to run")
+	flag.Uint64Var(&opt.seed, "seed", 1, "stream seed (same seed, same cases)")
+	flag.StringVar(&opt.emit, "emit", "", "directory to write shrunk reproducers in Go fuzz corpus format (FuzzSchedule/ and FuzzSimAgree/ subdirectories)")
+	flag.IntVar(&opt.progress, "progress", 100, "print a progress line every N cases (0 disables)")
+	flag.Parse()
+
+	failures, err := run(opt, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wffuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "wffuzz: %d of %d cases diverged\n", failures, opt.n)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wffuzz: %d cases, zero divergences (seed %d)\n", opt.n, opt.seed)
+}
+
+// run executes the case stream and returns the number of divergent cases.
+func run(opt options, w io.Writer) (int, error) {
+	if opt.n <= 0 {
+		return 0, fmt.Errorf("-n must be positive, got %d", opt.n)
+	}
+	failures := 0
+	for i := 0; i < opt.n; i++ {
+		if opt.progress > 0 && i > 0 && i%opt.progress == 0 {
+			fmt.Fprintf(w, "wffuzz: %d/%d cases, %d divergences\n", i, opt.n, failures)
+		}
+		c := fuzzcheck.Random(opt.seed, i)
+		err := c.Run()
+		if err == nil {
+			continue
+		}
+		failures++
+		fmt.Fprintf(w, "wffuzz: case %d DIVERGED: %v\n", i, err)
+		min := fuzzcheck.Shrink(c, func(d fuzzcheck.Case) bool { return d.Run() != nil })
+		fmt.Fprintf(w, "wffuzz: minimal reproducer: %v\n", min)
+		if opt.emit != "" {
+			path, err := emit(opt.emit, opt.seed, i, min)
+			if err != nil {
+				return failures, err
+			}
+			fmt.Fprintf(w, "wffuzz: wrote %s\n", path)
+		}
+	}
+	return failures, nil
+}
+
+// emit writes a shrunk case as a corpus file under the fuzz target it
+// belongs to and returns the path.
+func emit(dir string, seed uint64, index int, c fuzzcheck.Case) (string, error) {
+	target := "FuzzSchedule"
+	if c.FaultName() != "none" {
+		target = "FuzzSimAgree"
+	}
+	d := filepath.Join(dir, target)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(d, fmt.Sprintf("shrunk-%d-%d", seed, index))
+	return path, os.WriteFile(path, fuzzcheck.Encode(c), 0o644)
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanStream(t *testing.T) {
+	var b strings.Builder
+	failures, err := run(options{n: 25, seed: 1, progress: 10}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d divergences in the clean stream:\n%s", failures, b.String())
+	}
+	if !strings.Contains(b.String(), "wffuzz: 10/25") {
+		t.Errorf("progress line missing:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsNonPositiveN(t *testing.T) {
+	if _, err := run(options{n: 0}, &strings.Builder{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

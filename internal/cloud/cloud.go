@@ -219,13 +219,50 @@ func (p *Platform) TransferCost(size float64, from, to Region) float64 {
 	return size / (1 << 30) * from.TransferOutPrice()
 }
 
+// Eps is the repository's single float-comparison tolerance. It lives
+// here because this package sits at the bottom of the dependency graph;
+// internal/validate re-exports it as validate.Eps, the canonical name the
+// rest of the repository (metrics, the oracles, the tests) uses. Keep the
+// two spellings identical: billing boundaries, target-square membership
+// and plan↔sim agreement must all be decided by the same tolerance, or a
+// schedule can be billed one way by the planner and another by the
+// simulator, or classified differently by a test and the sweep driver.
+const Eps = 1e-9
+
+// Close reports whether a and b agree within Eps, scaled by their
+// magnitude: |a−b| ≤ Eps·max(1, |a|, |b|). The relative term matters for
+// large simulated times (hundreds of simulated days), where accumulated
+// float error legitimately exceeds an absolute 1e-9 while the values are
+// still equal for every modelling purpose.
+func Close(a, b float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return math.Abs(a-b) <= Eps*m
+}
+
 // BTUs returns the number of whole billing units covering span seconds. A
 // zero-length lease still costs one BTU once the VM was started.
+//
+// The count is eps-guarded: a span that is an exact BTU multiple up to
+// float error (e.g. a lease of exactly 2·3600 s assembled from task
+// durations that sum a hair over) bills the exact multiple, not an extra
+// full BTU. The guard is relative (Eps·max(1, span/BTU) in BTU units), so
+// it holds at any lease length.
 func BTUs(span float64) int {
 	if span < 0 {
-		panic(fmt.Sprintf("cloud: negative lease span %v", span))
+		if span < -Eps {
+			panic(fmt.Sprintf("cloud: negative lease span %v", span))
+		}
+		span = 0 // float noise around a zero-length lease
 	}
-	n := int(math.Ceil(span / BTU))
+	x := span / BTU
+	guard := Eps
+	if x > 1 {
+		guard = Eps * x
+	}
+	n := int(math.Ceil(x - guard))
 	if n == 0 {
 		n = 1
 	}

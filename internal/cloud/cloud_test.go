@@ -193,6 +193,42 @@ func TestBTUs(t *testing.T) {
 	}
 }
 
+// TestBTUsBoundary pins the eps guard: float error must never bill an
+// extra full BTU at an exact k·BTU boundary, while genuinely longer
+// leases still roll over.
+func TestBTUsBoundary(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		exact := float64(k) * BTU
+		for _, c := range []struct {
+			span float64
+			want int
+		}{
+			{exact, k},
+			{exact - 1e-9, k},
+			{exact + 1e-9, k}, // float noise over the boundary: still k
+			{exact - 1e-3, k},
+			{exact + 1e-3, k + 1}, // a real overrun rolls over
+		} {
+			if got := BTUs(c.span); got != c.want {
+				t.Errorf("BTUs(%v) [k=%d] = %d, want %d", c.span, k, got, c.want)
+			}
+		}
+	}
+	// The motivating case: a lease assembled from n tasks of BTU/n seconds
+	// each sums to "exactly" one BTU only up to float error; the guard must
+	// absorb the error for any workflow size.
+	for n := 1; n <= 64; n++ {
+		e := BTU / float64(n)
+		var span float64
+		for i := 0; i < n; i++ {
+			span += e
+		}
+		if got := BTUs(span); got != 1 {
+			t.Errorf("BTUs(sum of %d x BTU/%d = %v) = %d, want 1", n, n, span, got)
+		}
+	}
+}
+
 func TestBTUsPanicsOnNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -200,6 +236,33 @@ func TestBTUsPanicsOnNegative(t *testing.T) {
 		}
 	}()
 	BTUs(-1)
+}
+
+// TestBTUsToleratesFloatNoiseBelowZero: a span of -1e-12 is a zero-length
+// lease with float noise, not a modelling error.
+func TestBTUsToleratesFloatNoiseBelowZero(t *testing.T) {
+	if got := BTUs(-1e-12); got != 1 {
+		t.Errorf("BTUs(-1e-12) = %d, want 1", got)
+	}
+}
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1 + 1e-10, true},
+		{1, 1 + 1e-8, false},
+		{1e6, 1e6 + 1e-4, true},  // relative: 1e-4 < Eps·1e6
+		{1e6, 1e6 + 1e-2, false}, // 1e-2 > Eps·1e6
+		{-5, 5, false},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b); got != c.want {
+			t.Errorf("Close(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
 }
 
 func TestLeaseCost(t *testing.T) {

@@ -47,9 +47,13 @@ type Config struct {
 	Scenarios []workload.Scenario
 	// Strategies lists the algorithms; nil selects the 19-strategy catalog.
 	Strategies []sched.Algorithm
-	// Paranoid additionally validates every schedule's invariants and
-	// replays it through the discrete-event simulator, failing the sweep on
-	// any disagreement.
+	// Paranoid runs the full differential oracle on every schedule: static
+	// invariants, a fault-free plan↔sim replay whose timings, lease spans,
+	// BTU counts and costs must agree with the analytical plan, and an
+	// independent re-derivation of the billing ledger from the event
+	// stream. When Faults is also active, each faulty replay's counters
+	// are additionally cross-checked against its own event stream. The
+	// sweep fails on any disagreement.
 	Paranoid bool
 	// Faults, when active, additionally replays every schedule through
 	// the discrete-event simulator under the given fault model and
@@ -280,7 +284,10 @@ func Run(cfg Config) (*Sweep, error) {
 						sc.Faults = &fc
 					}
 					var col *obs.Collector
-					if cfg.Recorder != nil {
+					if cfg.Recorder != nil || (cfg.Paranoid && sc.Faults != nil) {
+						// Paranoid fault mode needs the event stream even when
+						// no recorder was requested: the oracle re-derives the
+						// ledger from it.
 						col = &obs.Collector{}
 						sc.Recorder = col
 					}
@@ -290,11 +297,24 @@ func Run(cfg Config) (*Sweep, error) {
 							j.alg.Name(), j.p.wfName, j.p.sc, err)
 						continue
 					}
+					if cfg.Paranoid && sc.Faults != nil {
+						// Fault-mode oracle: the Result's counters must agree
+						// with an accounting derived from the events alone.
+						acc, err := validate.Account(col.Events)
+						if err == nil {
+							err = validate.CrossCheck(fres, acc)
+						}
+						if err != nil {
+							errs[i] = fmt.Errorf("core: fault oracle on %s of %s/%v: %w",
+								j.alg.Name(), j.p.wfName, j.p.sc, err)
+							continue
+						}
+					}
 					if cfg.Faults.Active() {
 						rel := metrics.ReliabilityOf(sch, fres)
 						results[i].Reliability = &rel
 					}
-					if col != nil {
+					if cfg.Recorder != nil {
 						cellEvents[i] = col.Events
 					}
 				}
@@ -342,12 +362,11 @@ func Run(cfg Config) (*Sweep, error) {
 // VM time, as a fraction of the on-demand price.
 const coRentRate = 0.3
 
-// check runs the full invariant suite on one schedule.
+// check runs the full fault-free differential oracle on one schedule:
+// static invariants, plan↔sim replay, and the event-stream accounting
+// (validate.PlanSim subsumes validate.Schedule and sim.Verify).
 func check(s *plan.Schedule) error {
-	if err := validate.Schedule(s); err != nil {
-		return err
-	}
-	return sim.Verify(s)
+	return validate.PlanSim(s)
 }
 
 // Get returns one cell.

@@ -112,6 +112,24 @@ func TestZeroRateFaultsLeaveGridUntouched(t *testing.T) {
 	}
 }
 
+func TestFaultSweepParanoidCrossChecks(t *testing.T) {
+	// Paranoid + faults runs the fault-mode oracle on every cell: each
+	// replay's counters must agree with an accounting re-derived from its
+	// own event stream, even when no Recorder is attached.
+	s, err := Run(Config{Seed: 2, Paranoid: true,
+		Scenarios: []workload.Scenario{workload.Pareto}, Faults: faultCfg(13)})
+	if err != nil {
+		t.Fatalf("paranoid faulty sweep diverged: %v", err)
+	}
+	for _, wf := range s.Workflows() {
+		for _, name := range s.Strategies {
+			if s.MustGet(wf, workload.Pareto, name).Reliability == nil {
+				t.Fatalf("%s/%s: no reliability metrics", wf, name)
+			}
+		}
+	}
+}
+
 func TestFaultSweepRejectsInvalidConfig(t *testing.T) {
 	_, err := Run(Config{Scenarios: []workload.Scenario{workload.Pareto},
 		Faults: &fault.Config{CrashRate: -1}})

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/plan"
+	"repro/internal/validate"
 )
 
 // Point is one strategy's outcome for one workflow/scenario, in the
@@ -33,9 +34,11 @@ type Point struct {
 func (p Point) SavingsPct() float64 { return -p.LossPct }
 
 // InTargetSquare reports whether the strategy achieves both gain and
-// savings — the upper-left quadrant square highlighted in Fig. 4.
+// savings — the upper-left quadrant square highlighted in Fig. 4. The
+// rounding band is the repository-wide validate.Eps so that points on the
+// axes classify identically here and in Classify.
 func (p Point) InTargetSquare() bool {
-	return p.GainPct >= -1e-9 && p.LossPct <= 1e-9
+	return p.GainPct >= -validate.Eps && p.LossPct <= validate.Eps
 }
 
 // String renders the point in a compact diagnostic form.
@@ -102,9 +105,8 @@ const BalancedTolerance = 5.0
 // target square (negative gain or negative savings beyond rounding) fall
 // into OutOfSquare.
 func Classify(p Point) Category {
-	const eps = 1e-9
 	gain, savings := p.GainPct, p.SavingsPct()
-	if gain < -eps || savings < -eps {
+	if gain < -validate.Eps || savings < -validate.Eps {
 		return OutOfSquare
 	}
 	if math.Abs(gain-savings) <= BalancedTolerance {

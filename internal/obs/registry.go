@@ -258,9 +258,17 @@ func quantileOf(bounds []float64, counts []uint64, total uint64, q float64) floa
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
+	// Clamp the rank to [1, total]: q = 0 would otherwise ask for rank 0
+	// (no observation) and q ≥ 1 — or float error in ceil(q·total) — for a
+	// rank past the last observation. Clamp the low side before converting:
+	// a negative float wraps when cast to uint64.
+	r := math.Ceil(q * float64(total))
+	if r < 1 {
+		r = 1
+	}
+	rank := uint64(r)
+	if rank > total {
+		rank = total
 	}
 	var cum uint64
 	for i, c := range counts {

@@ -105,6 +105,44 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileExtremes pins the rank clamp at the quantile
+// extremes: q = 0 means "the bucket of the first observation" (rank
+// clamps up to 1), q ≥ 1 the bucket of the last (rank clamps down to
+// total), and neither may walk past the bucket array.
+func TestHistogramQuantileExtremes(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("latency", "seconds", []float64{0.1, 1, 10}, "endpoint")
+	h := v.With("schedule")
+	for _, s := range []float64{0.05, 0.5, 5} {
+		h.Observe(s)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0.1},    // rank 0 clamps to the first observation's bucket
+		{0.5, 1},    // the median observation
+		{0.99, 10},  // upper bound of the last observation
+		{1, 10},     // exactly the last rank
+		{1.5, 10},   // out-of-domain q clamps to the last rank
+		{-0.5, 0.1}, // negative q clamps to the first rank
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+		if got := v.Quantile(c.q); got != c.want {
+			t.Errorf("pooled Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// A single observation in the overflow bucket: every q answers the top
+	// finite edge, including the formerly risky q = 1.
+	o := r.Histogram("over", "s", []float64{1, 2}).With()
+	o.Observe(99)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := o.Quantile(q); got != 2 {
+			t.Errorf("overflow Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	r := NewRegistry()
 	v := r.Histogram("empty", "h", []float64{1})

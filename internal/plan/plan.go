@@ -367,7 +367,7 @@ func (b *Builder) FitsBTU(t dag.TaskID, vm *VM) bool {
 		return true
 	}
 	end := b.StartOn(t, vm) + b.ExecTime(t, vm.Type)
-	return end <= vm.PaidBoundary()+1e-9
+	return end <= vm.PaidBoundary() || cloud.Close(end, vm.PaidBoundary())
 }
 
 // PlaceOn schedules task t on vm at the earliest feasible time and returns

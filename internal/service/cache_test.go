@@ -63,30 +63,31 @@ func TestCachePutOverwrites(t *testing.T) {
 
 func TestProblemKeySensitivity(t *testing.T) {
 	wf := workflows.PaperMontage()
-	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil)
+	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false)
 
-	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil)
+	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false)
 	if base != same {
 		t.Fatal("identical problems hash differently")
 	}
 
 	variants := map[string]cacheKey{
-		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
-		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
-		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0, nil),
-		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0, nil),
-		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0, nil),
-		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0, nil),
-		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0, nil),
-		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30, nil),
+		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
+		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
+		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
+		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0, nil, false),
+		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0, nil, false),
+		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0, nil, false),
+		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0, nil, false),
+		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30, nil, false),
 		"faults": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 1}),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 1}, false),
 		"fault-rate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.6, Recovery: fault.Retry, Seed: 1}),
+			&fault.Config{CrashRate: 0.6, Recovery: fault.Retry, Seed: 1}, false),
 		"fault-recovery": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Resubmit, Seed: 1}),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Resubmit, Seed: 1}, false),
 		"fault-seed": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 2}),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 2}, false),
+		"debug": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, true),
 	}
 	seen := map[cacheKey]string{base: "base"}
 	for name, k := range variants {
@@ -106,8 +107,8 @@ func TestProblemKeyIgnoresNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Name = "renamed"
-	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil)
-	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil)
+	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, false)
+	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, false)
 	if ka != kb {
 		t.Fatal("renaming the workflow changed the cache key")
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/provision"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/validate"
 	"repro/internal/workload"
 )
 
@@ -136,7 +137,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
-		res.region, res.seed, res.simulate, res.bootS, res.faults)
+		res.region, res.seed, res.simulate, res.bootS, res.faults, res.debug)
 	s.runCached(w, r, "schedule", key, func(context.Context) (any, error) {
 		return s.planSchedule(res)
 	})
@@ -158,7 +159,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := problemKey("compare", res.structural, res.scenario.String(), "",
-		res.region, res.seed, false, 0, nil)
+		res.region, res.seed, false, 0, nil, false)
 	s.runCached(w, r, "compare", key, func(context.Context) (any, error) {
 		return s.planCompare(res)
 	})
@@ -211,6 +212,13 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 			})
 		}
 		out.VMs = append(out.VMs, vj)
+	}
+	if res.debug {
+		out.Oracle = &OracleJSON{Passed: true}
+		if oerr := validate.PlanSim(sch); oerr != nil {
+			out.Oracle.Passed = false
+			out.Oracle.Divergence = oerr.Error()
+		}
 	}
 	if res.simulate {
 		simRes, err := sim.Run(sch, sim.Config{BootTime: res.bootS, Faults: res.faults})

@@ -57,7 +57,8 @@ func (h *hasher) workflow(wf *dag.Workflow) {
 // string or "none"; strategy is empty for compare (which always runs the
 // whole catalog).
 func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy string,
-	region cloud.Region, seed uint64, simulate bool, bootS float64, faults *fault.Config) cacheKey {
+	region cloud.Region, seed uint64, simulate bool, bootS float64, faults *fault.Config,
+	debug bool) cacheKey {
 	var h hasher
 	h.str(op)
 	h.workflow(wf)
@@ -72,6 +73,13 @@ func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy strin
 	}
 	h.f64(bootS)
 	h.faults(faults)
+	// Debug changes the response body (the oracle field), so it must
+	// address a distinct cache entry.
+	if debug {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
 	return sha256.Sum256(h.buf)
 }
 

@@ -55,6 +55,13 @@ type ScheduleRequest struct {
 	Recovery     string  `json:"recovery,omitempty"`
 	MaxRetries   int     `json:"max_retries,omitempty"`
 	FaultSeed    uint64  `json:"fault_seed,omitempty"`
+	// Debug runs the differential plan↔sim oracle on the schedule: a
+	// fault-free simulated replay whose task timings, lease spans, BTU
+	// counts and costs must agree with the analytical plan, plus an
+	// independent accounting derived from the event stream. The verdict is
+	// reported in the response's oracle field; a divergence indicates a
+	// planner/simulator bug, not a bad request.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // CompareRequest is the body of POST /v1/compare: one workflow, one
@@ -127,6 +134,17 @@ type ScheduleResponse struct {
 	BaselineCost     float64         `json:"baseline_cost_usd"`
 	VMs              []VMJSON        `json:"vms"`
 	Simulation       *SimulationJSON `json:"simulation,omitempty"`
+	// Oracle reports the differential-oracle verdict when the request set
+	// debug.
+	Oracle *OracleJSON `json:"oracle,omitempty"`
+}
+
+// OracleJSON is the verdict of the plan↔sim differential oracle.
+type OracleJSON struct {
+	Passed bool `json:"passed"`
+	// Divergence describes the first disagreement found; empty when the
+	// oracle passed.
+	Divergence string `json:"divergence,omitempty"`
 }
 
 // CompareRow is one strategy's outcome within a comparison.
@@ -190,6 +208,7 @@ type resolved struct {
 	simulate   bool
 	bootS      float64
 	faults     *fault.Config // nil for a perfect-cloud replay
+	debug      bool          // run the differential oracle on the schedule
 }
 
 // resolveWorkflow picks the workflow source.
@@ -325,7 +344,7 @@ func resolveSchedule(req *ScheduleRequest) (*resolved, *httpError) {
 	return &resolved{
 		wfName: name, structural: wf, scenario: sc, alg: alg,
 		region: region, seed: req.Seed, simulate: req.Simulate, bootS: req.BootS,
-		faults: faults,
+		faults: faults, debug: req.Debug,
 	}, nil
 }
 

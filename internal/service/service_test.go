@@ -160,6 +160,40 @@ func TestScheduleInlineWorkflowWithSimulation(t *testing.T) {
 	}
 }
 
+func TestScheduleDebugRunsOracle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, CacheSize: 16})
+	resp, b := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"montage24","strategy":"GAIN","scenario":"Pareto","seed":3,"debug":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Oracle == nil {
+		t.Fatal("debug request returned no oracle verdict")
+	}
+	if !out.Oracle.Passed || out.Oracle.Divergence != "" {
+		t.Fatalf("oracle diverged: %+v", out.Oracle)
+	}
+
+	// Debug on/off are distinct cache entries: the plain request must not
+	// inherit the debug body.
+	resp2, b2 := postJSON(t, ts.URL+"/v1/schedule",
+		`{"workflow_name":"montage24","strategy":"GAIN","scenario":"Pareto","seed":3}`)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("plain request after debug X-Cache = %q, want MISS", got)
+	}
+	var out2 ScheduleResponse
+	if err := json.Unmarshal(b2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Oracle != nil {
+		t.Fatal("plain request carries an oracle verdict")
+	}
+}
+
 func TestScheduleValidationErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	cases := []struct {

@@ -436,7 +436,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		if !ok {
 			break
 		}
-		if e.Time < now-1e-9 {
+		if e.Time < now-cloud.Eps {
 			return nil, fmt.Errorf("sim: time ran backwards: %v -> %v", now, e.Time)
 		}
 		now = e.Time
@@ -451,8 +451,26 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	}
 
 	for vi, st := range vms {
+		// Held reservations only exist on the planned VMs; replacement
+		// leases spawned by fault recovery never carry one.
+		var held float64
+		if vi < len(s.VMs) {
+			held = s.VMs[vi].Held
+		}
 		if !st.started {
-			continue
+			if held <= 0 {
+				continue // never leased: bills nothing
+			}
+			// A held-but-empty lease (plan.VM.Held with no slots) never
+			// passes through tryStart, but it is a reservation paid from the
+			// planned lease start all the same.
+			st.started = true
+			st.leaseAt = s.VMs[vi].LeaseStart()
+			st.lastEnd = st.leaseAt
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: st.leaseAt,
+					VM: int32(vi), Task: -1, Label: st.vm.Type.String()})
+			}
 		}
 		end := st.lastEnd
 		if st.dead {
@@ -471,6 +489,13 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// An aborted run tore the lease down before anything completed;
 			// a started lease still bills its minimum (one BTU).
 			end = st.leaseAt
+		}
+		if !st.dead && st.leaseAt+held > end {
+			// The planner holds the lease past its last slot: the hold is
+			// billed (and idles) but does not move the makespan, which stays
+			// task-defined exactly like plan.Schedule.Makespan. A crashed
+			// lease bills only to the crash — the reservation died with it.
+			end = st.leaseAt + held
 		}
 		span := end - st.leaseAt
 		cost := cloud.LeaseCost(span, st.vm.Type, st.vm.Region)
@@ -499,24 +524,23 @@ func Verify(s *plan.Schedule) error {
 	if err != nil {
 		return err
 	}
-	const eps = 1e-6
 	for id := range res.TaskStart {
-		if math.Abs(res.TaskStart[id]-s.Start[id]) > eps {
+		if !cloud.Close(res.TaskStart[id], s.Start[id]) {
 			return fmt.Errorf("sim: task %d start: simulated %v, planned %v",
 				id, res.TaskStart[id], s.Start[id])
 		}
-		if math.Abs(res.TaskEnd[id]-s.End[id]) > eps {
+		if !cloud.Close(res.TaskEnd[id], s.End[id]) {
 			return fmt.Errorf("sim: task %d end: simulated %v, planned %v",
 				id, res.TaskEnd[id], s.End[id])
 		}
 	}
-	if math.Abs(res.Makespan-s.Makespan()) > eps {
+	if !cloud.Close(res.Makespan, s.Makespan()) {
 		return fmt.Errorf("sim: makespan: simulated %v, planned %v", res.Makespan, s.Makespan())
 	}
-	if math.Abs(res.RentalCost-s.RentalCost()) > eps {
+	if !cloud.Close(res.RentalCost, s.RentalCost()) {
 		return fmt.Errorf("sim: rental cost: simulated %v, planned %v", res.RentalCost, s.RentalCost())
 	}
-	if math.Abs(res.IdleTime-s.IdleTime()) > eps {
+	if !cloud.Close(res.IdleTime, s.IdleTime()) {
 		return fmt.Errorf("sim: idle time: simulated %v, planned %v", res.IdleTime, s.IdleTime())
 	}
 	return nil

@@ -150,6 +150,43 @@ func TestSimHandlesDataTransfersInReadyTimes(t *testing.T) {
 	}
 }
 
+func TestSimBillsHeldLeases(t *testing.T) {
+	// Held reservations (plan.VM.Held) are paid leases the replay never
+	// touches: a held-but-empty VM bills its minimum BTU and a held tail
+	// extends an active lease past its last slot. The simulator must agree
+	// with the planner on both, or Verify rejects every speculative-
+	// provisioning schedule.
+	w := dagtest.Chain(2, 1000)
+	s := mustSchedule(t, sched.Baseline(), w)
+	base := s.RentalCost()
+	s.VMs = append(s.VMs, &plan.VM{
+		ID: plan.VMID(len(s.VMs)), Type: cloud.Small,
+		Region: cloud.USEastVirginia, Held: 100,
+	})
+	s.VMs[0].Held = s.VMs[0].Span() + cloud.BTU + 1 // tail: one extra BTU
+	if s.RentalCost() <= base {
+		t.Fatal("held leases did not raise the planned cost; test is vacuous")
+	}
+	res, err := Run(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cloud.Close(res.RentalCost, s.RentalCost()) {
+		t.Errorf("rental cost %v != planned %v", res.RentalCost, s.RentalCost())
+	}
+	if !cloud.Close(res.IdleTime, s.IdleTime()) {
+		t.Errorf("idle %v != planned %v", res.IdleTime, s.IdleTime())
+	}
+	// The hold is billed but must not move the makespan: it is reservation,
+	// not work.
+	if !cloud.Close(res.Makespan, s.Makespan()) {
+		t.Errorf("makespan %v != planned %v (held lease leaked into makespan)", res.Makespan, s.Makespan())
+	}
+	if err := Verify(s); err != nil {
+		t.Errorf("Verify rejects held leases: %v", err)
+	}
+}
+
 // Property: planner/simulator agreement holds on random DAGs under every
 // catalog strategy.
 func TestQuickVerifyRandomDAGs(t *testing.T) {

@@ -274,6 +274,41 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileExtremes pins the bounds guard at the quantile extremes:
+// q = 0 and q = 1 must hit the first and last rank exactly, never index
+// out of range, for any sample size including 1.
+func TestPercentileExtremes(t *testing.T) {
+	samples := [][]float64{
+		{7},
+		{10, 20},
+		{10, 20, 30, 40},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+	for _, sorted := range samples {
+		n := len(sorted)
+		cases := []struct{ q, want float64 }{
+			{0, sorted[0]},
+			{0.5, Percentile(sorted, 0.5)}, // self-consistent, must not panic
+			{0.99, Percentile(sorted, 0.99)},
+			{1, sorted[n-1]},
+			// Out-of-domain inputs clamp rather than index out of range.
+			{-0.1, sorted[0]},
+			{1.1, sorted[n-1]},
+			// q just below 1: interpolates within the top interval.
+			{math.Nextafter(1, 0), sorted[n-1]},
+		}
+		for _, c := range cases {
+			got := Percentile(sorted, c.q)
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("n=%d: Percentile(%v) = %v, want %v", n, c.q, got, c.want)
+			}
+			if got < sorted[0] || got > sorted[n-1] {
+				t.Errorf("n=%d: Percentile(%v) = %v outside sample range", n, c.q, got)
+			}
+		}
+	}
+}
+
 func TestECDF(t *testing.T) {
 	e := NewECDF([]float64{1, 2, 2, 3})
 	cases := []struct{ x, want float64 }{

@@ -67,8 +67,16 @@ func Percentile(sorted []float64, q float64) float64 {
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
+	// Bounds-guard both ranks: float rounding in q·(n−1) must never index
+	// one past the end (q just below 1) or below the start.
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	if lo >= hi {
+		return sorted[hi]
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac

@@ -1,0 +1,332 @@
+package validate
+
+// This file is the differential half of the package: instead of checking a
+// schedule against itself (validate.Schedule), it checks the planner
+// against the simulator. The two compute the same quantities — task times,
+// lease spans, BTU counts, cost, idle — by entirely different means
+// (analytic forward planning vs discrete-event replay), so any
+// disagreement beyond Eps is a modelling bug in one of them. A third,
+// independent accounting (Account) re-derives billing and fault counters
+// from the obs event stream alone, so even an error shared by planner and
+// simulator bookkeeping is caught unless it is also reproduced in the
+// event emission.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// Lease is one lease incarnation re-derived from the event stream.
+type Lease struct {
+	VM      int     // VM / incarnation index (obs.Event.VM)
+	Type    string  // instance type label from the lease-start event
+	Start   float64 // lease-start time (billing origin)
+	End     float64 // teardown time from the lease-stop event
+	BTUs    int     // billed BTUs: observed rollovers + 1 (0 for prepaid)
+	Cost    float64 // lease price from the lease-stop event (0 for prepaid)
+	Busy    float64 // attempt seconds on the lease: completed + burned
+	Crashed bool    // the lease was lost to an injected fault
+	Prepaid bool    // zero-cost teardown: private-cloud capacity
+}
+
+// Accounting is a complete billing and fault ledger re-derived from an
+// event stream, independent of both the planner's and the simulator's own
+// bookkeeping.
+type Accounting struct {
+	Leases map[int]*Lease // keyed by VM / incarnation index
+
+	RentalCost  float64 // summed lease costs
+	IdleSeconds float64 // summed paid-but-unused time of billed leases
+	BTUSeconds  float64 // summed paid time of billed leases
+
+	CompletedTasks int // distinct tasks that finished
+	Crashes        int
+	Failures       int
+	Retries        int
+	Resubmits      int
+	Transfers      int
+	WastedSeconds  float64 // burned attempt time: transient aborts + crash-interrupted work
+	UsefulSeconds  float64 // attempt time of completed tasks, prepaid leases included
+}
+
+// runningAttempt tracks the open task attempt on one lease while folding
+// the stream, so a crash can charge the interrupted work.
+type runningAttempt struct {
+	task  int32
+	start float64
+	open  bool
+}
+
+// Account folds a simulator event stream into an independent Accounting.
+// It only assumes what the stream format guarantees: per-VM ordering of
+// lease-lifecycle events and causal ordering of task events. It returns an
+// error when the stream itself is malformed (a stop without a start, two
+// opens of one incarnation) — which would indicate an emission bug, a
+// different failure class than a quantity mismatch.
+func Account(events []obs.Event) (*Accounting, error) {
+	acc := &Accounting{Leases: make(map[int]*Lease)}
+	running := make(map[int]*runningAttempt)
+	finished := make(map[int32]bool)
+	for _, ev := range events {
+		vi := int(ev.VM)
+		switch ev.Kind {
+		case obs.KindVMLeaseStart:
+			if _, dup := acc.Leases[vi]; dup {
+				return nil, fmt.Errorf("oracle: lease %d opened twice", vi)
+			}
+			acc.Leases[vi] = &Lease{VM: vi, Type: ev.Label, Start: ev.T, End: math.NaN()}
+		case obs.KindVMBTURollover:
+			l, ok := acc.Leases[vi]
+			if !ok {
+				return nil, fmt.Errorf("oracle: BTU rollover on unopened lease %d", vi)
+			}
+			l.BTUs++
+		case obs.KindVMCrash:
+			l, ok := acc.Leases[vi]
+			if !ok {
+				return nil, fmt.Errorf("oracle: crash on unopened lease %d", vi)
+			}
+			l.Crashed = true
+			acc.Crashes++
+			if r := running[vi]; r != nil && r.open {
+				// The interrupted attempt burned work the bill still covers.
+				burned := ev.T - r.start
+				l.Busy += burned
+				acc.WastedSeconds += burned
+				r.open = false
+			}
+		case obs.KindVMLeaseStop:
+			l, ok := acc.Leases[vi]
+			if !ok {
+				return nil, fmt.Errorf("oracle: lease %d stopped before starting", vi)
+			}
+			if !math.IsNaN(l.End) {
+				return nil, fmt.Errorf("oracle: lease %d stopped twice", vi)
+			}
+			l.End = ev.T
+			l.Cost = ev.Value
+			l.Prepaid = ev.Value == 0 // a billed lease costs at least one BTU
+		case obs.KindTaskStart:
+			running[vi] = &runningAttempt{task: ev.Task, start: ev.T, open: true}
+		case obs.KindTaskFinish:
+			l, ok := acc.Leases[vi]
+			if !ok {
+				return nil, fmt.Errorf("oracle: task %d finished on unopened lease %d", ev.Task, vi)
+			}
+			r := running[vi]
+			if r == nil || !r.open || r.task != ev.Task {
+				return nil, fmt.Errorf("oracle: task %d finished on lease %d without a matching start", ev.Task, vi)
+			}
+			l.Busy += ev.T - r.start
+			acc.UsefulSeconds += ev.T - r.start
+			r.open = false
+			if finished[ev.Task] {
+				return nil, fmt.Errorf("oracle: task %d finished twice", ev.Task)
+			}
+			finished[ev.Task] = true
+			acc.CompletedTasks++
+		case obs.KindTaskFail:
+			l, ok := acc.Leases[vi]
+			if !ok {
+				return nil, fmt.Errorf("oracle: task %d failed on unopened lease %d", ev.Task, vi)
+			}
+			l.Busy += ev.Value // the burned fraction travels on the event
+			acc.WastedSeconds += ev.Value
+			acc.Failures++
+			if r := running[vi]; r != nil && r.task == ev.Task {
+				r.open = false
+			}
+		case obs.KindTaskRetry:
+			acc.Retries++
+		case obs.KindTaskResubmit:
+			acc.Resubmits++
+		case obs.KindTransferEnd:
+			acc.Transfers++
+		}
+	}
+	for vi, l := range acc.Leases {
+		if math.IsNaN(l.End) {
+			return nil, fmt.Errorf("oracle: lease %d never stopped", vi)
+		}
+		if l.Prepaid {
+			continue
+		}
+		if l.BTUs == 0 {
+			l.BTUs = 1 // no rollover observed: the minimum whole BTU
+		} else {
+			l.BTUs++ // n rollovers delimit n+1 paid units
+		}
+		paid := float64(l.BTUs) * cloud.BTU
+		acc.RentalCost += l.Cost
+		acc.BTUSeconds += paid
+		acc.IdleSeconds += paid - l.Busy
+	}
+	return acc, nil
+}
+
+// PlanSim is the fault-free differential oracle: it validates the static
+// invariants, replays the schedule through the simulator with recording
+// on, and asserts that planner, simulator and the event-stream accounting
+// agree — task starts and ends, per-VM lease spans (held reservations
+// included), BTU counts, lease costs, total cost and idle time — all
+// within the shared Eps. It returns a descriptive error naming the first
+// divergent quantity.
+func PlanSim(s *plan.Schedule) error {
+	if err := Schedule(s); err != nil {
+		return err
+	}
+	col := &obs.Collector{}
+	res, err := sim.Run(s, sim.Config{Recorder: col})
+	if err != nil {
+		return fmt.Errorf("oracle: replay failed: %w", err)
+	}
+	if !res.Completed {
+		return fmt.Errorf("oracle: fault-free replay did not complete: %s", res.FailReason)
+	}
+	for id := range res.TaskStart {
+		if !Close(res.TaskStart[id], s.Start[id]) {
+			return fmt.Errorf("oracle: task %d start: simulated %v, planned %v",
+				id, res.TaskStart[id], s.Start[id])
+		}
+		if !Close(res.TaskEnd[id], s.End[id]) {
+			return fmt.Errorf("oracle: task %d end: simulated %v, planned %v",
+				id, res.TaskEnd[id], s.End[id])
+		}
+	}
+	if !Close(res.Makespan, s.Makespan()) {
+		return fmt.Errorf("oracle: makespan: simulated %v, planned %v", res.Makespan, s.Makespan())
+	}
+	if !Close(res.RentalCost, s.RentalCost()) {
+		return fmt.Errorf("oracle: rental cost: simulated %v, planned %v", res.RentalCost, s.RentalCost())
+	}
+	if !Close(res.IdleTime, s.IdleTime()) {
+		return fmt.Errorf("oracle: idle time: simulated %v, planned %v", res.IdleTime, s.IdleTime())
+	}
+
+	acc, err := Account(col.Events)
+	if err != nil {
+		return err
+	}
+	for vi, vm := range s.VMs {
+		leased := len(vm.Slots) > 0 || vm.Held > 0
+		l, ok := acc.Leases[vi]
+		if !leased {
+			if ok {
+				return fmt.Errorf("oracle: unleased VM %d has lease events", vi)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("oracle: leased VM %d emitted no lease events", vi)
+		}
+		if !Close(l.Start, vm.LeaseStart()) {
+			return fmt.Errorf("oracle: VM %d lease start: events %v, planned %v", vi, l.Start, vm.LeaseStart())
+		}
+		if !Close(l.End, vm.LeaseEnd()) {
+			return fmt.Errorf("oracle: VM %d lease end: events %v, planned %v", vi, l.End, vm.LeaseEnd())
+		}
+		if l.Prepaid != vm.Prepaid {
+			return fmt.Errorf("oracle: VM %d prepaid: events %v, planned %v", vi, l.Prepaid, vm.Prepaid)
+		}
+		if vm.Prepaid {
+			continue
+		}
+		if want := cloud.BTUs(vm.Span()); l.BTUs != want {
+			return fmt.Errorf("oracle: VM %d BTUs: events %d, planned %d", vi, l.BTUs, want)
+		}
+		if !Close(l.Cost, vm.Cost()) {
+			return fmt.Errorf("oracle: VM %d cost: events %v, planned %v", vi, l.Cost, vm.Cost())
+		}
+		if !Close(l.Busy, vm.Busy()) {
+			return fmt.Errorf("oracle: VM %d busy: events %v, planned %v", vi, l.Busy, vm.Busy())
+		}
+	}
+	if len(acc.Leases) > len(s.VMs) {
+		return fmt.Errorf("oracle: %d leases in events, %d VMs planned", len(acc.Leases), len(s.VMs))
+	}
+	if !Close(acc.RentalCost, s.RentalCost()) {
+		return fmt.Errorf("oracle: rental cost: events %v, planned %v", acc.RentalCost, s.RentalCost())
+	}
+	if !Close(acc.IdleSeconds, s.IdleTime()) {
+		return fmt.Errorf("oracle: idle time: events %v, planned %v", acc.IdleSeconds, s.IdleTime())
+	}
+	if acc.CompletedTasks != s.Workflow.Len() {
+		return fmt.Errorf("oracle: %d task finishes in events, %d tasks planned",
+			acc.CompletedTasks, s.Workflow.Len())
+	}
+	if acc.Crashes != 0 || acc.Failures != 0 {
+		return fmt.Errorf("oracle: fault events (%d crashes, %d failures) in a fault-free replay",
+			acc.Crashes, acc.Failures)
+	}
+	return nil
+}
+
+// FaultReplay is the fault-mode differential oracle: it replays the
+// schedule under the given fault model, re-derives the full ledger from
+// the event stream, and cross-checks every counter and accumulated
+// quantity the Result reports — crashes, transient failures, retries,
+// resubmissions, completed tasks, wasted seconds, rental cost and idle
+// time. On success it returns both accountings so callers can derive
+// further cross-checks (internal/fuzzcheck verifies
+// metrics.ReliabilityOf against them; validate cannot import metrics).
+func FaultReplay(s *plan.Schedule, fc *fault.Config) (*sim.Result, *Accounting, error) {
+	if err := Schedule(s); err != nil {
+		return nil, nil, err
+	}
+	col := &obs.Collector{}
+	res, err := sim.Run(s, sim.Config{Faults: fc, Recorder: col})
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: faulty replay failed: %w", err)
+	}
+	acc, err := Account(col.Events)
+	if err != nil {
+		return res, nil, err
+	}
+	if err := CrossCheck(res, acc); err != nil {
+		return res, acc, err
+	}
+	return res, acc, nil
+}
+
+// CrossCheck compares a replay Result against the event-derived ledger of
+// the same run: every fault counter and accumulated quantity must match.
+// FaultReplay calls it; callers that already hold a collector (the sweep
+// driver's paranoid fault mode) can call it directly without a second
+// replay.
+func CrossCheck(res *sim.Result, acc *Accounting) error {
+	counts := []struct {
+		name      string
+		got, want int
+	}{
+		{"crashes", acc.Crashes, res.VMCrashes},
+		{"task failures", acc.Failures, res.TaskFailures},
+		{"retries", acc.Retries, res.Retries},
+		{"resubmits", acc.Resubmits, res.Resubmits},
+		{"completed tasks", acc.CompletedTasks, res.CompletedTasks},
+		{"transfers", acc.Transfers, res.Transfers},
+	}
+	for _, c := range counts {
+		if c.got != c.want {
+			return fmt.Errorf("oracle: %s: events %d, result %d", c.name, c.got, c.want)
+		}
+	}
+	if !Close(acc.WastedSeconds, res.WastedSeconds) {
+		return fmt.Errorf("oracle: wasted seconds: events %v, result %v",
+			acc.WastedSeconds, res.WastedSeconds)
+	}
+	if !Close(acc.RentalCost, res.RentalCost) {
+		return fmt.Errorf("oracle: rental cost: events %v, result %v",
+			acc.RentalCost, res.RentalCost)
+	}
+	if !Close(acc.IdleSeconds, res.IdleTime) {
+		return fmt.Errorf("oracle: idle time: events %v, result %v",
+			acc.IdleSeconds, res.IdleTime)
+	}
+	return nil
+}

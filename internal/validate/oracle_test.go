@@ -1,0 +1,168 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag/dagtest"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+func TestPlanSimAcceptsCatalog(t *testing.T) {
+	// The full differential oracle must pass on every paper workflow x
+	// scenario x strategy: planner, simulator and event-stream accounting
+	// agree on every quantity.
+	for name, wf := range workflows.Paper() {
+		for _, sc := range workload.Scenarios() {
+			w := sc.Apply(wf, 7)
+			for _, alg := range sched.Catalog() {
+				s, err := alg.Schedule(w.Clone(), sched.DefaultOptions())
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", name, sc, alg.Name(), err)
+				}
+				if err := PlanSim(s); err != nil {
+					t.Errorf("%s/%v/%s: %v", name, sc, alg.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanSimHeldLeases(t *testing.T) {
+	// Held reservations must reconcile through all three accountings:
+	// planner bookkeeping, simulator billing and the event-stream ledger.
+	w := dagtest.Chain(2, 1000)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.VMs = append(s.VMs, &plan.VM{
+		ID: plan.VMID(len(s.VMs)), Type: cloud.Medium,
+		Region: cloud.USEastVirginia, Held: 42,
+	})
+	s.VMs[0].Held = s.VMs[0].Span() + cloud.BTU + 1
+	if err := PlanSim(s); err != nil {
+		t.Errorf("held leases diverge: %v", err)
+	}
+}
+
+func TestPlanSimDetectsLateStart(t *testing.T) {
+	// A schedule that plans a task later than the replay would run it is
+	// statically sound (precedence allows slack) but must fail the
+	// differential oracle: the simulator starts the task as soon as its
+	// input arrives.
+	w := dagtest.Chain(2, 1000)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PlanSim(s); err != nil {
+		t.Fatalf("unmodified schedule rejected: %v", err)
+	}
+	vm := s.TaskVM(1)
+	for i := range vm.Slots {
+		if vm.Slots[i].Task == 1 {
+			vm.Slots[i].Start += 100
+			vm.Slots[i].End += 100
+		}
+	}
+	s.Start[1] += 100
+	s.End[1] += 100
+	if err := Schedule(s); err != nil {
+		t.Fatalf("shifted schedule should stay statically valid, got: %v", err)
+	}
+	err = PlanSim(s)
+	if err == nil {
+		t.Fatal("oracle accepted a schedule the replay disagrees with")
+	}
+	if !strings.Contains(err.Error(), "task 1") {
+		t.Errorf("divergence blames the wrong quantity: %v", err)
+	}
+}
+
+func TestAccountRejectsMalformedStream(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []obs.Event
+	}{
+		{"stop without start", []obs.Event{
+			{Kind: obs.KindVMLeaseStop, T: 10, VM: 0, Value: 1},
+		}},
+		{"double open", []obs.Event{
+			{Kind: obs.KindVMLeaseStart, T: 0, VM: 0},
+			{Kind: obs.KindVMLeaseStart, T: 1, VM: 0},
+		}},
+		{"never stopped", []obs.Event{
+			{Kind: obs.KindVMLeaseStart, T: 0, VM: 0},
+		}},
+		{"finish without start", []obs.Event{
+			{Kind: obs.KindVMLeaseStart, T: 0, VM: 0},
+			{Kind: obs.KindTaskFinish, T: 5, VM: 0, Task: 3},
+			{Kind: obs.KindVMLeaseStop, T: 10, VM: 0, Value: 1},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Account(c.events); err == nil {
+			t.Errorf("%s: malformed stream accepted", c.name)
+		}
+	}
+}
+
+func TestFaultReplayCrossChecks(t *testing.T) {
+	// Under every fault preset and recovery mode the Result counters and
+	// the event-derived ledger must agree, completed or not.
+	wf := workflows.Paper()["Montage"]
+	w := workload.Pareto.Apply(wf, 11)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range fault.PresetNames() {
+		fc, err := fault.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			fc.Seed = seed
+			res, acc, err := FaultReplay(s, &fc)
+			if err != nil {
+				t.Errorf("%s/seed %d: %v", preset, seed, err)
+				continue
+			}
+			if res == nil || acc == nil {
+				t.Fatalf("%s/seed %d: nil result or accounting", preset, seed)
+			}
+		}
+	}
+}
+
+func TestFaultReplayFailRecovery(t *testing.T) {
+	// The fail-fast recovery aborts at the first fault; the ledger must
+	// still reconcile the partial run (sunk leases, partial completion).
+	w := dagtest.ForkJoin(6, 4000)
+	s, err := sched.Baseline().Schedule(w, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fault.Config{CrashRate: 0.5, TaskFailProb: 0.05, Recovery: fault.Fail, Seed: 3}
+	aborted := false
+	for seed := uint64(1); seed <= 20; seed++ {
+		fc.Seed = seed
+		res, _, err := FaultReplay(s, &fc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Error("no seed aborted under recovery=fail at CrashRate 0.5; cross-check never exercised")
+	}
+}

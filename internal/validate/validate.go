@@ -8,19 +8,41 @@
 //   - exclusivity: a VM never runs two tasks at once;
 //   - billing: lease spans cover all slots and costs match the BTU model.
 //
-// It is used by the test suites and by the experiment driver in paranoid
-// mode.
+// Beyond the static invariants, the package hosts the repository's
+// differential correctness harness (see PlanSim, FaultReplay and Account
+// in oracle.go): every planned schedule can be replayed through the
+// discrete-event simulator and the two accountings cross-checked quantity
+// by quantity. It is used by the test suites, by the experiment driver in
+// paranoid mode, by the service's debug path, and by the fuzzer in
+// internal/fuzzcheck.
 package validate
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/cloud"
 	"repro/internal/plan"
 )
 
-const eps = 1e-6
+// Eps is the single float tolerance every correctness decision in this
+// repository shares — schedule invariants, plan↔sim agreement, billing
+// boundaries (cloud.BTUs) and the Fig. 4 target-square classification
+// (metrics.Point.InTargetSquare). One tolerance, everywhere: schedules
+// near the Fig. 4 axes must classify identically in the tests, the sweep
+// driver, and the oracles, and a lease span must bill the same number of
+// BTUs no matter which layer rounds it. The underlying constant lives in
+// package cloud (the bottom of the dependency graph, so the billing code
+// can use it too); this re-export is the canonical name.
+const Eps = cloud.Eps
+
+// Close reports whether two quantities agree within Eps, scaled by their
+// magnitude (see cloud.Close). All oracle comparisons go through it.
+func Close(a, b float64) bool { return cloud.Close(a, b) }
+
+// lt reports whether a is less than b beyond the shared tolerance — the
+// strict-inequality counterpart of Close, used for ordering invariants
+// ("starts before its input is ready", "overlaps the previous slot").
+func lt(a, b float64) bool { return a < b && !Close(a, b) }
 
 // Schedule verifies all invariants and returns the first violation found,
 // or nil when the schedule is sound.
@@ -59,12 +81,16 @@ func placement(s *plan.Schedule) error {
 				return fmt.Errorf("validate: task %d in VM %d slots but Placement says %d",
 					id, vm.ID, s.Placement[id])
 			}
-			if math.Abs(slot.Start-s.Start[id]) > eps || math.Abs(slot.End-s.End[id]) > eps {
+			if !Close(slot.Start, s.Start[id]) || !Close(slot.End, s.End[id]) {
 				return fmt.Errorf("validate: task %d slot [%v,%v) disagrees with schedule [%v,%v)",
 					id, slot.Start, slot.End, s.Start[id], s.End[id])
 			}
 			want := s.Platform.ExecTime(wf.Task(slot.Task).Work, vm.Type)
-			if math.Abs((slot.End-slot.Start)-want) > eps {
+			// Compare end against start+want (absolute times) rather than
+			// the subtracted duration: at large time offsets the rounding
+			// error of End = Start+want exceeds any tolerance a duration-
+			// space comparison could justify.
+			if !Close(slot.End, slot.Start+want) {
 				return fmt.Errorf("validate: task %d duration %v, want %v on %v",
 					id, slot.End-slot.Start, want, vm.Type)
 			}
@@ -86,7 +112,7 @@ func precedence(s *plan.Schedule) error {
 		if from.ID != to.ID {
 			ready += s.Platform.TransferTime(e.Data, from.Type, to.Type)
 		}
-		if s.Start[e.To] < ready-eps {
+		if lt(s.Start[e.To], ready) {
 			return fmt.Errorf("validate: task %d starts at %v before input from %d is ready at %v",
 				e.To, s.Start[e.To], e.From, ready)
 		}
@@ -99,7 +125,7 @@ func exclusivity(s *plan.Schedule) error {
 	for _, vm := range s.VMs {
 		for i := 1; i < len(vm.Slots); i++ {
 			prev, cur := vm.Slots[i-1], vm.Slots[i]
-			if cur.Start < prev.End-eps {
+			if lt(cur.Start, prev.End) {
 				return fmt.Errorf("validate: VM %d runs tasks %d and %d concurrently ([%v,%v) vs [%v,%v))",
 					vm.ID, prev.Task, cur.Task, prev.Start, prev.End, cur.Start, cur.End)
 			}
@@ -108,15 +134,16 @@ func exclusivity(s *plan.Schedule) error {
 	return nil
 }
 
-// billing checks the BTU accounting.
+// billing checks the BTU accounting. Held-but-idle leases (plan.VM.Held
+// with no slots) are paid leases like any other and are included.
 func billing(s *plan.Schedule) error {
 	var cost, idle float64
 	for _, vm := range s.VMs {
-		if len(vm.Slots) == 0 {
-			continue
+		if len(vm.Slots) == 0 && vm.Held <= 0 {
+			continue // never leased: bills nothing
 		}
 		span := vm.Span()
-		if span < -eps {
+		if span < -Eps {
 			return fmt.Errorf("validate: VM %d has negative lease span %v", vm.ID, span)
 		}
 		if vm.Prepaid {
@@ -128,20 +155,20 @@ func billing(s *plan.Schedule) error {
 			continue
 		}
 		wantCost := cloud.LeaseCost(span, vm.Type, vm.Region)
-		if math.Abs(vm.Cost()-wantCost) > eps {
+		if !Close(vm.Cost(), wantCost) {
 			return fmt.Errorf("validate: VM %d cost %v, want %v", vm.ID, vm.Cost(), wantCost)
 		}
 		paid := float64(cloud.BTUs(span)) * cloud.BTU
-		if vm.Busy() > paid+eps {
+		if lt(paid, vm.Busy()) {
 			return fmt.Errorf("validate: VM %d busy %v exceeds paid %v", vm.ID, vm.Busy(), paid)
 		}
 		cost += vm.Cost()
 		idle += vm.Idle()
 	}
-	if math.Abs(cost-s.RentalCost()) > eps {
+	if !Close(cost, s.RentalCost()) {
 		return fmt.Errorf("validate: rental cost %v, VMs sum to %v", s.RentalCost(), cost)
 	}
-	if math.Abs(idle-s.IdleTime()) > eps {
+	if !Close(idle, s.IdleTime()) {
 		return fmt.Errorf("validate: idle %v, VMs sum to %v", s.IdleTime(), idle)
 	}
 	return nil
@@ -160,7 +187,7 @@ func NotExceedLease(s *plan.Schedule) error {
 		for i := 1; i < len(vm.Slots); i++ {
 			spanBefore := vm.Slots[i-1].End - vm.Slots[0].Start
 			boundary := vm.Slots[0].Start + float64(cloud.BTUs(spanBefore))*cloud.BTU
-			if vm.Slots[i].End > boundary+eps {
+			if lt(boundary, vm.Slots[i].End) {
 				return fmt.Errorf("validate: VM %d slot %d ends at %v past paid boundary %v",
 					vm.ID, i, vm.Slots[i].End, boundary)
 			}

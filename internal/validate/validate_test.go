@@ -113,6 +113,35 @@ func TestDetectsWrongDuration(t *testing.T) {
 	}
 }
 
+func TestBillingIncludesHeldEmptyVM(t *testing.T) {
+	// A held-but-idle reservation (plan.VM.Held, no slots) is a paid lease:
+	// Schedule.RentalCost includes it, so the validator's per-VM billing sum
+	// must too, or every legitimately held schedule is rejected with a
+	// phantom cost mismatch.
+	s := validSchedule(t)
+	s.VMs = append(s.VMs, &plan.VM{
+		ID: plan.VMID(len(s.VMs)), Type: cloud.Small,
+		Region: cloud.USEastVirginia, Held: 100,
+	})
+	if err := Schedule(s); err != nil {
+		t.Errorf("held empty lease rejected: %v", err)
+	}
+	// A held tail on a busy VM (reservation past the last slot) must also
+	// reconcile.
+	s.VMs[0].Held = s.VMs[0].Span() + 2*cloud.BTU
+	if err := Schedule(s); err != nil {
+		t.Errorf("held lease tail rejected: %v", err)
+	}
+	// A prepaid held reservation bills nothing and still validates.
+	s.VMs = append(s.VMs, &plan.VM{
+		ID: plan.VMID(len(s.VMs)), Type: cloud.Small,
+		Region: cloud.USEastVirginia, Held: 50, Prepaid: true,
+	})
+	if err := Schedule(s); err != nil {
+		t.Errorf("prepaid held lease rejected: %v", err)
+	}
+}
+
 func TestNotExceedLeaseProperty(t *testing.T) {
 	// StartParNotExceed schedules must satisfy NotExceedLease on every
 	// paper workload; StartParExceed deliberately violates it when a long
