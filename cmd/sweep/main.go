@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expconf"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/workflows"
@@ -61,10 +62,19 @@ func main() {
 		recovery    = flag.String("recovery", "", "recovery policy under faults: retry, resubmit, or fail")
 		rebootS     = flag.Float64("reboot", 0, "boot lag of replacement VMs in seconds")
 		faultSeed   = flag.Uint64("fault-seed", 1, "base seed for the fault draws")
+
+		marketPreset = flag.String("market", "", "market preset pricing every lease: "+strings.Join(market.PresetNames(), ", ")+" (empty = paper economics)")
+		marketSeed   = flag.Uint64("market-seed", 0, "override the market preset's cold-start draw seed")
+		preemptRate  = flag.Float64("preempt-rate", 0, "spot reclamations per spot-VM-hour (only bites spot leases)")
 	)
 	flag.Parse()
 
-	faults, err := faultConfig(*faultPreset, *faultRate, *taskFail, *recovery, *rebootS, *faultSeed)
+	faults, err := faultConfig(*faultPreset, *faultRate, *taskFail, *recovery, *rebootS, *faultSeed, *preemptRate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	mkt, err := marketModel(*marketPreset, *marketSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
@@ -74,7 +84,7 @@ func main() {
 		paranoid: *paranoid, grid: *grid, seeds: *seeds, mdPath: *mdPath,
 		extended: *extended, confPath: *confPath, htmlDir: *htmlDir,
 		texPath: *texPath, traceOut: *traceOut, eventsOut: *evOut,
-		progress: *progress, faults: faults,
+		progress: *progress, faults: faults, market: mkt,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -96,11 +106,12 @@ type options struct {
 	traceOut, eventsOut string
 	progress            bool
 	faults              *fault.Config
+	market              *market.Model
 }
 
 // faultConfig assembles the CLI fault model: a preset as the base, with
 // explicit flags overriding its fields.
-func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS float64, seed uint64) (*fault.Config, error) {
+func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS float64, seed uint64, preemptRate float64) (*fault.Config, error) {
 	var cfg fault.Config
 	if preset != "" {
 		var err error
@@ -110,6 +121,9 @@ func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS
 	}
 	if rate > 0 {
 		cfg.CrashRate = rate
+	}
+	if preemptRate > 0 {
+		cfg.SpotPreemptRate = preemptRate
 	}
 	if taskFail > 0 {
 		cfg.TaskFailProb = taskFail
@@ -131,6 +145,27 @@ func faultConfig(preset string, rate, taskFail float64, recovery string, rebootS
 	return &cfg, nil
 }
 
+// marketModel resolves the -market/-market-seed flags; preset "none" or
+// an empty preset keeps the paper's economics.
+func marketModel(preset string, seed uint64) (*market.Model, error) {
+	if preset == "" {
+		if seed != 0 {
+			return nil, fmt.Errorf("-market-seed requires -market")
+		}
+		return nil, nil
+	}
+	m, err := market.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil && seed != 0 {
+		mm := *m
+		mm.Seed = seed
+		m = &mm
+	}
+	return m, nil
+}
+
 func run(o options) error {
 	cfg := core.Config{Seed: o.seed, Paranoid: o.paranoid}
 	if o.extended {
@@ -146,6 +181,10 @@ func run(o options) error {
 	if o.faults.Active() {
 		// CLI fault flags override any config-file fault block.
 		cfg.Faults = o.faults
+	}
+	if o.market != nil {
+		// The CLI market preset overrides any config-file market block.
+		cfg.Market = o.market
 	}
 	var col *obs.Collector
 	if o.traceOut != "" || o.eventsOut != "" {
@@ -207,6 +246,9 @@ func run(o options) error {
 	if o.grid {
 		printGrid(s)
 		fmt.Println(report.Summary(s))
+	}
+	if cfg.Market != nil {
+		fmt.Printf("market model: %s (seed %d)\n", cfg.Market, cfg.Market.Seed)
 	}
 	if cfg.Faults.Active() {
 		fmt.Printf("fault model: %s (seed %d)\n", cfg.Faults, cfg.Faults.Seed)
@@ -351,10 +393,15 @@ func printReliability(s *core.Sweep) {
 				if !rel.Completed {
 					status = fmt.Sprintf("FAILED(%s) %3.0f%%", rel.FailReason, 100*rel.CompletedFraction)
 				}
-				fmt.Printf("  %-22s %-28s crashes %2d  fails %2d  retries %2d  resub %2d  wasted %8.0fs  +mk %8.1fs  +$%.4f\n",
+				market := ""
+				if rel.SpotPreemptions > 0 || rel.FallbackVMs > 0 || rel.WarmIdleSeconds > 0 {
+					market = fmt.Sprintf("  preempt %2d  fallback %2d (+$%.4f)  warm-idle %6.0fs",
+						rel.SpotPreemptions, rel.FallbackVMs, rel.FallbackPremium, rel.WarmIdleSeconds)
+				}
+				fmt.Printf("  %-22s %-28s crashes %2d  fails %2d  retries %2d  resub %2d  wasted %8.0fs  +mk %8.1fs  +$%.4f%s\n",
 					r.Strategy, status, rel.VMCrashes, rel.TaskFailures,
 					rel.Retries, rel.Resubmits, rel.WastedBTUSeconds,
-					rel.AddedMakespan, rel.AddedCost)
+					rel.AddedMakespan, rel.AddedCost, market)
 			}
 		}
 	}

@@ -131,30 +131,53 @@ func TestRunWritesLaTeX(t *testing.T) {
 }
 
 func TestFaultConfig(t *testing.T) {
-	if cfg, err := faultConfig("", 0, 0, "", 0, 1); err != nil || cfg != nil {
+	if cfg, err := faultConfig("", 0, 0, "", 0, 1, 0); err != nil || cfg != nil {
 		t.Errorf("inactive flags: cfg=%v err=%v, want nil/nil", cfg, err)
 	}
-	cfg, err := faultConfig("flaky", 0, 0, "retry", 0, 9)
+	cfg, err := faultConfig("flaky", 0, 0, "retry", 0, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.CrashRate != 0.05 || cfg.Recovery.String() != "retry" || cfg.Seed != 9 {
 		t.Errorf("preset+override mismatch: %+v", cfg)
 	}
-	if _, err := faultConfig("no-such-preset", 0, 0, "", 0, 1); err == nil {
+	if _, err := faultConfig("no-such-preset", 0, 0, "", 0, 1, 0); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if _, err := faultConfig("", 0.5, 0, "bogus", 0, 1); err == nil {
+	if _, err := faultConfig("", 0.5, 0, "bogus", 0, 1, 0); err == nil {
 		t.Error("unknown recovery accepted")
 	}
 }
 
 func TestRunFaultSweep(t *testing.T) {
-	faults, err := faultConfig("", 0.5, 0.02, "resubmit", 60, 7)
+	faults, err := faultConfig("", 0.5, 0.02, "resubmit", 60, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := run(options{seed: 1, table: "none", faults: faults}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunMarketSweep(t *testing.T) {
+	faults, err := faultConfig("", 0, 0, "retry", 0, 7, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := marketModel("spot-fallback", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	doc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s", "SpotFallback", "WarmPool4"],
+	  "workflows": [{"name": "Sequential"}]}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{seed: 1, table: "none", confPath: cfgPath,
+		paranoid: true, faults: faults, market: mkt}); err != nil {
 		t.Error(err)
 	}
 }

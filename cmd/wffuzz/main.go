@@ -10,10 +10,14 @@
 //
 //	wffuzz -n 500 -seed 1
 //	wffuzz -n 10000 -seed 7 -emit internal/fuzzcheck/testdata/fuzz
+//	wffuzz -n 500 -seed 3 -market
 //
 // The case stream is a pure function of (seed, index): a divergence at
-// index i reproduces with the same seed on any machine. Exit status is 1
-// when any case diverged, 0 otherwise.
+// index i reproduces with the same seed on any machine. -market switches
+// to the market-focused stream (spot/warm strategies under preemption
+// presets), cross-checking spot billing and preemption accounting
+// plan↔sim↔ledger on every case. Exit status is 1 when any case
+// diverged, 0 otherwise.
 package main
 
 import (
@@ -31,6 +35,7 @@ type options struct {
 	seed     uint64
 	emit     string
 	progress int
+	market   bool
 }
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 	flag.Uint64Var(&opt.seed, "seed", 1, "stream seed (same seed, same cases)")
 	flag.StringVar(&opt.emit, "emit", "", "directory to write shrunk reproducers in Go fuzz corpus format (FuzzSchedule/ and FuzzSimAgree/ subdirectories)")
 	flag.IntVar(&opt.progress, "progress", 100, "print a progress line every N cases (0 disables)")
+	flag.BoolVar(&opt.market, "market", false, "draw from the market-focused stream (spot/warm strategies, preemption presets)")
 	flag.Parse()
 
 	failures, err := run(opt, os.Stderr)
@@ -64,6 +70,9 @@ func run(opt options, w io.Writer) (int, error) {
 			fmt.Fprintf(w, "wffuzz: %d/%d cases, %d divergences\n", i, opt.n, failures)
 		}
 		c := fuzzcheck.Random(opt.seed, i)
+		if opt.market {
+			c = fuzzcheck.RandomMarket(opt.seed, i)
+		}
 		err := c.Run()
 		if err == nil {
 			continue

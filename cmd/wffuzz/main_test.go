@@ -19,6 +19,17 @@ func TestRunCleanStream(t *testing.T) {
 	}
 }
 
+func TestRunMarketStream(t *testing.T) {
+	var b strings.Builder
+	failures, err := run(options{n: 25, seed: 3, market: true}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d divergences in the market stream:\n%s", failures, b.String())
+	}
+}
+
 func TestRunRejectsNonPositiveN(t *testing.T) {
 	if _, err := run(options{n: 0}, &strings.Builder{}); err == nil {
 		t.Error("n=0 accepted")

@@ -8,6 +8,7 @@
 //	wfsim -wf my-workflow.json -strategy CPA-Eager -gantt=false
 //	wfsim -wf CSTEM -strategy GAIN -boot 120
 //	wfsim -wf Montage -strategy HEFT-s -fault-rate 0.5 -recovery resubmit
+//	wfsim -wf Montage -strategy SpotFallback -market spot-fallback -preempt-rate 1.0
 //	wfsim -wf Montage -strategy GAIN -trace-out montage.trace.json
 //
 // -trace-out writes the simulated replay as Chrome trace-event JSON
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -58,6 +60,10 @@ func main() {
 		retries   = flag.Int("retries", 0, "max retries per task (0 = default, negative = none)")
 		rebootS   = flag.Float64("reboot", 0, "boot lag of replacement VMs in seconds")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault draws")
+
+		marketArg   = flag.String("market", "", "market preset pricing every lease: "+strings.Join(market.PresetNames(), ", ")+" (empty = paper economics)")
+		marketSeed  = flag.Uint64("market-seed", 0, "override the market preset's cold-start draw seed")
+		preemptRate = flag.Float64("preempt-rate", 0, "spot reclamations per spot-VM-hour (needs a spot market preset)")
 	)
 	flag.Parse()
 
@@ -68,28 +74,54 @@ func main() {
 		return
 	}
 	var faults *fault.Config
-	if *faultRate > 0 || *taskFail > 0 {
+	if *faultRate > 0 || *taskFail > 0 || *preemptRate > 0 {
 		rec, err := fault.ParseRecovery(*recovery)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wfsim:", err)
 			os.Exit(1)
 		}
 		faults = &fault.Config{
-			CrashRate:    *faultRate,
-			TaskFailProb: *taskFail,
-			Recovery:     rec,
-			MaxRetries:   *retries,
-			RebootS:      *rebootS,
-			Seed:         *faultSeed,
+			CrashRate:       *faultRate,
+			SpotPreemptRate: *preemptRate,
+			TaskFailProb:    *taskFail,
+			Recovery:        rec,
+			MaxRetries:      *retries,
+			RebootS:         *rebootS,
+			Seed:            *faultSeed,
 		}
 	}
-	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath, *traceOut, *evOut, faults); err != nil {
+	mkt, err := marketModel(*marketArg, *marketSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*wfArg, *strategy, *scenario, *seed, *region, *boot, *gantt, *svgPath, *csvPath, *traceOut, *evOut, faults, mkt); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath, traceOut, eventsOut string, faults *fault.Config) error {
+// marketModel resolves the -market/-market-seed flags.
+func marketModel(preset string, seed uint64) (*market.Model, error) {
+	if preset == "" {
+		if seed != 0 {
+			return nil, fmt.Errorf("-market-seed requires -market")
+		}
+		return nil, nil
+	}
+	m, err := market.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil && seed != 0 {
+		mm := *m
+		mm.Seed = seed
+		m = &mm
+	}
+	return m, nil
+}
+
+func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot float64, gantt bool, svgPath, csvPath, traceOut, eventsOut string, faults *fault.Config, mkt *market.Model) error {
 	wf, err := loadWorkflow(wfArg)
 	if err != nil {
 		return err
@@ -109,7 +141,7 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 	if err != nil {
 		return err
 	}
-	opts := sched.Options{Platform: cloud.NewPlatform(), Region: region}
+	opts := sched.Options{Platform: cloud.NewPlatform(), Region: region, Market: mkt}
 
 	s, err := alg.Schedule(wf, opts)
 	if err != nil {
@@ -127,6 +159,9 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 	fmt.Printf("workflow   %s (%d tasks, %d levels, max parallelism %d)\n",
 		wf.Name, wf.Len(), wf.Depth(), wf.MaxParallelism())
 	fmt.Printf("strategy   %s in %s\n", strategy, region)
+	if mkt != nil {
+		fmt.Printf("market     %s\n", mkt)
+	}
 	fmt.Printf("makespan   %.1f s   (baseline %.1f s, gain %.1f%%)\n",
 		s.Makespan(), base.Makespan(), point.GainPct)
 	fmt.Printf("cost       $%.4f (baseline $%.4f, loss %.1f%%)\n",
@@ -183,6 +218,10 @@ func run(wfArg, strategy, scenario string, seed uint64, regionName string, boot 
 		fmt.Printf("outcome    %s\n", status)
 		fmt.Printf("injected   %d VM crashes, %d task failures (%d retries, %d resubmits, %d replacement VMs)\n",
 			res.VMCrashes, res.TaskFailures, res.Retries, res.Resubmits, res.ReplacementVMs)
+		if res.SpotPreemptions > 0 || res.FallbackVMs > 0 || res.WarmIdleSeconds > 0 {
+			fmt.Printf("market     %d spot preemptions, %d on-demand fallbacks (+$%.4f premium), %.0f s warm idle\n",
+				res.SpotPreemptions, res.FallbackVMs, res.FallbackPremium, res.WarmIdleSeconds)
+		}
 		fmt.Printf("penalty    %+.1f s makespan, %+.4f $ cost, %.0f wasted BTU-seconds\n",
 			rel.AddedMakespan, rel.AddedCost, rel.WastedBTUSeconds)
 	case boot > 0:

@@ -8,11 +8,12 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/market"
 )
 
 func TestRunBuiltinWorkflows(t *testing.T) {
 	for _, wf := range []string{"Montage", "CSTEM", "MapReduce", "Sequential", "Fig1"} {
-		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
+		if err := run(wf, "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil); err != nil {
 			t.Errorf("%s: %v", wf, err)
 		}
 	}
@@ -20,21 +21,21 @@ func TestRunBuiltinWorkflows(t *testing.T) {
 
 func TestRunScenarios(t *testing.T) {
 	for _, sc := range []string{"Pareto", "Best case", "Worst case", "none"} {
-		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
+		if err := run("CSTEM", "OneVMperTask-s", sc, 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil); err != nil {
 			t.Errorf("%s: %v", sc, err)
 		}
 	}
 }
 
 func TestRunWithBootTime(t *testing.T) {
-	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", "", "", "", nil); err != nil {
+	if err := run("Sequential", "StartParExceed-s", "Best case", 1, "eu-dublin", 120, true, "", "", "", "", nil, nil); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunWritesSVG(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.svg")
-	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, "", "", "", nil); err != nil {
+	if err := run("Fig1", "AllParNotExceed-s", "none", 1, "us-east-virginia", 0, false, path, "", "", "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -53,7 +54,7 @@ func TestRunJSONWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
+	if err := run(path, "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -68,7 +69,7 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil); err != nil {
+	if err := run(path, "CPA-Eager", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -76,16 +77,16 @@ func TestRunDAXWorkflowFile(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cases := map[string]func() error{
 		"unknown workflow": func() error {
-			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
+			return run("NoSuchThing", "GAIN", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil)
 		},
 		"unknown strategy": func() error {
-			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
+			return run("CSTEM", "Bogus", "none", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil)
 		},
 		"unknown scenario": func() error {
-			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "", "", "", nil)
+			return run("CSTEM", "GAIN", "Median case", 1, "us-east-virginia", 0, false, "", "", "", "", nil, nil)
 		},
 		"unknown region": func() error {
-			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "", "", "", nil)
+			return run("CSTEM", "GAIN", "none", 1, "mars", 0, false, "", "", "", "", nil, nil)
 		},
 	}
 	for name, f := range cases {
@@ -97,7 +98,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunWritesTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path, "", "", nil); err != nil {
+	if err := run("Fig1", "AllParExceed-s", "none", 1, "us-east-virginia", 0, false, "", path, "", "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -113,7 +114,7 @@ func TestRunWritesTraceAndEvents(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "run.trace.json")
 	evPath := filepath.Join(dir, "run.ndjson")
-	if err := run("Montage", "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", tracePath, evPath, nil); err != nil {
+	if err := run("Montage", "AllParExceed-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", tracePath, evPath, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	traceData, err := os.ReadFile(tracePath)
@@ -143,12 +144,50 @@ func TestRunWritesTraceAndEvents(t *testing.T) {
 
 func TestRunWithFaults(t *testing.T) {
 	faults := &fault.Config{CrashRate: 0.5, TaskFailProb: 0.05, Recovery: fault.Resubmit, RebootS: 30, Seed: 7}
-	if err := run("Montage", "OneVMperTask-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", faults); err != nil {
+	if err := run("Montage", "OneVMperTask-s", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", faults, nil); err != nil {
 		t.Error(err)
 	}
 	// The fail policy may abort the run; that is still a successful report.
 	failFast := &fault.Config{TaskFailProb: 1, Recovery: fault.Fail, Seed: 7}
-	if err := run("Sequential", "OneVMperTask-s", "Best case", 1, "us-east-virginia", 0, false, "", "", "", "", failFast); err != nil {
+	if err := run("Sequential", "OneVMperTask-s", "Best case", 1, "us-east-virginia", 0, false, "", "", "", "", failFast, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunWithMarket(t *testing.T) {
+	for _, preset := range []string{"spot", "warm", "ondemand-sec"} {
+		m, err := market.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fault-free market runs still pass the simulator cross-check.
+		if err := run("Montage", "SpotFallback", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", nil, m); err != nil {
+			t.Errorf("%s: %v", preset, err)
+		}
+	}
+	// Preempting spot leases fall back on-demand under SpotFallback.
+	faults := &fault.Config{SpotPreemptRate: 2, Recovery: fault.Retry, Seed: 3}
+	m, _ := market.Preset("spot-fallback")
+	if err := run("Montage", "SpotFallback", "Pareto", 1, "us-east-virginia", 0, false, "", "", "", "", faults, m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarketModelFlag(t *testing.T) {
+	if m, err := marketModel("", 0); err != nil || m != nil {
+		t.Fatalf("empty preset: %v, %v", m, err)
+	}
+	if _, err := marketModel("", 5); err == nil {
+		t.Fatal("market-seed without market accepted")
+	}
+	if _, err := marketModel("bazaar", 0); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	m, err := marketModel("spot", 9)
+	if err != nil || m == nil || m.Seed != 9 {
+		t.Fatalf("spot preset with seed override: %+v, %v", m, err)
+	}
+	if base, _ := market.Preset("spot"); base.Seed == 9 {
+		t.Fatal("seed override mutated the shared preset")
 	}
 }

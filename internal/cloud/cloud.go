@@ -155,9 +155,25 @@ func ParseRegion(s string) (Region, error) {
 	return 0, fmt.Errorf("cloud: unknown region %q", s)
 }
 
-// Price returns the on-demand price per BTU for a type in a region, in USD.
+// Price returns the on-demand list price per BTU for a type in a region,
+// in USD — the constant Table II rate card. It is NOT "the price a lease
+// pays": spot leases, finer billing granularities and time-varying rates
+// (internal/market) all layer on top of this base. Callers that care
+// about the price in effect at a point in simulated time should go
+// through PriceAt instead of assuming this constant.
 func (r Region) Price(t InstanceType) float64 {
 	return regionInfo[r].prices[t]
+}
+
+// PriceAt returns the on-demand price per BTU in effect at absolute
+// simulated time at. Today the rate card is constant, so PriceAt equals
+// Price for every at — the function exists as the seam the market layer
+// (internal/market) prices leases through: spot traces multiply this
+// base, and a future time-of-day or demand model slots in here without
+// touching any billing call site.
+func PriceAt(t InstanceType, r Region, at float64) float64 {
+	_ = at // constant rate card (see Region.Price); the parameter is the seam
+	return r.Price(t)
 }
 
 // TransferOutPrice returns the per-GB price for data leaving the region.
@@ -250,14 +266,27 @@ func Close(a, b float64) bool {
 // durations that sum a hair over) bills the exact multiple, not an extra
 // full BTU. The guard is relative (Eps·max(1, span/BTU) in BTU units), so
 // it holds at any lease length.
-func BTUs(span float64) int {
+func BTUs(span float64) int { return Units(span, BTU) }
+
+// Units returns the number of whole billing units of the given length
+// (seconds) covering span seconds — BTUs generalized to the finer billing
+// granularities of internal/market (per-minute, per-second). The
+// eps-guard is the same relative guard in unit space (Eps·max(1,
+// span/unit)), so a span landing on a billing boundary up to float error
+// bills the exact multiple under every granularity, decided by the single
+// shared tolerance. A zero-length lease still bills one unit once the VM
+// was started.
+func Units(span, unit float64) int {
+	if unit <= 0 {
+		panic(fmt.Sprintf("cloud: non-positive billing unit %v", unit))
+	}
 	if span < 0 {
 		if span < -Eps {
 			panic(fmt.Sprintf("cloud: negative lease span %v", span))
 		}
 		span = 0 // float noise around a zero-length lease
 	}
-	x := span / BTU
+	x := span / unit
 	guard := Eps
 	if x > 1 {
 		guard = Eps * x

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -63,6 +64,13 @@ type Config struct {
 	// with zero rates changes nothing: the grid's points stay identical
 	// to a fault-free sweep.
 	Faults *fault.Config
+	// Market, when non-nil, prices every rented VM — the baseline's
+	// included, so percentages compare like with like — under the model's
+	// lease terms: purchasing market, billing granularity, cold-start
+	// delays, warm pool (see internal/market). Nil keeps the paper's
+	// economics. Spot preemptions additionally require an active fault
+	// model with SpotPreemptRate set.
+	Market *market.Model
 	// Workers bounds the number of goroutines evaluating grid cells
 	// concurrently. Zero selects GOMAXPROCS; one forces serial execution.
 	// Results are identical regardless of the worker count — every
@@ -160,11 +168,16 @@ func Run(cfg Config) (*Sweep, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	if cfg.Market != nil {
+		if err := cfg.Market.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	s := &Sweep{Config: cfg, results: map[Key]Result{}}
 	for _, alg := range cfg.Strategies {
 		s.Strategies = append(s.Strategies, alg.Name())
 	}
-	opts := sched.Options{Platform: cfg.Platform, Region: cfg.Region}
+	opts := sched.Options{Platform: cfg.Platform, Region: cfg.Region, Market: cfg.Market}
 	baseline := sched.Baseline()
 
 	// Phase 1 (serial, cheap): realize the workloads and their baselines.

@@ -25,17 +25,21 @@ var (
 
 func strategyIndex() {
 	strategyOnce.Do(func() {
-		catalog := sched.Catalog()
-		strategyNames = make([]string, len(catalog))
-		strategyByLC = make(map[string]sched.Algorithm, len(catalog))
-		for i, a := range catalog {
+		// The 19-strategy catalog in figure order, then the hedging
+		// provisioners (SpotFallback, WarmPool4) — the market-aware
+		// wrappers every front end should accept by name.
+		all := append(sched.Catalog(), sched.Hedges()...)
+		strategyNames = make([]string, len(all))
+		strategyByLC = make(map[string]sched.Algorithm, len(all))
+		for i, a := range all {
 			strategyNames[i] = a.Name()
 			strategyByLC[strings.ToLower(a.Name())] = a
 		}
 	})
 }
 
-// StrategyNames returns the catalog's strategy labels in figure order. The
+// StrategyNames returns the strategy labels every front end accepts: the
+// catalog in figure order followed by the hedging provisioners. The
 // returned slice is shared and must not be modified.
 func StrategyNames() []string {
 	strategyIndex()

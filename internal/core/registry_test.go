@@ -18,9 +18,15 @@ func TestStrategyByName(t *testing.T) {
 			t.Fatalf("StrategyByName(%q) resolved %q", name, alg.Name())
 		}
 	}
-	if len(StrategyNames()) != len(sched.Catalog()) {
-		t.Fatalf("StrategyNames() has %d entries, catalog %d",
-			len(StrategyNames()), len(sched.Catalog()))
+	if want := len(sched.Catalog()) + len(sched.Hedges()); len(StrategyNames()) != want {
+		t.Fatalf("StrategyNames() has %d entries, catalog+hedges %d",
+			len(StrategyNames()), want)
+	}
+	// The catalog keeps its figure order at the front; the hedges append.
+	for i, a := range sched.Catalog() {
+		if StrategyNames()[i] != a.Name() {
+			t.Fatalf("StrategyNames()[%d] = %q, catalog says %q", i, StrategyNames()[i], a.Name())
+		}
 	}
 }
 

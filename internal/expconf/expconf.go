@@ -30,6 +30,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/wfio"
 	"repro/internal/workflows"
 	"repro/internal/workload"
@@ -51,6 +52,9 @@ type File struct {
 	Workers int `json:"workers,omitempty"`
 	// Fault replays every cell under a fault model (nil = perfect cloud).
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// Market prices every lease under a market model (nil = the paper's
+	// flat on-demand per-BTU economics).
+	Market *MarketSpec `json:"market,omitempty"`
 }
 
 // FaultSpec configures the sweep's fault model. Preset names a scenario
@@ -59,6 +63,7 @@ type File struct {
 type FaultSpec struct {
 	Preset       string  `json:"preset,omitempty"`
 	CrashRate    float64 `json:"crash_rate,omitempty"`     // VM crashes per VM-hour
+	PreemptRate  float64 `json:"preempt_rate,omitempty"`   // spot reclamations per spot-VM-hour
 	TaskFailProb float64 `json:"task_fail_prob,omitempty"` // per-attempt failure probability
 	Recovery     string  `json:"recovery,omitempty"`       // retry, resubmit, fail
 	MaxRetries   int     `json:"max_retries,omitempty"`
@@ -81,6 +86,9 @@ func resolveFault(spec *FaultSpec) (*fault.Config, error) {
 	}
 	if spec.CrashRate != 0 {
 		cfg.CrashRate = spec.CrashRate
+	}
+	if spec.PreemptRate != 0 {
+		cfg.SpotPreemptRate = spec.PreemptRate
 	}
 	if spec.TaskFailProb != 0 {
 		cfg.TaskFailProb = spec.TaskFailProb
@@ -106,6 +114,104 @@ func resolveFault(spec *FaultSpec) (*fault.Config, error) {
 		return nil, fmt.Errorf("expconf: %w", err)
 	}
 	return &cfg, nil
+}
+
+// MarketSpec configures the sweep's market model. Preset names a scenario
+// from internal/market ("none", "spot", "spot-fallback", "warm", ...);
+// explicit fields override the preset's values. An empty preset starts
+// from market.Default(); preset "none" keeps the paper's economics and
+// rejects overrides.
+type MarketSpec struct {
+	Preset       string  `json:"preset,omitempty"`
+	Market       string  `json:"market,omitempty"`        // ondemand, spot
+	Granularity  string  `json:"granularity,omitempty"`   // btu, min, sec
+	SpotDiscount float64 `json:"spot_discount,omitempty"` // spot base price as a fraction of on-demand
+	Fallback     bool    `json:"fallback,omitempty"`      // replace preempted spot leases on-demand
+	WarmPool     int     `json:"warm_pool,omitempty"`     // leases kept booted from t=0
+	Seed         uint64  `json:"seed,omitempty"`          // cold-start draw stream
+	// TraceFile loads a spot price trace ("t multiplier" lines, see
+	// market.ParseTrace); relative paths resolve against the config file.
+	TraceFile string    `json:"trace_file,omitempty"`
+	Cold      *ColdSpec `json:"cold,omitempty"`
+}
+
+// ColdSpec overrides the cold-start distribution of a MarketSpec.
+type ColdSpec struct {
+	Dist string  `json:"dist,omitempty"` // fixed, uniform, exp ("" = none)
+	Mean float64 `json:"mean,omitempty"`
+	Min  float64 `json:"min,omitempty"`
+	Max  float64 `json:"max,omitempty"`
+}
+
+// resolveMarket turns a MarketSpec into a market.Model.
+func resolveMarket(spec *MarketSpec, baseDir string) (*market.Model, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	base := market.Default()
+	if spec.Preset != "" {
+		var err error
+		if base, err = market.Preset(spec.Preset); err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+	}
+	if base == nil { // preset "none"
+		if *spec != (MarketSpec{Preset: spec.Preset}) {
+			return nil, fmt.Errorf("expconf: market preset %q does not accept overrides", spec.Preset)
+		}
+		return nil, nil
+	}
+	m := *base
+	if spec.Market != "" {
+		k, err := market.ParseKind(spec.Market)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		m.Market = k
+	}
+	if spec.Granularity != "" {
+		g, err := market.ParseGranularity(spec.Granularity)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		m.Gran = g
+	}
+	if spec.SpotDiscount != 0 {
+		m.SpotDiscount = spec.SpotDiscount
+	}
+	if spec.Fallback {
+		m.Fallback = true
+	}
+	if spec.WarmPool != 0 {
+		m.WarmPool = spec.WarmPool
+	}
+	if spec.Seed != 0 {
+		m.Seed = spec.Seed
+	}
+	if spec.Cold != nil {
+		m.Cold = market.ColdStart{Dist: spec.Cold.Dist, Mean: spec.Cold.Mean,
+			Min: spec.Cold.Min, Max: spec.Cold.Max}
+	}
+	if spec.TraceFile != "" {
+		path := spec.TraceFile
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: market trace: %w", err)
+		}
+		defer f.Close()
+		tr, err := market.ParseTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: market trace %s: %w", path, err)
+		}
+		m.Trace = tr
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("expconf: %w", err)
+	}
+	return &m, nil
 }
 
 // WorkflowSpec names one workflow of the corpus. Exactly one source must
@@ -151,6 +257,11 @@ func Resolve(f File, baseDir string) (core.Config, error) {
 		return core.Config{}, err
 	}
 	cfg.Faults = faults
+	mkt, err := resolveMarket(f.Market, baseDir)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Market = mkt
 	if f.LatencyS < 0 {
 		return core.Config{}, fmt.Errorf("expconf: negative latency %v", f.LatencyS)
 	}

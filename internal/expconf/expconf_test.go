@@ -209,6 +209,78 @@ func TestLoadFaultSpec(t *testing.T) {
 	}
 }
 
+func TestLoadMarketSpec(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	if err := os.WriteFile(tracePath, []byte("0 1.0\n1800 0.8\n3600 1.2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{
+	  "workflows": [{"name": "Sequential"}],
+	  "scenarios": ["Best case"],
+	  "market": {"preset": "spot", "granularity": "sec", "spot_discount": 0.25,
+	             "warm_pool": 2, "seed": 5, "trace_file": "trace.txt",
+	             "cold": {"dist": "fixed", "mean": 30}},
+	  "fault": {"preset": "preempt-mild", "preempt_rate": 0.7}
+	}`
+	cfg, err := Load(strings.NewReader(doc), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cfg.Market
+	if m == nil {
+		t.Fatal("market spec dropped")
+	}
+	// The preset supplies the spot market; explicit fields win.
+	if m.Market.String() != "spot" || m.Gran.String() != "sec" ||
+		m.SpotDiscount != 0.25 || m.WarmPool != 2 || m.Seed != 5 {
+		t.Errorf("resolved market model %+v", m)
+	}
+	if m.Cold.Dist != "fixed" || m.Cold.Mean != 30 {
+		t.Errorf("cold override lost: %+v", m.Cold)
+	}
+	if m.Trace == nil || m.Trace.Len() != 3 {
+		t.Errorf("trace file not loaded: %+v", m.Trace)
+	}
+	if cfg.Faults == nil || cfg.Faults.SpotPreemptRate != 0.7 {
+		t.Errorf("preempt rate override lost: %+v", cfg.Faults)
+	}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatalf("market sweep from config: %v", err)
+	}
+}
+
+func TestLoadMarketSpecNone(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{"market": {"preset": "none"}}`), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Market != nil {
+		t.Errorf("preset none resolved to %+v", cfg.Market)
+	}
+	if _, err := Load(strings.NewReader(
+		`{"market": {"preset": "none", "warm_pool": 2}}`), "."); err == nil {
+		t.Error("preset none with overrides accepted")
+	}
+}
+
+func TestLoadMarketSpecErrors(t *testing.T) {
+	for _, doc := range []string{
+		`{"market": {"preset": "bazaar"}}`,
+		`{"market": {"market": "futures"}}`,
+		`{"market": {"granularity": "fortnight"}}`,
+		`{"market": {"spot_discount": 2}}`,
+		`{"market": {"warm_pool": -1}}`,
+		`{"market": {"cold": {"dist": "cauchy"}}}`,
+		`{"market": {"trace_file": "no-such.txt"}}`,
+		`{"fault": {"preempt_rate": -1}}`,
+	} {
+		if _, err := Load(strings.NewReader(doc), t.TempDir()); err == nil {
+			t.Errorf("document accepted: %s", doc)
+		}
+	}
+}
+
 func TestLoadFaultSpecErrors(t *testing.T) {
 	for _, doc := range []string{
 		`{"fault": {"preset": "apocalypse"}}`,

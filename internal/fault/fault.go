@@ -85,6 +85,14 @@ type Config struct {
 	// TaskFailProb is the probability that one execution attempt of a task
 	// aborts partway through. Zero disables transient failures.
 	TaskFailProb float64
+	// SpotPreemptRate is the expected number of provider reclamations per
+	// spot-VM-hour (the rate of an exponential time-to-preemption). It is
+	// the market layer's crash cause: only leases bought on the spot
+	// market (internal/market) draw from it, via their own hash-derived
+	// stream and their own reliability counters, distinct from CrashRate's
+	// hardware crashes. Zero disables preemptions; a non-zero rate over a
+	// schedule with no spot leases changes nothing.
+	SpotPreemptRate float64
 	// Recovery selects the reaction to a fault.
 	Recovery Recovery
 	// MaxRetries bounds the extra attempts per task after a transient
@@ -103,9 +111,11 @@ type Config struct {
 	Seed uint64
 }
 
-// Active reports whether the configuration injects any fault at all.
+// Active reports whether the configuration injects any fault at all
+// (spot preemptions included — they only bite schedules with spot
+// leases, but an injector must be armed for them).
 func (c *Config) Active() bool {
-	return c != nil && (c.CrashRate > 0 || c.TaskFailProb > 0)
+	return c != nil && (c.CrashRate > 0 || c.TaskFailProb > 0 || c.SpotPreemptRate > 0)
 }
 
 // Fill replaces zero recovery parameters with the defaults and returns the
@@ -131,6 +141,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.CrashRate < 0:
 		return fmt.Errorf("fault: negative crash rate %v", c.CrashRate)
+	case c.SpotPreemptRate < 0:
+		return fmt.Errorf("fault: negative spot preemption rate %v", c.SpotPreemptRate)
 	case c.TaskFailProb < 0 || c.TaskFailProb > 1:
 		return fmt.Errorf("fault: task failure probability %v outside [0, 1]", c.TaskFailProb)
 	case c.BackoffS < 0:
@@ -148,6 +160,10 @@ func (c Config) Validate() error {
 
 // String summarizes the scenario for reports and logs.
 func (c Config) String() string {
+	if c.SpotPreemptRate > 0 {
+		return fmt.Sprintf("faults{crash: %.3g/VM-h, preempt: %.3g/VM-h, task-fail: %.3g, recovery: %s}",
+			c.CrashRate, c.SpotPreemptRate, c.TaskFailProb, c.Recovery)
+	}
 	return fmt.Sprintf("faults{crash: %.3g/VM-h, task-fail: %.3g, recovery: %s}",
 		c.CrashRate, c.TaskFailProb, c.Recovery)
 }
@@ -176,10 +192,13 @@ func (in *Injector) Config() Config { return in.cfg }
 // MaxAttempts returns the total execution attempts a task is allowed.
 func (in *Injector) MaxAttempts() int { return 1 + in.cfg.MaxRetries }
 
-// Domain separators for the per-decision streams.
+// Domain separators for the per-decision streams. Order is append-only:
+// each separator pins the stream identity of its decision class, so
+// adding kinds never shifts existing draws.
 const (
 	kindCrash uint64 = 0xC4A5 + iota
 	kindTask
+	kindPreempt
 )
 
 // stream derives the decision stream for one (kind, a, b) identity.
@@ -196,6 +215,20 @@ func (in *Injector) CrashAfter(inc uint64) float64 {
 	}
 	u := in.stream(kindCrash, inc, 0).Float64()
 	return -math.Log(1-u) * 3600 / in.cfg.CrashRate
+}
+
+// PreemptAfter returns how many seconds into its lease spot VM
+// incarnation inc is reclaimed by the provider, or +Inf when it survives.
+// Lifetimes are exponential with rate SpotPreemptRate per hour, drawn
+// from a stream disjoint from CrashAfter's — the same incarnation can
+// draw both fates, and whichever fires first wins, so crashes and
+// preemptions compose without perturbing each other's draws.
+func (in *Injector) PreemptAfter(inc uint64) float64 {
+	if in.cfg.SpotPreemptRate <= 0 {
+		return math.Inf(1)
+	}
+	u := in.stream(kindPreempt, inc, 0).Float64()
+	return -math.Log(1-u) * 3600 / in.cfg.SpotPreemptRate
 }
 
 // AttemptFails reports whether attempt (1-based) of the given task aborts,
@@ -252,8 +285,13 @@ func mix(vs ...uint64) uint64 {
 }
 
 // Presets are named fault scenarios for CLIs and experiment configs: a
-// calm region, a flaky one, and a hostile stress setting. "none" is the
-// perfect cloud.
+// calm region, a flaky one, a hostile stress setting, and two spot-market
+// reclamation climates (mild and storm) that only bite schedules with
+// spot leases. "none" is the perfect cloud.
+//
+// New preset names must sort after "none": fuzz corpus entries address
+// presets by index into the alphabetical PresetNames, so a name sorting
+// earlier would silently remap every committed case.
 func Presets() map[string]Config {
 	return map[string]Config{
 		"none": {},
@@ -262,6 +300,9 @@ func Presets() map[string]Config {
 			RebootS: 90},
 		"hostile": {CrashRate: 0.25, TaskFailProb: 0.05, Recovery: Resubmit,
 			RebootS: 120},
+		"preempt-mild": {SpotPreemptRate: 0.3, Recovery: Retry, RebootS: 45},
+		"preempt-storm": {SpotPreemptRate: 1.5, TaskFailProb: 0.005,
+			Recovery: Resubmit, RebootS: 90},
 	}
 }
 

@@ -54,6 +54,16 @@ func seedCorpus(t testing.TB) map[string]Case {
 			Strategy: strategyIndex(t, "OneVMperTask-s"), Fault: faultIndex("calm"), FaultSeed: 9},
 		"hostile-resubmit": {Tasks: 12, Seed: 21, EdgePct: 30, Scenario: 3, // Worst case
 			Strategy: strategyIndex(t, "AllParNotExceed-m"), Fault: faultIndex("hostile"), FaultSeed: 4},
+		"spot-seconds": {Tasks: 9, Seed: 17, EdgePct: 25,
+			Strategy: strategyIndex(t, StrategySpotSec), Fault: faultIndex("none")},
+		"warm-minutes": {Tasks: 14, Seed: 29, EdgePct: 20, BTUWork: true,
+			Strategy: strategyIndex(t, StrategyWarmMin), Fault: faultIndex("none")},
+		"spot-preempted": {Tasks: 11, Seed: 23, EdgePct: 30, Scenario: 1,
+			Strategy: strategyIndex(t, StrategySpotSec), Fault: faultIndex("preempt-mild"), FaultSeed: 6},
+		"fallback-storm": {Tasks: 13, Seed: 19, EdgePct: 35,
+			Strategy: strategyIndex(t, "SpotFallback"), Fault: faultIndex("preempt-storm"), FaultSeed: 8},
+		"warm-crash": {Tasks: 10, Seed: 31, EdgePct: 25,
+			Strategy: strategyIndex(t, "WarmPool4"), Fault: faultIndex("calm"), FaultSeed: 5},
 	}
 }
 
@@ -122,6 +132,40 @@ func TestRandomCasesPass(t *testing.T) {
 		c := Random(1, i)
 		if err := c.Run(); err != nil {
 			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomMarketCasesPass(t *testing.T) {
+	// The market-focused stream behind `wffuzz -market`: every case rents
+	// under market lease terms and most run a preemption preset.
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		c := RandomMarket(1, i)
+		if err := c.Run(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomMarketDrawsMarketStrategies(t *testing.T) {
+	allowed := make(map[int]bool)
+	for _, i := range marketStrategies() {
+		allowed[i] = true
+	}
+	if len(allowed) < 4 {
+		t.Fatalf("marketStrategies() has %d entries, want >= 4", len(allowed))
+	}
+	for i := 0; i < 100; i++ {
+		c := RandomMarket(7, i)
+		if !allowed[c.Strategy] {
+			t.Fatalf("case %d drew non-market strategy %s", i, Strategies()[c.Strategy])
+		}
+		if name := c.FaultName(); name != "none" && name != "preempt-mild" && name != "preempt-storm" {
+			t.Fatalf("case %d drew fault %q", i, name)
 		}
 	}
 }

@@ -1,9 +1,10 @@
 // Package fuzzcheck is the randomized driver of the differential
 // correctness harness: it generates seeded random DAGs and workload
-// scenarios, sweeps every catalog strategy (plus two synthetic strategies
-// the catalog cannot produce: cross-region placement and held-lease
-// tails) through the plan↔sim oracles of internal/validate, and shrinks
-// failing cases to minimal reproducers.
+// scenarios, sweeps every catalog strategy (plus synthetic strategies
+// the catalog cannot produce: cross-region placement, held-lease tails,
+// per-second spot billing, warm-pool minutes — and the hedging
+// provisioners) through the plan↔sim oracles of internal/validate, and
+// shrinks failing cases to minimal reproducers.
 //
 // A Case is a flat tuple of primitives so that it round-trips through the
 // native Go fuzzing corpus format: the committed files under
@@ -20,6 +21,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dag/dagtest"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -39,18 +41,52 @@ const (
 	// StrategyHeldTail runs the baseline, then holds the first lease past
 	// its last slot and appends one held-but-empty reservation.
 	StrategyHeldTail = "heldtail"
+	// StrategySpotSec places tasks one VM per task under per-second spot
+	// billing with a seeded price trace and uniform cold starts — the
+	// finest billing granularity composed with trace-dependent pricing.
+	StrategySpotSec = "spotsec"
+	// StrategyWarmMin runs the baseline under per-minute billing with a
+	// three-VM warm pool and a long fixed cold start, so warm anchoring,
+	// warm-idle accounting and minute rounding are all exercised at once.
+	StrategyWarmMin = "warmmin"
 )
 
 // Strategies lists every strategy name a Case can select: the scheduling
-// catalog in order, then the synthetic strategies. The order is
-// load-bearing — corpus entries address strategies by index.
+// catalog in order, then the synthetic strategies, then the market
+// synthetics and the hedging provisioners. The order is load-bearing —
+// corpus entries address strategies by index, so new names only append.
 func Strategies() []string {
 	cat := sched.Catalog()
-	out := make([]string, 0, len(cat)+2)
+	hedges := sched.Hedges()
+	out := make([]string, 0, len(cat)+4+len(hedges))
 	for _, alg := range cat {
 		out = append(out, alg.Name())
 	}
-	return append(out, StrategyXRegion, StrategyHeldTail)
+	out = append(out, StrategyXRegion, StrategyHeldTail, StrategySpotSec, StrategyWarmMin)
+	for _, alg := range hedges {
+		out = append(out, alg.Name())
+	}
+	return out
+}
+
+// marketStrategies lists the Strategies() indexes that rent under market
+// lease terms — the subset RandomMarket draws from.
+func marketStrategies() []int {
+	names := Strategies()
+	var out []int
+	for i, n := range names {
+		if n == StrategySpotSec || n == StrategyWarmMin {
+			out = append(out, i)
+		}
+	}
+	for _, alg := range sched.Hedges() {
+		for i, n := range names {
+			if n == alg.Name() {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
 }
 
 // scenarios is the scenario pool a Case indexes into. Order is
@@ -149,6 +185,10 @@ func (c Case) schedule() (*plan.Schedule, error) {
 		return xregion(w), nil
 	case StrategyHeldTail:
 		return heldtail(w, c.Seed)
+	case StrategySpotSec:
+		return spotsec(w, c.Seed), nil
+	case StrategyWarmMin:
+		return warmmin(w, c.Seed)
 	}
 	alg, err := sched.ByName(name)
 	if err != nil {
@@ -189,6 +229,48 @@ func heldtail(w *dag.Workflow, seed uint64) (*plan.Schedule, error) {
 		Region: cloud.USEastVirginia, Held: r.Range(1, 2*cloud.BTU),
 	})
 	return s, nil
+}
+
+// spotMarket returns the seeded spot/per-second model spotsec rents
+// under: a volatile synthetic price trace and uniform cold starts, all
+// derived from the case seed so equal cases bill identically.
+func spotMarket(seed uint64) *market.Model {
+	return &market.Model{
+		Market:       market.Spot,
+		Gran:         market.PerSecond,
+		SpotDiscount: 0.25,
+		Trace:        market.Synthetic(seed, 48, 900, 0.25),
+		Cold:         market.ColdStart{Dist: "uniform", Min: 10, Max: 90},
+		Seed:         seed,
+	}
+}
+
+// spotsec schedules one VM per task under per-second spot billing — the
+// market analogue of xregion: a synthetic placement no catalog strategy
+// produces, reaching trace-priced leases with per-task cold starts.
+func spotsec(w *dag.Workflow, seed uint64) *plan.Schedule {
+	b := plan.NewBuilder(w, cloud.NewPlatform(), cloud.USEastVirginia)
+	b.SetMarket(spotMarket(seed))
+	types := []cloud.InstanceType{cloud.Small, cloud.Medium, cloud.Large}
+	for i, t := range w.TopoOrder() {
+		vm := b.NewVMIn(types[i%len(types)], cloud.USEastVirginia)
+		b.PlaceOn(t, vm)
+	}
+	return b.Done()
+}
+
+// warmmin runs the baseline under per-minute billing with a three-VM warm
+// pool and a long fixed cold start, so some leases anchor warm at t=0 and
+// the rest pay the cold start on their first slot.
+func warmmin(w *dag.Workflow, seed uint64) (*plan.Schedule, error) {
+	opts := sched.DefaultOptions()
+	opts.Market = &market.Model{
+		Gran:     market.PerMinute,
+		Cold:     market.ColdStart{Dist: "fixed", Mean: 120},
+		WarmPool: 3,
+		Seed:     seed,
+	}
+	return sched.Baseline().Schedule(w, opts)
 }
 
 // Run executes the case through the differential harness and returns the
@@ -245,6 +327,18 @@ func (c Case) Run() error {
 		rel.Retries != acc.Retries || rel.Resubmits != acc.Resubmits {
 		return fmt.Errorf("fuzzcheck: %v: fault counters: metrics %+v, events %+v", c, rel, acc)
 	}
+	if rel.SpotPreemptions != acc.Preempts || rel.FallbackVMs != acc.FallbackVMs {
+		return fmt.Errorf("fuzzcheck: %v: market counters: metrics preempts %d fallbacks %d, events preempts %d fallbacks %d",
+			c, rel.SpotPreemptions, rel.FallbackVMs, acc.Preempts, acc.FallbackVMs)
+	}
+	if !validate.Close(rel.FallbackPremium, acc.FallbackPremium) {
+		return fmt.Errorf("fuzzcheck: %v: fallback premium: metrics %v, events %v",
+			c, rel.FallbackPremium, acc.FallbackPremium)
+	}
+	if !validate.Close(rel.WarmIdleSeconds, acc.WarmIdleSeconds) {
+		return fmt.Errorf("fuzzcheck: %v: warm idle: metrics %v, events %v",
+			c, rel.WarmIdleSeconds, acc.WarmIdleSeconds)
+	}
 	return nil
 }
 
@@ -261,6 +355,28 @@ func Random(sweepSeed uint64, i int) Case {
 		Scenario:  r.Intn(len(scenarios())),
 		Strategy:  r.Intn(len(Strategies())),
 		Fault:     r.Intn(len(fault.PresetNames())),
+		FaultSeed: uint64(r.Intn(1 << 16)),
+	}.Normalize()
+}
+
+// RandomMarket draws a case from a market-focused stream: the strategy is
+// always one of the market synthetics or hedging provisioners, and the
+// fault preset is drawn from {none, preempt-mild, preempt-storm} so spot
+// preemption, fallback and warm-idle accounting dominate the sweep. Like
+// Random, same (seed, index) yields the same case.
+func RandomMarket(sweepSeed uint64, i int) Case {
+	r := stats.NewRNG(fault.CellSeed(sweepSeed, "market", fmt.Sprint(i)))
+	strats := marketStrategies()
+	faults := []int{faultIndex("none"), faultIndex("preempt-mild"), faultIndex("preempt-storm")}
+	return Case{
+		Tasks:     1 + r.Intn(40),
+		Seed:      r.Uint64(),
+		EdgePct:   r.Intn(61),
+		ZeroWork:  r.Intn(4) == 0,
+		BTUWork:   r.Intn(4) == 0,
+		Scenario:  r.Intn(len(scenarios())),
+		Strategy:  strats[r.Intn(len(strats))],
+		Fault:     faults[r.Intn(len(faults))],
 		FaultSeed: uint64(r.Intn(1 << 16)),
 	}.Normalize()
 }

@@ -25,6 +25,15 @@ type Reliability struct {
 	TaskFailures int
 	Retries      int
 	Resubmits    int
+	// Market counters (zero without market lease terms): spot leases the
+	// provider reclaimed — counted apart from VMCrashes — the on-demand
+	// fallback leases opened for them, the price premium those fallbacks
+	// billed over the lost spot terms, and the paid-but-unused keepalive
+	// time of warm-pool leases.
+	SpotPreemptions int
+	FallbackVMs     int
+	FallbackPremium float64
+	WarmIdleSeconds float64
 	// WastedBTUSeconds is the paid-but-unproductive VM time the faults
 	// caused. For completed runs it is the premium over the fault-free
 	// plan: (idle + burned execution) minus the idle the plan already
@@ -65,6 +74,10 @@ func ReliabilityOf(s *plan.Schedule, res *sim.Result) Reliability {
 		TaskFailures:      res.TaskFailures,
 		Retries:           res.Retries,
 		Resubmits:         res.Resubmits,
+		SpotPreemptions:   res.SpotPreemptions,
+		FallbackVMs:       res.FallbackVMs,
+		FallbackPremium:   res.FallbackPremium,
+		WarmIdleSeconds:   res.WarmIdleSeconds,
 		WastedBTUSeconds:  wasted,
 		AddedMakespan:     res.Makespan - s.Makespan(),
 		AddedCost:         res.RentalCost - s.RentalCost(),
@@ -77,6 +90,11 @@ func (r Reliability) String() string {
 	if !r.Completed {
 		status = fmt.Sprintf("failed (%.0f%% done)", 100*r.CompletedFraction)
 	}
-	return fmt.Sprintf("reliability{%s, crashes: %d, task-failures: %d, wasted: %.0f BTU-s, +makespan: %.1fs, +cost: $%.3f}",
-		status, r.VMCrashes, r.TaskFailures, r.WastedBTUSeconds, r.AddedMakespan, r.AddedCost)
+	market := ""
+	if r.SpotPreemptions > 0 || r.FallbackVMs > 0 || r.WarmIdleSeconds > 0 {
+		market = fmt.Sprintf(", preempts: %d, fallbacks: %d (+$%.3f), warm-idle: %.0fs",
+			r.SpotPreemptions, r.FallbackVMs, r.FallbackPremium, r.WarmIdleSeconds)
+	}
+	return fmt.Sprintf("reliability{%s, crashes: %d, task-failures: %d, wasted: %.0f BTU-s, +makespan: %.1fs, +cost: $%.3f%s}",
+		status, r.VMCrashes, r.TaskFailures, r.WastedBTUSeconds, r.AddedMakespan, r.AddedCost, market)
 }

@@ -210,10 +210,14 @@ func (tw *traceWriter) writeCell(pid int, name string, events []Event) {
 		case KindVMBTURollover:
 			t := track(ev.VM)
 			t.marks = append(t.marks, mark{name: "BTU", t: ev.T})
-		case KindVMCrash:
+		case KindVMCrash, KindVMPreempt:
 			t := track(ev.VM)
 			t.crashed = true
-			t.marks = append(t.marks, mark{name: "crash", t: ev.T})
+			name := "crash"
+			if ev.Kind == KindVMPreempt {
+				name = "preempt"
+			}
+			t.marks = append(t.marks, mark{name: name, t: ev.T})
 			if i, ok := open[int(ev.VM)]; ok {
 				t.busy[i].end = ev.T
 				t.busy[i].status = "crashed"

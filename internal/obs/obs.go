@@ -87,6 +87,15 @@ const (
 	// groups of a sweep: the events that follow, up to the next marker,
 	// belong to the cell named by Label. T is always zero.
 	KindCellStart
+
+	// KindVMPreempt marks a spot lease reclaimed by the provider
+	// (internal/market) — the market layer's crash cause, counted apart
+	// from KindVMCrash. New kinds append here: wire values are stable.
+	KindVMPreempt
+	// KindVMFallback marks the teardown-time accounting of an on-demand
+	// lease that replaced a preempted spot lease; Value holds the premium
+	// paid over what the original spot terms would have billed.
+	KindVMFallback
 )
 
 // String returns the snake_case wire name of the kind.
@@ -132,6 +141,10 @@ func (k Kind) String() string {
 		return "job_end"
 	case KindCellStart:
 		return "cell_start"
+	case KindVMPreempt:
+		return "vm_preempt"
+	case KindVMFallback:
+		return "vm_fallback"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/market"
 )
 
 // VMID identifies a VM within one schedule, densely numbered from 0 in
@@ -47,6 +48,14 @@ type VM struct {
 	// crash that empties a lease. The zero value changes nothing: a VM
 	// with slots and Held = 0 behaves exactly as before.
 	Held float64
+	// Lease carries the market terms the VM was rented under: purchasing
+	// market, billing granularity, cold-start delay, warm/fallback flags
+	// (see internal/market). Nil — the only value non-market code paths
+	// ever produce — is the paper's economics: on-demand, per-BTU,
+	// pre-booted; every billing method below treats nil exactly as the
+	// legacy model, so schedules without a market are bit-identical to
+	// before the market layer existed.
+	Lease *market.Lease
 }
 
 // Busy returns the summed duration of all slots.
@@ -58,11 +67,21 @@ func (vm *VM) Busy() float64 {
 	return b
 }
 
-// LeaseStart returns the start of the lease (first slot start), or 0 for an
-// empty VM.
+// LeaseStart returns the start of the lease. For legacy leases it is the
+// first slot's start (the paper ignores boot time), or 0 for an empty VM.
+// Market leases with a cold-start delay anchor earlier: the VM is
+// requested (and billed) ColdStart seconds before its first task can run.
+// Warm-pool leases anchor at absolute time 0 — that is what keeping a VM
+// warm means.
 func (vm *VM) LeaseStart() float64 {
+	if vm.Lease.IsWarm() {
+		return 0
+	}
 	if len(vm.Slots) == 0 {
 		return 0
+	}
+	if d := vm.Lease.ColdStartDelay(); d > 0 {
+		return vm.Slots[0].Start - d
 	}
 	return vm.Slots[0].Start
 }
@@ -88,13 +107,14 @@ func (vm *VM) Span() float64 { return vm.LeaseEnd() - vm.LeaseStart() }
 func (vm *VM) leased() bool { return len(vm.Slots) > 0 || vm.Held > 0 }
 
 // PaidSeconds returns the billed lease length: Span rounded up to whole
-// BTUs. An unleased or prepaid VM bills nothing; a held-but-idle lease
-// bills like any other (the minimum one BTU).
+// billing units of the lease's granularity (whole BTUs for legacy
+// leases). An unleased or prepaid VM bills nothing; a held-but-idle lease
+// bills like any other (the minimum one unit).
 func (vm *VM) PaidSeconds() float64 {
 	if !vm.leased() || vm.Prepaid {
 		return 0
 	}
-	return float64(cloud.BTUs(vm.Span())) * cloud.BTU
+	return vm.Lease.PaidSeconds(vm.Span())
 }
 
 // Idle returns the paid-but-unused time: gaps between slots plus the tail
@@ -107,16 +127,20 @@ func (vm *VM) Idle() float64 {
 	return vm.PaidSeconds() - vm.Busy()
 }
 
-// Cost returns the rental price of the lease in USD; zero for prepaid VMs.
+// Cost returns the rental price of the lease in USD; zero for prepaid
+// VMs. Market leases bill under their own granularity and the spot price
+// in effect per interval (market.Lease.Cost); legacy leases bill the
+// paper's whole-BTU model.
 func (vm *VM) Cost() float64 {
 	if !vm.leased() || vm.Prepaid {
 		return 0
 	}
-	return cloud.LeaseCost(vm.Span(), vm.Type, vm.Region)
+	return vm.Lease.Cost(vm.LeaseStart(), vm.Span(), vm.Type, vm.Region)
 }
 
 // PaidBoundary returns the absolute time up to which the current lease is
-// already paid: LeaseStart + BTUs(Span)·BTU. For an unleased or prepaid VM
+// already paid: LeaseStart + PaidSeconds (whole billing units of the
+// lease's granularity). For an unleased or prepaid VM
 // it returns +Inf (the first task may start anywhere; prepaid capacity has
 // no billing boundary). The *NotExceed provisioning policies refuse reuses
 // that would push a task past this boundary.
@@ -232,6 +256,13 @@ type Builder struct {
 	// individual allocations.
 	arena     []VM
 	arenaUsed int
+
+	// market, when non-nil, stamps every rented VM with lease terms
+	// (market.Model.Terms); warmLeft counts the warm-pool slots not yet
+	// handed out. Nil market — the default — leaves every VM.Lease nil,
+	// the legacy economics.
+	market   *market.Model
+	warmLeft int
 }
 
 // NewBuilder returns a Builder for one workflow on one platform, renting
@@ -256,6 +287,24 @@ func NewBuilder(wf *dag.Workflow, p *cloud.Platform, region cloud.Region) *Build
 	}
 	return b
 }
+
+// SetMarket installs the market model whose terms every subsequently
+// rented VM is stamped with. It must be called before any VM is created
+// (lease terms shape start times, so retrofitting them would corrupt the
+// timeline); a nil model is a no-op, keeping the legacy economics.
+func (b *Builder) SetMarket(m *market.Model) {
+	if m == nil {
+		return
+	}
+	if len(b.vms) > 0 {
+		panic("plan: SetMarket after VMs were created")
+	}
+	b.market = m
+	b.warmLeft = m.WarmPool
+}
+
+// Market returns the installed market model, or nil.
+func (b *Builder) Market() *market.Model { return b.market }
 
 // Workflow returns the workflow being scheduled.
 func (b *Builder) Workflow() *dag.Workflow { return b.wf }
@@ -285,6 +334,20 @@ func (b *Builder) NewVMIn(t cloud.InstanceType, region cloud.Region) *VM {
 	} else {
 		vm = &VM{ID: VMID(len(b.vms)), Type: t, Region: region}
 	}
+	if b.market != nil {
+		warm := b.warmLeft > 0
+		if warm {
+			b.warmLeft--
+		}
+		vm.Lease = b.market.Terms(int(vm.ID), warm)
+		if warm {
+			// A warm VM is held from t=0; even if it never runs a task it
+			// bills at least its keepalive (the cold start it amortizes).
+			if d := vm.Lease.ColdStartDelay(); d > 0 {
+				vm.Held = d
+			}
+		}
+	}
 	b.vms = append(b.vms, vm)
 	return vm
 }
@@ -295,6 +358,14 @@ func (b *Builder) NewVMIn(t cloud.InstanceType, region cloud.Region) *VM {
 func (b *Builder) NewPrepaidVM(t cloud.InstanceType) *VM {
 	vm := b.NewVM(t)
 	vm.Prepaid = true
+	// Private capacity is outside the market: it has no lease terms, no
+	// cold start, and no keepalive hold. Return any warm-pool slot NewVM
+	// consumed so it goes to a machine that is actually rented.
+	if vm.Lease.IsWarm() {
+		b.warmLeft++
+	}
+	vm.Lease = nil
+	vm.Held = 0
 	return vm
 }
 
@@ -350,11 +421,27 @@ func (b *Builder) ExecTime(t dag.TaskID, typ cloud.InstanceType) float64 {
 }
 
 // StartOn returns the time task t would start if placed on vm now: the
-// later of its ready time and the VM's availability.
+// later of its ready time and the VM's availability. The first task on a
+// market VM also waits out the lease's cold start: a cold VM is requested
+// at the task's ready time and boots for ColdStart seconds before the
+// task can run; a warm VM booted at t=0, so its first task merely cannot
+// start before the boot completes.
 func (b *Builder) StartOn(t dag.TaskID, vm *VM) float64 {
 	start := b.ReadyOn(t, vm)
-	if len(vm.Slots) > 0 && vm.Avail() > start {
-		start = vm.Avail()
+	if len(vm.Slots) > 0 {
+		if vm.Avail() > start {
+			start = vm.Avail()
+		}
+		return start
+	}
+	if d := vm.Lease.ColdStartDelay(); d > 0 {
+		if vm.Lease.IsWarm() {
+			if d > start {
+				start = d
+			}
+		} else {
+			start += d
+		}
 	}
 	return start
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/market"
 )
 
 // Assignment is a schedule skeleton: per VM, its instance type and the
@@ -55,6 +56,13 @@ func AssignmentOf(s *Schedule) Assignment {
 // contradict the workflow's precedence constraints (deadlock) or do not
 // cover every task exactly once.
 func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignment) (*Schedule, error) {
+	return ReplayMarket(wf, p, region, nil, a)
+}
+
+// ReplayMarket is Replay under a market model: every rented VM is stamped
+// with the model's lease terms (see Builder.SetMarket). A nil model is
+// exactly Replay.
+func ReplayMarket(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, m *market.Model, a Assignment) (*Schedule, error) {
 	if len(a.Types) != len(a.Queues) {
 		return nil, errors.New("plan: assignment types/queues length mismatch")
 	}
@@ -80,6 +88,7 @@ func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignme
 	}
 
 	b := NewBuilder(wf, p, region)
+	b.SetMarket(m)
 	vms := make([]*VM, len(a.Types))
 	for i, typ := range a.Types {
 		if a.Prepaid != nil && a.Prepaid[i] {

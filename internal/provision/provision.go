@@ -170,9 +170,22 @@ func (p *Policy) pickAllPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceTyp
 // scratch (a recovered VM pays a new BTU, and the simulator additionally
 // charges the replacement boot lag). This is the provisioning rule the
 // recovery policies of internal/fault re-provision through; dead prepaid
-// (private-cloud) capacity is replaced by equally prepaid capacity.
+// (private-cloud) capacity is replaced by equally prepaid capacity. A
+// market lease is replaced on the same terms minus the warm/cold-start
+// state (market.Lease.Replacement): the replacement boots under the
+// fault model's reboot lag, not a fresh cold-start draw.
 func Replace(dead *plan.VM, id plan.VMID) *plan.VM {
-	return &plan.VM{ID: id, Type: dead.Type, Region: dead.Region, Prepaid: dead.Prepaid}
+	return &plan.VM{ID: id, Type: dead.Type, Region: dead.Region,
+		Prepaid: dead.Prepaid, Lease: dead.Lease.Replacement()}
+}
+
+// Fallback rents the on-demand replacement for a preempted spot VM — the
+// SpotFallback hedge: same instance type, same region, same billing
+// granularity, but purchased on the on-demand market so the provider
+// cannot reclaim it again (market.Lease.OnDemandFallback).
+func Fallback(dead *plan.VM, id plan.VMID) *plan.VM {
+	return &plan.VM{ID: id, Type: dead.Type, Region: dead.Region,
+		Prepaid: dead.Prepaid, Lease: dead.Lease.OnDemandFallback()}
 }
 
 // largestPred returns the VM hosting t's predecessor with the largest

@@ -39,7 +39,7 @@ func (a AllPar) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
 		return nil, fmt.Errorf("sched: %w", err)
 	}
 	pol := provision.New(a.Provisioning)
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	for _, level := range wf.Levels() {
 		pol.BeginGroup()
 		for _, t := range levelOrder(wf, level) {

@@ -44,7 +44,7 @@ func (r RoundRobin) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, er
 	if err := wf.Freeze(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	vms := make([]*plan.VM, r.Pool)
 	for i := range vms {
 		vms[i] = b.NewVM(r.Type)
@@ -83,7 +83,7 @@ func (l LeastLoad) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, err
 	if err := wf.Freeze(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	vms := make([]*plan.VM, l.Pool)
 	for i := range vms {
 		vms[i] = b.NewVM(l.Type)

@@ -121,7 +121,7 @@ func (h HCOC) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 		if err != nil {
 			return nil, err
 		}
-		return plan.Replay(wf, opts.Platform, opts.Region, a)
+		return opts.Replay(wf, a)
 	}
 
 	s, err := evaluate()

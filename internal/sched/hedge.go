@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/market"
+	"repro/internal/plan"
+)
+
+// This file holds the hedging provisioners: wrapper strategies that do
+// not place tasks themselves but set the market terms an inner strategy
+// rents under, trading cost against reliability on an imperfect cloud.
+//
+//   - SpotFallback buys everything on the spot market (discounted,
+//     reclaimable) and, when a lease is preempted, replaces it with an
+//     on-demand lease the provider cannot take back — bounded downside
+//     for a discounted common case.
+//   - WarmPool keeps the first N leases warm from t=0, paying their
+//     keepalive so cold-start delays never land on the critical path.
+//
+// Both are deterministic wrappers: the inner strategy sees the same
+// workflow and produces the same placements; only the lease terms (and
+// therefore starts, bills, and failure exposure) change.
+
+// SpotFallback wraps a strategy so every VM is bought on the spot market
+// with on-demand fallback on preemption. The market model is taken from
+// the run's Options (preserving its trace, discount and cold-start
+// distribution) or market.Default() when the options carry none; only
+// the purchasing market and the fallback flag are forced.
+type SpotFallback struct {
+	Inner Algorithm
+}
+
+// NewSpotFallback returns the hedge around an inner strategy.
+func NewSpotFallback(inner Algorithm) *SpotFallback { return &SpotFallback{Inner: inner} }
+
+// Name returns the figure label of the hedge.
+func (h *SpotFallback) Name() string { return "SpotFallback" }
+
+// Schedule runs the inner strategy under spot-with-fallback lease terms.
+func (h *SpotFallback) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	m := opts.Market
+	if m == nil {
+		m = market.Default()
+	}
+	fm := *m
+	fm.Market = market.Spot
+	fm.Fallback = true
+	opts.Market = &fm
+	return h.Inner.Schedule(wf, opts)
+}
+
+// WarmPool wraps a strategy so its first N rented VMs are warm-pool
+// leases: booted (and billed) from t=0, so their cold start is already
+// over when the first tasks arrive. VMs beyond the pool rent cold.
+type WarmPool struct {
+	Inner Algorithm
+	N     int
+}
+
+// NewWarmPool returns the hedge around an inner strategy with a pool of
+// n warm VMs.
+func NewWarmPool(inner Algorithm, n int) *WarmPool { return &WarmPool{Inner: inner, N: n} }
+
+// Name returns the figure label of the hedge.
+func (h *WarmPool) Name() string { return fmt.Sprintf("WarmPool%d", h.N) }
+
+// Schedule runs the inner strategy with the options' market model (or
+// market.Default()) forced to a warm pool of N.
+func (h *WarmPool) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+	m := opts.Market
+	if m == nil {
+		m = market.Default()
+	}
+	wm := *m
+	wm.WarmPool = h.N
+	opts.Market = &wm
+	return h.Inner.Schedule(wf, opts)
+}
+
+// Hedges returns the hedging provisioners evaluated alongside the
+// catalog, both wrapping the paper's baseline (HEFT + OneVMperTask on
+// small instances) so their deltas isolate the market terms.
+func Hedges() []Algorithm {
+	return []Algorithm{
+		NewSpotFallback(Baseline()),
+		NewWarmPool(Baseline(), 4),
+	}
+}

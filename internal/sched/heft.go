@@ -50,7 +50,7 @@ func (h HEFT) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	}
 	order := wf.RankOrder(costModel(opts.Platform, h.Type))
 	pol := provision.New(h.Provisioning)
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	for _, t := range order {
 		b.PlaceOn(t, pol.Pick(b, t, h.Type))
 	}

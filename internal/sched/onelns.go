@@ -70,7 +70,7 @@ func (AllPar1LnS) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, erro
 		return nil, fmt.Errorf("sched: %w", err)
 	}
 	pol := provision.New(provision.AllParNotExceed)
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	for _, level := range wf.Levels() {
 		pol.BeginGroup()
 		for _, bin := range levelBins(wf, level) {

@@ -130,7 +130,7 @@ func (AllPar1LnSDyn) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, e
 		return nil, fmt.Errorf("sched: %w", err)
 	}
 	pol := provision.New(provision.AllParNotExceed)
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	for _, level := range wf.Levels() {
 		lp := levelPlan{bins: levelBins(wf, level)}
 		lp.types = make([]cloud.InstanceType, len(lp.bins))

@@ -84,5 +84,5 @@ func (p PCH) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	// Replay resolves the cross-cluster timing: a cluster's mid-path task
 	// may wait on a predecessor from a later-created cluster, which a
 	// naive sequential placement could not order.
-	return plan.Replay(wf, opts.Platform, opts.Region, a)
+	return opts.Replay(wf, a)
 }

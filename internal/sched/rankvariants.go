@@ -104,7 +104,7 @@ func (h HeterogeneousHEFT) Schedule(wf *dag.Workflow, opts Options) (*plan.Sched
 			return sum / float64(len(h.Pool))
 		},
 	}
-	b := plan.NewBuilder(wf, opts.Platform, opts.Region)
+	b := opts.NewBuilder(wf)
 	vms := make([]*plan.VM, len(h.Pool))
 	for i, typ := range h.Pool {
 		vms[i] = b.NewVM(typ)
@@ -165,7 +165,7 @@ func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	for vmIdx := range u.assign.Types {
 		u.assign.Types[vmIdx] = cloud.XLarge
 	}
-	s, err := plan.Replay(wf, opts.Platform, opts.Region, u.assign)
+	s, err := opts.Replay(wf, u.assign)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +207,7 @@ func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 		})
 		c := cands[0]
 		u.assign.Types[u.taskVM[c.task]] = c.typ
-		if u.sched, err = plan.Replay(wf, opts.Platform, opts.Region, u.assign); err != nil {
+		if u.sched, err = opts.Replay(wf, u.assign); err != nil {
 			return nil, err
 		}
 	}

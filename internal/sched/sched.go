@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
+	"repro/internal/market"
 	"repro/internal/plan"
 	"repro/internal/provision"
 )
@@ -28,6 +29,11 @@ import (
 type Options struct {
 	Platform *cloud.Platform
 	Region   cloud.Region
+	// Market, when non-nil, stamps every VM the algorithms rent with the
+	// model's lease terms (purchasing market, billing granularity,
+	// cold-start delay, warm pool — see internal/market). Nil keeps the
+	// paper's economics.
+	Market *market.Model
 }
 
 // DefaultOptions returns the paper's setting: the default platform model in
@@ -40,6 +46,24 @@ func (o *Options) fill() {
 	if o.Platform == nil {
 		o.Platform = cloud.NewPlatform()
 	}
+}
+
+// NewBuilder returns a plan.Builder wired with the options' platform,
+// region and market model — the one constructor every algorithm in this
+// package rents VMs through, so market terms reach each of them without
+// per-algorithm plumbing.
+func (o Options) NewBuilder(wf *dag.Workflow) *plan.Builder {
+	b := plan.NewBuilder(wf, o.Platform, o.Region)
+	b.SetMarket(o.Market)
+	return b
+}
+
+// Replay rebuilds the timed schedule of an assignment under the options'
+// market terms (plan.ReplayMarket); the iterating algorithms (CPA-Eager,
+// Gain, AllPar1LnSDyn, HCOC, PCH) re-time their candidate assignments
+// through it.
+func (o Options) Replay(wf *dag.Workflow, a plan.Assignment) (*plan.Schedule, error) {
+	return plan.ReplayMarket(wf, o.Platform, o.Region, o.Market, a)
 }
 
 // Algorithm produces a complete schedule for a workflow.
@@ -106,13 +130,16 @@ var (
 	byNameMap  map[string]Algorithm
 )
 
-// ByName returns the catalog strategy with the given figure label. The
-// lookup map is built once; catalog algorithms are stateless, so sharing
-// the instances across callers is safe.
+// ByName returns the catalog strategy — or hedging provisioner — with
+// the given figure label. The lookup map is built once; the algorithms
+// are stateless, so sharing the instances across callers is safe.
 func ByName(name string) (Algorithm, error) {
 	byNameOnce.Do(func() {
 		byNameMap = make(map[string]Algorithm)
 		for _, a := range Catalog() {
+			byNameMap[a.Name()] = a
+		}
+		for _, a := range Hedges() {
 			byNameMap[a.Name()] = a
 		}
 	})

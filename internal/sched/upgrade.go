@@ -73,7 +73,7 @@ func (u *upgradeState) tryUpgrade(t dag.TaskID, typ cloud.InstanceType) bool {
 		return false
 	}
 	u.assign.Types[vm] = typ
-	s, err := plan.Replay(u.wf, u.opts.Platform, u.opts.Region, u.assign)
+	s, err := u.opts.Replay(u.wf, u.assign)
 	if err != nil || s.TotalCost() > u.budget+1e-9 {
 		u.assign.Types[vm] = old
 		return false

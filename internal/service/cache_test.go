@@ -63,31 +63,36 @@ func TestCachePutOverwrites(t *testing.T) {
 
 func TestProblemKeySensitivity(t *testing.T) {
 	wf := workflows.PaperMontage()
-	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false)
+	base := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false)
 
-	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false)
+	same := problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false)
 	if base != same {
 		t.Fatal("identical problems hash differently")
 	}
 
 	variants := map[string]cacheKey{
-		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
-		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
-		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, false),
-		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0, nil, false),
-		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0, nil, false),
-		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0, nil, false),
-		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0, nil, false),
-		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30, nil, false),
+		"op":       problemKey("compare", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false),
+		"workflow": problemKey("schedule", workflows.CSTEM(), "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false),
+		"scenario": problemKey("schedule", wf, "Best case", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false),
+		"strategy": problemKey("schedule", wf, "Pareto", "CPA-Eager", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, false),
+		"region":   problemKey("schedule", wf, "Pareto", "GAIN", cloud.EUDublin, 42, false, 0, nil, "none", 0, false),
+		"seed":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 43, false, 0, nil, "none", 0, false),
+		"simulate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0, nil, "none", 0, false),
+		"boot":     problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 30, nil, "none", 0, false),
 		"faults": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 1}, false),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 1}, "none", 0, false),
 		"fault-rate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.6, Recovery: fault.Retry, Seed: 1}, false),
+			&fault.Config{CrashRate: 0.6, Recovery: fault.Retry, Seed: 1}, "none", 0, false),
 		"fault-recovery": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Resubmit, Seed: 1}, false),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Resubmit, Seed: 1}, "none", 0, false),
 		"fault-seed": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
-			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 2}, false),
-		"debug": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, true),
+			&fault.Config{CrashRate: 0.5, Recovery: fault.Retry, Seed: 2}, "none", 0, false),
+		"preempt-rate": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, true, 0,
+			&fault.Config{CrashRate: 0.5, SpotPreemptRate: 0.7, Recovery: fault.Retry, Seed: 1}, "none", 0, false),
+		"market":      problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "spot", 1, false),
+		"market-kind": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "spot-fallback", 1, false),
+		"market-seed": problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "spot", 2, false),
+		"debug":       problemKey("schedule", wf, "Pareto", "GAIN", cloud.USEastVirginia, 42, false, 0, nil, "none", 0, true),
 	}
 	seen := map[cacheKey]string{base: "base"}
 	for name, k := range variants {
@@ -107,8 +112,8 @@ func TestProblemKeyIgnoresNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Name = "renamed"
-	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, false)
-	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, false)
+	ka := problemKey("schedule", a, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, "none", 0, false)
+	kb := problemKey("schedule", b, "Pareto", "GAIN", cloud.USEastVirginia, 1, false, 0, nil, "none", 0, false)
 	if ka != kb {
 		t.Fatal("renaming the workflow changed the cache key")
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/provision"
@@ -136,8 +137,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
+	var marketSeed uint64
+	if res.market != nil {
+		marketSeed = res.market.Seed
+	}
 	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
-		res.region, res.seed, res.simulate, res.bootS, res.faults, res.debug)
+		res.region, res.seed, res.simulate, res.bootS, res.faults,
+		res.marketName, marketSeed, res.debug)
 	s.runCached(w, r, "schedule", key, func(context.Context) (any, error) {
 		return s.planSchedule(res)
 	})
@@ -159,7 +165,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := problemKey("compare", res.structural, res.scenario.String(), "",
-		res.region, res.seed, false, 0, nil, false)
+		res.region, res.seed, false, 0, nil, "none", 0, false)
 	s.runCached(w, r, "compare", key, func(context.Context) (any, error) {
 		return s.planCompare(res)
 	})
@@ -170,7 +176,7 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 	// Apply returns a frozen workflow: an immutable snapshot both the
 	// strategy and the baseline schedule from directly, no clones.
 	wf := res.scenario.Apply(res.structural, res.seed)
-	opts := sched.Options{Platform: cloud.NewPlatform(), Region: res.region}
+	opts := sched.Options{Platform: cloud.NewPlatform(), Region: res.region, Market: res.market}
 	sch, err := res.alg.Schedule(wf, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", res.alg.Name(), res.wfName, err)
@@ -197,6 +203,9 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 		Category:         metrics.Classify(point).String(),
 		BaselineMakespan: base.Makespan(),
 		BaselineCost:     base.TotalCost(),
+	}
+	if res.marketName != "none" {
+		out.Market = res.marketName
 	}
 	for _, vm := range sch.VMs {
 		if len(vm.Slots) == 0 {
@@ -248,6 +257,10 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 				WastedBTUSeconds:  rel.WastedBTUSeconds,
 				AddedMakespan:     rel.AddedMakespan,
 				AddedCost:         rel.AddedCost,
+				SpotPreemptions:   rel.SpotPreemptions,
+				FallbackVMs:       rel.FallbackVMs,
+				FallbackPremium:   rel.FallbackPremium,
+				WarmIdleSeconds:   rel.WarmIdleSeconds,
 			}
 		}
 	}
@@ -307,11 +320,12 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := CatalogResponse{
-		Strategies:   core.StrategyNames(),
-		Algorithms:   []string{"HEFT", "AllPar"},
-		Workflows:    core.WorkflowNames(),
-		Generators:   core.GeneratorSpecs(),
-		FaultPresets: fault.PresetNames(),
+		Strategies:    core.StrategyNames(),
+		Algorithms:    []string{"HEFT", "AllPar"},
+		Workflows:     core.WorkflowNames(),
+		Generators:    core.GeneratorSpecs(),
+		FaultPresets:  fault.PresetNames(),
+		MarketPresets: market.PresetNames(),
 	}
 	for _, rec := range fault.Recoveries() {
 		resp.Recoveries = append(resp.Recoveries, rec.String())

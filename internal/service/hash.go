@@ -55,10 +55,13 @@ func (h *hasher) workflow(wf *dag.Workflow) {
 // problemKey hashes one resolved request. The operation tag separates
 // /v1/schedule from /v1/compare entries; scenarioName is the scenario
 // string or "none"; strategy is empty for compare (which always runs the
-// whole catalog).
+// whole catalog); marketName is the canonical market preset ("none" for
+// the default economics) and marketSeed its cold-start stream override —
+// presets are immutable within a process, so (name, seed) fully
+// identifies the market model the planners price under.
 func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy string,
 	region cloud.Region, seed uint64, simulate bool, bootS float64, faults *fault.Config,
-	debug bool) cacheKey {
+	marketName string, marketSeed uint64, debug bool) cacheKey {
 	var h hasher
 	h.str(op)
 	h.workflow(wf)
@@ -73,6 +76,8 @@ func problemKey(op string, wf *dag.Workflow, scenarioName string, strategy strin
 	}
 	h.f64(bootS)
 	h.faults(faults)
+	h.str(marketName)
+	h.u64(marketSeed)
 	// Debug changes the response body (the oracle field), so it must
 	// address a distinct cache entry.
 	if debug {
@@ -92,6 +97,7 @@ func (h *hasher) faults(cfg *fault.Config) {
 	}
 	h.u64(1)
 	h.f64(cfg.CrashRate)
+	h.f64(cfg.SpotPreemptRate)
 	h.f64(cfg.TaskFailProb)
 	h.str(cfg.Recovery.String())
 	h.u64(uint64(int64(cfg.MaxRetries)))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/provision"
 	"repro/internal/sched"
 	"repro/internal/wfio"
@@ -55,6 +56,16 @@ type ScheduleRequest struct {
 	Recovery     string  `json:"recovery,omitempty"`
 	MaxRetries   int     `json:"max_retries,omitempty"`
 	FaultSeed    uint64  `json:"fault_seed,omitempty"`
+	// Market prices every lease under a named market preset from
+	// internal/market ("spot", "spot-fallback", "warm", ...); empty or
+	// "none" keeps the paper's flat on-demand per-BTU economics.
+	// MarketSeed overrides the preset's cold-start draw stream.
+	// PreemptRate (spot reclamations per spot-VM-hour) injects provider
+	// preemptions into the simulated replay; like the other fault fields
+	// it requires Simulate, and it only bites spot leases.
+	Market      string  `json:"market,omitempty"`
+	MarketSeed  uint64  `json:"market_seed,omitempty"`
+	PreemptRate float64 `json:"preempt_rate,omitempty"`
 	// Debug runs the differential plan↔sim oracle on the schedule: a
 	// fault-free simulated replay whose task timings, lease spans, BTU
 	// counts and costs must agree with the analytical plan, plus an
@@ -113,6 +124,13 @@ type ReliabilityJSON struct {
 	WastedBTUSeconds  float64 `json:"wasted_btu_s"`
 	AddedMakespan     float64 `json:"added_makespan_s"`
 	AddedCost         float64 `json:"added_cost_usd"`
+	// Market-layer counters, present (nonzero) only when the plan rents
+	// market leases: provider spot reclamations, on-demand fallback
+	// replacements and their price premium, and warm-pool keepalive.
+	SpotPreemptions int     `json:"spot_preemptions,omitempty"`
+	FallbackVMs     int     `json:"fallback_vms,omitempty"`
+	FallbackPremium float64 `json:"fallback_premium_usd,omitempty"`
+	WarmIdleSeconds float64 `json:"warm_idle_s,omitempty"`
 }
 
 // ScheduleResponse is the body answering POST /v1/schedule.
@@ -122,6 +140,7 @@ type ScheduleResponse struct {
 	Scenario         string          `json:"scenario"`
 	Strategy         string          `json:"strategy"`
 	Region           string          `json:"region"`
+	Market           string          `json:"market,omitempty"`
 	Seed             uint64          `json:"seed"`
 	Makespan         float64         `json:"makespan_s"`
 	Cost             float64         `json:"cost_usd"`
@@ -173,16 +192,17 @@ type CompareResponse struct {
 
 // CatalogResponse is the body answering GET /v1/catalog.
 type CatalogResponse struct {
-	Strategies   []string `json:"strategies"`
-	Algorithms   []string `json:"algorithms"`
-	Policies     []string `json:"policies"`
-	Instances    []string `json:"instances"`
-	Workflows    []string `json:"workflows"`
-	Generators   []string `json:"generators"`
-	Scenarios    []string `json:"scenarios"`
-	Regions      []string `json:"regions"`
-	Recoveries   []string `json:"recoveries"`
-	FaultPresets []string `json:"fault_presets"`
+	Strategies    []string `json:"strategies"`
+	Algorithms    []string `json:"algorithms"`
+	Policies      []string `json:"policies"`
+	Instances     []string `json:"instances"`
+	Workflows     []string `json:"workflows"`
+	Generators    []string `json:"generators"`
+	Scenarios     []string `json:"scenarios"`
+	Regions       []string `json:"regions"`
+	Recoveries    []string `json:"recoveries"`
+	FaultPresets  []string `json:"fault_presets"`
+	MarketPresets []string `json:"market_presets"`
 }
 
 // httpError carries the status code a resolution failure maps to.
@@ -208,6 +228,8 @@ type resolved struct {
 	simulate   bool
 	bootS      float64
 	faults     *fault.Config // nil for a perfect-cloud replay
+	market     *market.Model // nil for the paper's economics
+	marketName string        // canonical preset name ("none" when market is nil)
 	debug      bool          // run the differential oracle on the schedule
 }
 
@@ -341,11 +363,42 @@ func resolveSchedule(req *ScheduleRequest) (*resolved, *httpError) {
 	if herr != nil {
 		return nil, herr
 	}
+	mkt, mktName, herr := resolveMarket(req)
+	if herr != nil {
+		return nil, herr
+	}
 	return &resolved{
 		wfName: name, structural: wf, scenario: sc, alg: alg,
 		region: region, seed: req.Seed, simulate: req.Simulate, bootS: req.BootS,
-		faults: faults, debug: req.Debug,
+		faults: faults, market: mkt, marketName: mktName, debug: req.Debug,
 	}, nil
+}
+
+// resolveMarket validates the request's market preset. The market prices
+// the plan itself (not just the replay), so it does not require simulate;
+// the canonical preset name — "none" for the default economics — feeds
+// the cache key, so "Spot" and "spot" address the same entry.
+func resolveMarket(req *ScheduleRequest) (*market.Model, string, *httpError) {
+	name := strings.ToLower(req.Market)
+	if name == "" {
+		name = "none"
+	}
+	m, err := market.Preset(name)
+	if err != nil {
+		return nil, "", unprocessable("%v", err)
+	}
+	if m == nil {
+		if req.MarketSeed != 0 {
+			return nil, "", unprocessable("market_seed requires a market preset")
+		}
+		return nil, name, nil
+	}
+	if req.MarketSeed != 0 {
+		mm := *m
+		mm.Seed = req.MarketSeed
+		m = &mm
+	}
+	return m, name, nil
 }
 
 // resolveFaults validates the request's fault options. Fault injection
@@ -353,7 +406,7 @@ func resolveSchedule(req *ScheduleRequest) (*resolved, *httpError) {
 // simulate.
 func resolveFaults(req *ScheduleRequest) (*fault.Config, *httpError) {
 	set := req.FaultRate != 0 || req.TaskFailProb != 0 || req.Recovery != "" ||
-		req.MaxRetries != 0 || req.FaultSeed != 0
+		req.MaxRetries != 0 || req.FaultSeed != 0 || req.PreemptRate != 0
 	if !set {
 		return nil, nil
 	}
@@ -361,10 +414,11 @@ func resolveFaults(req *ScheduleRequest) (*fault.Config, *httpError) {
 		return nil, unprocessable("fault options require simulate: the planner assumes a perfect cloud")
 	}
 	cfg := fault.Config{
-		CrashRate:    req.FaultRate,
-		TaskFailProb: req.TaskFailProb,
-		MaxRetries:   req.MaxRetries,
-		Seed:         req.FaultSeed,
+		CrashRate:       req.FaultRate,
+		SpotPreemptRate: req.PreemptRate,
+		TaskFailProb:    req.TaskFailProb,
+		MaxRetries:      req.MaxRetries,
+		Seed:            req.FaultSeed,
 	}
 	if req.Recovery != "" {
 		rec, err := fault.ParseRecovery(req.Recovery)

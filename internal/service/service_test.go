@@ -351,8 +351,9 @@ func TestCatalogEndpoint(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/v1/catalog", &out); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	if len(out.Strategies) != 19 {
-		t.Fatalf("catalog lists %d strategies, want 19", len(out.Strategies))
+	// The 19 paper strategies plus the two hedging provisioners.
+	if len(out.Strategies) != 21 {
+		t.Fatalf("catalog lists %d strategies, want 21", len(out.Strategies))
 	}
 	if len(out.Workflows) == 0 || len(out.Scenarios) == 0 || len(out.Regions) == 0 ||
 		len(out.Policies) != 5 || len(out.Instances) == 0 || len(out.Generators) == 0 {
@@ -361,6 +362,9 @@ func TestCatalogEndpoint(t *testing.T) {
 	if len(out.Recoveries) != 3 || len(out.FaultPresets) == 0 {
 		t.Fatalf("catalog missing fault options: recoveries %v, presets %v",
 			out.Recoveries, out.FaultPresets)
+	}
+	if len(out.MarketPresets) == 0 || out.MarketPresets[0] != "none" {
+		t.Fatalf("catalog missing market presets: %v", out.MarketPresets)
 	}
 }
 
@@ -404,6 +408,72 @@ func TestScheduleWithFaults(t *testing.T) {
 		  "simulate":true,"fault_rate":1.0,"task_fail_prob":0.05,"recovery":"resubmit","fault_seed":4}`)
 	if got := resp3.Header.Get("X-Cache"); got != "MISS" {
 		t.Fatalf("different fault seed X-Cache = %q, want MISS", got)
+	}
+}
+
+func TestScheduleWithMarket(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	body := `{"workflow_name":"montage24","strategy":"SpotFallback","scenario":"Pareto","seed":7,
+		"simulate":true,"market":"spot-fallback","preempt_rate":1.5,"recovery":"retry","fault_seed":3}`
+
+	resp, b := postJSON(t, ts.URL+"/v1/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Market != "spot-fallback" {
+		t.Fatalf("market echo = %q", out.Market)
+	}
+	if out.Simulation == nil || out.Simulation.Reliability == nil {
+		t.Fatalf("preempting replay returned no reliability block: %+v", out.Simulation)
+	}
+	rel := out.Simulation.Reliability
+	if rel.SpotPreemptions > 0 && rel.FallbackVMs == 0 {
+		t.Fatalf("preempted spot leases without fallbacks: %+v", rel)
+	}
+
+	// Identical market problem: deterministic cache hit.
+	resp2, b2 := postJSON(t, ts.URL+"/v1/schedule", body)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("identical market request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("cached market response bytes differ")
+	}
+
+	// Market fields are part of the problem: a different preset and a
+	// different market seed each miss.
+	for name, alt := range map[string]string{
+		"preset": `{"workflow_name":"montage24","strategy":"SpotFallback","scenario":"Pareto","seed":7,
+			"simulate":true,"market":"spot","preempt_rate":1.5,"recovery":"retry","fault_seed":3}`,
+		"market_seed": `{"workflow_name":"montage24","strategy":"SpotFallback","scenario":"Pareto","seed":7,
+			"simulate":true,"market":"spot-fallback","market_seed":9,"preempt_rate":1.5,"recovery":"retry","fault_seed":3}`,
+	} {
+		r, rb := postJSON(t, ts.URL+"/v1/schedule", alt)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, r.StatusCode, rb)
+		}
+		if got := r.Header.Get("X-Cache"); got != "MISS" {
+			t.Fatalf("%s variant X-Cache = %q, want MISS", name, got)
+		}
+	}
+}
+
+func TestScheduleMarketValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for name, body := range map[string]string{
+		"unknown preset":         `{"workflow_name":"Sequential","strategy":"GAIN","market":"bazaar"}`,
+		"preempt needs simulate": `{"workflow_name":"Sequential","strategy":"GAIN","preempt_rate":1.0}`,
+		"seed needs market":      `{"workflow_name":"Sequential","strategy":"GAIN","market_seed":4}`,
+		"negative preempt":       `{"workflow_name":"Sequential","strategy":"GAIN","simulate":true,"preempt_rate":-1}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/schedule", body)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, body %s", name, resp.StatusCode, b)
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/eventq"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/provision"
@@ -52,7 +53,12 @@ import (
 type Config struct {
 	// BootTime delays the first task of every VM: the VM is requested when
 	// its first task could otherwise start, and becomes usable BootTime
-	// seconds later. Zero reproduces the paper's pre-booted setting.
+	// seconds later. Zero reproduces the paper's pre-booted setting. A VM
+	// carrying market lease terms (plan.VM.Lease) ignores BootTime and
+	// boots for its lease's cold-start delay instead — the market model
+	// owns boot economics for the VMs it priced, which is what keeps the
+	// planner (whose StartOn adds the same delay) and the simulator in
+	// exact agreement.
 	BootTime float64
 	// Faults injects stochastic VM crashes and transient task failures
 	// into the replay (see the package comment). Nil — or a config whose
@@ -110,6 +116,19 @@ type Result struct {
 	// WastedSeconds is execution time burned by attempts that did not
 	// complete: transient aborts plus crash-interrupted work.
 	WastedSeconds float64
+
+	// Market accounting (zero without market lease terms). Spot
+	// preemptions are the market layer's crash cause and are counted
+	// apart from VMCrashes; FallbackVMs counts on-demand replacements
+	// opened by the SpotFallback hedge (a subset of ReplacementVMs), and
+	// FallbackPremium is the extra cost those leases billed over what
+	// the original spot terms would have charged for the same spans.
+	// WarmIdleSeconds is the paid-but-unused time of warm-pool leases —
+	// the standing cost of the WarmPool hedge.
+	SpotPreemptions int
+	FallbackVMs     int
+	FallbackPremium float64
+	WarmIdleSeconds float64
 }
 
 // vmState is the per-VM runtime state (one lease incarnation).
@@ -128,6 +147,7 @@ type vmState struct {
 	running  int     // task mid-attempt, or -1
 	dead     bool    // lease lost to a crash
 	deadAt   float64
+	fb       *market.Lease // original spot terms when this lease is an on-demand fallback
 }
 
 // Run executes the schedule and returns the measured result.
@@ -170,7 +190,11 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	vmOf := make([]int, n)
 	for i, vm := range s.VMs {
 		st := &states[i]
-		*st = vmState{vm: vm, boot: cfg.BootTime, inc: uint64(i), running: -1,
+		boot := cfg.BootTime
+		if l := vm.Lease; l != nil {
+			boot = l.ColdStartDelay() // market terms own the boot economics
+		}
+		*st = vmState{vm: vm, boot: boot, inc: uint64(i), running: -1,
 			queue: make([]int, 0, len(vm.Slots))}
 		for _, slot := range vm.Slots {
 			st.queue = append(st.queue, int(slot.Task))
@@ -206,12 +230,31 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 
 	var tryStart func(vi int)
 
+	// leaseLabel is the lease-start event label: the instance type plus the
+	// lease's market suffix ("small+spot+sec"), empty suffix — and therefore
+	// the legacy byte-identical label — for nil lease terms. Only called
+	// under a rec != nil guard, so the disabled path never concatenates.
+	leaseLabel := func(st *vmState) string {
+		return st.vm.Type.String() + st.vm.Lease.LabelSuffix()
+	}
+
 	// spawn opens a replacement lease for dead's unfinished tasks and
 	// returns its index. Fault recovery re-provisions through
-	// provision.Replace: same instance type, fresh BTU, boot lag.
-	spawn := func(model *plan.VM, tasks []int) int {
-		vm := provision.Replace(model, plan.VMID(len(vms)))
+	// provision.Replace — same instance type, fresh billing, boot lag — or,
+	// for a preempted spot lease under the SpotFallback hedge, through
+	// provision.Fallback (same shape, on-demand market).
+	spawn := func(model *plan.VM, tasks []int, fallback bool) int {
+		var vm *plan.VM
+		if fallback {
+			vm = provision.Fallback(model, plan.VMID(len(vms)))
+		} else {
+			vm = provision.Replace(model, plan.VMID(len(vms)))
+		}
 		st := &vmState{vm: vm, queue: tasks, boot: rebootS, inc: nextInc, running: -1}
+		if fallback {
+			st.fb = model.Lease // remember the spot terms for premium accounting
+			res.FallbackVMs++
+		}
 		nextInc++
 		vms = append(vms, st)
 		vi := len(vms) - 1
@@ -222,9 +265,10 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		return vi
 	}
 
-	// crash kills a leased VM: the running attempt is lost and the
-	// remaining queue is recovered per policy.
-	crash := func(st *vmState, vi int) {
+	// kill tears down a leased VM mid-flight — an injected crash or a spot
+	// preemption (the market's crash cause, counted apart): the running
+	// attempt is lost and the remaining queue is recovered per policy.
+	kill := func(st *vmState, vi int, preempted bool) {
 		if st.dead {
 			return
 		}
@@ -233,9 +277,17 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		}
 		st.dead = true
 		st.deadAt = now
-		res.VMCrashes++
+		kind := obs.KindVMCrash
+		cause := "crashed"
+		if preempted {
+			res.SpotPreemptions++
+			kind = obs.KindVMPreempt
+			cause = "preempted"
+		} else {
+			res.VMCrashes++
+		}
 		if rec != nil {
-			rec.Record(obs.Event{Kind: obs.KindVMCrash, T: now, VM: int32(vi), Task: -1})
+			rec.Record(obs.Event{Kind: kind, T: now, VM: int32(vi), Task: -1})
 		}
 		remaining := append([]int(nil), st.queue[st.head:]...)
 		if st.running >= 0 {
@@ -245,16 +297,35 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			remaining = append([]int{st.running}, remaining...)
 			st.running = -1
 		}
-		if res.VMCrashes > crashCap {
-			abortRun(fmt.Sprintf("crash storm: %d VM crashes exceeded the recovery cap", res.VMCrashes))
+		if res.VMCrashes+res.SpotPreemptions > crashCap {
+			abortRun(fmt.Sprintf("crash storm: %d VM losses exceeded the recovery cap",
+				res.VMCrashes+res.SpotPreemptions))
 			return
 		}
 		if inj.Config().Recovery == fault.Fail {
-			abortRun(fmt.Sprintf("VM %d crashed at t=%.1fs (recovery=fail)", st.vm.ID, now))
+			abortRun(fmt.Sprintf("VM %d %s at t=%.1fs (recovery=fail)", st.vm.ID, cause, now))
 			return
 		}
 		if len(remaining) > 0 {
-			tryStart(spawn(st.vm, remaining))
+			tryStart(spawn(st.vm, remaining, preempted && st.vm.Lease.HasFallback()))
+		}
+	}
+
+	// armFaults schedules the lease's loss draws from its anchor time:
+	// the crash stream for every lease, plus the preemption stream for
+	// spot leases. Both streams are keyed by the incarnation identity, so
+	// draws are order-independent and replayable.
+	armFaults := func(st *vmState, vi int, at float64) {
+		if inj == nil {
+			return
+		}
+		if life := inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
+			q.Push(at+life, func() { kill(st, vi, false) })
+		}
+		if st.vm.Lease.IsSpot() {
+			if life := inj.PreemptAfter(st.inc); !math.IsInf(life, 1) {
+				q.Push(at+life, func() { kill(st, vi, true) })
+			}
 		}
 	}
 
@@ -347,7 +418,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		case fault.Resubmit:
 			res.Resubmits++
 			st.busy = false
-			nvi := spawn(st.vm, []int{task})
+			nvi := spawn(st.vm, []int{task}, false)
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KindTaskResubmit, T: now,
 					VM: int32(nvi), Task: int32(task), Attempt: int32(att)})
@@ -374,13 +445,9 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			st.leaseAt = start
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: start,
-					VM: int32(vi), Task: -1, Value: st.boot, Label: st.vm.Type.String()})
+					VM: int32(vi), Task: -1, Value: st.boot, Label: leaseLabel(st)})
 			}
-			if inj != nil {
-				if life := inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
-					q.Push(start+life, func() { crash(st, vi) })
-				}
-			}
+			armFaults(st, vi, start)
 			if st.boot > 0 && !st.bootDone {
 				st.busy = true
 				q.Push(start+st.boot, func() {
@@ -427,6 +494,41 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	// Warm-pool leases with work to do anchor at t=0, before any task is
+	// ready — that is what keeping a VM warm means: the lease (and its
+	// bill, and its exposure to crashes) runs from the simulation start,
+	// booting through its keepalive so the first task sees a warm machine.
+	// Empty warm leases stay un-anchored here and bill through the
+	// held-but-empty teardown path below, exactly like planned holds.
+	for vi := range states {
+		st := &states[vi]
+		if !st.vm.Lease.IsWarm() || len(st.queue) == 0 {
+			continue
+		}
+		st.started = true
+		st.leaseAt = 0
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: 0,
+				VM: int32(vi), Task: -1, Value: st.boot, Label: leaseLabel(st)})
+		}
+		armFaults(st, vi, 0)
+		if st.boot > 0 {
+			st.busy = true
+			q.Push(st.boot, func() {
+				if st.dead {
+					return
+				}
+				st.busy = false
+				st.bootDone = true
+				if rec != nil {
+					rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: now, VM: int32(vi), Task: -1})
+				}
+				tryStart(vi)
+			})
+		} else {
+			st.bootDone = true
+		}
+	}
 	for vi := range vms {
 		tryStart(vi)
 	}
@@ -469,7 +571,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			st.lastEnd = st.leaseAt
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: st.leaseAt,
-					VM: int32(vi), Task: -1, Label: st.vm.Type.String()})
+					VM: int32(vi), Task: -1, Label: leaseLabel(st)})
 			}
 		}
 		end := st.lastEnd
@@ -498,16 +600,36 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			end = st.leaseAt + held
 		}
 		span := end - st.leaseAt
-		cost := cloud.LeaseCost(span, st.vm.Type, st.vm.Region)
+		cost := st.vm.Lease.Cost(st.leaseAt, span, st.vm.Type, st.vm.Region)
 		res.RentalCost += cost
-		res.IdleTime += float64(cloud.BTUs(span))*cloud.BTU - st.busySum
+		paid := st.vm.Lease.PaidSeconds(span)
+		res.IdleTime += paid - st.busySum
+		if st.vm.Lease.IsWarm() {
+			res.WarmIdleSeconds += paid - st.busySum
+		}
+		if st.fb != nil {
+			// An on-demand fallback lease: the premium is what it billed
+			// over the preempted spot terms for the same span.
+			premium := cost - st.fb.Cost(st.leaseAt, span, st.vm.Type, st.vm.Region)
+			res.FallbackPremium += premium
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindVMFallback, T: end,
+					VM: int32(vi), Task: -1, Value: premium})
+			}
+		}
 		if rec != nil {
 			// Billing detail is only known now, so rollover markers and the
 			// teardown are appended after the replay's causal events; the
-			// exporters order by timestamp, not stream position.
-			for k := 1; k < cloud.BTUs(span); k++ {
-				rec.Record(obs.Event{Kind: obs.KindVMBTURollover,
-					T: st.leaseAt + float64(k)*cloud.BTU, VM: int32(vi), Task: -1})
+			// exporters order by timestamp, not stream position. Rollovers
+			// are only emitted for BTU-billed leases — per-minute and
+			// per-second granularities would flood the stream with one
+			// marker per unit; the oracle derives their paid units from the
+			// span instead.
+			if st.vm.Lease.BTUBilled() {
+				for k := 1; k < cloud.BTUs(span); k++ {
+					rec.Record(obs.Event{Kind: obs.KindVMBTURollover,
+						T: st.leaseAt + float64(k)*cloud.BTU, VM: int32(vi), Task: -1})
+				}
 			}
 			rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1, Value: cost})
 		}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/fault"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -25,14 +26,22 @@ import (
 // Lease is one lease incarnation re-derived from the event stream.
 type Lease struct {
 	VM      int     // VM / incarnation index (obs.Event.VM)
-	Type    string  // instance type label from the lease-start event
+	Type    string  // bare instance-type name from the lease-start label
 	Start   float64 // lease-start time (billing origin)
 	End     float64 // teardown time from the lease-stop event
-	BTUs    int     // billed BTUs: observed rollovers + 1 (0 for prepaid)
+	BTUs    int     // billed BTUs: observed rollovers + 1 (0 for prepaid and non-BTU leases)
+	Paid    float64 // billed seconds under the lease's granularity (0 for prepaid)
 	Cost    float64 // lease price from the lease-stop event (0 for prepaid)
 	Busy    float64 // attempt seconds on the lease: completed + burned
-	Crashed bool    // the lease was lost to an injected fault
-	Prepaid bool    // zero-cost teardown: private-cloud capacity
+	Crashed bool    // the lease was lost to an injected fault or preemption
+	// Preempted narrows Crashed: the loss was a spot reclamation
+	// (KindVMPreempt), not an injected crash.
+	Preempted bool
+	Prepaid   bool // zero-cost teardown: private-cloud capacity
+	// Terms is the billing-relevant market terms parsed from the
+	// lease-start label's "+"-tokens (granularity, spot, warm); nil for a
+	// bare legacy label.
+	Terms *market.Lease
 }
 
 // Accounting is a complete billing and fault ledger re-derived from an
@@ -53,6 +62,15 @@ type Accounting struct {
 	Transfers      int
 	WastedSeconds  float64 // burned attempt time: transient aborts + crash-interrupted work
 	UsefulSeconds  float64 // attempt time of completed tasks, prepaid leases included
+
+	// Market counters, mirroring sim.Result's: spot reclamations, the
+	// on-demand fallback leases they opened, the premium those leases
+	// billed (from KindVMFallback events), and the paid-but-unused time
+	// of warm-pool leases.
+	Preempts        int
+	FallbackVMs     int
+	FallbackPremium float64
+	WarmIdleSeconds float64
 }
 
 // runningAttempt tracks the open task attempt on one lease while folding
@@ -80,20 +98,29 @@ func Account(events []obs.Event) (*Accounting, error) {
 			if _, dup := acc.Leases[vi]; dup {
 				return nil, fmt.Errorf("oracle: lease %d opened twice", vi)
 			}
-			acc.Leases[vi] = &Lease{VM: vi, Type: ev.Label, Start: ev.T, End: math.NaN()}
+			typ, terms, err := market.ParseLabel(ev.Label)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: lease %d: %w", vi, err)
+			}
+			acc.Leases[vi] = &Lease{VM: vi, Type: typ, Terms: terms, Start: ev.T, End: math.NaN()}
 		case obs.KindVMBTURollover:
 			l, ok := acc.Leases[vi]
 			if !ok {
 				return nil, fmt.Errorf("oracle: BTU rollover on unopened lease %d", vi)
 			}
 			l.BTUs++
-		case obs.KindVMCrash:
+		case obs.KindVMCrash, obs.KindVMPreempt:
 			l, ok := acc.Leases[vi]
 			if !ok {
 				return nil, fmt.Errorf("oracle: crash on unopened lease %d", vi)
 			}
 			l.Crashed = true
-			acc.Crashes++
+			if ev.Kind == obs.KindVMPreempt {
+				l.Preempted = true
+				acc.Preempts++
+			} else {
+				acc.Crashes++
+			}
 			if r := running[vi]; r != nil && r.open {
 				// The interrupted attempt burned work the bill still covers.
 				burned := ev.T - r.start
@@ -101,6 +128,12 @@ func Account(events []obs.Event) (*Accounting, error) {
 				acc.WastedSeconds += burned
 				r.open = false
 			}
+		case obs.KindVMFallback:
+			if _, ok := acc.Leases[vi]; !ok {
+				return nil, fmt.Errorf("oracle: fallback accounting on unopened lease %d", vi)
+			}
+			acc.FallbackVMs++
+			acc.FallbackPremium += ev.Value
 		case obs.KindVMLeaseStop:
 			l, ok := acc.Leases[vi]
 			if !ok {
@@ -157,15 +190,33 @@ func Account(events []obs.Event) (*Accounting, error) {
 		if l.Prepaid {
 			continue
 		}
-		if l.BTUs == 0 {
-			l.BTUs = 1 // no rollover observed: the minimum whole BTU
+		var paid float64
+		if l.Terms.BTUBilled() {
+			if l.BTUs == 0 {
+				l.BTUs = 1 // no rollover observed: the minimum whole BTU
+			} else {
+				l.BTUs++ // n rollovers delimit n+1 paid units
+			}
+			paid = float64(l.BTUs) * cloud.BTU
 		} else {
-			l.BTUs++ // n rollovers delimit n+1 paid units
+			// Finer granularities emit no rollover markers (one per minute
+			// or second would flood the stream); the paid units are
+			// re-derived from the observed span through the same
+			// eps-guarded rounding every other layer uses.
+			if l.BTUs != 0 {
+				return nil, fmt.Errorf("oracle: lease %d: BTU rollovers on a %s-billed lease",
+					vi, l.Terms.Granularity())
+			}
+			unit := l.Terms.Granularity().Unit()
+			paid = float64(cloud.Units(l.End-l.Start, unit)) * unit
 		}
-		paid := float64(l.BTUs) * cloud.BTU
+		l.Paid = paid
 		acc.RentalCost += l.Cost
 		acc.BTUSeconds += paid
 		acc.IdleSeconds += paid - l.Busy
+		if l.Terms.IsWarm() {
+			acc.WarmIdleSeconds += paid - l.Busy
+		}
 	}
 	return acc, nil
 }
@@ -237,8 +288,21 @@ func PlanSim(s *plan.Schedule) error {
 		if vm.Prepaid {
 			continue
 		}
-		if want := cloud.BTUs(vm.Span()); l.BTUs != want {
-			return fmt.Errorf("oracle: VM %d BTUs: events %d, planned %d", vi, l.BTUs, want)
+		if l.Terms.Granularity() != vm.Lease.Granularity() ||
+			l.Terms.IsSpot() != vm.Lease.IsSpot() ||
+			l.Terms.IsWarm() != vm.Lease.IsWarm() {
+			return fmt.Errorf("oracle: VM %d lease terms: events %s/%v/%v, planned %s/%v/%v",
+				vi, l.Terms.Granularity(), l.Terms.IsSpot(), l.Terms.IsWarm(),
+				vm.Lease.Granularity(), vm.Lease.IsSpot(), vm.Lease.IsWarm())
+		}
+		if vm.Lease.BTUBilled() {
+			if want := cloud.BTUs(vm.Span()); l.BTUs != want {
+				return fmt.Errorf("oracle: VM %d BTUs: events %d, planned %d", vi, l.BTUs, want)
+			}
+		}
+		if !Close(l.Paid, vm.PaidSeconds()) {
+			return fmt.Errorf("oracle: VM %d paid seconds: events %v, planned %v",
+				vi, l.Paid, vm.PaidSeconds())
 		}
 		if !Close(l.Cost, vm.Cost()) {
 			return fmt.Errorf("oracle: VM %d cost: events %v, planned %v", vi, l.Cost, vm.Cost())
@@ -260,9 +324,25 @@ func PlanSim(s *plan.Schedule) error {
 		return fmt.Errorf("oracle: %d task finishes in events, %d tasks planned",
 			acc.CompletedTasks, s.Workflow.Len())
 	}
-	if acc.Crashes != 0 || acc.Failures != 0 {
-		return fmt.Errorf("oracle: fault events (%d crashes, %d failures) in a fault-free replay",
-			acc.Crashes, acc.Failures)
+	if acc.Crashes != 0 || acc.Failures != 0 || acc.Preempts != 0 || acc.FallbackVMs != 0 {
+		return fmt.Errorf("oracle: fault events (%d crashes, %d failures, %d preemptions, %d fallbacks) in a fault-free replay",
+			acc.Crashes, acc.Failures, acc.Preempts, acc.FallbackVMs)
+	}
+	// Warm-pool idle is the third-checked standing cost of the WarmPool
+	// hedge: the planner sums Idle over warm leases, the simulator
+	// accumulates it at teardown, and the ledger re-derives it from
+	// labeled lease events.
+	var planWarm float64
+	for _, vm := range s.VMs {
+		if vm.Lease.IsWarm() {
+			planWarm += vm.Idle()
+		}
+	}
+	if !Close(res.WarmIdleSeconds, planWarm) {
+		return fmt.Errorf("oracle: warm idle: simulated %v, planned %v", res.WarmIdleSeconds, planWarm)
+	}
+	if !Close(acc.WarmIdleSeconds, planWarm) {
+		return fmt.Errorf("oracle: warm idle: events %v, planned %v", acc.WarmIdleSeconds, planWarm)
 	}
 	return nil
 }
@@ -310,6 +390,8 @@ func CrossCheck(res *sim.Result, acc *Accounting) error {
 		{"resubmits", acc.Resubmits, res.Resubmits},
 		{"completed tasks", acc.CompletedTasks, res.CompletedTasks},
 		{"transfers", acc.Transfers, res.Transfers},
+		{"spot preemptions", acc.Preempts, res.SpotPreemptions},
+		{"fallback leases", acc.FallbackVMs, res.FallbackVMs},
 	}
 	for _, c := range counts {
 		if c.got != c.want {
@@ -327,6 +409,14 @@ func CrossCheck(res *sim.Result, acc *Accounting) error {
 	if !Close(acc.IdleSeconds, res.IdleTime) {
 		return fmt.Errorf("oracle: idle time: events %v, result %v",
 			acc.IdleSeconds, res.IdleTime)
+	}
+	if !Close(acc.FallbackPremium, res.FallbackPremium) {
+		return fmt.Errorf("oracle: fallback premium: events %v, result %v",
+			acc.FallbackPremium, res.FallbackPremium)
+	}
+	if !Close(acc.WarmIdleSeconds, res.WarmIdleSeconds) {
+		return fmt.Errorf("oracle: warm idle: events %v, result %v",
+			acc.WarmIdleSeconds, res.WarmIdleSeconds)
 	}
 	return nil
 }

@@ -6,7 +6,9 @@
 //   - precedence: no task starts before each predecessor's finish plus the
 //     transfer time when they sit on different VMs;
 //   - exclusivity: a VM never runs two tasks at once;
-//   - billing: lease spans cover all slots and costs match the BTU model.
+//   - billing: lease spans cover all slots and costs match the billing
+//     model — the paper's whole-BTU bill, or the lease's market terms
+//     (granularity, spot pricing) when a market is in play.
 //
 // Beyond the static invariants, the package hosts the repository's
 // differential correctness harness (see PlanSim, FaultReplay and Account
@@ -154,11 +156,16 @@ func billing(s *plan.Schedule) error {
 			}
 			continue
 		}
-		wantCost := cloud.LeaseCost(span, vm.Type, vm.Region)
+		// Market leases bill under their own terms (granularity, spot
+		// price per interval); a nil lease is the legacy BTU bill. Both
+		// wantCost and paid go through the single eps-guarded rounding in
+		// cloud.Units, so a span on a billing boundary decides the same
+		// way here as in the planner and the simulator.
+		wantCost := vm.Lease.Cost(vm.LeaseStart(), span, vm.Type, vm.Region)
 		if !Close(vm.Cost(), wantCost) {
 			return fmt.Errorf("validate: VM %d cost %v, want %v", vm.ID, vm.Cost(), wantCost)
 		}
-		paid := float64(cloud.BTUs(span)) * cloud.BTU
+		paid := vm.Lease.PaidSeconds(span)
 		if lt(paid, vm.Busy()) {
 			return fmt.Errorf("validate: VM %d busy %v exceeds paid %v", vm.ID, vm.Busy(), paid)
 		}
