@@ -25,34 +25,6 @@ import (
 	"repro/internal/wfio"
 )
 
-// builtinTemplate is the example emitted by -emit template: an
-// order-processing workflow with a rare manual-review branch and a
-// shipping retry loop.
-func builtinTemplate() ndwf.Template {
-	return ndwf.Template{
-		Name: "order",
-		Root: ndwf.Seq{
-			ndwf.Task{Name: "validate", Work: 120},
-			ndwf.Par{
-				ndwf.Task{Name: "inventory", Work: 300},
-				ndwf.Task{Name: "payment", Work: 240},
-			},
-			ndwf.Xor{
-				Branches: []ndwf.Block{
-					ndwf.Task{Name: "auto-approve", Work: 60},
-					ndwf.Seq{
-						ndwf.Task{Name: "manual-review", Work: 1800},
-						ndwf.Task{Name: "re-check", Work: 300},
-					},
-				},
-				Probs: []float64{0.9, 0.1},
-			},
-			ndwf.Loop{Body: ndwf.Task{Name: "book-shipping", Work: 200}, Repeat: 0.25, Max: 3},
-			ndwf.Task{Name: "confirm", Work: 90},
-		},
-	}
-}
-
 func main() {
 	var (
 		in       = flag.String("in", "", "template JSON file (empty = the built-in example)")
@@ -71,7 +43,7 @@ func main() {
 }
 
 func run(in, emit string, seed uint64, n int, strategy string, deadline, target float64) error {
-	tpl := builtinTemplate()
+	tpl := ndwf.Order()
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {

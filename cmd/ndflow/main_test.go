@@ -32,7 +32,7 @@ func TestRunWithTemplateFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ndwf.EncodeJSON(f, builtinTemplate()); err != nil {
+	if err := ndwf.EncodeJSON(f, ndwf.Order()); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -57,7 +57,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestBuiltinTemplateValid(t *testing.T) {
-	if err := builtinTemplate().Validate(); err != nil {
+	if err := ndwf.Order().Validate(); err != nil {
 		t.Error(err)
 	}
 }

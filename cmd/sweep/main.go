@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sla"
 	"repro/internal/workflows"
 )
 
@@ -291,6 +293,14 @@ func run(o options) error {
 		}); err != nil {
 			return err
 		}
+	}
+	if cfg.SLA != nil {
+		sr, err := cfg.SLA.Run()
+		if err != nil && !errors.Is(err, sla.ErrNoStrategyMeets) {
+			return err
+		}
+		fmt.Printf("=== SLA search: %s ===\n", cfg.SLA.Template.Name)
+		fmt.Print(sla.Render(sr))
 	}
 	if o.htmlDir != "" {
 		if err := os.MkdirAll(o.htmlDir, 0o755); err != nil {

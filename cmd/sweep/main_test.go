@@ -233,3 +233,31 @@ func TestProgressMeter(t *testing.T) {
 		t.Fatalf("no completion line: %q", out)
 	}
 }
+
+func TestRunConfigWithSLABlock(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	doc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s"], "workflows": [{"name": "Fig1"}],
+	  "sla": {"template": "order", "deadline_s": 4000, "confidence": 0.9,
+	    "samples": 10, "strategies": ["AllParExceed-l"]}}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{seed: 1, table: "none", confPath: cfgPath}); err != nil {
+		t.Fatal(err)
+	}
+	// A missed deadline is still a completed sweep: the report carries
+	// the verdict, the process does not fail.
+	missDoc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s"], "workflows": [{"name": "Fig1"}],
+	  "sla": {"template": "order", "deadline_s": 300, "samples": 10,
+	    "strategies": ["AllParExceed-l"]}}`
+	missPath := filepath.Join(dir, "miss.json")
+	if err := os.WriteFile(missPath, []byte(missDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{seed: 1, table: "none", confPath: missPath}); err != nil {
+		t.Fatal(err)
+	}
+}

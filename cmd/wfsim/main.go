@@ -10,14 +10,22 @@
 //	wfsim -wf Montage -strategy HEFT-s -fault-rate 0.5 -recovery resubmit
 //	wfsim -wf Montage -strategy SpotFallback -market spot-fallback -preempt-rate 1.0
 //	wfsim -wf Montage -strategy GAIN -trace-out montage.trace.json
+//	wfsim -wf montage -deadline 40000 -confidence 0.95 -samples 200
 //
 // -trace-out writes the simulated replay as Chrome trace-event JSON
 // (open in Perfetto or chrome://tracing: one track per VM lease showing
 // boot/task/idle spans, BTU boundaries, and crashes); -events-out writes
 // the raw event stream as NDJSON.
+//
+// -deadline switches to SLA mode: -wf then names a non-deterministic
+// template ("montage", "order", a "montage<n>" spec, or a template JSON
+// file), and wfsim searches the strategy portfolio for the cheapest
+// candidate whose sampled makespan distribution meets the deadline with
+// at least -confidence probability.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +36,14 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/fault"
+	"repro/internal/frontier"
 	"repro/internal/market"
 	"repro/internal/metrics"
+	"repro/internal/ndwf"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sla"
 	"repro/internal/trace"
 	"repro/internal/validate"
 	"repro/internal/wfio"
@@ -64,12 +75,19 @@ func main() {
 		marketArg   = flag.String("market", "", "market preset pricing every lease: "+strings.Join(market.PresetNames(), ", ")+" (empty = paper economics)")
 		marketSeed  = flag.Uint64("market-seed", 0, "override the market preset's cold-start draw seed")
 		preemptRate = flag.Float64("preempt-rate", 0, "spot reclamations per spot-VM-hour (needs a spot market preset)")
+
+		deadline   = flag.Float64("deadline", 0, "SLA mode: deadline in seconds; -wf names an ndwf template (0 = off)")
+		confidence = flag.Float64("confidence", 0.95, "SLA mode: required P(makespan <= deadline)")
+		samples    = flag.Int("samples", 200, "SLA mode: Monte-Carlo template instances per candidate")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, name := range core.StrategyNames() {
 			fmt.Println(name)
+		}
+		for _, name := range core.TemplateNames() {
+			fmt.Printf("%s (template)\n", name)
 		}
 		return
 	}
@@ -90,6 +108,23 @@ func main() {
 			Seed:            *faultSeed,
 		}
 	}
+	if *deadline > 0 {
+		strategySet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "strategy" {
+				strategySet = true
+			}
+		})
+		if *marketSeed != 0 {
+			fmt.Fprintln(os.Stderr, "wfsim: -market-seed does not apply to SLA mode (presets keep their pinned seeds)")
+			os.Exit(1)
+		}
+		if err := runSLA(*wfArg, *strategy, strategySet, *deadline, *confidence, *samples, *seed, *region, *marketArg, faults); err != nil {
+			fmt.Fprintln(os.Stderr, "wfsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	mkt, err := marketModel(*marketArg, *marketSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
@@ -99,6 +134,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wfsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runSLA is the -deadline mode: portfolio search for the cheapest
+// strategy/market pair meeting the deadline at the target confidence.
+// An explicitly set -strategy restricts the portfolio to that one
+// strategy; -market likewise restricts the market presets. A search that
+// completes but misses the target still prints the full report and then
+// exits non-zero, so scripts can branch on the verdict.
+func runSLA(wfArg, strategy string, strategySet bool, deadline, confidence float64, samples int, seed uint64, regionName, marketArg string, faults *fault.Config) error {
+	tpl, err := loadTemplate(wfArg)
+	if err != nil {
+		return err
+	}
+	region, err := cloud.ParseRegion(regionName)
+	if err != nil {
+		return err
+	}
+	markets := []string{"none"}
+	if marketArg != "" {
+		if _, err := market.Preset(marketArg); err != nil {
+			return err
+		}
+		markets = []string{strings.ToLower(marketArg)}
+	}
+	cfg := sla.SearchConfig{
+		Deadline: deadline,
+		Target:   confidence,
+		Config:   sla.Config{Samples: samples, Seed: seed, Faults: faults},
+		Markets:  markets,
+		Opts:     sched.Options{Platform: cloud.NewPlatform(), Region: region},
+	}
+	if strategySet {
+		alg, err := core.StrategyByName(strategy)
+		if err != nil {
+			return err
+		}
+		cfg.Candidates = frontier.Portfolio([]string{alg.Name()}, markets)
+	}
+	exp, err := tpl.Expected()
+	if err != nil {
+		return err
+	}
+	sr, searchErr := sla.Search(tpl, cfg)
+	if searchErr != nil && !errors.Is(searchErr, sla.ErrNoStrategyMeets) {
+		return searchErr
+	}
+	fmt.Printf("template   %s (%d tasks expected, %d samples, seed %d)\n",
+		tpl.Name, exp.Len(), samples, seed)
+	fmt.Printf("region     %s\n\n", region)
+	fmt.Print(sla.Render(sr))
+	if searchErr != nil {
+		return fmt.Errorf("deadline %g s not met at P >= %g", deadline, confidence)
+	}
+	return nil
+}
+
+// loadTemplate resolves SLA-mode -wf arguments: a registry template name
+// ("montage", "montage12", "order") or a template JSON file.
+func loadTemplate(arg string) (ndwf.Template, error) {
+	if tpl, err := core.NamedTemplate(arg); err == nil {
+		return tpl, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return ndwf.Template{}, fmt.Errorf("unknown template %q and no such file: %w", arg, err)
+	}
+	defer f.Close()
+	return ndwf.DecodeJSON(f)
 }
 
 // marketModel resolves the -market/-market-seed flags.

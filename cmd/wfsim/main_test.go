@@ -191,3 +191,51 @@ func TestMarketModelFlag(t *testing.T) {
 		t.Fatal("seed override mutated the shared preset")
 	}
 }
+
+func TestRunSLANamedTemplate(t *testing.T) {
+	// Generous deadline: the full portfolio search succeeds and selects.
+	if err := runSLA("order", "", false, 4000, 0.9, 20, 7, "us-east-virginia", "", nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSLARestrictedStrategyAndMarket(t *testing.T) {
+	if err := runSLA("order", "allparexceed-l", true, 4000, 0.9, 10, 7, "us-east-virginia", "ondemand-min", nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSLAMissExitsWithError(t *testing.T) {
+	// A deadline below the certain minimum: pruned everywhere, reported
+	// as an error so the process exits non-zero.
+	if err := runSLA("order", "", false, 100, 0.95, 10, 7, "us-east-virginia", "", nil); err == nil {
+		t.Error("impossible deadline reported as met")
+	}
+}
+
+func TestRunSLATemplateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tpl.json")
+	doc := `{"name":"tiny","root":{"seq":[{"task":{"name":"a","work":100}},
+	  {"loop":{"body":{"task":{"name":"b","work":200}},"repeat":0.3,"max":2}}]}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSLA(path, "", false, 5000, 0.9, 10, 1, "us-east-virginia", "", nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSLABadInputs(t *testing.T) {
+	if err := runSLA("no-such-template", "", false, 100, 0.95, 5, 1, "us-east-virginia", "", nil); err == nil {
+		t.Error("unknown template accepted")
+	}
+	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "us-east-virginia", "bazaar", nil); err == nil {
+		t.Error("unknown market preset accepted")
+	}
+	if err := runSLA("order", "nope", true, 100, 0.95, 5, 1, "us-east-virginia", "", nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "moonbase", "", nil); err == nil {
+		t.Error("unknown region accepted")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sla"
 	"repro/internal/validate"
 	"repro/internal/workflows"
 	"repro/internal/workload"
@@ -90,6 +91,10 @@ type Config struct {
 	// the running completion count and the grid size. It is called from
 	// worker goroutines and must be safe for concurrent use and cheap.
 	Progress func(done, total int)
+	// SLA, when non-nil, is a resolved deadline-constrained portfolio
+	// search (an expconf "sla" block) for the driver to run after the
+	// grid sweep. It does not affect the grid itself.
+	SLA *sla.Job
 }
 
 // Fill populates nil fields with the paper's defaults and returns the

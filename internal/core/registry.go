@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/dag"
+	"repro/internal/ndwf"
 	"repro/internal/sched"
 	"repro/internal/workflows"
 )
@@ -138,6 +139,22 @@ func NamedWorkflow(name string) (*dag.Workflow, error) {
 	sort.Strings(valid)
 	return nil, fmt.Errorf("core: unknown workflow %q (valid: %s)",
 		name, strings.Join(valid, ", "))
+}
+
+// TemplateNames returns the built-in non-deterministic template names
+// NamedTemplate resolves ("montage" also takes a tile-count suffix).
+func TemplateNames() []string { return ndwf.TemplateNames() }
+
+// NamedTemplate resolves a built-in non-deterministic workflow template
+// by name, the template counterpart of NamedWorkflow: "order",
+// "montage", or "montage<n>" (case-insensitive). These feed the SLA
+// layer, where a deadline question needs a distribution over instances
+// rather than one fixed DAG.
+func NamedTemplate(name string) (ndwf.Template, error) {
+	if name == "" {
+		return ndwf.Template{}, fmt.Errorf("core: empty template name")
+	}
+	return ndwf.Named(name)
 }
 
 // splitGenerator separates "mapreduce16x8" into ("mapreduce", 16, 8).

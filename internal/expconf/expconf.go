@@ -11,7 +11,8 @@
 //	    {"name": "Montage"},
 //	    {"name": "mr-big", "builder": "mapreduce", "m": 16, "r": 8},
 //	    {"name": "mine", "file": "my-workflow.json"}
-//	  ]
+//	  ],
+//	  "sla": {"template": "montage", "deadline_s": 40000, "confidence": 0.95}
 //	}
 //
 // Omitted fields fall back to the paper's defaults.
@@ -30,7 +31,11 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/fault"
+	"repro/internal/frontier"
 	"repro/internal/market"
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+	"repro/internal/sla"
 	"repro/internal/wfio"
 	"repro/internal/workflows"
 	"repro/internal/workload"
@@ -55,6 +60,122 @@ type File struct {
 	// Market prices every lease under a market model (nil = the paper's
 	// flat on-demand per-BTU economics).
 	Market *MarketSpec `json:"market,omitempty"`
+	// SLA adds a deadline-constrained portfolio search over a
+	// non-deterministic template, run by the driver after the grid sweep.
+	SLA *SLASpec `json:"sla,omitempty"`
+}
+
+// SLASpec is the "sla" block: find the cheapest strategy × market-preset
+// candidate whose sampled makespan distribution meets the deadline with
+// the required confidence. Exactly one of Template (a registry name like
+// "montage", "montage12", "order") or TemplateFile (ndwf JSON; relative
+// paths resolve against the config file) selects the template. The
+// file-level seed, region, fault model, paranoia and worker budget carry
+// over; Strategies defaults to the full registry and Markets to the
+// paper's economics only ("none").
+type SLASpec struct {
+	Template     string   `json:"template,omitempty"`
+	TemplateFile string   `json:"template_file,omitempty"`
+	DeadlineS    float64  `json:"deadline_s"`
+	Confidence   float64  `json:"confidence,omitempty"` // default 0.95
+	Samples      int      `json:"samples,omitempty"`    // default 200
+	Seed         uint64   `json:"seed,omitempty"`       // default: file seed
+	Strategies   []string `json:"strategies,omitempty"`
+	Markets      []string `json:"markets,omitempty"`
+}
+
+// resolveSLA turns an SLASpec into a runnable sla.Job, inheriting the
+// file-level sampling seed, region, platform, fault model, paranoia and
+// worker budget already resolved into cfg.
+func resolveSLA(spec *SLASpec, f File, cfg core.Config, baseDir string) (*sla.Job, error) {
+	var tpl ndwf.Template
+	switch {
+	case spec.Template != "" && spec.TemplateFile != "":
+		return nil, fmt.Errorf("expconf: sla block sets both template and template_file")
+	case spec.Template != "":
+		var err error
+		if tpl, err = core.NamedTemplate(spec.Template); err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+	case spec.TemplateFile != "":
+		path := spec.TemplateFile
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		fh, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: sla template: %w", err)
+		}
+		defer fh.Close()
+		if tpl, err = ndwf.DecodeJSON(fh); err != nil {
+			return nil, fmt.Errorf("expconf: sla template %s: %w", path, err)
+		}
+	default:
+		return nil, fmt.Errorf("expconf: sla block needs a template or template_file")
+	}
+	if spec.DeadlineS <= 0 {
+		return nil, fmt.Errorf("expconf: sla deadline_s %v must be positive", spec.DeadlineS)
+	}
+	confidence := spec.Confidence
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("expconf: sla confidence %v outside (0, 1)", confidence)
+	}
+	samples := spec.Samples
+	if samples == 0 {
+		samples = 200
+	}
+	if samples < 0 {
+		return nil, fmt.Errorf("expconf: sla samples %d must be positive", spec.Samples)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = f.Seed
+	}
+	var strategies []string
+	for _, name := range spec.Strategies {
+		alg, err := core.StrategyByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		strategies = append(strategies, alg.Name())
+	}
+	markets := []string{"none"}
+	if len(spec.Markets) > 0 {
+		markets = markets[:0]
+		for _, name := range spec.Markets {
+			if _, err := market.Preset(name); err != nil {
+				return nil, fmt.Errorf("expconf: %w", err)
+			}
+			markets = append(markets, strings.ToLower(name))
+		}
+	}
+	platform := cfg.Platform
+	if platform == nil {
+		platform = cloud.NewPlatform()
+	}
+	job := &sla.Job{
+		Template: tpl,
+		Config: sla.SearchConfig{
+			Deadline: spec.DeadlineS,
+			Target:   confidence,
+			Config: sla.Config{
+				Samples:  samples,
+				Seed:     seed,
+				Workers:  f.Workers,
+				Faults:   cfg.Faults,
+				Paranoid: f.Paranoid,
+			},
+			Markets: markets,
+			Opts:    sched.Options{Platform: platform, Region: cfg.Region},
+		},
+	}
+	if strategies != nil {
+		job.Config.Candidates = frontier.Portfolio(strategies, markets)
+	}
+	return job, nil
 }
 
 // FaultSpec configures the sweep's fault model. Preset names a scenario
@@ -308,6 +429,13 @@ func Resolve(f File, baseDir string) (core.Config, error) {
 			cfg.Workflows[spec.Name] = wf
 			cfg.WorkflowOrder = append(cfg.WorkflowOrder, spec.Name)
 		}
+	}
+	if f.SLA != nil {
+		job, err := resolveSLA(f.SLA, f, cfg, baseDir)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.SLA = job
 	}
 	return cfg, nil
 }

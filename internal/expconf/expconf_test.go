@@ -292,3 +292,94 @@ func TestLoadFaultSpecErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadSLABlock(t *testing.T) {
+	doc := `{"seed": 11, "region": "eu-dublin", "workers": 2,
+	  "sla": {"template": "order", "deadline_s": 4000, "confidence": 0.9,
+	    "samples": 25, "strategies": ["allparexceed-l", "GAIN"],
+	    "markets": ["none", "Ondemand-Min"]}}`
+	cfg, err := Load(strings.NewReader(doc), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := cfg.SLA
+	if job == nil {
+		t.Fatal("sla block not resolved")
+	}
+	if job.Template.Name != "order" {
+		t.Errorf("template %q", job.Template.Name)
+	}
+	c := job.Config
+	if c.Deadline != 4000 || c.Target != 0.9 || c.Samples != 25 {
+		t.Errorf("search config: %+v", c)
+	}
+	if c.Seed != 11 || c.Workers != 2 {
+		t.Errorf("file-level seed/workers not inherited: %+v", c.Config)
+	}
+	if c.Opts.Region != cloud.EUDublin || c.Opts.Platform == nil {
+		t.Errorf("opts: %+v", c.Opts)
+	}
+	// Strategy names canonicalized, crossed with lowercased markets.
+	if len(c.Candidates) != 4 {
+		t.Fatalf("candidates: %+v", c.Candidates)
+	}
+	if c.Candidates[0].Strategy != "AllParExceed-l" || c.Candidates[1].Market != "ondemand-min" {
+		t.Errorf("candidates: %+v", c.Candidates)
+	}
+	sr, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Best == nil || sr.Best.MeetProbability < 0.9 {
+		t.Errorf("search outcome: %+v", sr.Best)
+	}
+}
+
+func TestLoadSLADefaultsAndTemplateFile(t *testing.T) {
+	dir := t.TempDir()
+	tpl := `{"name":"tiny","root":{"task":{"name":"a","work":100}}}`
+	if err := os.WriteFile(filepath.Join(dir, "tpl.json"), []byte(tpl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"seed": 5, "fault": {"task_fail_prob": 0.1}, "paranoid": true,
+	  "sla": {"template_file": "tpl.json", "deadline_s": 1000}}`
+	cfg, err := Load(strings.NewReader(doc), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.SLA.Config
+	if cfg.SLA.Template.Name != "tiny" {
+		t.Errorf("template %q", cfg.SLA.Template.Name)
+	}
+	if c.Target != 0.95 || c.Samples != 200 || c.Seed != 5 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.Faults == nil || c.Faults.TaskFailProb != 0.1 || !c.Paranoid {
+		t.Errorf("fault/paranoid inheritance: %+v", c.Config)
+	}
+	if c.Candidates != nil {
+		t.Errorf("full portfolio expected, got %+v", c.Candidates)
+	}
+	if len(c.Markets) != 1 || c.Markets[0] != "none" {
+		t.Errorf("markets: %+v", c.Markets)
+	}
+}
+
+func TestLoadSLAErrors(t *testing.T) {
+	for _, doc := range []string{
+		`{"sla": {"deadline_s": 100}}`,
+		`{"sla": {"template": "order", "template_file": "x.json", "deadline_s": 100}}`,
+		`{"sla": {"template": "nope", "deadline_s": 100}}`,
+		`{"sla": {"template_file": "no-such.json", "deadline_s": 100}}`,
+		`{"sla": {"template": "order"}}`,
+		`{"sla": {"template": "order", "deadline_s": -1}}`,
+		`{"sla": {"template": "order", "deadline_s": 100, "confidence": 1.5}}`,
+		`{"sla": {"template": "order", "deadline_s": 100, "samples": -3}}`,
+		`{"sla": {"template": "order", "deadline_s": 100, "strategies": ["nope"]}}`,
+		`{"sla": {"template": "order", "deadline_s": 100, "markets": ["bazaar"]}}`,
+	} {
+		if _, err := Load(strings.NewReader(doc), t.TempDir()); err == nil {
+			t.Errorf("document accepted: %s", doc)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package frontier
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Candidate is one point of an SLA portfolio grid: a named strategy
+// evaluated under a named market preset. Both fields are names, not
+// resolved objects, so the portfolio stays a pure enumeration — callers
+// (internal/sla) resolve them against sched.ByName and market.Preset and
+// decide what to do with unknown entries.
+type Candidate struct {
+	Strategy string
+	Market   string
+}
+
+// Portfolio crosses strategies with market presets in a deterministic
+// order: strategies in the order given, each swept across all markets
+// before the next strategy. A nil strategy list selects the full registry
+// (the paper's 19-strategy catalog plus the hedging provisioners); a nil
+// market list selects only "none" (the paper's economics). The result
+// order is stable across runs, which keeps downstream sampling seeds and
+// tie-breaks reproducible.
+func Portfolio(strategies, markets []string) []Candidate {
+	if strategies == nil {
+		for _, a := range sched.Catalog() {
+			strategies = append(strategies, a.Name())
+		}
+		hedges := make([]string, 0, 2)
+		for _, a := range sched.Hedges() {
+			hedges = append(hedges, a.Name())
+		}
+		sort.Strings(hedges)
+		strategies = append(strategies, hedges...)
+	}
+	if markets == nil {
+		markets = []string{"none"}
+	}
+	out := make([]Candidate, 0, len(strategies)*len(markets))
+	for _, s := range strategies {
+		for _, m := range markets {
+			out = append(out, Candidate{Strategy: s, Market: m})
+		}
+	}
+	return out
+}

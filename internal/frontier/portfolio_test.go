@@ -1,0 +1,39 @@
+package frontier
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestPortfolioDefaults(t *testing.T) {
+	got := Portfolio(nil, nil)
+	want := len(sched.Catalog()) + len(sched.Hedges())
+	if len(got) != want {
+		t.Fatalf("default portfolio has %d candidates, want %d", len(got), want)
+	}
+	for _, c := range got {
+		if c.Market != "none" {
+			t.Fatalf("default market %q", c.Market)
+		}
+		if _, err := sched.ByName(c.Strategy); err != nil {
+			t.Fatalf("unresolvable default candidate: %v", err)
+		}
+	}
+	// Deterministic enumeration order, run to run.
+	if again := Portfolio(nil, nil); !reflect.DeepEqual(got, again) {
+		t.Fatal("default portfolio order is not stable")
+	}
+}
+
+func TestPortfolioCross(t *testing.T) {
+	got := Portfolio([]string{"a", "b"}, []string{"x", "y", "z"})
+	want := []Candidate{
+		{"a", "x"}, {"a", "y"}, {"a", "z"},
+		{"b", "x"}, {"b", "y"}, {"b", "z"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,107 @@
+package fuzzcheck
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestRandomTemplatesValidAndDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		tpl := RandomTemplate(seed, 1+int(seed)%12)
+		if err := tpl.Validate(); err != nil {
+			t.Errorf("seed %d: invalid template: %v", seed, err)
+		}
+		again := RandomTemplate(seed, 1+int(seed)%12)
+		w1, err1 := tpl.Sample(seed)
+		w2, err2 := again.Sample(seed)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: sample: %v, %v", seed, err1, err2)
+		}
+		if w1.Len() != w2.Len() {
+			t.Errorf("seed %d: template generation not deterministic", seed)
+		}
+	}
+}
+
+func TestSLACaseNormalizeIdempotent(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		raw := SLACase{Seed: uint64(i), Blocks: -31 * i, DeadlinePct: 10000 - 17*i,
+			Samples: -i, StratOff: 91 * i}
+		n1 := raw.Normalize()
+		if n2 := n1.Normalize(); n1 != n2 {
+			t.Fatalf("Normalize not idempotent: %+v -> %+v", n1, n2)
+		}
+		if n1.Blocks < 1 || n1.Blocks > 12 || n1.DeadlinePct < 40 || n1.DeadlinePct > 400 ||
+			n1.Samples < 3 || n1.Samples > 12 {
+			t.Fatalf("normalized case outside domain: %+v", n1)
+		}
+		c := RandomSLA(3, i)
+		if c != c.Normalize() {
+			t.Fatalf("RandomSLA returned non-canonical case %+v", c)
+		}
+	}
+}
+
+func TestSLACaseCandidatesResolve(t *testing.T) {
+	c := SLACase{StratOff: 19}.Normalize()
+	cands := c.Candidates()
+	if len(cands) != slaPortfolioSize {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for _, cand := range cands {
+		if _, err := sched.ByName(cand.Strategy); err != nil {
+			t.Errorf("candidate %q: %v", cand.Strategy, err)
+		}
+	}
+}
+
+// TestSLABoundProperty replays a deterministic slice of the RandomSLA
+// stream through the prune-safety property — the regression counterpart
+// of the FuzzSLABound target.
+func TestSLABoundProperty(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		if err := CheckSLABound(RandomSLA(1, i)); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+// TestSLABoundPruneRegimes pins both sides of the deadline knob: far
+// below 100% of the certain minimum the whole portfolio is pruned; far
+// above it nothing is.
+func TestSLABoundPruneRegimes(t *testing.T) {
+	low := SLACase{Seed: 7, Blocks: 8, DeadlinePct: 40, Samples: 4}.Normalize()
+	if err := CheckSLABound(low); err != nil {
+		t.Errorf("low-deadline case: %v", err)
+	}
+	high := SLACase{Seed: 7, Blocks: 8, DeadlinePct: 400, Samples: 4}.Normalize()
+	if err := CheckSLABound(high); err != nil {
+		t.Errorf("high-deadline case: %v", err)
+	}
+}
+
+// FuzzSLABound is the native target for the prune-safety property: any
+// mutated tuple normalizes into a valid SLA case whose bounded and
+// unbounded portfolio searches must agree exactly.
+func FuzzSLABound(f *testing.F) {
+	for i := 0; i < 8; i++ {
+		c := RandomSLA(1, i)
+		f.Add(c.Seed, c.Blocks, c.DeadlinePct, c.Samples, c.StratOff)
+	}
+	// Hand-picked regime seeds: certain-prune, no-prune, zero-work heavy.
+	f.Add(uint64(7), 8, 40, 4, 0)
+	f.Add(uint64(7), 8, 400, 4, 7)
+	f.Add(uint64(104729), 12, 100, 3, 13)
+	f.Fuzz(func(t *testing.T, seed uint64, blocks, deadlinePct, samples, stratOff int) {
+		c := SLACase{Seed: seed, Blocks: blocks, DeadlinePct: deadlinePct,
+			Samples: samples, StratOff: stratOff}.Normalize()
+		if err := CheckSLABound(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

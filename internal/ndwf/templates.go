@@ -1,0 +1,105 @@
+package ndwf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Order returns the package's example template: an order-processing
+// workflow with a rare manual-review branch and a shipping retry loop
+// (cmd/ndflow's built-in, shared here so every front end resolves the
+// same bytes).
+func Order() Template {
+	return Template{
+		Name: "order",
+		Root: Seq{
+			Task{Name: "validate", Work: 120},
+			Par{
+				Task{Name: "inventory", Work: 300},
+				Task{Name: "payment", Work: 240},
+			},
+			Xor{
+				Branches: []Block{
+					Task{Name: "auto-approve", Work: 60},
+					Seq{
+						Task{Name: "manual-review", Work: 1800},
+						Task{Name: "re-check", Work: 300},
+					},
+				},
+				Probs: []float64{0.9, 0.1},
+			},
+			Loop{Body: Task{Name: "book-shipping", Work: 200}, Repeat: 0.25, Max: 3},
+			Task{Name: "confirm", Work: 90},
+		},
+	}
+}
+
+// MontageND returns a non-deterministic rendition of the paper's Montage
+// workflow with n tiles: the classic project → concat/bgmodel →
+// background → assemble pipeline, made stochastic with a per-tile
+// reprojection retry loop and a rare deep-clean branch before the final
+// add. Works are in reference seconds on a small instance, sized so the
+// default 6-tile template finishes in roughly an hour fault-free — a
+// useful scale for deadline sweeps.
+func MontageND(n int) Template {
+	tiles := make(Par, n)
+	backgrounds := make(Par, n)
+	for i := 0; i < n; i++ {
+		tiles[i] = Seq{
+			Task{Name: fmt.Sprintf("mProject-%d", i), Work: 1200, Data: 2e8},
+			Loop{
+				Body:   Task{Name: fmt.Sprintf("mDiffFit-%d", i), Work: 300, Data: 5e7},
+				Repeat: 0.2,
+				Max:    3,
+			},
+		}
+		backgrounds[i] = Task{Name: fmt.Sprintf("mBackground-%d", i), Work: 300, Data: 1e8}
+	}
+	return Template{
+		Name: fmt.Sprintf("montage%d", n),
+		Root: Seq{
+			tiles,
+			Task{Name: "mConcatFit", Work: 600, Data: 5e7},
+			Task{Name: "mBgModel", Work: 900, Data: 5e7},
+			backgrounds,
+			Xor{
+				Branches: []Block{
+					Task{Name: "mImgtbl", Work: 120, Data: 1e8},
+					Seq{
+						Task{Name: "mImgtbl-deep", Work: 120, Data: 1e8},
+						Task{Name: "mCleanup", Work: 2400, Data: 1e8},
+					},
+				},
+				Probs: []float64{0.85, 0.15},
+			},
+			Task{Name: "mAdd", Work: 600, Data: 5e8},
+		},
+	}
+}
+
+// defaultMontageTiles is the tile count "montage" resolves to.
+const defaultMontageTiles = 6
+
+// TemplateNames lists the built-in template names Named resolves.
+// "montage" also accepts a tile-count suffix ("montage12").
+func TemplateNames() []string { return []string{"montage", "order"} }
+
+// Named resolves a built-in template by name (case-insensitive): "order",
+// "montage" (6 tiles), or "montage<n>" for n tiles.
+func Named(name string) (Template, error) {
+	switch n := strings.ToLower(name); {
+	case n == "order":
+		return Order(), nil
+	case n == "montage":
+		return MontageND(defaultMontageTiles), nil
+	case strings.HasPrefix(n, "montage"):
+		tiles, err := strconv.Atoi(n[len("montage"):])
+		if err != nil || tiles <= 0 || tiles > 1024 {
+			return Template{}, fmt.Errorf("ndwf: bad montage tile count in %q", name)
+		}
+		return MontageND(tiles), nil
+	}
+	return Template{}, fmt.Errorf("ndwf: unknown template %q (valid: %s, montage<n>)",
+		name, strings.Join(TemplateNames(), ", "))
+}

@@ -324,6 +324,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		Algorithms:    []string{"HEFT", "AllPar"},
 		Workflows:     core.WorkflowNames(),
 		Generators:    core.GeneratorSpecs(),
+		Templates:     core.TemplateNames(),
 		FaultPresets:  fault.PresetNames(),
 		MarketPresets: market.PresetNames(),
 	}

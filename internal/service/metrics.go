@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sla"
 )
 
 // latencyBuckets are the planning-latency histogram bounds: geometric from
@@ -13,7 +14,7 @@ var latencyBuckets = obs.ExponentialBuckets(10e-6, 2, 28)
 
 // endpointNames are the label values of wfservd_requests_total, fixed up
 // front so every series exists from the first scrape.
-var endpointNames = []string{"schedule", "compare", "catalog", "metrics", "healthz", "other"}
+var endpointNames = []string{"schedule", "compare", "sla", "catalog", "metrics", "healthz", "other"}
 
 // endpointOf maps a request path to its metrics label.
 func endpointOf(path string) string {
@@ -22,6 +23,8 @@ func endpointOf(path string) string {
 		return "schedule"
 	case "/v1/compare":
 		return "compare"
+	case "/v1/sla":
+		return "sla"
 	case "/v1/catalog":
 		return "catalog"
 	case "/metrics":
@@ -54,6 +57,14 @@ type serviceMetrics struct {
 	drainDone   *obs.Counter      // wfservd_drain_completed_total
 	simReplays  *obs.Counter      // wfservd_sim_replays_total
 	simOutcomes *obs.CounterVec   // wfservd_sim_outcomes_total{kind}
+
+	// SLA search progress: searches by verdict, portfolio candidates by
+	// fate, total sampled instances, and the distribution of per-candidate
+	// meet probabilities.
+	slaSearches   *obs.CounterVec   // wfservd_sla_searches_total{outcome}
+	slaCandidates *obs.CounterVec   // wfservd_sla_candidates_total{fate}
+	slaInstances  *obs.Counter      // wfservd_sla_instances_total
+	slaMeetProb   *obs.HistogramVec // wfservd_sla_meet_probability
 }
 
 // simOutcomeKinds are the label values of wfservd_sim_outcomes_total.
@@ -85,6 +96,7 @@ func newServiceMetrics() *serviceMetrics {
 		latencyBuckets, "endpoint")
 	m.latency.With("schedule")
 	m.latency.With("compare")
+	m.latency.With("sla")
 	m.drainDone = reg.Counter("wfservd_drain_completed_total",
 		"Requests that completed after draining began.").With()
 	m.simReplays = reg.Counter("wfservd_sim_replays_total",
@@ -94,7 +106,32 @@ func newServiceMetrics() *serviceMetrics {
 	for _, k := range simOutcomeKinds {
 		m.simOutcomes.With(k)
 	}
+	m.slaSearches = reg.Counter("wfservd_sla_searches_total",
+		"SLA portfolio searches run, by verdict.", "outcome")
+	m.slaSearches.With("met")
+	m.slaSearches.With("missed")
+	m.slaCandidates = reg.Counter("wfservd_sla_candidates_total",
+		"SLA portfolio candidates considered, by fate.", "fate")
+	m.slaCandidates.With("sampled")
+	m.slaCandidates.With("pruned")
+	m.slaInstances = reg.Counter("wfservd_sla_instances_total",
+		"Template instances sampled and scheduled by SLA searches.").With()
+	m.slaMeetProb = reg.Histogram("wfservd_sla_meet_probability",
+		"Per-candidate empirical deadline-meet probabilities.",
+		meetProbBuckets())
+	m.slaMeetProb.With()
 	return m
+}
+
+// meetProbBuckets covers [0, 1] in 0.05 steps — meet probabilities live on
+// the unit interval, so linear resolution beats the latency histograms'
+// geometric spacing.
+func meetProbBuckets() []float64 {
+	out := make([]float64, 0, 20)
+	for i := 1; i <= 20; i++ {
+		out = append(out, float64(i)*0.05)
+	}
+	return out
 }
 
 // registerRuntime adds the gauge functions that read live server state
@@ -116,6 +153,22 @@ func (m *serviceMetrics) registerRuntime(s *Server) {
 	m.reg.GaugeFunc("wfservd_cache_entries",
 		"Entries in the result cache.",
 		func() float64 { return float64(s.cache.Len()) })
+}
+
+// recordSLA feeds one portfolio search's progress counters into the
+// wfservd_sla_* families.
+func (m *serviceMetrics) recordSLA(met bool, sr *sla.SearchResult) {
+	if met {
+		m.slaSearches.With("met").Inc()
+	} else {
+		m.slaSearches.With("missed").Inc()
+	}
+	m.slaCandidates.With("sampled").Add(float64(len(sr.Results)))
+	m.slaCandidates.With("pruned").Add(float64(len(sr.Pruned)))
+	m.slaInstances.Add(float64(sr.Sampled))
+	for i := range sr.Results {
+		m.slaMeetProb.With().Observe(sr.Results[i].MeetProbability)
+	}
 }
 
 // recordSim feeds one simulator replay's outcome counts into the

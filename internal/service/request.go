@@ -198,6 +198,7 @@ type CatalogResponse struct {
 	Instances     []string `json:"instances"`
 	Workflows     []string `json:"workflows"`
 	Generators    []string `json:"generators"`
+	Templates     []string `json:"templates"`
 	Scenarios     []string `json:"scenarios"`
 	Regions       []string `json:"regions"`
 	Recoveries    []string `json:"recoveries"`

@@ -1,0 +1,392 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/frontier"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+	"repro/internal/sla"
+)
+
+// maxSLASamples bounds the per-request sample budget: the search schedules
+// candidates × samples instances, and the service must not let one request
+// monopolize the pool.
+const maxSLASamples = 2000
+
+// defaultSLASamples is the sample budget when the request leaves it unset.
+const defaultSLASamples = 200
+
+// SLARequest is the body of POST /v1/sla: a deadline question over a
+// non-deterministic workflow template. Exactly one template source must be
+// set — an inline ndwf template document or a registry name ("order",
+// "montage", "montage12"). The search sweeps the strategy × market
+// portfolio (defaults: the full strategy registry × the paper's
+// economics) and answers with the cheapest candidate meeting
+// P(makespan <= deadline_s) >= confidence.
+type SLARequest struct {
+	// Template is an inline non-deterministic template document (the ndwf
+	// JSON shape, as emitted by cmd/ndflow -emit template).
+	Template json.RawMessage `json:"template,omitempty"`
+	// TemplateName names a built-in template.
+	TemplateName string `json:"template_name,omitempty"`
+	// DeadlineS is the SLA deadline in seconds (required, positive).
+	DeadlineS float64 `json:"deadline_s"`
+	// Confidence is the required meet probability; default 0.95.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Samples is the Monte-Carlo budget per candidate; default 200, max
+	// 2000.
+	Samples int `json:"samples,omitempty"`
+	// Seed roots the hash-derived per-instance sampling streams.
+	Seed uint64 `json:"seed,omitempty"`
+	// Region prices the VMs; default is the paper's US East Virginia.
+	Region string `json:"region,omitempty"`
+	// Strategies restricts the portfolio to the named strategies; empty
+	// sweeps the full registry (catalog + hedges).
+	Strategies []string `json:"strategies,omitempty"`
+	// Markets lists the market presets to sweep; empty means the paper's
+	// economics only ("none").
+	Markets []string `json:"markets,omitempty"`
+	// Fault options replay every sampled schedule through the event
+	// simulator under an independent per-instance fault stream; an
+	// incomplete run counts as a missed deadline. Unlike /v1/schedule no
+	// simulate flag is needed — the SLA question is inherently about
+	// observed outcomes.
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	TaskFailProb float64 `json:"task_fail_prob,omitempty"`
+	PreemptRate  float64 `json:"preempt_rate,omitempty"`
+	Recovery     string  `json:"recovery,omitempty"`
+	MaxRetries   int     `json:"max_retries,omitempty"`
+	FaultSeed    uint64  `json:"fault_seed,omitempty"`
+	// Debug cross-checks every fault-free sampled schedule against the
+	// discrete-event simulator (the plan↔sim differential oracle), like
+	// core.Paranoid. Expensive; a failure is a planner bug, not a bad
+	// request, and surfaces as a 500.
+	Debug bool `json:"debug,omitempty"`
+}
+
+// SLACandidateJSON is one sampled candidate's empirical outcome.
+type SLACandidateJSON struct {
+	Strategy        string  `json:"strategy"`
+	Market          string  `json:"market"`
+	MeetProbability float64 `json:"meet_probability"`
+	// MeetLo/MeetHi is the Wilson score interval on the meet probability
+	// at the response's ci_level.
+	MeetLo float64 `json:"meet_lo"`
+	MeetHi float64 `json:"meet_hi"`
+	// Makespan distribution quantiles over the sampled instances.
+	MeanMakespanS float64 `json:"mean_makespan_s"`
+	P50MakespanS  float64 `json:"p50_makespan_s"`
+	P90MakespanS  float64 `json:"p90_makespan_s"`
+	P99MakespanS  float64 `json:"p99_makespan_s"`
+	MaxMakespanS  float64 `json:"max_makespan_s"`
+	MeanCostUSD   float64 `json:"mean_cost_usd"`
+	P99CostUSD    float64 `json:"p99_cost_usd"`
+	// Completed counts instances whose replay finished (equals samples
+	// without faults).
+	Completed int `json:"completed"`
+	// BoundMinS is the candidate's certain analytic lower bound on any
+	// instance's makespan; BoundEstimate the analytic (pre-sampling)
+	// normal-approximation meet estimate.
+	BoundMinS     float64 `json:"bound_min_s"`
+	BoundEstimate float64 `json:"bound_estimate"`
+}
+
+// SLAPrunedJSON is one candidate rejected by the analytic pre-pass.
+type SLAPrunedJSON struct {
+	Strategy  string  `json:"strategy"`
+	Market    string  `json:"market"`
+	BoundMinS float64 `json:"bound_min_s"`
+}
+
+// SLAResponse is the body answering POST /v1/sla.
+type SLAResponse struct {
+	Template   string  `json:"template"`
+	DeadlineS  float64 `json:"deadline_s"`
+	Confidence float64 `json:"confidence"`
+	Samples    int     `json:"samples"`
+	Seed       uint64  `json:"seed"`
+	Region     string  `json:"region"`
+	CILevel    float64 `json:"ci_level"`
+	// Met reports whether any candidate reached the target; Best is the
+	// cheapest such candidate, or — when Met is false — the closest one.
+	Met  bool              `json:"met"`
+	Best *SLACandidateJSON `json:"best,omitempty"`
+	// Candidates lists every sampled candidate sorted by mean cost;
+	// Pruned the candidates the analytic bound rejected without sampling.
+	Candidates []SLACandidateJSON `json:"candidates"`
+	Pruned     []SLAPrunedJSON    `json:"pruned,omitempty"`
+	// Considered counts portfolio candidates; SampledInstances the
+	// template instances actually scheduled.
+	Considered       int `json:"considered"`
+	SampledInstances int `json:"sampled_instances"`
+}
+
+// resolvedSLA is a fully validated SLA search problem.
+type resolvedSLA struct {
+	tplName   string
+	tpl       ndwf.Template
+	canonical []byte // canonical template encoding for the cache key
+	cfg       sla.SearchConfig
+	region    cloud.Region
+	samples   int
+	seed      uint64
+}
+
+// resolveSLA validates an SLA request end to end.
+func resolveSLA(req *SLARequest) (*resolvedSLA, *httpError) {
+	out := &resolvedSLA{}
+	switch {
+	case len(req.Template) > 0 && req.TemplateName != "":
+		return nil, unprocessable("set either template or template_name, not both")
+	case len(req.Template) > 0:
+		tpl, err := ndwf.DecodeJSON(bytes.NewReader(req.Template))
+		if err != nil {
+			return nil, unprocessable("invalid template: %v", err)
+		}
+		if err := tpl.Validate(); err != nil {
+			return nil, unprocessable("invalid template: %v", err)
+		}
+		out.tpl = tpl
+		out.tplName = tpl.Name
+		if out.tplName == "" {
+			out.tplName = "custom"
+		}
+		// Re-encode for the cache key: two bodies that decode to the same
+		// template (whitespace, field order) hash identically.
+		var buf bytes.Buffer
+		if err := ndwf.EncodeJSON(&buf, tpl); err != nil {
+			return nil, unprocessable("invalid template: %v", err)
+		}
+		out.canonical = buf.Bytes()
+	case req.TemplateName != "":
+		tpl, err := core.NamedTemplate(req.TemplateName)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		out.tpl = tpl
+		out.tplName = tpl.Name
+		out.canonical = []byte("name:" + tpl.Name)
+	default:
+		return nil, unprocessable("missing template: set template or template_name")
+	}
+
+	if req.DeadlineS <= 0 {
+		return nil, unprocessable("deadline_s must be positive, got %v", req.DeadlineS)
+	}
+	confidence := req.Confidence
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	if confidence < 0 || confidence >= 1 {
+		return nil, unprocessable("confidence %v outside (0, 1)", confidence)
+	}
+	samples := req.Samples
+	if samples == 0 {
+		samples = defaultSLASamples
+	}
+	if samples < 0 || samples > maxSLASamples {
+		return nil, unprocessable("samples %d outside [1, %d]", req.Samples, maxSLASamples)
+	}
+	region, herr := resolveRegion(req.Region)
+	if herr != nil {
+		return nil, herr
+	}
+
+	// Canonicalize the portfolio axes: strategy names through the
+	// case-insensitive registry, market presets lowercased and validated.
+	var strategies []string
+	for _, name := range req.Strategies {
+		alg, err := core.StrategyByName(name)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		strategies = append(strategies, alg.Name())
+	}
+	markets := []string{"none"}
+	if len(req.Markets) > 0 {
+		markets = markets[:0]
+		for _, name := range req.Markets {
+			lc := strings.ToLower(name)
+			if _, err := market.Preset(lc); err != nil {
+				return nil, unprocessable("%v", err)
+			}
+			markets = append(markets, lc)
+		}
+	}
+
+	faults, herr := resolveSLAFaults(req)
+	if herr != nil {
+		return nil, herr
+	}
+
+	out.region = region
+	out.samples = samples
+	out.seed = req.Seed
+	out.cfg = sla.SearchConfig{
+		Deadline: req.DeadlineS,
+		Target:   confidence,
+		Config: sla.Config{
+			Samples: samples,
+			Seed:    req.Seed,
+			// One worker: request-level parallelism already comes from the
+			// service pool (see planCompare), and the result is identical
+			// at any worker count anyway.
+			Workers:  1,
+			Faults:   faults,
+			Paranoid: req.Debug,
+		},
+		Candidates: frontier.Portfolio(strategies, markets),
+		Opts:       sched.Options{Platform: cloud.NewPlatform(), Region: region},
+	}
+	return out, nil
+}
+
+// resolveSLAFaults validates the SLA request's fault block. Unlike
+// /v1/schedule there is no simulate gate: SLA sampling replays schedules
+// whenever a fault model is active.
+func resolveSLAFaults(req *SLARequest) (*fault.Config, *httpError) {
+	set := req.FaultRate != 0 || req.TaskFailProb != 0 || req.Recovery != "" ||
+		req.MaxRetries != 0 || req.FaultSeed != 0 || req.PreemptRate != 0
+	if !set {
+		return nil, nil
+	}
+	cfg := fault.Config{
+		CrashRate:       req.FaultRate,
+		SpotPreemptRate: req.PreemptRate,
+		TaskFailProb:    req.TaskFailProb,
+		MaxRetries:      req.MaxRetries,
+		Seed:            req.FaultSeed,
+	}
+	if req.Recovery != "" {
+		rec, err := fault.ParseRecovery(req.Recovery)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		cfg.Recovery = rec
+	}
+	if err := cfg.Fill().Validate(); err != nil {
+		return nil, unprocessable("%v", err)
+	}
+	if !cfg.Active() {
+		return nil, nil
+	}
+	return &cfg, nil
+}
+
+// slaKey hashes one resolved SLA search into its cache address: the
+// canonical template bytes plus every parameter the answer depends on.
+func slaKey(res *resolvedSLA) cacheKey {
+	var h hasher
+	h.str("sla")
+	h.u64(uint64(len(res.canonical)))
+	h.buf = append(h.buf, res.canonical...)
+	h.f64(res.cfg.Deadline)
+	h.f64(res.cfg.Target)
+	h.u64(uint64(res.samples))
+	h.u64(res.seed)
+	h.str(res.region.String())
+	h.u64(uint64(len(res.cfg.Candidates)))
+	for _, c := range res.cfg.Candidates {
+		h.str(c.Strategy)
+		h.str(c.Market)
+	}
+	h.faults(res.cfg.Faults)
+	if res.cfg.Paranoid {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+	return sha256.Sum256(h.buf)
+}
+
+// handleSLA serves POST /v1/sla.
+func (s *Server) handleSLA(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SLARequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, herr := resolveSLA(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
+		return
+	}
+	s.runCached(w, r, "sla", slaKey(res), func(context.Context) (any, error) {
+		return s.planSLA(res)
+	})
+}
+
+// planSLA runs the deadline-constrained portfolio search.
+func (s *Server) planSLA(res *resolvedSLA) (*SLAResponse, error) {
+	sr, err := sla.Search(res.tpl, res.cfg)
+	met := err == nil
+	if err != nil && !errors.Is(err, sla.ErrNoStrategyMeets) {
+		return nil, err
+	}
+	s.met.recordSLA(met, &sr)
+
+	out := &SLAResponse{
+		Template:         res.tplName,
+		DeadlineS:        sr.Deadline,
+		Confidence:       sr.Target,
+		Samples:          res.samples,
+		Seed:             res.seed,
+		Region:           res.region.String(),
+		CILevel:          0.95,
+		Met:              met,
+		Candidates:       make([]SLACandidateJSON, 0, len(sr.Results)),
+		Considered:       sr.Considered,
+		SampledInstances: sr.Sampled,
+	}
+	for i := range sr.Results {
+		c := slaCandidateJSON(&sr.Results[i])
+		out.Candidates = append(out.Candidates, c)
+		if sr.Best == &sr.Results[i] {
+			out.Best = &out.Candidates[len(out.Candidates)-1]
+		}
+	}
+	for _, p := range sr.Pruned {
+		out.Pruned = append(out.Pruned, SLAPrunedJSON{
+			Strategy: p.Strategy, Market: p.Market, BoundMinS: p.Bound.MinMakespan,
+		})
+	}
+	return out, nil
+}
+
+// slaCandidateJSON flattens one sampled candidate for the response.
+func slaCandidateJSON(r *sla.Result) SLACandidateJSON {
+	c := SLACandidateJSON{
+		Strategy:        r.Strategy,
+		Market:          r.Market,
+		MeetProbability: r.MeetProbability,
+		MeetLo:          r.MeetCI.Lo,
+		MeetHi:          r.MeetCI.Hi,
+		MeanMakespanS:   r.Makespan.Mean,
+		P50MakespanS:    r.Makespan.Median,
+		P90MakespanS:    r.Makespan.P90,
+		P99MakespanS:    r.Makespan.P99,
+		MaxMakespanS:    r.Makespan.Max,
+		MeanCostUSD:     r.Cost.Mean,
+		P99CostUSD:      r.Cost.P99,
+		Completed:       r.Completed,
+	}
+	if r.Bound != nil {
+		c.BoundMinS = r.Bound.MinMakespan
+		c.BoundEstimate = r.Bound.MeetEstimate(r.Deadline)
+	}
+	return c
+}

@@ -1,0 +1,150 @@
+package sla
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAnalyticBoundPropagation(t *testing.T) {
+	cases := []struct {
+		name                string
+		root                ndwf.Block
+		min, mean, variance float64
+	}{
+		{"task", ndwf.Task{Name: "a", Work: 100}, 100, 100, 0},
+		{"seq", ndwf.Seq{ndwf.Task{Name: "a", Work: 100}, ndwf.Task{Name: "b", Work: 50}}, 150, 150, 0},
+		{"par", ndwf.Par{ndwf.Task{Name: "a", Work: 100}, ndwf.Task{Name: "b", Work: 250}}, 250, 250, 0},
+		{
+			// Mixture of 60 and 120 at even odds: min takes the short
+			// branch, mean 90, var E[X^2]-mean^2 = 9000-8100.
+			"xor",
+			ndwf.Xor{
+				Branches: []ndwf.Block{ndwf.Task{Name: "a", Work: 60}, ndwf.Task{Name: "b", Work: 120}},
+				Probs:    []float64{0.5, 0.5},
+			},
+			60, 90, 900,
+		},
+		{
+			// Truncated geometric with p=0.5, max=2: E[N]=1.5, Var[N]=0.25,
+			// so a 100-work body gives mean 150 and var 0.25*100^2.
+			"loop",
+			ndwf.Loop{Body: ndwf.Task{Name: "a", Work: 100}, Repeat: 0.5, Max: 2},
+			100, 150, 2500,
+		},
+	}
+	for _, c := range cases {
+		b, err := AnalyticBound(ndwf.Template{Name: c.name, Root: c.root}, cloud.Small)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !almost(b.MinMakespan, c.min) || !almost(b.Mean, c.mean) || !almost(b.Var, c.variance) {
+			t.Errorf("%s: got {min %v, mean %v, var %v}, want {%v, %v, %v}",
+				c.name, b.MinMakespan, b.Mean, b.Var, c.min, c.mean, c.variance)
+		}
+	}
+}
+
+func TestAnalyticBoundScalesWithSpeed(t *testing.T) {
+	tpl := ndwf.Order()
+	small, err := AnalyticBound(tpl, cloud.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := AnalyticBound(tpl, cloud.Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(large.MinMakespan*cloud.Large.Speedup(), small.MinMakespan*cloud.Small.Speedup()) {
+		t.Errorf("bounds do not scale with speedup: small %v, large %v", small.MinMakespan, large.MinMakespan)
+	}
+	if large.MinMakespan >= small.MinMakespan {
+		t.Errorf("faster type should have smaller bound: small %v, large %v", small.MinMakespan, large.MinMakespan)
+	}
+}
+
+func TestAnalyticBoundInvalidTemplate(t *testing.T) {
+	if _, err := AnalyticBound(ndwf.Template{Name: "empty"}, cloud.Small); err == nil {
+		t.Fatal("no error for rootless template")
+	}
+}
+
+func TestMeetEstimate(t *testing.T) {
+	b := Bound{Mean: 100, Var: 0}
+	if b.MeetEstimate(99) != 0 || b.MeetEstimate(100) != 1 {
+		t.Errorf("zero-variance estimate not a step at the mean")
+	}
+	b = Bound{Mean: 100, Var: 400}
+	if got := b.MeetEstimate(100); !almost(got, 0.5) {
+		t.Errorf("estimate at the mean = %v, want 0.5", got)
+	}
+	if lo, hi := b.MeetEstimate(80), b.MeetEstimate(120); lo >= 0.5 || hi <= 0.5 || lo >= hi {
+		t.Errorf("estimate not monotone around the mean: %v, %v", lo, hi)
+	}
+}
+
+// TestBoundNeverExceedsSampledMakespan is the deterministic version of the
+// fuzz property: across strategies and realized instances, no schedule
+// ever beats the analytic lower bound taken at BoundType(strategy).
+func TestBoundNeverExceedsSampledMakespan(t *testing.T) {
+	opts := sched.DefaultOptions()
+	for _, tplName := range []string{"order", "montage3"} {
+		tpl, err := ndwf.Named(tplName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"OneVMperTask-s", "AllParExceed-m", "StartParExceed-l", "CPA-Eager", "GAIN"} {
+			alg, err := sched.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := AnalyticBound(tpl, BoundType(alg.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				wf, err := tpl.Sample(InstanceSeed(9, i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := alg.Schedule(wf, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.Makespan() < b.MinMakespan*(1-1e-9) {
+					t.Fatalf("%s on %s instance %d: makespan %v beats bound %v",
+						name, tplName, i, s.Makespan(), b.MinMakespan)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundType(t *testing.T) {
+	types := cloud.InstanceTypes()
+	fastest := types[len(types)-1]
+	cases := []struct {
+		name string
+		want cloud.InstanceType
+	}{
+		{"OneVMperTask-s", cloud.Small},
+		{"AllParExceed-m", cloud.Medium},
+		{"StartParNotExceed-l", cloud.Large},
+		{"Whatever-xl", cloud.XLarge},
+		{"CPA-Eager", fastest},
+		{"GAIN", fastest},
+		{"SpotFallback", fastest},
+		{"WarmPool4", fastest},
+		{"AllPar-1LnS", fastest},
+	}
+	for _, c := range cases {
+		if got := BoundType(c.name); got != c.want {
+			t.Errorf("BoundType(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package sla
+
+import "repro/internal/ndwf"
+
+// Job pairs a template with a search configuration: the resolved,
+// self-contained unit of SLA work a driver executes. Experiment configs
+// (internal/expconf) resolve their "sla" block into one of these, and
+// cmd/sweep runs it after the grid.
+type Job struct {
+	Template ndwf.Template
+	Config   SearchConfig
+}
+
+// Run executes the portfolio search. The error is ErrNoStrategyMeets
+// when the search completes but no candidate reaches the target.
+func (j Job) Run() (SearchResult, error) {
+	return Search(j.Template, j.Config)
+}

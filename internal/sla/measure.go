@@ -1,0 +1,222 @@
+package sla
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/validate"
+)
+
+// Config parameterizes one Monte-Carlo measurement.
+type Config struct {
+	// Samples is the number of template instances to realize.
+	Samples int
+	// Seed is the root of the hash-derived per-instance seed stream; see
+	// InstanceSeed. Same seed, same instances, bit for bit.
+	Seed uint64
+	// Workers bounds the scheduling goroutines; zero selects GOMAXPROCS.
+	// The result is byte-identical at any worker count: instance i always
+	// gets seed InstanceSeed(Seed, i) and writes into slot i, and the
+	// aggregation is a sequential pass in index order.
+	Workers int
+	// Level is the two-sided confidence level of the Wilson interval on
+	// the meet probability; zero selects 0.95.
+	Level float64
+	// Faults, when active, replays every sampled schedule through the
+	// event simulator under an independent hash-derived fault stream per
+	// instance; makespan and cost become the *observed* values and an
+	// incomplete run counts as a missed deadline.
+	Faults *fault.Config
+	// Paranoid cross-checks every fault-free sampled schedule against the
+	// event simulator (validate.PlanSim), mirroring core.Paranoid.
+	Paranoid bool
+}
+
+func (c Config) fill() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Level == 0 {
+		c.Level = 0.95
+	}
+	return c
+}
+
+// InstanceSeed returns the sampling seed of instance i: a hash-derived
+// stream (fault.CellSeed) rather than seed+i, so adjacent measurements
+// with different root seeds cannot overlap instance streams.
+func InstanceSeed(seed uint64, i int) uint64 {
+	return fault.CellSeed(seed, "sla", strconv.Itoa(i))
+}
+
+// Result is the empirical outcome distribution of one strategy (under one
+// market preset) against a deadline.
+type Result struct {
+	Strategy string
+	Market   string
+	Deadline float64
+
+	// N counts realized instances; Met counts those finishing by the
+	// deadline (under faults: finishing at all, by the deadline).
+	N   int
+	Met int
+	// MeetProbability is Met/N; MeetCI is its Wilson score interval at
+	// the configured level. SLA decisions compare MeetProbability to the
+	// target; the interval says how much the sample budget can be
+	// trusted.
+	MeetProbability float64
+	MeetCI          stats.CI
+
+	// Makespan and Cost summarize the per-instance outcomes; Makespans
+	// and Costs carry the raw per-instance values in instance order
+	// (index i is instance i) for ECDFs and custom quantiles.
+	Makespan  stats.Summary
+	Cost      stats.Summary
+	Makespans []float64
+	Costs     []float64
+
+	// Completed counts instances whose faulty replay finished all tasks;
+	// without faults it equals N.
+	Completed int
+
+	// Bound is the analytic pre-pass result when Search computed one.
+	Bound *Bound
+}
+
+// MakespanECDF returns the empirical CDF of the observed makespans.
+func (r Result) MakespanECDF() *stats.ECDF { return stats.NewECDF(r.Makespans) }
+
+// MakespanQuantile returns the q-quantile of the observed makespans with
+// stats.Percentile's clamp semantics (q <= 0 is the min, q >= 1 the max).
+func (r Result) MakespanQuantile(q float64) float64 {
+	sorted := append([]float64(nil), r.Makespans...)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, q)
+}
+
+// Measure samples cfg.Samples instances of the template, schedules each
+// with the strategy, and returns the full empirical outcome distribution
+// against the deadline. All sampling is seeded and worker-count
+// deterministic; see Config.
+func Measure(t ndwf.Template, alg sched.Algorithm, opts sched.Options,
+	deadline float64, cfg Config) (Result, error) {
+	if deadline <= 0 {
+		return Result{}, fmt.Errorf("sla: non-positive deadline %v", deadline)
+	}
+	if cfg.Samples <= 0 {
+		return Result{}, fmt.Errorf("sla: non-positive sample count %d", cfg.Samples)
+	}
+	cfg = cfg.fill()
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	n := cfg.Samples
+	makespans := make([]float64, n)
+	costs := make([]float64, n)
+	completed := make([]bool, n)
+
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := measureOne(t, alg, opts, cfg, i, makespans, costs, completed); err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+
+	// Sequential aggregation in index order: the result does not depend
+	// on which worker computed which slot.
+	res := Result{
+		Strategy:  alg.Name(),
+		Deadline:  deadline,
+		N:         n,
+		Makespans: makespans,
+		Costs:     costs,
+	}
+	for i := 0; i < n; i++ {
+		if completed[i] {
+			res.Completed++
+			if makespans[i] <= deadline {
+				res.Met++
+			}
+		}
+	}
+	res.MeetProbability = float64(res.Met) / float64(n)
+	res.MeetCI = stats.WilsonCI(res.Met, n, cfg.Level)
+	res.Makespan = stats.Summarize(makespans)
+	res.Cost = stats.Summarize(costs)
+	return res, nil
+}
+
+// measureOne realizes, schedules, and (optionally) replays instance i,
+// writing its outcome into slot i.
+func measureOne(t ndwf.Template, alg sched.Algorithm, opts sched.Options,
+	cfg Config, i int, makespans, costs []float64, completed []bool) error {
+	wf, err := t.Sample(InstanceSeed(cfg.Seed, i))
+	if err != nil {
+		return err
+	}
+	s, err := alg.Schedule(wf, opts)
+	if err != nil {
+		return fmt.Errorf("sla: %s on instance %d: %w", alg.Name(), i, err)
+	}
+	if cfg.Paranoid {
+		if err := validate.PlanSim(s); err != nil {
+			return fmt.Errorf("sla: paranoid cross-check on instance %d: %w", i, err)
+		}
+	}
+	if !cfg.Faults.Active() {
+		makespans[i] = s.Makespan()
+		costs[i] = s.TotalCost()
+		completed[i] = true
+		return nil
+	}
+	fc := *cfg.Faults
+	fc.Seed = fault.CellSeed(cfg.Faults.Seed, "sla-fault", strconv.Itoa(i))
+	res, err := sim.Run(s, sim.Config{Faults: &fc})
+	if err != nil {
+		return fmt.Errorf("sla: fault replay on instance %d: %w", i, err)
+	}
+	makespans[i] = res.Makespan
+	costs[i] = res.RentalCost
+	completed[i] = res.Completed
+	return nil
+}

@@ -1,0 +1,165 @@
+package sla
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/frontier"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+	"repro/internal/sched"
+)
+
+// SearchConfig parameterizes a deadline-constrained portfolio search.
+type SearchConfig struct {
+	// Deadline is the SLA's makespan bound in seconds; Target the
+	// required meet probability ("finish by Deadline with probability at
+	// least Target").
+	Deadline float64
+	Target   float64
+	// Config embeds the per-candidate sampling parameters (Samples, Seed,
+	// Workers, Level, Faults, Paranoid).
+	Config
+	// Candidates restricts the portfolio. Nil enumerates
+	// frontier.Portfolio(nil, Markets): the full strategy registry
+	// crossed with the given market presets.
+	Candidates []frontier.Candidate
+	// Markets selects the market presets swept when Candidates is nil;
+	// nil means the paper's economics only ("none").
+	Markets []string
+	// Opts carries platform and region; each candidate's market preset
+	// overrides Opts.Market.
+	Opts sched.Options
+	// NoBound disables the analytic prune, forcing every candidate
+	// through sampling. The fuzz harness uses it to prove pruning never
+	// changes the answer; it is also the escape hatch if a bound bug ever
+	// ships.
+	NoBound bool
+}
+
+// Pruned records a candidate rejected by the analytic pre-pass: its
+// certain lower bound already exceeds the deadline, so P(meet) = 0 and no
+// samples were spent on it.
+type Pruned struct {
+	Strategy string
+	Market   string
+	Bound    Bound
+}
+
+// SearchResult is the outcome of a portfolio search.
+type SearchResult struct {
+	Deadline float64
+	Target   float64
+	// Best is the cheapest sampled candidate with MeetProbability >=
+	// Target, or — when none qualifies (the search returns
+	// ErrNoStrategyMeets) — the highest-probability candidate as a
+	// best-effort answer. Nil only when everything was pruned.
+	Best *Result
+	// Results holds every sampled candidate sorted by (mean cost,
+	// strategy, market); Pruned the candidates the analytic bound
+	// rejected, in portfolio order.
+	Results []Result
+	Pruned  []Pruned
+	// Considered counts portfolio candidates, Sampled the template
+	// instances actually scheduled (Considered−len(Pruned) candidates ×
+	// Samples each).
+	Considered int
+	Sampled    int
+}
+
+// pruneMargin keeps the analytic prune strictly conservative against
+// float rounding: a candidate is dropped only when its certain lower
+// bound exceeds the deadline by more than a relative hair, so a bound
+// that lands exactly on the deadline still gets sampled.
+const pruneMargin = 1e-9
+
+// Search finds the cheapest strategy × market candidate meeting
+// P(makespan <= Deadline) >= Target over the template's instance
+// distribution. Each candidate first passes through the analytic bound
+// (AnalyticBound at BoundType(strategy)): candidates whose certain
+// minimal makespan already exceeds the deadline are pruned without
+// sampling — by construction this never drops a candidate the Monte-Carlo
+// pass could have accepted, since no realization can beat the bound. The
+// survivors are measured with Measure under identical hash-derived seeds,
+// so the result is bit-identical across runs, worker counts, and prune
+// on/off.
+//
+// If no candidate reaches the target, Search returns the best-effort
+// SearchResult along with ErrNoStrategyMeets.
+func Search(t ndwf.Template, cfg SearchConfig) (SearchResult, error) {
+	if cfg.Deadline <= 0 {
+		return SearchResult{}, fmt.Errorf("sla: non-positive deadline %v", cfg.Deadline)
+	}
+	if cfg.Target <= 0 || cfg.Target > 1 {
+		return SearchResult{}, fmt.Errorf("sla: target probability %v outside (0, 1]", cfg.Target)
+	}
+	if err := t.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	cands := cfg.Candidates
+	if cands == nil {
+		cands = frontier.Portfolio(nil, cfg.Markets)
+	}
+	if len(cands) == 0 {
+		return SearchResult{}, fmt.Errorf("sla: empty candidate portfolio")
+	}
+
+	out := SearchResult{Deadline: cfg.Deadline, Target: cfg.Target, Considered: len(cands)}
+	for _, c := range cands {
+		alg, err := sched.ByName(c.Strategy)
+		if err != nil {
+			return SearchResult{}, fmt.Errorf("sla: %w", err)
+		}
+		model, err := market.Preset(c.Market)
+		if err != nil {
+			return SearchResult{}, fmt.Errorf("sla: %w", err)
+		}
+		bound, err := AnalyticBound(t, BoundType(c.Strategy))
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if !cfg.NoBound && bound.MinMakespan > cfg.Deadline*(1+pruneMargin) {
+			out.Pruned = append(out.Pruned, Pruned{Strategy: c.Strategy, Market: c.Market, Bound: bound})
+			continue
+		}
+		opts := cfg.Opts
+		opts.Market = model
+		res, err := Measure(t, alg, opts, cfg.Deadline, cfg.Config)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		res.Market = c.Market
+		b := bound
+		res.Bound = &b
+		out.Results = append(out.Results, res)
+		out.Sampled += res.N
+	}
+
+	sort.SliceStable(out.Results, func(i, j int) bool {
+		a, b := out.Results[i], out.Results[j]
+		if a.Cost.Mean != b.Cost.Mean {
+			return a.Cost.Mean < b.Cost.Mean
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		return a.Market < b.Market
+	})
+	for i := range out.Results {
+		if out.Results[i].MeetProbability >= cfg.Target {
+			out.Best = &out.Results[i]
+			return out, nil
+		}
+	}
+	// Nothing qualifies: surface the highest-probability candidate (ties
+	// broken by the cost order above) so callers can report how close the
+	// portfolio came.
+	bestP := math.Inf(-1)
+	for i := range out.Results {
+		if out.Results[i].MeetProbability > bestP {
+			out.Best, bestP = &out.Results[i], out.Results[i].MeetProbability
+		}
+	}
+	return out, ErrNoStrategyMeets
+}

@@ -39,6 +39,10 @@ func Evaluate(t ndwf.Template, alg sched.Algorithm, opts sched.Options,
 	}
 	est := Estimate{Strategy: alg.Name()}
 	met := 0
+	// Sum first, divide once at the end: dividing every term by n
+	// compounds a rounding step per iteration and made the means depend
+	// on n twice over.
+	var costSum, makespanSum float64
 	for i := 0; i < n; i++ {
 		wf, err := t.Sample(seed + uint64(i))
 		if err != nil {
@@ -51,9 +55,11 @@ func Evaluate(t ndwf.Template, alg sched.Algorithm, opts sched.Options,
 		if s.Makespan() <= deadline {
 			met++
 		}
-		est.MeanCost += s.TotalCost() / float64(n)
-		est.MeanMakespan += s.Makespan() / float64(n)
+		costSum += s.TotalCost()
+		makespanSum += s.Makespan()
 	}
+	est.MeanCost = costSum / float64(n)
+	est.MeanMakespan = makespanSum / float64(n)
 	est.MeetProbability = float64(met) / float64(n)
 	return est, nil
 }

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbit(t *testing.T) {
+	// Acklam's approximation is accurate to ~1.15e-9 relative error.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.9599639845400536},
+		{0.025, -1.9599639845400536},
+		{0.95, 1.6448536269514722},
+		{0.999, 3.090232306167813},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		got := Probit(c.p)
+		if math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("Probit(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Probit and NormalCDF are inverses.
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		if got := NormalCDF(Probit(p)); math.Abs(got-p) > 1e-7 {
+			t.Errorf("NormalCDF(Probit(%v)) = %v", p, got)
+		}
+	}
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Probit(%v) did not panic", p)
+				}
+			}()
+			Probit(p)
+		}()
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	// Reference values computed with an exact inverse-normal at the same
+	// levels; the edge rows are the SLA layer's cases of interest: n = 1,
+	// all-meet, none-meet.
+	cases := []struct {
+		name           string
+		s, n           int
+		level          float64
+		wantLo, wantHi float64
+	}{
+		{"mid", 8, 10, 0.95, 0.49016247153664183, 0.9433178485456247},
+		{"n1 meet", 1, 1, 0.95, 0.20654931437723745, 1},
+		{"n1 miss", 0, 1, 0.95, 0, 0.7934506856227626},
+		{"all meet", 10, 10, 0.95, 0.7224672001371109, 1},
+		{"none meet", 0, 10, 0.95, 0, 0.27753279986288915},
+		{"half at 50%", 5, 10, 0.5, 0.39569991542468774, 0.6043000845753123},
+	}
+	for _, c := range cases {
+		ci := WilsonCI(c.s, c.n, c.level)
+		if math.Abs(ci.Lo-c.wantLo) > 1e-7 || math.Abs(ci.Hi-c.wantHi) > 1e-7 {
+			t.Errorf("%s: WilsonCI(%d, %d, %v) = [%v, %v], want [%v, %v]",
+				c.name, c.s, c.n, c.level, ci.Lo, ci.Hi, c.wantLo, c.wantHi)
+		}
+		if ci.Lo < 0 || ci.Hi > 1 || ci.Lo > ci.Hi {
+			t.Errorf("%s: illegal interval [%v, %v]", c.name, ci.Lo, ci.Hi)
+		}
+		if ci.Level != c.level {
+			t.Errorf("%s: level %v, want %v", c.name, ci.Level, c.level)
+		}
+		p := float64(c.s) / float64(c.n)
+		if p < ci.Lo || p > ci.Hi {
+			t.Errorf("%s: point estimate %v outside [%v, %v]", c.name, p, ci.Lo, ci.Hi)
+		}
+	}
+}
+
+func TestWilsonCIWiderAtHigherLevel(t *testing.T) {
+	lo := WilsonCI(7, 10, 0.8)
+	hi := WilsonCI(7, 10, 0.99)
+	if hi.Hi-hi.Lo <= lo.Hi-lo.Lo {
+		t.Errorf("99%% interval [%v,%v] not wider than 80%% [%v,%v]",
+			hi.Lo, hi.Hi, lo.Lo, lo.Hi)
+	}
+}
+
+func TestWilsonCIPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		s, n  int
+		level float64
+	}{
+		{"zero n", 0, 0, 0.95},
+		{"negative n", 1, -1, 0.95},
+		{"negative successes", -1, 10, 0.95},
+		{"successes > n", 11, 10, 0.95},
+		{"level 0", 5, 10, 0},
+		{"level 1", 5, 10, 1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: WilsonCI(%d, %d, %v) did not panic", c.name, c.s, c.n, c.level)
+				}
+			}()
+			WilsonCI(c.s, c.n, c.level)
+		}()
+	}
+}
