@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -371,20 +372,41 @@ func (p *progressMeter) update(done, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	elapsed := now.Sub(p.start).Seconds()
+	fmt.Fprint(p.w, progressLine(done, total, elapsed))
+	if done == total {
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		fmt.Fprintf(p.w, "\rsweep: %d cells in %.1fs (%.1f cells/s)          \n",
+			total, elapsed, float64(done)/elapsed)
+	}
+}
+
+// progressLine formats one live progress report. Before the first cell
+// completes there is no rate to extrapolate an ETA from, and a zero
+// elapsed or zero total would turn the arithmetic into 0/Inf/NaN — those
+// states print "ETA --" (and 0%) instead of a nonsense number. The ETA is
+// clamped to finite values: a pathological clock reading never leaks
+// "+Inf" to the terminal.
+func progressLine(done, total int, elapsed float64) string {
 	if elapsed <= 0 {
 		elapsed = 1e-9
 	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
 	rate := float64(done) / elapsed
-	eta := 0.0
-	if rate > 0 {
-		eta = float64(total-done) / rate
+	eta := "--"
+	if done > 0 && done < total && rate > 0 {
+		if v := (float64(total - done)) / rate; !math.IsInf(v, 0) && !math.IsNaN(v) {
+			eta = fmt.Sprintf("%.1fs", v)
+		}
+	} else if done == total && total > 0 {
+		eta = "0.0s"
 	}
-	fmt.Fprintf(p.w, "\rsweep: %d/%d cells (%.0f%%)  %.1f cells/s  ETA %.1fs ",
-		done, total, 100*float64(done)/float64(total), rate, eta)
-	if done == total {
-		fmt.Fprintf(p.w, "\rsweep: %d cells in %.1fs (%.1f cells/s)          \n",
-			total, elapsed, rate)
-	}
+	return fmt.Sprintf("\rsweep: %d/%d cells (%.0f%%)  %.1f cells/s  ETA %s ",
+		done, total, pct, rate, eta)
 }
 
 // printReliability dumps one row per grid cell with the fault-replay

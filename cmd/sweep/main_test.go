@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"os"
@@ -259,5 +260,53 @@ func TestRunConfigWithSLABlock(t *testing.T) {
 	}
 	if err := run(options{seed: 1, table: "none", confPath: missPath}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProgressLineETA(t *testing.T) {
+	cases := []struct {
+		name         string
+		done, total  int
+		elapsed      float64
+		want, forbid string
+	}{
+		{"before first cell", 0, 228, 0.5, "ETA -- ", ""},
+		{"zero elapsed", 0, 228, 0, "ETA -- ", ""},
+		{"zero total", 0, 0, 1.0, "(0%)", ""},
+		{"mid sweep", 114, 228, 10.0, "ETA 10.0s ", ""},
+		{"done", 228, 228, 20.0, "ETA 0.0s ", ""},
+		{"instant cells", 3, 228, 1e-12, "", ""},
+	}
+	for _, c := range cases {
+		line := progressLine(c.done, c.total, c.elapsed)
+		for _, bad := range []string{"Inf", "NaN", "ETA 0.0s "} {
+			if bad == "ETA 0.0s " && c.done > 0 {
+				// A real (tiny or finished) ETA may round to 0.0s; only a
+				// zero-completion ETA is inherently nonsense.
+				continue
+			}
+			if strings.Contains(line, bad) {
+				t.Errorf("%s: progressLine(%d, %d, %g) = %q contains %q",
+					c.name, c.done, c.total, c.elapsed, line, bad)
+			}
+		}
+		if c.want != "" && !strings.Contains(line, c.want) {
+			t.Errorf("%s: progressLine(%d, %d, %g) = %q, want substring %q",
+				c.name, c.done, c.total, c.elapsed, line, c.want)
+		}
+	}
+}
+
+func TestProgressMeterFinishLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressMeter(&buf)
+	p.update(0, 4)
+	p.update(4, 4)
+	out := buf.String()
+	if !strings.Contains(out, "4 cells in") {
+		t.Errorf("completion line missing: %q", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("meter output contains non-finite values: %q", out)
 	}
 }

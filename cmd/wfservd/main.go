@@ -16,6 +16,8 @@
 //	GET  /metrics       Prometheus text exposition (?format=json for the
 //	                    legacy snapshot document)
 //	GET  /healthz       200 serving / 503 draining
+//	GET  /debug/flight  flight recorder: the last -flight-size requests as
+//	                    NDJSON (?format=trace for a Chrome-trace document)
 //	GET  /debug/pprof/  runtime profiles     (only with -pprof)
 //	GET  /debug/vars    expvar metric bridge (only with -pprof)
 //
@@ -55,6 +57,7 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		pprofOn = flag.Bool("pprof", false, "mount /debug/pprof/* and /debug/vars")
 		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+		flightN = flag.Int("flight-size", 0, "flight-recorder capacity in requests (0 = 256)")
 	)
 	flag.Parse()
 
@@ -67,6 +70,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheSize:      *cacheN,
 		RequestTimeout: *timeout,
+		FlightSize:     *flightN,
 	}
 	if !*quiet {
 		cfg.Logger = logger

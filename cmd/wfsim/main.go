@@ -79,6 +79,7 @@ func main() {
 		deadline   = flag.Float64("deadline", 0, "SLA mode: deadline in seconds; -wf names an ndwf template (0 = off)")
 		confidence = flag.Float64("confidence", 0.95, "SLA mode: required P(makespan <= deadline)")
 		samples    = flag.Int("samples", 200, "SLA mode: Monte-Carlo template instances per candidate")
+		explain    = flag.Bool("explain", false, "SLA mode: print the decision audit (per-candidate verdicts and winner rationale)")
 	)
 	flag.Parse()
 
@@ -119,7 +120,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wfsim: -market-seed does not apply to SLA mode (presets keep their pinned seeds)")
 			os.Exit(1)
 		}
-		if err := runSLA(*wfArg, *strategy, strategySet, *deadline, *confidence, *samples, *seed, *region, *marketArg, faults); err != nil {
+		if err := runSLA(*wfArg, *strategy, strategySet, *deadline, *confidence, *samples, *seed, *region, *marketArg, faults, *explain); err != nil {
 			fmt.Fprintln(os.Stderr, "wfsim:", err)
 			os.Exit(1)
 		}
@@ -141,8 +142,10 @@ func main() {
 // An explicitly set -strategy restricts the portfolio to that one
 // strategy; -market likewise restricts the market presets. A search that
 // completes but misses the target still prints the full report and then
-// exits non-zero, so scripts can branch on the verdict.
-func runSLA(wfArg, strategy string, strategySet bool, deadline, confidence float64, samples int, seed uint64, regionName, marketArg string, faults *fault.Config) error {
+// exits non-zero, so scripts can branch on the verdict. With explain the
+// report is followed by the decision audit: one row per candidate in
+// portfolio order with its fate and rationale.
+func runSLA(wfArg, strategy string, strategySet bool, deadline, confidence float64, samples int, seed uint64, regionName, marketArg string, faults *fault.Config, explain bool) error {
 	tpl, err := loadTemplate(wfArg)
 	if err != nil {
 		return err
@@ -184,6 +187,10 @@ func runSLA(wfArg, strategy string, strategySet bool, deadline, confidence float
 		tpl.Name, exp.Len(), samples, seed)
 	fmt.Printf("region     %s\n\n", region)
 	fmt.Print(sla.Render(sr))
+	if explain {
+		fmt.Println()
+		fmt.Print(sla.RenderExplain(sr))
+	}
 	if searchErr != nil {
 		return fmt.Errorf("deadline %g s not met at P >= %g", deadline, confidence)
 	}

@@ -194,13 +194,13 @@ func TestMarketModelFlag(t *testing.T) {
 
 func TestRunSLANamedTemplate(t *testing.T) {
 	// Generous deadline: the full portfolio search succeeds and selects.
-	if err := runSLA("order", "", false, 4000, 0.9, 20, 7, "us-east-virginia", "", nil); err != nil {
+	if err := runSLA("order", "", false, 4000, 0.9, 20, 7, "us-east-virginia", "", nil, false); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunSLARestrictedStrategyAndMarket(t *testing.T) {
-	if err := runSLA("order", "allparexceed-l", true, 4000, 0.9, 10, 7, "us-east-virginia", "ondemand-min", nil); err != nil {
+	if err := runSLA("order", "allparexceed-l", true, 4000, 0.9, 10, 7, "us-east-virginia", "ondemand-min", nil, false); err != nil {
 		t.Error(err)
 	}
 }
@@ -208,7 +208,7 @@ func TestRunSLARestrictedStrategyAndMarket(t *testing.T) {
 func TestRunSLAMissExitsWithError(t *testing.T) {
 	// A deadline below the certain minimum: pruned everywhere, reported
 	// as an error so the process exits non-zero.
-	if err := runSLA("order", "", false, 100, 0.95, 10, 7, "us-east-virginia", "", nil); err == nil {
+	if err := runSLA("order", "", false, 100, 0.95, 10, 7, "us-east-virginia", "", nil, false); err == nil {
 		t.Error("impossible deadline reported as met")
 	}
 }
@@ -220,22 +220,29 @@ func TestRunSLATemplateFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSLA(path, "", false, 5000, 0.9, 10, 1, "us-east-virginia", "", nil); err != nil {
+	if err := runSLA(path, "", false, 5000, 0.9, 10, 1, "us-east-virginia", "", nil, false); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunSLABadInputs(t *testing.T) {
-	if err := runSLA("no-such-template", "", false, 100, 0.95, 5, 1, "us-east-virginia", "", nil); err == nil {
+	if err := runSLA("no-such-template", "", false, 100, 0.95, 5, 1, "us-east-virginia", "", nil, false); err == nil {
 		t.Error("unknown template accepted")
 	}
-	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "us-east-virginia", "bazaar", nil); err == nil {
+	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "us-east-virginia", "bazaar", nil, false); err == nil {
 		t.Error("unknown market preset accepted")
 	}
-	if err := runSLA("order", "nope", true, 100, 0.95, 5, 1, "us-east-virginia", "", nil); err == nil {
+	if err := runSLA("order", "nope", true, 100, 0.95, 5, 1, "us-east-virginia", "", nil, false); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "moonbase", "", nil); err == nil {
+	if err := runSLA("order", "", false, 100, 0.95, 5, 1, "moonbase", "", nil, false); err == nil {
 		t.Error("unknown region accepted")
+	}
+}
+
+func TestRunSLAExplain(t *testing.T) {
+	// -explain path: the decision audit renders after the report.
+	if err := runSLA("order", "", false, 4000, 0.9, 10, 7, "us-east-virginia", "", nil, true); err != nil {
+		t.Error(err)
 	}
 }

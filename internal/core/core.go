@@ -91,6 +91,14 @@ type Config struct {
 	// the running completion count and the grid size. It is called from
 	// worker goroutines and must be safe for concurrent use and cheap.
 	Progress func(done, total int)
+	// Trace, when non-nil, receives one wall-clock span per grid cell
+	// (named "cell <workflow>/<scenario>/<strategy>"), parented on
+	// TraceSpan — how a service request's trace extends into the sweep.
+	// Spans are appended from worker goroutines in completion order; span
+	// identity stays deterministic, only timestamps and order carry
+	// scheduling noise. Nil (the default) costs one branch per cell.
+	Trace     *obs.Trace
+	TraceSpan obs.SpanID
 	// SLA, when non-nil, is a resolved deadline-constrained portfolio
 	// search (an expconf "sla" block) for the driver to run after the
 	// grid sweep. It does not affect the grid itself.
@@ -266,14 +274,18 @@ func Run(cfg Config) (*Sweep, error) {
 				}
 				j := jobs[i]
 				t0 := time.Since(runStart)
+				cellSpan := cfg.Trace.StartSpan(
+					"cell "+j.p.wfName+"/"+j.p.sc.String()+"/"+j.alg.Name(), cfg.TraceSpan)
 				sch, err := j.alg.Schedule(j.p.w, opts)
 				if err != nil {
 					errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
+					cellSpan.End()
 					continue
 				}
 				if cfg.Paranoid {
 					if err := check(sch); err != nil {
 						errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
+						cellSpan.End()
 						continue
 					}
 				}
@@ -313,6 +325,7 @@ func Run(cfg Config) (*Sweep, error) {
 					if err != nil {
 						errs[i] = fmt.Errorf("core: replay of %s on %s/%v: %w",
 							j.alg.Name(), j.p.wfName, j.p.sc, err)
+						cellSpan.End()
 						continue
 					}
 					if cfg.Paranoid && sc.Faults != nil {
@@ -325,6 +338,7 @@ func Run(cfg Config) (*Sweep, error) {
 						if err != nil {
 							errs[i] = fmt.Errorf("core: fault oracle on %s of %s/%v: %w",
 								j.alg.Name(), j.p.wfName, j.p.sc, err)
+							cellSpan.End()
 							continue
 						}
 					}
@@ -344,6 +358,7 @@ func Run(cfg Config) (*Sweep, error) {
 						End:    time.Since(runStart),
 					}
 				}
+				cellSpan.End()
 				if cfg.Progress != nil {
 					cfg.Progress(int(atomic.AddInt64(&done, 1)), len(jobs))
 				}

@@ -24,6 +24,19 @@ import (
 // Wall-clock spans become one extra "sweep wall-clock" process with one
 // track per worker — the execution timeline of the sweep itself.
 func WriteChromeTrace(w io.Writer, events []Event, walls []WallSpan) error {
+	return WriteChromeTraceSpans(w, events, walls, nil)
+}
+
+// requestsPID is the Chrome-trace process ID of the per-request span
+// tracks — far above any cell pid so the two number spaces never collide.
+const requestsPID = 1_000_000
+
+// WriteChromeTraceSpans is WriteChromeTrace plus request-scoped span
+// sets: each SpanSet renders as one track ("thread") of a dedicated
+// "requests" process, its wall-clock spans nested by interval containment
+// exactly as Perfetto draws same-track X events — the request timeline
+// the flight recorder serves under /debug/flight?format=trace.
+func WriteChromeTraceSpans(w io.Writer, events []Event, walls []WallSpan, requests []SpanSet) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -48,6 +61,30 @@ func WriteChromeTrace(w io.Writer, events []Event, walls []WallSpan) error {
 	// Simulated-time processes: one per cell marker (pid 1, 2, ...).
 	for i, cell := range splitCells(events) {
 		tw.writeCell(i+1, cell.name, cell.events)
+	}
+
+	// Request tracks: one process, one thread per traced request.
+	if len(requests) > 0 {
+		tw.meta(requestsPID, 0, "process_name", map[string]any{"name": "requests"})
+		for i, set := range requests {
+			tid := i + 1
+			tw.meta(requestsPID, tid, "thread_name", map[string]any{"name": set.label()})
+			for _, sp := range set.Spans {
+				end := sp.End
+				if end < sp.Start {
+					end = sp.Start // open span: render as zero-width
+				}
+				args := map[string]any{"span_id": sp.ID.String()}
+				if !sp.Parent.IsZero() {
+					args["parent_id"] = sp.Parent.String()
+				}
+				for _, a := range sp.Attrs {
+					args[a.Key] = a.Value
+				}
+				tw.span(requestsPID, tid, sp.Name, "request",
+					sp.Start*1e6, (end-sp.Start)*1e6, args)
+			}
+		}
 	}
 	if tw.err != nil {
 		return tw.err

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// TestChromeTraceSpotPreemption renders a market-era event stream — a spot
+// lease that boots, runs a task, and is reclaimed by the provider — and
+// checks the exporter surfaces the preemption: an instant "preempt" marker,
+// the lease span renamed "lease (crashed)", and the busy span flagged.
+func TestChromeTraceSpotPreemption(t *testing.T) {
+	lease := &market.Lease{Market: market.Spot, Gran: market.PerSecond}
+	label := "m1.small" + lease.LabelSuffix()
+
+	stream := []Event{
+		{Kind: KindVMLeaseStart, T: 0, VM: 0, Task: -1, Value: 30, Label: label},
+		{Kind: KindTaskStart, T: 30, VM: 0, Task: 0, Attempt: 1, Value: 100, Label: "tA"},
+		{Kind: KindVMPreempt, T: 75, VM: 0, Task: 0},
+		{Kind: KindVMLeaseStop, T: 75, VM: 0, Task: -1, Value: 0.02},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, stream, nil); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var sawPreempt, sawCrashedLease, sawCrashedBusy bool
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "i", "I":
+			if ev["name"] == "preempt" {
+				sawPreempt = true
+				if ev["cat"] != "lease" {
+					t.Errorf("preempt marker cat = %v, want lease", ev["cat"])
+				}
+			}
+		case "X":
+			name, _ := ev["name"].(string)
+			args, _ := ev["args"].(map[string]any)
+			if name == "lease (crashed)" {
+				sawCrashedLease = true
+				if typ, _ := args["type"].(string); typ != label {
+					t.Errorf("crashed lease args.type = %q, want %q", typ, label)
+				}
+			}
+			if name == "tA (crashed)" {
+				sawCrashedBusy = true
+			}
+		}
+	}
+	if !sawPreempt {
+		t.Error("no instant preempt marker in the trace")
+	}
+	if !sawCrashedLease {
+		t.Error("preempted lease not rendered as \"lease (crashed)\"")
+	}
+	if !sawCrashedBusy {
+		t.Error("busy span at preemption not marked crashed")
+	}
+}
+
+// TestChromeTraceMarketLabelsRoundTrip checks that market.LabelSuffix lease
+// labels survive the exporter verbatim — in the VM thread name and the lease
+// span's args — and parse back to the lease terms via market.ParseLabel.
+func TestChromeTraceMarketLabelsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		lease *market.Lease
+	}{
+		{"m1.small", &market.Lease{Market: market.Spot, Gran: market.PerSecond}},
+		{"m2.large", &market.Lease{Market: market.OnDemand, Gran: market.PerMinute}},
+		{"m1.xlarge", &market.Lease{Market: market.OnDemand, Gran: market.PerBTU, Warm: true}},
+	}
+	var stream []Event
+	labels := make([]string, len(cases))
+	for vm, c := range cases {
+		labels[vm] = c.name + c.lease.LabelSuffix()
+		stream = append(stream,
+			Event{Kind: KindVMLeaseStart, T: 0, VM: int32(vm), Task: -1, Label: labels[vm]},
+			Event{Kind: KindTaskStart, T: 0, VM: int32(vm), Task: int32(vm), Attempt: 1, Value: 10},
+			Event{Kind: KindVMLeaseStop, T: 10, VM: int32(vm), Task: -1},
+		)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, stream, nil); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	threadNames := map[string]bool{}
+	leaseTypes := map[string]bool{}
+	for _, ev := range events {
+		args, _ := ev["args"].(map[string]any)
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			if n, _ := args["name"].(string); n != "" {
+				threadNames[n] = true
+			}
+		}
+		if ev["ph"] == "X" && ev["name"] == "lease" {
+			if typ, _ := args["type"].(string); typ != "" {
+				leaseTypes[typ] = true
+			}
+		}
+	}
+	for vm, c := range cases {
+		label := labels[vm]
+		wantThread := "vm" + string(rune('0'+vm)) + " " + label
+		if !threadNames[wantThread] {
+			t.Errorf("thread name %q missing; have %v", wantThread, threadNames)
+		}
+		if !leaseTypes[label] {
+			t.Errorf("lease args.type %q missing; have %v", label, leaseTypes)
+			continue
+		}
+		// Round trip: the label as rendered parses back to the lease terms.
+		typeName, parsed, err := market.ParseLabel(label)
+		if err != nil {
+			t.Errorf("ParseLabel(%q): %v", label, err)
+			continue
+		}
+		if typeName != c.name {
+			t.Errorf("ParseLabel(%q) type = %q, want %q", label, typeName, c.name)
+		}
+		if c.lease.LabelSuffix() == "" {
+			if parsed != nil {
+				t.Errorf("ParseLabel(%q) lease = %+v, want nil for bare label", label, parsed)
+			}
+			continue
+		}
+		if parsed == nil {
+			t.Fatalf("ParseLabel(%q) returned nil lease", label)
+		}
+		if parsed.Market != c.lease.Market || parsed.Gran != c.lease.Gran || parsed.Warm != c.lease.Warm {
+			t.Errorf("ParseLabel(%q) = %+v, want market %v gran %v warm %v",
+				label, parsed, c.lease.Market, c.lease.Gran, c.lease.Warm)
+		}
+	}
+}

@@ -58,6 +58,16 @@ type series struct {
 	buckets     []atomic.Uint64 // histogram bucket counts (last = +Inf)
 	sum         atomicFloat     // histogram sum
 	count       atomic.Uint64   // histogram observation count
+	// exemplars holds, per bucket, the most recent exemplar-annotated
+	// observation (OpenMetrics-style: a trace ID linking the bucket to a
+	// concrete request). Lock-free: an atomic pointer swap per exemplar.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one histogram observation to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // atomicFloat is a float64 updated with CAS — counters and gauges accept
@@ -148,6 +158,7 @@ func (f *family) seriesFor(labelValues []string) *series {
 	s = &series{labelValues: append([]string(nil), labelValues...)}
 	if f.kind == kindHistogram {
 		s.buckets = make([]atomic.Uint64, len(f.bounds)+1)
+		s.exemplars = make([]atomic.Pointer[exemplar], len(f.bounds)+1)
 	}
 	f.series[key] = s
 	f.order = append(f.order, key)
@@ -300,6 +311,20 @@ func (h *Histogram) Observe(v float64) {
 	h.s.sum.Add(v)
 }
 
+// ObserveExemplar records one sample and attaches the trace that
+// produced it as the bucket's exemplar — so a p99 bucket on the scrape
+// names a concrete request to go look up in the flight recorder. An
+// empty trace ID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.s.buckets[i].Add(1)
+	h.s.count.Add(1)
+	h.s.sum.Add(v)
+	if traceID != "" {
+		h.s.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.s.count.Load() }
 
@@ -373,18 +398,36 @@ func (f *family) write(b *strings.Builder) {
 			var cum uint64
 			for i, bound := range f.bounds {
 				cum += s.buckets[i].Load()
-				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-					labelString(f.labels, s.labelValues, "le", formatFloat(bound)), cum)
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+					labelString(f.labels, s.labelValues, "le", formatFloat(bound)), cum,
+					exemplarSuffix(s, i))
 			}
 			cum += s.buckets[len(f.bounds)].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
-				labelString(f.labels, s.labelValues, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n", f.name,
+				labelString(f.labels, s.labelValues, "le", "+Inf"), cum,
+				exemplarSuffix(s, len(f.bounds)))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
 				labelString(f.labels, s.labelValues, "", ""), formatFloat(s.sum.Load()))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
 				labelString(f.labels, s.labelValues, "", ""), s.count.Load())
 		}
 	}
+}
+
+// exemplarSuffix renders a bucket's exemplar in the OpenMetrics shape
+// (" # {trace_id=\"...\"} value"), or "" when the bucket has none. The
+// trailing value stays a plain float so line-oriented scrapers that
+// ignore everything after '#' — and ours, which checks the last field is
+// numeric — both keep parsing.
+func exemplarSuffix(s *series, bucket int) string {
+	if s.exemplars == nil {
+		return ""
+	}
+	ex := s.exemplars[bucket].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.traceID, formatFloat(ex.value))
 }
 
 // labelString renders {k="v",...}, appending one extra pair when extraK

@@ -70,26 +70,41 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // runCached is the shared serve path of the two planning endpoints:
 // answer from the cache, or admit the planning job to the pool and cache
 // its marshaled result. The endpoint name labels the latency series; the
-// request ID rides into the pool job's start/end events.
+// request ID rides into the pool job's start/end events. Each stage marks
+// a span on the request trace — cache_lookup, then queue_wait covering
+// admission and queue time, then plan covering the worker's planning run —
+// and a cache miss's latency observation carries the trace ID as an
+// exemplar, linking /metrics histogram buckets back to /debug/flight.
 func (s *Server) runCached(w http.ResponseWriter, r *http.Request, endpoint string, key cacheKey,
 	plan func(context.Context) (any, error)) {
 	rid := requestID(r.Context())
-	if body, ok := s.cache.Get(key); ok {
+	look, _ := obs.StartSpanCtx(r.Context(), "cache_lookup")
+	body, ok := s.cache.Get(key)
+	if ok {
+		look.SetAttr("result", "hit")
+		look.End()
 		s.met.cacheHits.Inc()
 		s.record(obs.KindCacheHit, rid, 0)
 		writeCached(w, body, true)
 		return
 	}
+	look.SetAttr("result", "miss")
+	look.End()
 	s.met.cacheMisses.Inc()
 	s.record(obs.KindCacheMiss, rid, 0)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	started := time.Now()
+	wait, _ := obs.StartSpanCtx(ctx, "queue_wait")
 	out, err := s.pool.Submit(ctx, func(ctx context.Context) (any, error) {
+		wait.SetAttr("admission", "admitted")
+		wait.End()
 		s.met.inflight.Add(1)
 		s.record(obs.KindJobStart, rid, 0)
+		job, ctx := obs.StartSpanCtx(ctx, "plan")
 		defer func() {
+			job.End()
 			s.record(obs.KindJobEnd, rid, time.Since(started).Seconds())
 			s.met.inflight.Add(-1)
 		}()
@@ -97,16 +112,20 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, endpoint stri
 	})
 	switch {
 	case errors.Is(err, errQueueFull):
+		wait.SetAttr("admission", "rejected")
+		wait.End()
 		s.met.rejected.Inc()
 		s.record(obs.KindQueueReject, rid, 0)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, "submission queue full, retry later")
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		wait.End()
 		s.met.timeouts.Inc()
 		s.writeError(w, http.StatusServiceUnavailable, "request timed out after %v", s.cfg.RequestTimeout)
 		return
 	case err != nil:
+		wait.End()
 		s.writeError(w, http.StatusInternalServerError, "planning failed: %v", err)
 		return
 	}
@@ -118,7 +137,12 @@ func (s *Server) runCached(w http.ResponseWriter, r *http.Request, endpoint stri
 	}
 	body = append(body, '\n')
 	s.cache.Put(key, body)
-	s.met.latency.With(endpoint).Observe(time.Since(started).Seconds())
+	dur := time.Since(started).Seconds()
+	if tid := obs.TraceFrom(r.Context()).ID(); !tid.IsZero() {
+		s.met.latency.With(endpoint).ObserveExemplar(dur, tid.String())
+	} else {
+		s.met.latency.With(endpoint).Observe(dur)
+	}
 	writeCached(w, body, false)
 }
 
@@ -144,8 +168,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	key := problemKey("schedule", res.structural, res.scenario.String(), res.alg.Name(),
 		res.region, res.seed, res.simulate, res.bootS, res.faults,
 		res.marketName, marketSeed, res.debug)
-	s.runCached(w, r, "schedule", key, func(context.Context) (any, error) {
-		return s.planSchedule(res)
+	s.runCached(w, r, "schedule", key, func(ctx context.Context) (any, error) {
+		return s.planSchedule(ctx, res)
 	})
 }
 
@@ -166,22 +190,26 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	key := problemKey("compare", res.structural, res.scenario.String(), "",
 		res.region, res.seed, false, 0, nil, "none", 0, false)
-	s.runCached(w, r, "compare", key, func(context.Context) (any, error) {
-		return s.planCompare(res)
+	s.runCached(w, r, "compare", key, func(ctx context.Context) (any, error) {
+		return s.planCompare(ctx, res)
 	})
 }
 
 // planSchedule runs one strategy (plus the baseline) on one workflow.
-func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
+func (s *Server) planSchedule(ctx context.Context, res *resolved) (*ScheduleResponse, error) {
 	// Apply returns a frozen workflow: an immutable snapshot both the
 	// strategy and the baseline schedule from directly, no clones.
 	wf := res.scenario.Apply(res.structural, res.seed)
 	opts := sched.Options{Platform: cloud.NewPlatform(), Region: res.region, Market: res.market}
+	span, ctx := obs.StartSpanCtx(ctx, "schedule")
+	span.SetAttr("strategy", res.alg.Name())
 	sch, err := res.alg.Schedule(wf, opts)
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("%s on %s: %w", res.alg.Name(), res.wfName, err)
 	}
 	base, err := sched.Baseline().Schedule(wf, opts)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("baseline on %s: %w", res.wfName, err)
 	}
@@ -223,11 +251,14 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 		out.VMs = append(out.VMs, vj)
 	}
 	if res.debug {
+		osp, _ := obs.StartSpanCtx(ctx, "oracle")
 		out.Oracle = &OracleJSON{Passed: true}
 		if oerr := validate.PlanSim(sch); oerr != nil {
 			out.Oracle.Passed = false
 			out.Oracle.Divergence = oerr.Error()
 		}
+		osp.SetAttr("passed", fmt.Sprint(out.Oracle.Passed))
+		osp.End()
 	}
 	if res.simulate {
 		simRes, err := sim.Run(sch, sim.Config{BootTime: res.bootS, Faults: res.faults})
@@ -272,7 +303,9 @@ func (s *Server) planSchedule(res *resolved) (*ScheduleResponse, error) {
 // request-level parallelism already comes from the service's pool, and
 // nesting a second fan-out per request would oversubscribe the host under
 // load.
-func (s *Server) planCompare(res *resolved) (*CompareResponse, error) {
+func (s *Server) planCompare(ctx context.Context, res *resolved) (*CompareResponse, error) {
+	span, ctx := obs.StartSpanCtx(ctx, "sweep")
+	defer span.End()
 	cfg := core.Config{
 		Seed:          res.seed,
 		Region:        res.region,
@@ -280,6 +313,8 @@ func (s *Server) planCompare(res *resolved) (*CompareResponse, error) {
 		WorkflowOrder: []string{res.wfName},
 		Scenarios:     []workload.Scenario{res.scenario},
 		Workers:       1,
+		Trace:         obs.TraceFrom(ctx),
+		TraceSpan:     span.ID(),
 	}
 	sw, err := core.Run(cfg)
 	if err != nil {
@@ -360,6 +395,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	s.met.reg.WritePrometheus(w) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's retained
+// request records (always on, last FlightSize requests) as NDJSON oldest
+// first, or — with ?format=trace — as a Chrome-trace document with one
+// track per request, loadable in Perfetto alongside the simulator
+// timelines.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	recs := s.flight.Records()
+	if r.URL.Query().Get("format") == "trace" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		obs.WriteChromeTraceSpans(w, nil, nil, obs.SpanSets(recs)) //nolint:errcheck // the connection is gone; nothing to do
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteFlightNDJSON(w, recs) //nolint:errcheck // the connection is gone; nothing to do
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the

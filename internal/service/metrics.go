@@ -1,6 +1,7 @@
 package service
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/obs"
@@ -14,7 +15,7 @@ var latencyBuckets = obs.ExponentialBuckets(10e-6, 2, 28)
 
 // endpointNames are the label values of wfservd_requests_total, fixed up
 // front so every series exists from the first scrape.
-var endpointNames = []string{"schedule", "compare", "sla", "catalog", "metrics", "healthz", "other"}
+var endpointNames = []string{"schedule", "compare", "sla", "catalog", "metrics", "healthz", "flight", "other"}
 
 // endpointOf maps a request path to its metrics label.
 func endpointOf(path string) string {
@@ -31,6 +32,8 @@ func endpointOf(path string) string {
 		return "metrics"
 	case "/healthz":
 		return "healthz"
+	case "/debug/flight":
+		return "flight"
 	}
 	return "other"
 }
@@ -141,6 +144,9 @@ func (m *serviceMetrics) registerRuntime(s *Server) {
 	m.reg.GaugeFunc("wfservd_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(m.start).Seconds() })
+	m.reg.GaugeFunc("wfservd_goroutines",
+		"Goroutines live in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	m.reg.GaugeFunc("wfservd_queue_depth",
 		"Jobs waiting in the submission queue.",
 		func() float64 { return float64(s.pool.Depth()) })

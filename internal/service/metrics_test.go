@@ -1,6 +1,8 @@
 package service
 
 import (
+	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,13 +64,14 @@ func TestLatencyConcurrentObserve(t *testing.T) {
 
 func TestEndpointOf(t *testing.T) {
 	for path, want := range map[string]string{
-		"/v1/schedule": "schedule",
-		"/v1/compare":  "compare",
-		"/v1/catalog":  "catalog",
-		"/metrics":     "metrics",
-		"/healthz":     "healthz",
-		"/debug/vars":  "other",
-		"/":            "other",
+		"/v1/schedule":  "schedule",
+		"/v1/compare":   "compare",
+		"/v1/catalog":   "catalog",
+		"/metrics":      "metrics",
+		"/healthz":      "healthz",
+		"/debug/flight": "flight",
+		"/debug/vars":   "other",
+		"/":             "other",
 	} {
 		if got := endpointOf(path); got != want {
 			t.Errorf("endpointOf(%q) = %q, want %q", path, got, want)
@@ -122,14 +125,17 @@ func parsePrometheusText(t *testing.T, text string) map[string]float64 {
 	t.Helper()
 	series := map[string]float64{}
 	typed := map[string]string{}
+	helped := map[string]bool{}
 	for ln, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
 		}
 		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
-			if name, _, ok := strings.Cut(rest, " "); !ok || name == "" {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
 				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
 			}
+			helped[name] = true
 			continue
 		}
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
@@ -148,13 +154,29 @@ func parsePrometheusText(t *testing.T, text string) map[string]float64 {
 		if strings.HasPrefix(line, "#") {
 			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
 		}
+		// A histogram bucket may carry an OpenMetrics-style exemplar after
+		// " # " — strip it (validating its shape) before parsing the sample.
+		sample := line
+		if body, ex, ok := strings.Cut(line, " # "); ok {
+			sample = body
+			exIdx := strings.LastIndexByte(ex, ' ')
+			if !strings.HasPrefix(ex, "{") || exIdx < 0 {
+				t.Fatalf("line %d: malformed exemplar: %q", ln+1, line)
+			}
+			if _, err := strconv.ParseFloat(ex[exIdx+1:], 64); err != nil {
+				t.Fatalf("line %d: bad exemplar value: %v", ln+1, err)
+			}
+			if !strings.Contains(sample, "_bucket") {
+				t.Fatalf("line %d: exemplar outside a histogram bucket: %q", ln+1, line)
+			}
+		}
 		// name{labels} value — labels may contain spaces inside quotes, but
 		// the value is always the last space-separated field.
-		idx := strings.LastIndexByte(line, ' ')
+		idx := strings.LastIndexByte(sample, ' ')
 		if idx < 0 {
 			t.Fatalf("line %d: no value: %q", ln+1, line)
 		}
-		name, valStr := line[:idx], line[idx+1:]
+		name, valStr := sample[:idx], sample[idx+1:]
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
@@ -172,6 +194,9 @@ func parsePrometheusText(t *testing.T, text string) map[string]float64 {
 			if _, ok := typed[famBase]; !ok {
 				t.Fatalf("line %d: series %q has no preceding # TYPE", ln+1, base)
 			}
+		}
+		if !helped[base] && !helped[famBase] {
+			t.Fatalf("line %d: series %q has no preceding # HELP", ln+1, base)
 		}
 		series[name] = val
 	}
@@ -202,5 +227,35 @@ func TestWritePrometheusParses(t *testing.T) {
 	inf := series[`wfservd_plan_duration_seconds_bucket{endpoint="schedule",le="+Inf"}`]
 	if count := series[`wfservd_plan_duration_seconds_count{endpoint="schedule"}`]; inf != count {
 		t.Fatalf("+Inf bucket %v != count %v", inf, count)
+	}
+}
+
+// TestMetricsEndpointHygiene scrapes a live server's GET /metrics and
+// holds the exposition to the format contract: every family's HELP/TYPE
+// lines precede its samples (parsePrometheusText fails otherwise, even
+// with exemplars attached), and the process gauges — uptime and goroutine
+// count — are present and sane.
+func TestMetricsEndpointHygiene(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 64})
+	// Exercise a planning path first so a latency histogram has samples
+	// (and an exemplar) in the exposition.
+	if resp, body := postJSON(t, ts.URL+"/v1/sla", slaTraceBody); resp.StatusCode != 200 {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := parsePrometheusText(t, string(text))
+	if v, ok := series["wfservd_uptime_seconds"]; !ok || v < 0 {
+		t.Errorf("wfservd_uptime_seconds = %v, present %v", v, ok)
+	}
+	if v, ok := series["wfservd_goroutines"]; !ok || v < 1 {
+		t.Errorf("wfservd_goroutines = %v, present %v (a serving process has goroutines)", v, ok)
 	}
 }

@@ -58,6 +58,10 @@ type Config struct {
 	// server start and the request ID. Nil falls back to obs.Default()
 	// (the OBSDEBUG env toggle).
 	Recorder obs.Recorder
+	// FlightSize bounds the always-on flight recorder: the last N requests
+	// (trace, route, status, outcome, spans) kept for GET /debug/flight
+	// regardless of OBSDEBUG. 0 selects 256.
+	FlightSize int
 }
 
 // Fill substitutes defaults for zero fields and returns the config.
@@ -77,6 +81,9 @@ func (c Config) Fill() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = 256
+	}
 	return c
 }
 
@@ -88,6 +95,7 @@ type Server struct {
 	met      *serviceMetrics
 	mux      *http.ServeMux
 	rec      obs.Recorder
+	flight   *obs.Flight
 	logger   *slog.Logger
 	reqSeq   atomic.Uint64 // request-ID allocator
 	active   atomic.Int64  // requests currently inside Handler
@@ -108,6 +116,7 @@ func New(cfg Config) *Server {
 		met:    newServiceMetrics(),
 		mux:    http.NewServeMux(),
 		rec:    rec,
+		flight: obs.NewFlight(cfg.FlightSize),
 		logger: cfg.Logger,
 	}
 	s.met.registerRuntime(s)
@@ -117,6 +126,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	return s
 }
 
@@ -142,21 +152,54 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // Handler returns the service's HTTP handler: per-request accounting,
-// request-ID assignment (honoring an inbound X-Request-ID), and one
-// structured log line per request when a logger is configured.
+// request-ID assignment (honoring an inbound X-Request-ID), trace-context
+// propagation, and one structured log line per request when a logger is
+// configured.
+//
+// Every request gets a trace: the inbound W3C traceparent header is
+// honored (its trace ID continues, its span ID parents the root span);
+// without one the trace ID is derived deterministically from the request
+// ID, so a replayed request traces identically. The response always
+// carries a traceparent header naming the root span, and the completed
+// trace lands in the flight recorder with the request's route, status and
+// outcome.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
 			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
 		}
+		traceID, remote, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = obs.DeriveTraceID("wfservd", id)
+		}
+		trace := obs.NewTrace(traceID, remote, func() float64 {
+			return time.Since(s.met.start).Seconds()
+		})
+		root := trace.StartSpan(r.Method+" "+r.URL.Path, obs.SpanID{})
+		root.SetAttr("request_id", id)
+
 		s.met.requests.With(endpointOf(r.URL.Path)).Inc()
 		s.active.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		w.Header().Set("traceparent", obs.Traceparent(traceID, root.ID()))
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx = obs.ContextWithTrace(ctx, trace)
+		ctx = obs.ContextWithSpan(ctx, root.ID())
+		r = r.WithContext(ctx)
 		s.mux.ServeHTTP(sw, r)
+		root.End()
+		s.flight.Record(obs.FlightRecord{
+			Trace:    traceID,
+			Route:    endpointOf(r.URL.Path),
+			Status:   sw.code,
+			Start:    time.Since(s.met.start).Seconds() - time.Since(start).Seconds(),
+			Duration: time.Since(start).Seconds(),
+			Outcome:  outcomeOf(sw),
+			Spans:    trace.TakeSpans(),
+		})
 		s.active.Add(-1)
 		if s.Draining() {
 			// A request that finishes after SIGTERM is a drain success:
@@ -172,6 +215,23 @@ func (s *Server) Handler() http.Handler {
 				"duration_ms", float64(time.Since(start).Microseconds())/1000)
 		}
 	})
+}
+
+// outcomeOf classifies a finished request for its flight record: the
+// admission-control and timeout statuses get their own labels, other
+// non-2xx answers are "error", and successes split on the cache header.
+func outcomeOf(sw *statusWriter) string {
+	switch {
+	case sw.code == http.StatusTooManyRequests:
+		return "rejected"
+	case sw.code == http.StatusServiceUnavailable:
+		return "timeout"
+	case sw.code >= 400:
+		return "error"
+	case sw.Header().Get("X-Cache") == "HIT":
+		return "cache_hit"
+	}
+	return "ok"
 }
 
 // record emits one service lifecycle event, stamped with wall seconds

@@ -15,6 +15,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/market"
 	"repro/internal/ndwf"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sla"
 )
@@ -130,6 +131,36 @@ type SLAResponse struct {
 	// template instances actually scheduled.
 	Considered       int `json:"considered"`
 	SampledInstances int `json:"sampled_instances"`
+	// Explain is the search's decision audit: every candidate's verdict in
+	// portfolio order plus the winner rationale. Its pruned and sampled
+	// counts always sum to portfolio_size.
+	Explain *SLAExplainJSON `json:"explain"`
+}
+
+// SLAVerdictJSON is one candidate's entry in the decision audit.
+type SLAVerdictJSON struct {
+	Strategy string `json:"strategy"`
+	Market   string `json:"market"`
+	// Fate is "pruned" or "sampled".
+	Fate          string  `json:"fate"`
+	BoundMinS     float64 `json:"bound_min_s"`
+	BoundEstimate float64 `json:"bound_estimate"`
+	// Sampled candidates only.
+	MeetProbability float64 `json:"meet_probability,omitempty"`
+	MeanCostUSD     float64 `json:"mean_cost_usd,omitempty"`
+	Met             bool    `json:"met,omitempty"`
+	Winner          bool    `json:"winner,omitempty"`
+	Reason          string  `json:"reason"`
+}
+
+// SLAExplainJSON is the decision-audit block of an SLA response.
+type SLAExplainJSON struct {
+	PortfolioSize int              `json:"portfolio_size"`
+	PrunedCount   int              `json:"pruned_count"`
+	SampledCount  int              `json:"sampled_count"`
+	Winner        string           `json:"winner,omitempty"`
+	Rationale     string           `json:"rationale"`
+	Verdicts      []SLAVerdictJSON `json:"verdicts"`
 }
 
 // resolvedSLA is a fully validated SLA search problem.
@@ -325,14 +356,21 @@ func (s *Server) handleSLA(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr.code, "%s", herr.msg)
 		return
 	}
-	s.runCached(w, r, "sla", slaKey(res), func(context.Context) (any, error) {
-		return s.planSLA(res)
+	s.runCached(w, r, "sla", slaKey(res), func(ctx context.Context) (any, error) {
+		return s.planSLA(ctx, res)
 	})
 }
 
 // planSLA runs the deadline-constrained portfolio search.
-func (s *Server) planSLA(res *resolvedSLA) (*SLAResponse, error) {
-	sr, err := sla.Search(res.tpl, res.cfg)
+func (s *Server) planSLA(ctx context.Context, res *resolvedSLA) (*SLAResponse, error) {
+	span, ctx := obs.StartSpanCtx(ctx, "sla_search")
+	defer span.End()
+	// Copy the resolved config before attaching the request trace: the
+	// resolved problem is request state, the trace is this execution's.
+	cfg := res.cfg
+	cfg.Trace = obs.TraceFrom(ctx)
+	cfg.TraceParent = span.ID()
+	sr, err := sla.Search(res.tpl, cfg)
 	met := err == nil
 	if err != nil && !errors.Is(err, sla.ErrNoStrategyMeets) {
 		return nil, err
@@ -364,7 +402,35 @@ func (s *Server) planSLA(res *resolvedSLA) (*SLAResponse, error) {
 			Strategy: p.Strategy, Market: p.Market, BoundMinS: p.Bound.MinMakespan,
 		})
 	}
+	out.Explain = slaExplainJSON(&sr.Audit)
 	return out, nil
+}
+
+// slaExplainJSON flattens the search's decision audit for the response.
+func slaExplainJSON(a *sla.Audit) *SLAExplainJSON {
+	e := &SLAExplainJSON{
+		PortfolioSize: a.PortfolioSize,
+		PrunedCount:   a.PrunedCount,
+		SampledCount:  a.SampledCount,
+		Winner:        a.Winner,
+		Rationale:     a.Rationale,
+		Verdicts:      make([]SLAVerdictJSON, 0, len(a.Verdicts)),
+	}
+	for _, v := range a.Verdicts {
+		e.Verdicts = append(e.Verdicts, SLAVerdictJSON{
+			Strategy:        v.Strategy,
+			Market:          v.Market,
+			Fate:            v.Fate,
+			BoundMinS:       v.BoundMinS,
+			BoundEstimate:   v.BoundEstimate,
+			MeetProbability: v.MeetProbability,
+			MeanCostUSD:     v.MeanCostUSD,
+			Met:             v.Met,
+			Winner:          v.Winner,
+			Reason:          v.Reason,
+		})
+	}
+	return e
 }
 
 // slaCandidateJSON flattens one sampled candidate for the response.

@@ -1,0 +1,74 @@
+package sla
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict is one candidate's entry in the decision audit: what the search
+// did with it (pruned by the analytic bound, or sampled), the numbers that
+// drove the decision, and a one-line human rationale. Verdicts appear in
+// portfolio order — the order Search visited the candidates — not the
+// cost-sorted order of SearchResult.Results.
+type Verdict struct {
+	Strategy string
+	Market   string
+	// Fate is "pruned" or "sampled".
+	Fate string
+	// BoundMinS is the candidate's certain analytic lower bound on any
+	// instance's makespan; BoundEstimate the analytic meet estimate the
+	// prune decision consulted.
+	BoundMinS     float64
+	BoundEstimate float64
+	// MeetProbability, MeanCostUSD and Met are filled for sampled
+	// candidates only.
+	MeetProbability float64
+	MeanCostUSD     float64
+	Met             bool
+	// Winner marks the candidate Search selected as Best.
+	Winner bool
+	// Reason is the one-line rationale for this candidate's outcome.
+	Reason string
+}
+
+// Audit is the decision record of one portfolio search: every candidate's
+// verdict plus the winner rationale. The counts always satisfy
+// PrunedCount + SampledCount == PortfolioSize — the audit accounts for
+// every candidate exactly once.
+type Audit struct {
+	PortfolioSize int
+	PrunedCount   int
+	SampledCount  int
+	// Winner is "strategy@market" of the selected candidate, or "" when
+	// every candidate was pruned.
+	Winner string
+	// Rationale is the one-line explanation of the overall outcome.
+	Rationale string
+	// Verdicts lists every portfolio candidate in visit order.
+	Verdicts []Verdict
+}
+
+// RenderExplain formats the audit as the text block wfsim -explain prints:
+// one row per candidate in portfolio order with its fate and rationale,
+// then the winner line.
+func RenderExplain(sr SearchResult) string {
+	a := sr.Audit
+	var b strings.Builder
+	fmt.Fprintf(&b, "decision audit: %d candidates, %d pruned, %d sampled\n\n",
+		a.PortfolioSize, a.PrunedCount, a.SampledCount)
+	fmt.Fprintf(&b, "  %-7s %-22s %-14s  %s\n", "fate", "strategy", "market", "rationale")
+	for _, v := range a.Verdicts {
+		mark := " "
+		if v.Winner {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s %-7s %-22s %-14s  %s\n", mark, v.Fate, v.Strategy, v.Market, v.Reason)
+	}
+	b.WriteString("\n")
+	if a.Winner == "" {
+		fmt.Fprintf(&b, "winner: none — %s\n", a.Rationale)
+	} else {
+		fmt.Fprintf(&b, "winner: %s — %s\n", a.Winner, a.Rationale)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package sla
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndwf"
+)
+
+// TestAuditAccountsForWholePortfolio holds Search to the audit invariant:
+// every portfolio candidate appears exactly once in the verdict list, the
+// pruned/sampled counts sum to the portfolio size, and a met search marks
+// exactly one winner consistent with Best.
+func TestAuditAccountsForWholePortfolio(t *testing.T) {
+	res, err := Search(ndwf.Order(), orderSearchConfig(4000, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Audit
+	if a.PortfolioSize != res.Considered {
+		t.Fatalf("audit portfolio %d != considered %d", a.PortfolioSize, res.Considered)
+	}
+	if a.PrunedCount+a.SampledCount != a.PortfolioSize {
+		t.Fatalf("%d pruned + %d sampled != %d portfolio",
+			a.PrunedCount, a.SampledCount, a.PortfolioSize)
+	}
+	if len(a.Verdicts) != a.PortfolioSize {
+		t.Fatalf("%d verdicts for a portfolio of %d", len(a.Verdicts), a.PortfolioSize)
+	}
+	seen := map[string]bool{}
+	winners := 0
+	for _, v := range a.Verdicts {
+		key := v.Strategy + "@" + v.Market
+		if seen[key] {
+			t.Errorf("candidate %s audited twice", key)
+		}
+		seen[key] = true
+		if v.Reason == "" {
+			t.Errorf("%s: empty reason", key)
+		}
+		switch v.Fate {
+		case "pruned":
+			if v.Winner {
+				t.Errorf("%s: pruned candidate marked winner", key)
+			}
+		case "sampled":
+			if v.Winner {
+				winners++
+			}
+		default:
+			t.Errorf("%s: fate %q", key, v.Fate)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("met search marked %d winners, want 1", winners)
+	}
+	if res.Best == nil {
+		t.Fatal("met search has no Best")
+	}
+	if want := res.Best.Strategy + "@" + res.Best.Market; a.Winner != want {
+		t.Fatalf("audit winner %q, Best is %q", a.Winner, want)
+	}
+	if a.Rationale == "" {
+		t.Fatal("met search has no winner rationale")
+	}
+}
+
+// TestAuditAllPruned: an impossible deadline prunes everything; the audit
+// still accounts for the whole portfolio with no winner.
+func TestAuditAllPruned(t *testing.T) {
+	res, err := Search(ndwf.Order(), orderSearchConfig(1, 0.95))
+	if err == nil {
+		t.Fatal("1-second deadline reported as satisfiable")
+	}
+	a := res.Audit
+	if a.PrunedCount != a.PortfolioSize || a.SampledCount != 0 {
+		t.Fatalf("counts: %d pruned, %d sampled, %d portfolio",
+			a.PrunedCount, a.SampledCount, a.PortfolioSize)
+	}
+	if a.Winner != "" {
+		t.Fatalf("all-pruned search has winner %q", a.Winner)
+	}
+	for _, v := range a.Verdicts {
+		if v.Fate != "pruned" {
+			t.Errorf("%s@%s: fate %q, want pruned", v.Strategy, v.Market, v.Fate)
+		}
+	}
+}
+
+// TestRenderExplain smoke-tests the human rendering: one row per verdict,
+// the winner starred, the rationale on its own line.
+func TestRenderExplain(t *testing.T) {
+	res, err := Search(ndwf.Order(), orderSearchConfig(4000, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderExplain(res)
+	for _, v := range res.Audit.Verdicts {
+		if !strings.Contains(out, v.Strategy) {
+			t.Errorf("explain output missing candidate %s@%s", v.Strategy, v.Market)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < len(res.Audit.Verdicts)+3 {
+		t.Errorf("explain output has %d lines for %d verdicts", lines, len(res.Audit.Verdicts))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("explain output does not star the winner")
+	}
+	if !strings.Contains(out, res.Audit.Rationale) {
+		t.Error("explain output omits the winner rationale")
+	}
+}

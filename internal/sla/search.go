@@ -8,6 +8,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/market"
 	"repro/internal/ndwf"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -36,6 +37,12 @@ type SearchConfig struct {
 	// changes the answer; it is also the escape hatch if a bound bug ever
 	// ships.
 	NoBound bool
+	// Trace, when non-nil, receives one span per portfolio candidate
+	// (named "candidate <strategy>@<market>", annotated with its fate),
+	// parented on TraceParent — how a service request's trace extends into
+	// the search. Nil (the default) costs one branch per candidate.
+	Trace       *obs.Trace
+	TraceParent obs.SpanID
 }
 
 // Pruned records a candidate rejected by the analytic pre-pass: its
@@ -66,6 +73,10 @@ type SearchResult struct {
 	// Samples each).
 	Considered int
 	Sampled    int
+	// Audit records every candidate's verdict in visit order plus the
+	// winner rationale; its pruned and sampled counts always sum to
+	// Considered.
+	Audit Audit
 }
 
 // pruneMargin keeps the analytic prune strictly conservative against
@@ -106,27 +117,46 @@ func Search(t ndwf.Template, cfg SearchConfig) (SearchResult, error) {
 	}
 
 	out := SearchResult{Deadline: cfg.Deadline, Target: cfg.Target, Considered: len(cands)}
+	out.Audit = Audit{PortfolioSize: len(cands)}
 	for _, c := range cands {
+		sp := cfg.Trace.StartSpan("candidate "+c.Strategy+"@"+c.Market, cfg.TraceParent)
 		alg, err := sched.ByName(c.Strategy)
 		if err != nil {
+			sp.End()
 			return SearchResult{}, fmt.Errorf("sla: %w", err)
 		}
 		model, err := market.Preset(c.Market)
 		if err != nil {
+			sp.End()
 			return SearchResult{}, fmt.Errorf("sla: %w", err)
 		}
 		bound, err := AnalyticBound(t, BoundType(c.Strategy))
 		if err != nil {
+			sp.End()
 			return SearchResult{}, err
+		}
+		v := Verdict{
+			Strategy:      c.Strategy,
+			Market:        c.Market,
+			BoundMinS:     bound.MinMakespan,
+			BoundEstimate: bound.MeetEstimate(cfg.Deadline),
 		}
 		if !cfg.NoBound && bound.MinMakespan > cfg.Deadline*(1+pruneMargin) {
 			out.Pruned = append(out.Pruned, Pruned{Strategy: c.Strategy, Market: c.Market, Bound: bound})
+			v.Fate = "pruned"
+			v.Reason = fmt.Sprintf("certain minimum %.1f s exceeds the %.1f s deadline; P(meet) = 0 without sampling",
+				bound.MinMakespan, cfg.Deadline)
+			out.Audit.Verdicts = append(out.Audit.Verdicts, v)
+			out.Audit.PrunedCount++
+			sp.SetAttr("fate", "pruned")
+			sp.End()
 			continue
 		}
 		opts := cfg.Opts
 		opts.Market = model
 		res, err := Measure(t, alg, opts, cfg.Deadline, cfg.Config)
 		if err != nil {
+			sp.End()
 			return SearchResult{}, err
 		}
 		res.Market = c.Market
@@ -134,6 +164,14 @@ func Search(t ndwf.Template, cfg SearchConfig) (SearchResult, error) {
 		res.Bound = &b
 		out.Results = append(out.Results, res)
 		out.Sampled += res.N
+		v.Fate = "sampled"
+		v.MeetProbability = res.MeetProbability
+		v.MeanCostUSD = res.Cost.Mean
+		v.Met = res.MeetProbability >= cfg.Target
+		out.Audit.Verdicts = append(out.Audit.Verdicts, v)
+		out.Audit.SampledCount++
+		sp.SetAttr("fate", "sampled")
+		sp.End()
 	}
 
 	sort.SliceStable(out.Results, func(i, j int) bool {
@@ -149,6 +187,7 @@ func Search(t ndwf.Template, cfg SearchConfig) (SearchResult, error) {
 	for i := range out.Results {
 		if out.Results[i].MeetProbability >= cfg.Target {
 			out.Best = &out.Results[i]
+			out.auditWinner(cfg.Target)
 			return out, nil
 		}
 	}
@@ -161,5 +200,46 @@ func Search(t ndwf.Template, cfg SearchConfig) (SearchResult, error) {
 			out.Best, bestP = &out.Results[i], out.Results[i].MeetProbability
 		}
 	}
+	out.auditWinner(cfg.Target)
 	return out, ErrNoStrategyMeets
+}
+
+// auditWinner finalizes the audit once Best is chosen: it marks the
+// winning verdict, fills every sampled candidate's rationale relative to
+// the winner, and writes the overall rationale line.
+func (sr *SearchResult) auditWinner(target float64) {
+	a := &sr.Audit
+	switch {
+	case sr.Best == nil:
+		a.Rationale = fmt.Sprintf("every candidate's certain minimum exceeds the %.1f s deadline", sr.Deadline)
+	case sr.Best.MeetProbability >= target:
+		a.Winner = sr.Best.Strategy + "@" + sr.Best.Market
+		a.Rationale = fmt.Sprintf("cheapest sampled candidate meeting P >= %.2f, at p = %.2f and $%.4f mean cost",
+			target, sr.Best.MeetProbability, sr.Best.Cost.Mean)
+	default:
+		a.Winner = sr.Best.Strategy + "@" + sr.Best.Market
+		a.Rationale = fmt.Sprintf("no candidate reaches P >= %.2f; best effort is the highest probability, p = %.2f",
+			target, sr.Best.MeetProbability)
+	}
+	for i := range a.Verdicts {
+		v := &a.Verdicts[i]
+		if v.Fate != "sampled" {
+			continue
+		}
+		winner := sr.Best != nil && v.Strategy == sr.Best.Strategy && v.Market == sr.Best.Market
+		v.Winner = winner
+		switch {
+		case winner && v.Met:
+			v.Reason = fmt.Sprintf("cheapest candidate meeting the target (p = %.2f, $%.4f mean)",
+				v.MeetProbability, v.MeanCostUSD)
+		case winner:
+			v.Reason = fmt.Sprintf("best effort: highest meet probability (p = %.2f), target P >= %.2f unmet",
+				v.MeetProbability, target)
+		case v.Met:
+			v.Reason = fmt.Sprintf("meets the target (p = %.2f) but at $%.4f mean cost loses on price",
+				v.MeetProbability, v.MeanCostUSD)
+		default:
+			v.Reason = fmt.Sprintf("meet probability %.2f below the P >= %.2f target", v.MeetProbability, target)
+		}
+	}
 }
