@@ -11,13 +11,19 @@
 // grid is 228 cells: 4 workflows x 3 scenarios x 19 strategies).
 //
 // With -against it additionally loads a previously committed artifact and
-// exits nonzero when the full sweep's throughput regressed by more than
-// -regress (default 20%) — the CI gate of scripts/bench.sh.
+// exits nonzero when the full sweep's throughput (cells/s) or the
+// single-cell SimReplay latency (ns/op) regressed by more than -regress
+// (default 20%) — the CI gate of scripts/bench.sh.
+//
+// With -emit it renders a stored artifact back into `go test -bench` text
+// so benchstat can diff a committed baseline against a fresh run without
+// re-running the old code.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | bench -out BENCH_sweep.json
 //	go test -run '^$' -bench . -benchmem . | bench -against BENCH_sweep.json
+//	bench -emit BENCH_sweep.json > old.txt
 package main
 
 import (
@@ -28,15 +34,19 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // sweepBench is the end-to-end benchmark whose throughput the regression
-// gate watches; sweepCells is its grid size.
+// gate watches; sweepCells is its grid size. replayBench is the
+// single-cell simulator replay additionally gated on ns/op — the sweep
+// headline can mask a replay regression hidden behind scheduler wins.
 const (
-	sweepBench = "FullParanoidSweep"
-	sweepCells = 228
+	sweepBench  = "FullParanoidSweep"
+	sweepCells  = 228
+	replayBench = "SimReplay"
 )
 
 // Bench is one measured benchmark.
@@ -102,8 +112,16 @@ func main() {
 		out     = flag.String("out", "", "write the JSON artifact to this path ('-' for stdout)")
 		against = flag.String("against", "", "baseline artifact to gate the full-sweep throughput against")
 		regress = flag.Float64("regress", 0.20, "tolerated fractional throughput regression vs the baseline")
+		emit    = flag.String("emit", "", "render this stored artifact as `go test -bench` text and exit")
 	)
 	flag.Parse()
+
+	if *emit != "" {
+		if err := emitBenchText(*emit); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -141,7 +159,8 @@ func main() {
 	}
 }
 
-// gate compares the run's full-sweep throughput against the baseline
+// gate compares the run's full-sweep throughput — and, when the baseline
+// records it, the single-cell SimReplay latency — against the baseline
 // artifact and errors on a regression beyond the tolerance.
 func gate(art Artifact, path string, tol float64) error {
 	raw, err := os.ReadFile(path)
@@ -166,6 +185,49 @@ func gate(art Artifact, path string, tol float64) error {
 	if got.CellsPerSec < floor {
 		return fmt.Errorf("bench: %s regressed: %.0f cells/s < %.0f (baseline %.0f - %.0f%%)",
 			sweepBench, got.CellsPerSec, floor, want.CellsPerSec, tol*100)
+	}
+	// SimReplay gates on ns/op (lower is better); an older baseline
+	// without the benchmark skips the check rather than failing it.
+	rwant, ok := base.Benchmarks[replayBench]
+	if !ok || rwant.NsPerOp <= 0 {
+		return nil
+	}
+	rgot, ok := art.Benchmarks[replayBench]
+	if !ok || rgot.NsPerOp <= 0 {
+		return fmt.Errorf("bench: this run has no %s ns/op to compare", replayBench)
+	}
+	ceiling := rwant.NsPerOp * (1 + tol)
+	fmt.Fprintf(os.Stderr, "bench: %s %.0f ns/op vs baseline %.0f (ceiling %.0f)\n",
+		replayBench, rgot.NsPerOp, rwant.NsPerOp, ceiling)
+	if rgot.NsPerOp > ceiling {
+		return fmt.Errorf("bench: %s regressed: %.0f ns/op > %.0f (baseline %.0f + %.0f%%)",
+			replayBench, rgot.NsPerOp, ceiling, rwant.NsPerOp, tol*100)
+	}
+	return nil
+}
+
+// emitBenchText renders a stored artifact back into `go test -bench
+// -benchmem` text (sorted by name), the input format benchstat consumes,
+// so CI can diff the committed baseline against a fresh run.
+func emitBenchText(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return fmt.Errorf("bench: parsing artifact %s: %w", path, err)
+	}
+	fmt.Printf("goos: %s\ngoarch: %s\n", art.GOOS, art.GOARCH)
+	names := make([]string, 0, len(art.Benchmarks))
+	for name := range art.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := art.Benchmarks[name]
+		fmt.Printf("Benchmark%s %d %.0f ns/op %.0f B/op %.0f allocs/op\n",
+			name, b.Iterations, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
 	return nil
 }

@@ -197,10 +197,12 @@ func Run(cfg Config) (*Sweep, error) {
 	type pane struct {
 		wfName string
 		sc     workload.Scenario
+		scName string
 		w      *dag.Workflow
 		base   *plan.Schedule
 	}
 	var panes []pane
+	oracle := validate.NewScratch()
 	for _, wfName := range cfg.WorkflowOrder {
 		structural, ok := cfg.Workflows[wfName]
 		if !ok {
@@ -215,11 +217,11 @@ func Run(cfg Config) (*Sweep, error) {
 				return nil, fmt.Errorf("core: baseline on %s/%v: %w", wfName, sc, err)
 			}
 			if cfg.Paranoid {
-				if err := check(base); err != nil {
+				if err := oracle.PlanSim(base); err != nil {
 					return nil, fmt.Errorf("core: baseline on %s/%v: %w", wfName, sc, err)
 				}
 			}
-			panes = append(panes, pane{wfName: wfName, sc: sc, w: w, base: base})
+			panes = append(panes, pane{wfName: wfName, sc: sc, scName: sc.String(), w: w, base: base})
 		}
 	}
 
@@ -230,11 +232,18 @@ func Run(cfg Config) (*Sweep, error) {
 	type job struct {
 		p   pane
 		alg sched.Algorithm
+		// algName and cellName are precomputed once per job: Name() calls
+		// and the "wf/scenario/strategy" joins showed up in cell-loop
+		// profiles when paid per cell.
+		algName  string
+		cellName string
 	}
 	jobs := make([]job, 0, len(panes)*len(cfg.Strategies))
 	for _, p := range panes {
-		for _, alg := range cfg.Strategies {
-			jobs = append(jobs, job{p: p, alg: alg})
+		for k, alg := range cfg.Strategies {
+			name := s.Strategies[k]
+			jobs = append(jobs, job{p: p, alg: alg, algName: name,
+				cellName: p.wfName + "/" + p.scName + "/" + name})
 		}
 	}
 	results := make([]Result, len(jobs))
@@ -267,32 +276,45 @@ func Run(cfg Config) (*Sweep, error) {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
+			// Per-worker scratch: the oracle's ledger and replay arenas, the
+			// simulator's arenas and result, and an event collector — all
+			// reset per cell, reallocated never. The batch shares the pane's
+			// baseline and replay scratch across the strategies this worker
+			// evaluates on the pane; jobs are pane-major, so each worker sees
+			// every pane as one contiguous run of cells.
+			oracle := validate.NewScratch()
+			var simSc sim.Scratch
+			var simRes sim.Result
+			var reCol obs.Collector
+			var batch *sched.Batch
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(jobs) {
 					return
 				}
 				j := jobs[i]
+				if batch == nil || batch.Workflow() != j.p.w {
+					batch = sched.NewBatchWithBaseline(j.p.w, opts, j.p.base)
+				}
 				t0 := time.Since(runStart)
-				cellSpan := cfg.Trace.StartSpan(
-					"cell "+j.p.wfName+"/"+j.p.sc.String()+"/"+j.alg.Name(), cfg.TraceSpan)
-				sch, err := j.alg.Schedule(j.p.w, opts)
+				cellSpan := cfg.Trace.StartSpan("cell "+j.cellName, cfg.TraceSpan)
+				sch, err := batch.Schedule(j.alg)
 				if err != nil {
 					errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
 					cellSpan.End()
 					continue
 				}
 				if cfg.Paranoid {
-					if err := check(sch); err != nil {
+					if err := oracle.PlanSim(sch); err != nil {
 						errs[i] = fmt.Errorf("core: %s on %s/%v: %w", j.alg.Name(), j.p.wfName, j.p.sc, err)
 						cellSpan.End()
 						continue
 					}
 				}
-				point := metrics.Compare(j.alg.Name(), sch, j.p.base)
+				point := metrics.Compare(j.algName, sch, j.p.base)
 				recovered, _ := metrics.CoRent(sch, coRentRate)
 				results[i] = Result{
-					Key:              Key{Workflow: j.p.wfName, Scenario: j.p.sc, Strategy: j.alg.Name()},
+					Key:              Key{Workflow: j.p.wfName, Scenario: j.p.sc, Strategy: j.algName},
 					Point:            point,
 					Category:         metrics.Classify(point),
 					BaselineMakespan: j.p.base.Makespan(),
@@ -310,19 +332,26 @@ func Run(cfg Config) (*Sweep, error) {
 						// deterministic, and independent of the order workers
 						// pick up jobs.
 						fc := *cfg.Faults
-						fc.Seed = fault.CellSeed(fc.Seed, j.p.wfName, j.p.sc.String(), j.alg.Name())
+						fc.Seed = fault.CellSeed(fc.Seed, j.p.wfName, j.p.scName, j.algName)
 						sc.Faults = &fc
 					}
 					var col *obs.Collector
-					if cfg.Recorder != nil || (cfg.Paranoid && sc.Faults != nil) {
-						// Paranoid fault mode needs the event stream even when
-						// no recorder was requested: the oracle re-derives the
-						// ledger from it.
+					if cfg.Recorder != nil {
+						// The cell's events escape into the grid-order merge,
+						// so the recorder path needs a fresh collector.
 						col = &obs.Collector{}
 						sc.Recorder = col
+					} else if cfg.Paranoid && sc.Faults != nil {
+						// Paranoid fault mode needs the event stream even when
+						// no recorder was requested: the oracle re-derives the
+						// ledger from it. Nothing escapes, so the worker's
+						// collector is reused.
+						reCol.Events = reCol.Events[:0]
+						col = &reCol
+						sc.Recorder = col
 					}
-					fres, err := sim.Run(sch, sc)
-					if err != nil {
+					fres := &simRes
+					if err := simSc.Run(sch, sc, fres); err != nil {
 						errs[i] = fmt.Errorf("core: replay of %s on %s/%v: %w",
 							j.alg.Name(), j.p.wfName, j.p.sc, err)
 						cellSpan.End()
@@ -331,7 +360,7 @@ func Run(cfg Config) (*Sweep, error) {
 					if cfg.Paranoid && sc.Faults != nil {
 						// Fault-mode oracle: the Result's counters must agree
 						// with an accounting derived from the events alone.
-						acc, err := validate.Account(col.Events)
+						acc, err := oracle.Account(col.Events)
 						if err == nil {
 							err = validate.CrossCheck(fres, acc)
 						}
@@ -352,7 +381,7 @@ func Run(cfg Config) (*Sweep, error) {
 				}
 				if cfg.Recorder != nil {
 					spans[i] = obs.WallSpan{
-						Name:   j.p.wfName + "/" + j.p.sc.String() + "/" + j.alg.Name(),
+						Name:   j.cellName,
 						Worker: wkr,
 						Start:  t0,
 						End:    time.Since(runStart),
@@ -380,7 +409,7 @@ func Run(cfg Config) (*Sweep, error) {
 		for i, j := range jobs {
 			cfg.Recorder.Record(obs.Event{
 				Kind: obs.KindCellStart, VM: -1, Task: -1,
-				Label: j.p.wfName + "/" + j.p.sc.String() + "/" + j.alg.Name(),
+				Label: j.cellName,
 			})
 			for _, ev := range cellEvents[i] {
 				cfg.Recorder.Record(ev)
@@ -394,13 +423,6 @@ func Run(cfg Config) (*Sweep, error) {
 // coRentRate is the assumed spot-style clearing rate for sub-leasing idle
 // VM time, as a fraction of the on-demand price.
 const coRentRate = 0.3
-
-// check runs the full fault-free differential oracle on one schedule:
-// static invariants, plan↔sim replay, and the event-stream accounting
-// (validate.PlanSim subsumes validate.Schedule and sim.Verify).
-func check(s *plan.Schedule) error {
-	return validate.PlanSim(s)
-}
 
 // Get returns one cell.
 func (s *Sweep) Get(wf string, sc workload.Scenario, strategy string) (Result, bool) {

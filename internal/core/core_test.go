@@ -342,26 +342,33 @@ func TestSweepSeedsChangeParetoOnly(t *testing.T) {
 	}
 }
 
+// Worker count must be invisible in the sweep's numbers: the per-worker
+// scratch (oracle ledgers, sim arenas, per-pane batches) is reset state,
+// never shared state, so the golden tables a 16-worker paranoid sweep
+// produces are exactly the 1-worker tables.
 func TestParallelSweepMatchesSerial(t *testing.T) {
-	serial, err := Run(Config{Seed: 42, Workers: 1})
+	serial, err := Run(Config{Seed: 42, Paranoid: true, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(Config{Seed: 42, Workers: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serial.Len() != parallel.Len() {
-		t.Fatalf("cell counts differ: %d vs %d", serial.Len(), parallel.Len())
-	}
-	for _, wf := range serial.Workflows() {
-		for _, sc := range serial.Scenarios() {
-			for _, strat := range serial.Strategies {
-				a := serial.MustGet(wf, sc, strat)
-				b := parallel.MustGet(wf, sc, strat)
-				if a.Point != b.Point || a.Category != b.Category ||
-					a.Energy != b.Energy || a.CoRentRecovered != b.CoRentRecovered {
-					t.Fatalf("%s/%v/%s: parallel result differs from serial", wf, sc, strat)
+	for _, workers := range []int{4, 16} {
+		parallel, err := Run(Config{Seed: 42, Paranoid: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Len() != parallel.Len() {
+			t.Fatalf("cell counts differ: %d vs %d", serial.Len(), parallel.Len())
+		}
+		for _, wf := range serial.Workflows() {
+			for _, sc := range serial.Scenarios() {
+				for _, strat := range serial.Strategies {
+					a := serial.MustGet(wf, sc, strat)
+					b := parallel.MustGet(wf, sc, strat)
+					if a.Point != b.Point || a.Category != b.Category ||
+						a.Energy != b.Energy || a.CoRentRecovered != b.CoRentRecovered {
+						t.Fatalf("%s/%v/%s: %d-worker result differs from serial",
+							wf, sc, strat, workers)
+					}
 				}
 			}
 		}

@@ -40,7 +40,7 @@ func obsConfig(t *testing.T, workers int) (Config, *obs.Collector) {
 // finish, never interleaved.
 func TestEventStreamWorkerCountInvariant(t *testing.T) {
 	var want []byte
-	for _, workers := range []int{1, 4, 13} {
+	for _, workers := range []int{1, 4, 16} {
 		cfg, col := obsConfig(t, workers)
 		if _, err := Run(cfg); err != nil {
 			t.Fatal(err)

@@ -81,10 +81,12 @@ type Workflow struct {
 	// ranks memoizes UpwardRanks (and rankOrders RankOrder) per
 	// CostModel.Key. Guarded by rankMu: rank queries on a shared frozen
 	// workflow may race from concurrent schedulers. SetWork and SetData
-	// drop the maps wholesale.
+	// drop the maps wholesale. workLevels memoizes LevelsByWork under the
+	// same lock and is invalidated alongside (its order depends on Work).
 	rankMu     sync.RWMutex
 	ranks      map[string][]float64
 	rankOrders map[string][]TaskID
+	workLevels [][]TaskID
 }
 
 // New returns an empty named workflow.
@@ -225,6 +227,7 @@ func (w *Workflow) invalidateRanks() {
 	w.rankMu.Lock()
 	w.ranks = nil
 	w.rankOrders = nil
+	w.workLevels = nil
 	w.rankMu.Unlock()
 }
 
@@ -410,6 +413,45 @@ func (w *Workflow) Depth() int {
 func (w *Workflow) Levels() [][]TaskID {
 	w.mustFreeze()
 	return w.levels
+}
+
+// LevelsByWork is Levels with each level ordered by decreasing Work, ties
+// by ID — the deterministic in-level order of the level-based schedulers
+// ("level ranking + ET descending"). The instance type scales every
+// execution time by the same factor, so one ordering serves all types; it
+// is memoized per snapshot and invalidated with the rank memos when
+// SetWork or SetData re-weight the workflow. The returned slices must not
+// be modified.
+func (w *Workflow) LevelsByWork() [][]TaskID {
+	w.mustFreeze()
+	w.rankMu.RLock()
+	wl := w.workLevels
+	w.rankMu.RUnlock()
+	if wl != nil {
+		return wl
+	}
+	flat := make([]TaskID, len(w.tasks))
+	wl = make([][]TaskID, len(w.levels))
+	off := 0
+	for l, lvl := range w.levels {
+		sorted := flat[off : off+len(lvl)]
+		off += len(lvl)
+		copy(sorted, lvl)
+		// (work desc, ID asc) is a total order over distinct tasks, so the
+		// unstable sort is deterministic.
+		sort.Slice(sorted, func(i, j int) bool {
+			wa, wb := w.tasks[sorted[i]].Work, w.tasks[sorted[j]].Work
+			if wa != wb {
+				return wa > wb
+			}
+			return sorted[i] < sorted[j]
+		})
+		wl[l] = sorted
+	}
+	w.rankMu.Lock()
+	w.workLevels = wl
+	w.rankMu.Unlock()
+	return wl
 }
 
 // TotalWork returns the sum of all task reference execution times.

@@ -1,29 +1,168 @@
-// Package eventq provides the discrete-event priority queue underlying the
-// simulator in internal/sim: a binary min-heap ordered by event time, with
-// FIFO ordering among simultaneous events so simulation runs are fully
-// deterministic.
+// Package eventq provides the discrete-event priority queues underlying
+// the simulators in internal/sim and internal/online: binary min-heaps
+// ordered by event time, with FIFO ordering among simultaneous events so
+// simulation runs are fully deterministic.
+//
+// Two flavors share one heap implementation:
+//
+//   - Heap[T] carries an arbitrary flat payload per event. The hot
+//     simulator (internal/sim) uses it with a small value struct, so
+//     pushing an event allocates nothing and a drained heap holds no
+//     pointers — the whole structure can sit in a reusable scratch arena.
+//   - Queue is the classic callback queue (payload func()), kept for
+//     call sites where closures are the clearer fit (internal/online).
 package eventq
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// pool recycles queues (and their heap arrays) across simulation runs, so
-// replay-heavy paths do not re-grow a fresh heap per run.
+// entry is one scheduled heap element.
+type entry[T any] struct {
+	time float64
+	seq  uint64
+	v    T
+}
+
+// Heap is a min-heap of timed events carrying payloads of type T. The zero
+// value is an empty heap ready for use. Events pushed with equal times pop
+// in push order. Heap is not safe for concurrent use; the simulators are
+// single-threaded by design (virtual time must advance deterministically).
+type Heap[T any] struct {
+	heap []entry[T]
+	next uint64
+}
+
+// Len returns the number of pending events.
+func (h *Heap[T]) Len() int { return len(h.heap) }
+
+// Cap returns the heap's backing capacity, in events.
+func (h *Heap[T]) Cap() int { return cap(h.heap) }
+
+// Grow ensures capacity for at least n more events without reallocating.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.heap)-len(h.heap) < n {
+		heap := make([]entry[T], len(h.heap), len(h.heap)+n)
+		copy(heap, h.heap)
+		h.heap = heap
+	}
+}
+
+// Reset empties the heap, keeping its backing capacity for reuse. Payloads
+// in the capacity region are zeroed so a pooled heap pins nothing alive.
+func (h *Heap[T]) Reset() {
+	clear(h.heap[:cap(h.heap)])
+	h.heap = h.heap[:0]
+	h.next = 0
+}
+
+// Push schedules an event. Events pushed with equal times pop in push
+// order.
+func (h *Heap[T]) Push(time float64, v T) {
+	h.heap = append(h.heap, entry[T]{time: time, seq: h.next, v: v})
+	h.next++
+	h.up(len(h.heap) - 1)
+}
+
+// Pop removes and returns the earliest event's time and payload. The
+// boolean is false when the heap is empty.
+func (h *Heap[T]) Pop() (float64, T, bool) {
+	if len(h.heap) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap[last] = entry[T]{} // don't pin popped payloads in the capacity region
+	h.heap = h.heap[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top.time, top.v, true
+}
+
+// Peek returns the earliest event's time and payload without removing it.
+func (h *Heap[T]) Peek() (float64, T, bool) {
+	if len(h.heap) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return h.heap[0].time, h.heap[0].v, true
+}
+
+// less orders by time, then insertion sequence.
+func (h *Heap[T]) less(i, j int) bool {
+	if h.heap[i].time != h.heap[j].time {
+		return h.heap[i].time < h.heap[j].time
+	}
+	return h.heap[i].seq < h.heap[j].seq
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.heap[i], h.heap[parent] = h.heap[parent], h.heap[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
+		i = smallest
+	}
+}
+
+// pool recycles callback queues (and their heap arrays) across simulation
+// runs, so replay-heavy paths do not re-grow a fresh heap per run.
 var pool = sync.Pool{New: func() any { return new(Queue) }}
 
-// Get returns an empty queue, reusing pooled heap capacity when available.
-// Pair it with Release when the simulation run is over; a queue obtained
-// from Get is indistinguishable from a zero-value Queue.
-func Get() *Queue { return pool.Get().(*Queue) }
+// capHint tracks the high-water heap capacity released back to the pool.
+// sync.Pool is emptied by the garbage collector, so under allocation
+// pressure a hot sweep would otherwise get a fresh zero-capacity queue
+// back and re-grow it from scratch every few cells; Get pre-grows to the
+// hint so steady-state replay capacity survives pool evictions.
+var capHint atomic.Int64
 
-// Release empties the queue and returns it to the pool. Pending events are
-// dropped and their callbacks cleared, so pooled capacity never pins
-// simulator state alive.
-func Release(q *Queue) {
-	for i := range q.heap {
-		q.heap[i].Fire = nil
+// Get returns an empty queue, reusing pooled heap capacity when available
+// and pre-growing to the largest capacity ever released, so a hot loop of
+// same-sized simulations never re-grows mid-run. Pair it with Release when
+// the simulation run is over; a queue obtained from Get is
+// indistinguishable from a zero-value Queue apart from capacity.
+func Get() *Queue {
+	q := pool.Get().(*Queue)
+	if hint := int(capHint.Load()); q.h.Cap() < hint {
+		q.h.Grow(hint - q.h.Len())
 	}
-	q.heap = q.heap[:0]
-	q.next = 0
+	return q
+}
+
+// Release empties the queue and returns it to the pool, recording its
+// capacity as the pool's pre-grow hint. All payload slots — including the
+// already-popped ones in the capacity region — are cleared, so pooled
+// capacity never pins simulator state alive.
+func Release(q *Queue) {
+	if c := int64(q.h.Cap()); c > capHint.Load() {
+		capHint.Store(c)
+	}
+	q.h.Reset()
 	pool.Put(q)
 }
 
@@ -32,97 +171,39 @@ type Event struct {
 	Time float64
 	// Fire is invoked when the event is dispatched.
 	Fire func()
-
-	seq uint64
 }
 
-// Queue is a min-heap of events. The zero value is an empty queue ready for
-// use. Queue is not safe for concurrent use; the simulator is
-// single-threaded by design (virtual time must advance deterministically).
+// Queue is a min-heap of callback events. The zero value is an empty queue
+// ready for use. Queue is not safe for concurrent use.
 type Queue struct {
-	heap []Event
-	next uint64
+	h Heap[func()]
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return q.h.Len() }
 
 // Grow ensures capacity for at least n more events without reallocating.
-func (q *Queue) Grow(n int) {
-	if cap(q.heap)-len(q.heap) < n {
-		heap := make([]Event, len(q.heap), len(q.heap)+n)
-		copy(heap, q.heap)
-		q.heap = heap
-	}
-}
+func (q *Queue) Grow(n int) { q.h.Grow(n) }
 
 // Push schedules an event. Events pushed with equal times fire in push
 // order.
-func (q *Queue) Push(time float64, fire func()) {
-	e := Event{Time: time, Fire: fire, seq: q.next}
-	q.next++
-	q.heap = append(q.heap, e)
-	q.up(len(q.heap) - 1)
-}
+func (q *Queue) Push(time float64, fire func()) { q.h.Push(time, fire) }
 
 // Pop removes and returns the earliest event. The boolean is false when the
 // queue is empty.
 func (q *Queue) Pop() (Event, bool) {
-	if len(q.heap) == 0 {
+	t, fire, ok := q.h.Pop()
+	if !ok {
 		return Event{}, false
 	}
-	top := q.heap[0]
-	last := len(q.heap) - 1
-	q.heap[0] = q.heap[last]
-	q.heap = q.heap[:last]
-	if last > 0 {
-		q.down(0)
-	}
-	return top, true
+	return Event{Time: t, Fire: fire}, true
 }
 
 // Peek returns the earliest event without removing it.
 func (q *Queue) Peek() (Event, bool) {
-	if len(q.heap) == 0 {
+	t, fire, ok := q.h.Peek()
+	if !ok {
 		return Event{}, false
 	}
-	return q.heap[0], true
-}
-
-// less orders by time, then insertion sequence.
-func (q *Queue) less(i, j int) bool {
-	if q.heap[i].Time != q.heap[j].Time {
-		return q.heap[i].Time < q.heap[j].Time
-	}
-	return q.heap[i].seq < q.heap[j].seq
-}
-
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			return
-		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
-		i = parent
-	}
-}
-
-func (q *Queue) down(i int) {
-	n := len(q.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
-		i = smallest
-	}
+	return Event{Time: t, Fire: fire}, true
 }

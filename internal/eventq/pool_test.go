@@ -1,0 +1,32 @@
+package eventq
+
+import (
+	"sync"
+	"testing"
+)
+
+// Releasing a grown queue must record its capacity as the pool's pre-grow
+// hint: sync.Pool is emptied by the garbage collector at will, and before
+// the hint existed a pool miss handed a hot sweep a zero-capacity queue
+// that re-grew its heap from scratch every few cells.
+func TestReleaseKeepsCapacityHint(t *testing.T) {
+	q := Get()
+	q.Grow(4096)
+	want := q.h.Cap()
+	if want < 4096 {
+		t.Fatalf("Grow(4096) left cap %d", want)
+	}
+	Release(q)
+	if got := int(capHint.Load()); got < want {
+		t.Fatalf("capHint = %d after releasing cap %d", got, want)
+	}
+
+	// Simulate a GC eviction: a fresh pool's New returns a zero-capacity
+	// queue, which Get must pre-grow back to the recorded hint.
+	pool = sync.Pool{New: func() any { return new(Queue) }}
+	q2 := Get()
+	if q2.h.Cap() < want {
+		t.Errorf("Get after pool eviction: cap = %d, want >= %d", q2.h.Cap(), want)
+	}
+	Release(q2)
+}

@@ -274,9 +274,19 @@ func (l *Lease) LabelSuffix() string {
 // pricing details do not travel on the label). A bare label returns a nil
 // lease — the legacy terms.
 func ParseLabel(label string) (typeName string, l *Lease, err error) {
-	parts := strings.Split(label, "+")
-	typeName = parts[0]
-	for _, tok := range parts[1:] {
+	// Token-at-a-time scan instead of strings.Split: the oracle parses one
+	// label per lease event, and the Split slice was a measurable share of
+	// the paranoid sweep's allocations.
+	i := strings.IndexByte(label, '+')
+	if i < 0 {
+		return label, nil, nil
+	}
+	typeName, rest := label[:i], label[i+1:]
+	for {
+		tok, more := rest, false
+		if j := strings.IndexByte(rest, '+'); j >= 0 {
+			tok, rest, more = rest[:j], rest[j+1:], true
+		}
 		switch tok {
 		case "spot":
 			if l == nil {
@@ -296,6 +306,8 @@ func ParseLabel(label string) (typeName string, l *Lease, err error) {
 		default:
 			return typeName, l, fmt.Errorf("market: unknown lease label token %q in %q", tok, label)
 		}
+		if !more {
+			return typeName, l, nil
+		}
 	}
-	return typeName, l, nil
 }

@@ -56,6 +56,13 @@ type VM struct {
 	// legacy model, so schedules without a market are bit-identical to
 	// before the market layer existed.
 	Lease *market.Lease
+
+	// slot0 is inline backing for the first Slots entries. Most catalog
+	// policies place one or two tasks per VM, so seeding Slots from this
+	// array (NewVMIn) makes the common case append-allocation-free. Only
+	// the owning VM's Slots may alias it — VMs are handled by pointer
+	// everywhere, never copied by value.
+	slot0 [2]Slot
 }
 
 // Busy returns the summed duration of all slots.
@@ -334,6 +341,7 @@ func (b *Builder) NewVMIn(t cloud.InstanceType, region cloud.Region) *VM {
 	} else {
 		vm = &VM{ID: VMID(len(b.vms)), Type: t, Region: region}
 	}
+	vm.Slots = vm.slot0[:0:len(vm.slot0)]
 	if b.market != nil {
 		warm := b.warmLeft > 0
 		if warm {

@@ -3,6 +3,7 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -50,62 +51,42 @@ func AssignmentOf(s *Schedule) Assignment {
 	return a
 }
 
-// Replay rebuilds the timed schedule implied by an assignment: every VM
-// runs its queue in order, every task starts as soon as its inputs are
-// available and its VM is free. Replay returns an error when the queues
-// contradict the workflow's precedence constraints (deadlock) or do not
-// cover every task exactly once.
-func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignment) (*Schedule, error) {
-	return ReplayMarket(wf, p, region, nil, a)
-}
-
-// ReplayMarket is Replay under a market model: every rented VM is stamped
-// with the model's lease terms (see Builder.SetMarket). A nil model is
-// exactly Replay.
-func ReplayMarket(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, m *market.Model, a Assignment) (*Schedule, error) {
+// validateAssignment checks the assignment's shape against the workflow:
+// every task assigned exactly once, no unknown tasks. seen is a caller-
+// provided scratch of at least wf.Len() entries, zeroed on entry.
+func validateAssignment(wf *dag.Workflow, a Assignment, seen []bool) error {
 	if len(a.Types) != len(a.Queues) {
-		return nil, errors.New("plan: assignment types/queues length mismatch")
+		return errors.New("plan: assignment types/queues length mismatch")
 	}
 	if a.Prepaid != nil && len(a.Prepaid) != len(a.Types) {
-		return nil, errors.New("plan: assignment prepaid length mismatch")
+		return errors.New("plan: assignment prepaid length mismatch")
 	}
-	seen := make([]bool, wf.Len())
 	total := 0
 	for _, q := range a.Queues {
 		for _, t := range q {
 			if int(t) < 0 || int(t) >= wf.Len() {
-				return nil, fmt.Errorf("plan: assignment references unknown task %d", t)
+				return fmt.Errorf("plan: assignment references unknown task %d", t)
 			}
 			if seen[t] {
-				return nil, fmt.Errorf("plan: task %d assigned twice", t)
+				return fmt.Errorf("plan: task %d assigned twice", t)
 			}
 			seen[t] = true
 			total++
 		}
 	}
 	if total != wf.Len() {
-		return nil, fmt.Errorf("plan: assignment covers %d of %d tasks", total, wf.Len())
+		return fmt.Errorf("plan: assignment covers %d of %d tasks", total, wf.Len())
 	}
+	return nil
+}
 
-	b := NewBuilder(wf, p, region)
-	b.SetMarket(m)
-	vms := make([]*VM, len(a.Types))
-	for i, typ := range a.Types {
-		if a.Prepaid != nil && a.Prepaid[i] {
-			vms[i] = b.NewPrepaidVM(typ)
-		} else {
-			vms[i] = b.NewVM(typ)
-		}
-		// The queue length is exactly the slot count the replay will place.
-		if n := len(a.Queues[i]); n > 0 {
-			vms[i].Slots = make([]Slot, 0, n)
-		}
-	}
-	heads := make([]int, len(a.Queues))
-	for placed := 0; placed < total; {
-		// Among VM queue heads whose predecessors are all placed, pick the
-		// one that can start earliest (ties: lowest task ID) — the same
-		// greedy the original planners used.
+// replayGreedy places every queued task through the builder: among VM
+// queue heads whose predecessors are all placed, it repeatedly picks the
+// one that can start earliest (ties: lowest task ID) — the same greedy the
+// original planners used. heads is a caller-provided scratch of
+// len(a.Queues) entries, zeroed on entry.
+func replayGreedy(b *Builder, wf *dag.Workflow, a Assignment, vms []*VM, heads []int) error {
+	for placed := 0; placed < wf.Len(); {
 		bestVM := -1
 		var bestStart float64
 		var bestTask dag.TaskID
@@ -130,11 +111,272 @@ func ReplayMarket(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, m *m
 			}
 		}
 		if bestVM < 0 {
-			return nil, errors.New("plan: assignment deadlocks against precedence constraints")
+			return errors.New("plan: assignment deadlocks against precedence constraints")
 		}
 		b.PlaceOn(a.Queues[bestVM][heads[bestVM]], vms[bestVM])
 		heads[bestVM]++
 		placed++
 	}
+	return nil
+}
+
+// Replay rebuilds the timed schedule implied by an assignment: every VM
+// runs its queue in order, every task starts as soon as its inputs are
+// available and its VM is free. Replay returns an error when the queues
+// contradict the workflow's precedence constraints (deadlock) or do not
+// cover every task exactly once.
+func Replay(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, a Assignment) (*Schedule, error) {
+	return ReplayMarket(wf, p, region, nil, a)
+}
+
+// ReplayMarket is Replay under a market model: every rented VM is stamped
+// with the model's lease terms (see Builder.SetMarket). A nil model is
+// exactly Replay.
+func ReplayMarket(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, m *market.Model, a Assignment) (*Schedule, error) {
+	if err := validateAssignment(wf, a, make([]bool, wf.Len())); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(wf, p, region)
+	b.SetMarket(m)
+	vms := make([]*VM, len(a.Types))
+	for i, typ := range a.Types {
+		if a.Prepaid != nil && a.Prepaid[i] {
+			vms[i] = b.NewPrepaidVM(typ)
+		} else {
+			vms[i] = b.NewVM(typ)
+		}
+		// The queue length is exactly the slot count the replay will place.
+		if n := len(a.Queues[i]); n > 0 {
+			vms[i].Slots = make([]Slot, 0, n)
+		}
+	}
+	if err := replayGreedy(b, wf, a, vms, make([]int, len(a.Queues))); err != nil {
+		return nil, err
+	}
 	return b.Done(), nil
+}
+
+// Replayer replays assignments over one fixed (workflow, platform, region,
+// market) context with reusable scratch state. Its Cost method answers the
+// only question the budget-constrained upgrade loops actually ask — "what
+// would this assignment cost?" — without materializing a Schedule, and
+// without allocating in steady state: the builder bookkeeping, the VM
+// arena, the slot arena and the per-VM queue heads are all reset in place
+// between calls, and market lease terms (pure functions of the VM index)
+// are memoized. Cost is float-bit-identical to
+// ReplayMarket(...).TotalCost(): it runs the same greedy placement through
+// the same Builder methods and sums rental and transfer costs in the same
+// order. A Replayer is not safe for concurrent use.
+type Replayer struct {
+	wf     *dag.Workflow
+	p      *cloud.Platform
+	region cloud.Region
+	m      *market.Model
+
+	b     Builder
+	seen  []bool
+	heads []int
+	slots []Slot
+	vmIdx []int32         // task -> queue index, singleton-queue fast path
+	cold  []*market.Lease // memoized m.Terms(id, false), indexed by VM id
+	warm  []*market.Lease // memoized m.Terms(id, true)
+}
+
+// NewReplayer returns a Replayer for the given scheduling context. The
+// workflow is frozen once, up front.
+func NewReplayer(wf *dag.Workflow, p *cloud.Platform, region cloud.Region, m *market.Model) (*Replayer, error) {
+	if err := wf.Freeze(); err != nil {
+		return nil, fmt.Errorf("plan: invalid workflow: %v", err)
+	}
+	return &Replayer{wf: wf, p: p, region: region, m: m}, nil
+}
+
+// Replay materializes the assignment's full schedule (ReplayMarket under
+// the replayer's context). The result is freshly allocated and owned by
+// the caller; the upgrade loops call this once, after Cost has driven all
+// accept/reject decisions.
+func (r *Replayer) Replay(a Assignment) (*Schedule, error) {
+	return ReplayMarket(r.wf, r.p, r.region, r.m, a)
+}
+
+// terms memoizes the market model's lease terms per (VM id, warm). Terms
+// is a pure function of those inputs and leases are immutable once
+// created, so reusing them across replays is sound — and none of the
+// cost-path VMs escape the replayer, so the cache never aliases a
+// returned Schedule.
+func (r *Replayer) terms(id int, warm bool) *market.Lease {
+	cache := &r.cold
+	if warm {
+		cache = &r.warm
+	}
+	for len(*cache) <= id {
+		*cache = append(*cache, nil)
+	}
+	if l := (*cache)[id]; l != nil {
+		return l
+	}
+	l := r.m.Terms(id, warm)
+	(*cache)[id] = l
+	return l
+}
+
+// reset rebuilds the embedded builder in place for a replay renting up to
+// nvms VMs, reusing every buffer whose capacity suffices.
+func (r *Replayer) reset(nvms int) {
+	b := &r.b
+	n := r.wf.Len()
+	b.wf, b.p, b.region = r.wf, r.p, r.region
+	if cap(b.vms) < nvms {
+		b.vms = make([]*VM, 0, nvms)
+	} else {
+		b.vms = b.vms[:0]
+	}
+	if cap(b.placed) < n {
+		b.placed = make([]bool, n)
+	} else {
+		b.placed = b.placed[:n]
+		clear(b.placed)
+	}
+	if cap(b.start) < n {
+		b.start = make([]float64, n)
+		b.end = make([]float64, n)
+	} else {
+		b.start = b.start[:n]
+		b.end = b.end[:n]
+	}
+	if cap(b.vmOf) < n {
+		b.vmOf = make([]VMID, n)
+	} else {
+		b.vmOf = b.vmOf[:n]
+	}
+	for i := range b.vmOf {
+		b.vmOf[i] = -1
+	}
+	if len(b.arena) < nvms {
+		b.arena = make([]VM, nvms)
+	}
+	b.arenaUsed = 0
+	b.market = r.m
+	b.warmLeft = 0
+	if r.m != nil {
+		b.warmLeft = r.m.WarmPool
+	}
+}
+
+// addVM replicates Builder.NewVM / NewPrepaidVM against the memoized
+// lease-term cache. A prepaid VM is outside the market — no lease, no
+// hold, and its warm-pool slot goes to the next rented VM — which is
+// exactly the net effect of NewPrepaidVM returning the slot NewVM
+// consumed.
+func (r *Replayer) addVM(typ cloud.InstanceType, prepaid bool) *VM {
+	b := &r.b
+	var vm *VM
+	if b.arenaUsed < len(b.arena) {
+		vm = &b.arena[b.arenaUsed]
+		b.arenaUsed++
+		*vm = VM{ID: VMID(len(b.vms)), Type: typ, Region: b.region}
+	} else {
+		vm = &VM{ID: VMID(len(b.vms)), Type: typ, Region: b.region}
+	}
+	vm.Prepaid = prepaid
+	if b.market != nil && !prepaid {
+		warm := b.warmLeft > 0
+		if warm {
+			b.warmLeft--
+		}
+		vm.Lease = r.terms(int(vm.ID), warm)
+		if warm {
+			// A warm VM is held from t=0; even if it never runs a task it
+			// bills at least its keepalive (the cold start it amortizes).
+			if d := vm.Lease.ColdStartDelay(); d > 0 {
+				vm.Held = d
+			}
+		}
+	}
+	b.vms = append(b.vms, vm)
+	return vm
+}
+
+// Cost replays the assignment and returns its total (rental + transfer)
+// cost, bit-identical to what Replay(a).TotalCost() would report, without
+// materializing the schedule. Steady-state calls allocate nothing.
+func (r *Replayer) Cost(a Assignment) (float64, error) {
+	n := r.wf.Len()
+	if cap(r.seen) < n {
+		r.seen = make([]bool, n)
+	} else {
+		r.seen = r.seen[:n]
+		clear(r.seen)
+	}
+	if err := validateAssignment(r.wf, a, r.seen); err != nil {
+		return 0, err
+	}
+	r.reset(len(a.Types))
+	b := &r.b
+	if cap(r.slots) < n {
+		r.slots = make([]Slot, n)
+	}
+	if cap(r.vmIdx) < n {
+		r.vmIdx = make([]int32, n)
+	} else {
+		r.vmIdx = r.vmIdx[:n]
+	}
+	singletons := true
+	off := 0
+	for i, typ := range a.Types {
+		vm := r.addVM(typ, a.Prepaid != nil && a.Prepaid[i])
+		// The queue length is exactly the slot count the replay will place;
+		// cap the sub-slice so a stray append could never cross VMs.
+		if qn := len(a.Queues[i]); qn > 0 {
+			vm.Slots = r.slots[off : off : off+qn]
+			off += qn
+			if qn > 1 {
+				singletons = false
+			}
+			for _, t := range a.Queues[i] {
+				r.vmIdx[t] = int32(i)
+			}
+		}
+	}
+	if singletons {
+		// One task per VM — the shape of the upgrade algorithms' candidate
+		// assignments. Queue order cannot constrain anything (no VM ever
+		// waits on its own queue), so each task's start is a pure function
+		// of its predecessors' placements, and topological placement yields
+		// float-identical times to the greedy replay — at O(V+E) instead of
+		// the greedy's O(tasks × VMs) ready-head scan.
+		for _, t := range r.wf.TopoOrder() {
+			b.PlaceOn(t, b.vms[r.vmIdx[t]])
+		}
+	} else {
+		if cap(r.heads) < len(a.Queues) {
+			r.heads = make([]int, len(a.Queues))
+		} else {
+			r.heads = r.heads[:len(a.Queues)]
+			clear(r.heads)
+		}
+		if err := replayGreedy(b, r.wf, a, b.vms, r.heads); err != nil {
+			return 0, err
+		}
+	}
+	// Mirror Done()'s slot ordering, then Schedule.TotalCost()'s exact
+	// summation order: rental per VM in rental order, transfers per edge in
+	// the workflow's sorted edge order.
+	for _, vm := range b.vms {
+		if !slotsSorted(vm.Slots) {
+			sort.Slice(vm.Slots, func(i, j int) bool { return vm.Slots[i].Start < vm.Slots[j].Start })
+		}
+	}
+	var rental, transfer float64
+	for _, vm := range b.vms {
+		rental += vm.Cost()
+	}
+	for _, e := range r.wf.Edges() {
+		from := b.vms[b.vmOf[e.From]]
+		to := b.vms[b.vmOf[e.To]]
+		if from.ID != to.ID {
+			transfer += r.p.TransferCost(e.Data, from.Region, to.Region)
+		}
+	}
+	return rental + transfer, nil
 }

@@ -78,11 +78,37 @@ type Policy struct {
 	// claimed marks VMs already used by the current parallel group, so the
 	// AllPar* policies give every parallel task its own VM.
 	claimed map[plan.VMID]bool
+
+	// BusiestVM filter scratch: the two closures below are built once in
+	// New and read the current task through these fields, so the Pick hot
+	// path hands the builder a pre-bound filter instead of allocating a
+	// fresh closure per task.
+	fb       *plan.Builder
+	ft       dag.TaskID
+	ftyp     cloud.InstanceType
+	sameType func(*plan.VM) bool
+	allParOK func(*plan.VM) bool
 }
 
 // New returns a fresh policy instance of the given kind.
 func New(kind Kind) *Policy {
-	return &Policy{kind: kind, claimed: map[plan.VMID]bool{}}
+	p := &Policy{kind: kind, claimed: map[plan.VMID]bool{}}
+	p.sameType = func(vm *plan.VM) bool { return vm.Type == p.ftyp }
+	p.allParOK = func(vm *plan.VM) bool {
+		if vm.Type != p.ftyp || p.claimed[vm.ID] {
+			return false
+		}
+		// The VM must be free when the task's inputs are available, so
+		// reuse never serializes tasks that the level runs in parallel.
+		if vm.Avail() > p.fb.ReadyOn(p.ft, vm)+1e-9 {
+			return false
+		}
+		if p.kind == AllParNotExceed && !p.fb.FitsBTU(p.ft, vm) {
+			return false
+		}
+		return true
+	}
+	return p
 }
 
 // Kind returns the policy's kind.
@@ -95,7 +121,7 @@ func (p *Policy) Name() string { return p.kind.String() }
 // policies release their per-level VM claims; the other policies ignore it.
 func (p *Policy) BeginGroup() {
 	if len(p.claimed) > 0 {
-		p.claimed = map[plan.VMID]bool{}
+		clear(p.claimed)
 	}
 }
 
@@ -121,7 +147,8 @@ func (p *Policy) pickStartPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceT
 	if len(b.Workflow().Pred(t)) == 0 {
 		return b.NewVM(typ)
 	}
-	vm := b.BusiestVM(func(vm *plan.VM) bool { return vm.Type == typ })
+	p.ftyp = typ
+	vm := b.BusiestVM(p.sameType)
 	if vm == nil {
 		return b.NewVM(typ)
 	}
@@ -137,26 +164,12 @@ func (p *Policy) pickStartPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceT
 // time, and renting a new VM when neither exists. NotExceed additionally
 // requires the reuse to fit inside the VM's paid BTU.
 func (p *Policy) pickAllPar(b *plan.Builder, t dag.TaskID, typ cloud.InstanceType) *plan.VM {
-	ok := func(vm *plan.VM) bool {
-		if vm.Type != typ || p.claimed[vm.ID] {
-			return false
-		}
-		// The VM must be free when the task's inputs are available, so
-		// reuse never serializes tasks that the level runs in parallel.
-		if vm.Avail() > b.ReadyOn(t, vm)+1e-9 {
-			return false
-		}
-		if p.kind == AllParNotExceed && !b.FitsBTU(t, vm) {
-			return false
-		}
-		return true
-	}
-
+	p.fb, p.ft, p.ftyp = b, t, typ
 	var vm *plan.VM
-	if pred := p.largestPred(b, t); pred != nil && ok(pred) {
+	if pred := p.largestPred(b, t); pred != nil && p.allParOK(pred) {
 		vm = pred
 	} else {
-		vm = b.BusiestVM(ok)
+		vm = b.BusiestVM(p.allParOK)
 	}
 	if vm == nil {
 		vm = b.NewVM(typ)

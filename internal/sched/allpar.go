@@ -40,9 +40,9 @@ func (a AllPar) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
 	}
 	pol := provision.New(a.Provisioning)
 	b := opts.NewBuilder(wf)
-	for _, level := range wf.Levels() {
+	for _, ordered := range wf.LevelsByWork() {
 		pol.BeginGroup()
-		for _, t := range levelOrder(wf, level) {
+		for _, t := range ordered {
 			b.PlaceOn(t, pol.Pick(b, t, a.Type))
 		}
 	}

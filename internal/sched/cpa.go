@@ -26,7 +26,7 @@ func (CPAEager) Name() string { return "CPA-Eager" }
 const cpaBudgetFactor = 2.0
 
 // Schedule implements Algorithm.
-func (CPAEager) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+func (c CPAEager) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	opts.fill()
 	if err := wf.Freeze(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -35,6 +35,21 @@ func (CPAEager) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
 	if err != nil {
 		return nil, err
 	}
+	return c.run(u)
+}
+
+// scheduleBatch implements batchScheduler: same loop, shared baseline and
+// replay scratch.
+func (c CPAEager) scheduleBatch(b *Batch) (*plan.Schedule, error) {
+	u, err := b.upgradeState(cpaBudgetFactor)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(u)
+}
+
+// run is the critical-path upgrade loop over a prepared state.
+func (CPAEager) run(u *upgradeState) (*plan.Schedule, error) {
 	for {
 		improved := false
 		for _, t := range u.criticalPath() {
@@ -47,7 +62,7 @@ func (CPAEager) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
 			}
 		}
 		if !improved {
-			return u.sched, nil
+			return u.schedule()
 		}
 	}
 }

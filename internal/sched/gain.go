@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -32,7 +32,7 @@ func (Gain) Name() string { return "GAIN" }
 const gainBudgetFactor = 4.0
 
 // Schedule implements Algorithm.
-func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
+func (g Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	opts.fill()
 	if err := wf.Freeze(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -41,22 +41,44 @@ func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.run(u)
+}
+
+// scheduleBatch implements batchScheduler: same loop, shared baseline and
+// replay scratch.
+func (g Gain) scheduleBatch(b *Batch) (*plan.Schedule, error) {
+	u, err := b.upgradeState(gainBudgetFactor)
+	if err != nil {
+		return nil, err
+	}
+	return g.run(u)
+}
+
+// gainCell is one (task, faster type) candidate of the gain matrix.
+type gainCell struct {
+	task dag.TaskID
+	typ  cloud.InstanceType
+	gain float64
+}
+
+// run is the gain-matrix upgrade loop over a prepared state.
+func (Gain) run(u *upgradeState) (*plan.Schedule, error) {
+	wf := u.wf
+	// One upgrade is applied per matrix rebuild, so the buffer is reused
+	// across rounds (and the gain entries come from the precomputed et/lc
+	// tables rather than per-round ExecTime/LeaseCost calls).
+	cells := make([]gainCell, 0, wf.Len()*int(cloud.XLarge))
 	for {
 		// Build the gain matrix under the current assignment and walk it
 		// best-first: if the best upgrade no longer fits the budget, try
 		// the next, and stop when none applies.
-		type cell struct {
-			task dag.TaskID
-			typ  cloud.InstanceType
-			gain float64
-		}
-		var cells []cell
+		cells = cells[:0]
 		for id := 0; id < wf.Len(); id++ {
 			t := dag.TaskID(id)
 			cur := u.typeOf(t)
 			curCost := u.leaseCost(t, cur)
 			for typ := cur + 1; typ <= cloud.XLarge; typ++ {
-				dt := u.execTime(t) - u.opts.Platform.ExecTime(wf.Task(t).Work, typ)
+				dt := u.execTime(t) - u.et[t][typ]
 				dc := u.leaseCost(t, typ) - curCost
 				g := math.Inf(1)
 				if dc > 0 {
@@ -64,21 +86,25 @@ func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 				} else if dt <= 0 {
 					continue // no time saved and no cost saved: useless
 				}
-				cells = append(cells, cell{task: t, typ: typ, gain: g})
+				cells = append(cells, gainCell{task: t, typ: typ, gain: g})
 			}
 		}
 		// Sort best-first, deterministically: higher gain, then lower task
 		// ID, then slower (cheaper) target type. (task, typ) pairs are
-		// unique, so this total order makes the unstable sort deterministic.
-		sort.Slice(cells, func(i, j int) bool {
-			a, b := cells[i], cells[j]
+		// unique, so this total order makes the unstable sort deterministic
+		// (the generic SortFunc avoids sort.Slice's reflective swaps on the
+		// sweep's hottest sort).
+		slices.SortFunc(cells, func(a, b gainCell) int {
 			if a.gain != b.gain {
-				return a.gain > b.gain
+				if a.gain > b.gain {
+					return -1
+				}
+				return 1
 			}
 			if a.task != b.task {
-				return a.task < b.task
+				return int(a.task) - int(b.task)
 			}
-			return a.typ < b.typ
+			return int(a.typ) - int(b.typ)
 		})
 		applied := false
 		for _, c := range cells {
@@ -88,7 +114,7 @@ func (Gain) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 			}
 		}
 		if !applied {
-			return u.sched, nil
+			return u.schedule()
 		}
 	}
 }

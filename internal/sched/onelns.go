@@ -37,7 +37,12 @@ const baseType = cloud.Small
 // (nothing else fits behind it) and every bin's sequential length is at
 // most the level makespan the fully parallel policy would achieve.
 func levelBins(wf *dag.Workflow, level []dag.TaskID) [][]dag.TaskID {
-	ordered := levelOrder(wf, level)
+	return packBins(wf, levelOrder(wf, level))
+}
+
+// packBins is levelBins over an already-ordered level (decreasing work,
+// ties by ID — the dag.LevelsByWork order the schedulers hold).
+func packBins(wf *dag.Workflow, ordered []dag.TaskID) [][]dag.TaskID {
 	if len(ordered) == 0 {
 		return nil
 	}
@@ -71,9 +76,9 @@ func (AllPar1LnS) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, erro
 	}
 	pol := provision.New(provision.AllParNotExceed)
 	b := opts.NewBuilder(wf)
-	for _, level := range wf.Levels() {
+	for _, ordered := range wf.LevelsByWork() {
 		pol.BeginGroup()
-		for _, bin := range levelBins(wf, level) {
+		for _, bin := range packBins(wf, ordered) {
 			vm := pol.Pick(b, bin[0], baseType)
 			for _, t := range bin {
 				b.PlaceOn(t, vm)

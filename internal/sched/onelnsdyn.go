@@ -27,15 +27,21 @@ func NewAllPar1LnSDyn() AllPar1LnSDyn { return AllPar1LnSDyn{} }
 // Name implements Algorithm.
 func (AllPar1LnSDyn) Name() string { return "AllPar1LnSDyn" }
 
+// typesN is the number of instance types, the stride of levelPlan.memo.
+const typesN = int(cloud.XLarge) + 1
+
 // levelPlan is the per-level escalation state: the packed bins and the
 // instance type currently assigned to each bin's VM. memo caches each
-// bin's sequential time per instance type (-1 = not yet computed): the
-// escalation loop re-reads bin times many times per upgrade attempt, and a
-// bin's time under a fixed type never changes, so rollbacks reuse entries.
+// bin's sequential time per instance type (-1 = not yet computed) in one
+// flat bins×typesN array: the escalation loop re-reads bin times many
+// times per upgrade attempt, and a bin's time under a fixed type never
+// changes, so rollbacks reuse entries. types, memo and saved are scratch
+// reused across levels by Schedule.
 type levelPlan struct {
 	bins  [][]dag.TaskID
 	types []cloud.InstanceType
-	memo  [][]float64
+	memo  []float64
+	saved []cloud.InstanceType
 }
 
 // time returns bin i's sequential execution time under its current type.
@@ -44,18 +50,15 @@ type levelPlan struct {
 // bit-identical.
 func (lp *levelPlan) time(wf *dag.Workflow, p *cloud.Platform, i int) float64 {
 	typ := lp.types[i]
-	if lp.memo != nil {
-		if v := lp.memo[i][typ]; v >= 0 {
-			return v
-		}
+	mi := i*typesN + int(typ)
+	if v := lp.memo[mi]; v >= 0 {
+		return v
 	}
 	var sum float64
 	for _, t := range lp.bins[i] {
 		sum += p.ExecTime(wf.Task(t).Work, typ)
 	}
-	if lp.memo != nil {
-		lp.memo[i][typ] = sum
-	}
+	lp.memo[mi] = sum
 	return sum
 }
 
@@ -91,10 +94,10 @@ func (lp *levelPlan) escalate(wf *dag.Workflow, p *cloud.Platform, region cloud.
 		if !ok {
 			return
 		}
-		saved := append([]cloud.InstanceType(nil), lp.types...)
+		lp.saved = append(lp.saved[:0], lp.types...)
 		lp.types[0] = faster
 		if lp.cost(wf, p, region) > budget+eps {
-			lp.types = saved
+			copy(lp.types, lp.saved)
 			return
 		}
 		// Repair: while the makespan is dictated by another bin, speed that
@@ -117,7 +120,7 @@ func (lp *levelPlan) escalate(wf *dag.Workflow, p *cloud.Platform, region cloud.
 			}
 		}
 		if !ok {
-			lp.types = saved
+			copy(lp.types, lp.saved)
 			return
 		}
 	}
@@ -131,17 +134,23 @@ func (AllPar1LnSDyn) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, e
 	}
 	pol := provision.New(provision.AllParNotExceed)
 	b := opts.NewBuilder(wf)
-	for _, level := range wf.Levels() {
-		lp := levelPlan{bins: levelBins(wf, level)}
-		lp.types = make([]cloud.InstanceType, len(lp.bins))
-		lp.memo = make([][]float64, len(lp.bins))
+	byWork := wf.LevelsByWork()
+	var lp levelPlan
+	for li, level := range wf.Levels() {
+		lp.bins = packBins(wf, byWork[li])
+		nb := len(lp.bins)
+		if cap(lp.types) < nb {
+			lp.types = make([]cloud.InstanceType, nb)
+			lp.memo = make([]float64, nb*typesN)
+		} else {
+			lp.types = lp.types[:nb]
+			lp.memo = lp.memo[:nb*typesN]
+		}
 		for i := range lp.types {
 			lp.types[i] = baseType
-			row := make([]float64, int(cloud.XLarge)+1)
-			for j := range row {
-				row[j] = -1
-			}
-			lp.memo[i] = row
+		}
+		for i := range lp.memo {
+			lp.memo[i] = -1
 		}
 		// The worst-case budget: every parallel task of the level on its
 		// own small VM (AllParNotExceed provisioning, Sect. III-B).

@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -144,20 +144,41 @@ func NewLoss() Loss { return Loss{BudgetFactor: gainBudgetFactor} }
 // Name implements Algorithm.
 func (Loss) Name() string { return "LOSS" }
 
+// factor returns the effective budget factor.
+func (l Loss) factor() float64 {
+	if l.BudgetFactor > 0 {
+		return l.BudgetFactor
+	}
+	return gainBudgetFactor
+}
+
 // Schedule implements Algorithm.
 func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	opts.fill()
 	if err := wf.Freeze(); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	factor := l.BudgetFactor
-	if factor <= 0 {
-		factor = gainBudgetFactor
-	}
-	u, err := newUpgradeState(wf, opts, factor)
+	u, err := newUpgradeState(wf, opts, l.factor())
 	if err != nil {
 		return nil, err
 	}
+	return l.run(u)
+}
+
+// scheduleBatch implements batchScheduler: same loop, shared baseline and
+// replay scratch.
+func (l Loss) scheduleBatch(b *Batch) (*plan.Schedule, error) {
+	u, err := b.upgradeState(l.factor())
+	if err != nil {
+		return nil, err
+	}
+	return l.run(u)
+}
+
+// run is the downgrade loop over a prepared state.
+func (l Loss) run(u *upgradeState) (*plan.Schedule, error) {
+	wf := u.wf
+	var err error
 	if l.Budget > 0 {
 		u.budget = l.Budget
 	}
@@ -165,22 +186,23 @@ func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 	for vmIdx := range u.assign.Types {
 		u.assign.Types[vmIdx] = cloud.XLarge
 	}
-	s, err := opts.Replay(wf, u.assign)
-	if err != nil {
+	u.dirty = true
+	if u.cost, err = u.rp.Cost(u.assign); err != nil {
 		return nil, err
 	}
-	u.sched = s
 
-	for u.sched.TotalCost() > u.budget+1e-9 {
-		// Candidate downgrades: one type step per task. Pick the smallest
-		// makespan-loss per dollar saved; money saved is computed on the
-		// task's own lease (one VM per task).
-		type cand struct {
-			task  dag.TaskID
-			typ   cloud.InstanceType
-			ratio float64 // seconds lost per dollar saved (lower is better)
-		}
-		var cands []cand
+	// Candidate downgrades, one type step per task; the buffer is reused
+	// across downgrade rounds.
+	type cand struct {
+		task  dag.TaskID
+		typ   cloud.InstanceType
+		ratio float64 // seconds lost per dollar saved (lower is better)
+	}
+	cands := make([]cand, 0, wf.Len())
+	for u.cost > u.budget+1e-9 {
+		// Pick the smallest makespan-loss per dollar saved; money saved is
+		// computed on the task's own lease (one VM per task).
+		cands = cands[:0]
 		for id := 0; id < wf.Len(); id++ {
 			t := dag.TaskID(id)
 			cur := u.typeOf(t)
@@ -196,20 +218,27 @@ func (l Loss) Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error) {
 			cands = append(cands, cand{task: t, typ: slower, ratio: dt / dc})
 		}
 		if len(cands) == 0 {
-			return u.sched, fmt.Errorf("sched: LOSS cannot reach budget %v (cost %v)",
-				u.budget, u.sched.TotalCost())
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].ratio != cands[j].ratio {
-				return cands[i].ratio < cands[j].ratio
+			s, serr := u.schedule()
+			if serr != nil {
+				return nil, serr
 			}
-			return cands[i].task < cands[j].task
+			return s, fmt.Errorf("sched: LOSS cannot reach budget %v (cost %v)",
+				u.budget, u.cost)
+		}
+		slices.SortFunc(cands, func(a, b cand) int {
+			if a.ratio != b.ratio {
+				if a.ratio < b.ratio {
+					return -1
+				}
+				return 1
+			}
+			return int(a.task) - int(b.task)
 		})
 		c := cands[0]
 		u.assign.Types[u.taskVM[c.task]] = c.typ
-		if u.sched, err = opts.Replay(wf, u.assign); err != nil {
+		if u.cost, err = u.rp.Cost(u.assign); err != nil {
 			return nil, err
 		}
 	}
-	return u.sched, nil
+	return u.schedule()
 }

@@ -76,23 +76,40 @@ type Algorithm interface {
 	Schedule(wf *dag.Workflow, opts Options) (*plan.Schedule, error)
 }
 
+// costKeys caches the full CostModel values of costModel: the model is a
+// pure function of (instance type, platform latency) — ExecTime reads
+// only the type's speedup and TransferTime only the type's bandwidth plus
+// the platform latency — so the closures, and the Key Sprintf, are built
+// once per distinct model instead of once per call.
+var costKeys sync.Map // struct{typ; lat} -> dag.CostModel
+
 // costModel returns the homogeneous cost model for ranking: execution on a
 // fixed instance type and store-and-forward transfers on its link.
 func costModel(p *cloud.Platform, typ cloud.InstanceType) dag.CostModel {
-	return dag.CostModel{
+	// ExecTime depends only on the instance type's speedup and
+	// TransferTime only on the type's bandwidth plus the platform
+	// latency, so (type, latency) fully identifies the model and the
+	// catalog's rank vectors are memoized per snapshot, one per type.
+	ck := struct {
+		typ cloud.InstanceType
+		lat float64
+	}{typ, p.Latency}
+	if m, ok := costKeys.Load(ck); ok {
+		return m.(dag.CostModel)
+	}
+	m, _ := costKeys.LoadOrStore(ck, dag.CostModel{
 		Exec: func(t dag.Task) float64 { return p.ExecTime(t.Work, typ) },
 		Comm: func(e dag.Edge) float64 { return p.TransferTime(e.Data, typ, typ) },
-		// ExecTime depends only on the instance type's speedup and
-		// TransferTime only on the type's bandwidth plus the platform
-		// latency, so (type, latency) fully identifies the model and the
-		// catalog's rank vectors are memoized per snapshot, one per type.
-		Key: fmt.Sprintf("homog:%s:lat=%g", typ, p.Latency),
-	}
+		Key:  fmt.Sprintf("homog:%s:lat=%g", typ, p.Latency),
+	})
+	return m.(dag.CostModel)
 }
 
 // levelOrder returns the tasks of one level sorted by decreasing execution
 // time (ties by ID), the deterministic in-level order used by the level-
-// based algorithms ("level ranking + ET descending", Table I).
+// based algorithms ("level ranking + ET descending", Table I). The
+// schedulers themselves read the memoized dag.LevelsByWork; this
+// standalone sort remains for callers ordering an arbitrary task set.
 func levelOrder(wf *dag.Workflow, level []dag.TaskID) []dag.TaskID {
 	out := append([]dag.TaskID(nil), level...)
 	// (work desc, ID asc) is a total order over distinct tasks, so the

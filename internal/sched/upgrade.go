@@ -6,37 +6,91 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/plan"
-	"repro/internal/provision"
 )
 
 // upgradeState is the shared machinery of the two budget-constrained
 // upgrade algorithms (CPA-Eager and Gain): both start from the baseline
 // HEFT + OneVMperTask schedule on small instances — one VM per task — and
-// iteratively re-type individual VMs, re-evaluating the schedule by replay.
+// iteratively re-type individual VMs, re-evaluating the candidate by a
+// cost-only replay (plan.Replayer). Accepted changes only mutate the
+// assignment; the full timed schedule is materialized once, at the end,
+// from the final assignment — which is exactly the schedule the last
+// accepted replay produced, since rejected attempts are reverted.
 type upgradeState struct {
 	wf     *dag.Workflow
 	opts   Options
 	assign plan.Assignment
 	taskVM []int // VM index per task (one VM per task)
-	sched  *plan.Schedule
+	base   *plan.Schedule
+	rp     *plan.Replayer
+	// et and lc are the upgrade loops' gain tables: execution time and
+	// single-task lease cost per (task, instance type). Both are pure
+	// functions of (workflow, platform, region), so they are computed once
+	// — and shared read-only across all strategies of a Batch — instead of
+	// per gain-matrix round.
+	et, lc [][]float64
+	cost   float64 // total cost of the current assignment
+	dirty  bool    // the assignment differs from the baseline
 	budget float64
+}
+
+// upgradeTables builds the (task × instance type) execution-time and
+// lease-cost tables the upgrade loops consult. Entry [t][typ] is exactly
+// what the uncached Platform.ExecTime / cloud.LeaseCost calls return, so
+// table lookups are bit-identical to recomputation.
+func upgradeTables(wf *dag.Workflow, opts Options) (et, lc [][]float64) {
+	n := wf.Len()
+	types := int(cloud.XLarge) + 1
+	etFlat := make([]float64, n*types)
+	lcFlat := make([]float64, n*types)
+	et = make([][]float64, n)
+	lc = make([][]float64, n)
+	for id := 0; id < n; id++ {
+		et[id] = etFlat[id*types : (id+1)*types]
+		lc[id] = lcFlat[id*types : (id+1)*types]
+		work := wf.Task(dag.TaskID(id)).Work
+		for typ := cloud.InstanceType(0); typ <= cloud.XLarge; typ++ {
+			e := opts.Platform.ExecTime(work, typ)
+			et[id][typ] = e
+			lc[id][typ] = cloud.LeaseCost(e, typ, opts.Region)
+		}
+	}
+	return et, lc
 }
 
 // newUpgradeState builds the baseline schedule and derives the budget as
 // budgetFactor times its cost (paper Sect. IV: 2x for CPA-Eager, 4x for
 // Gain).
 func newUpgradeState(wf *dag.Workflow, opts Options, budgetFactor float64) (*upgradeState, error) {
-	base, err := NewHEFT(provision.OneVMperTask, cloud.Small).Schedule(wf, opts)
+	base, err := Baseline().Schedule(wf, opts)
 	if err != nil {
 		return nil, err
 	}
+	rp, err := plan.NewReplayer(wf, opts.Platform, opts.Region, opts.Market)
+	if err != nil {
+		return nil, err
+	}
+	et, lc := upgradeTables(wf, opts)
+	return initUpgradeState(wf, opts, base, plan.AssignmentOf(base), rp, et, lc, budgetFactor)
+}
+
+// initUpgradeState wires an upgrade state over a prebuilt baseline: the
+// assignment is owned by the state (callers pass a fresh extraction or a
+// clone), the schedule, replayer and gain tables may be shared read-only.
+func initUpgradeState(wf *dag.Workflow, opts Options, base *plan.Schedule,
+	assign plan.Assignment, rp *plan.Replayer, et, lc [][]float64, budgetFactor float64) (*upgradeState, error) {
+	baseCost := base.TotalCost()
 	u := &upgradeState{
 		wf:     wf,
 		opts:   opts,
-		assign: plan.AssignmentOf(base),
+		assign: assign,
 		taskVM: make([]int, wf.Len()),
-		sched:  base,
-		budget: budgetFactor * base.TotalCost(),
+		base:   base,
+		rp:     rp,
+		et:     et,
+		lc:     lc,
+		cost:   baseCost,
+		budget: budgetFactor * baseCost,
 	}
 	for i, q := range u.assign.Queues {
 		if len(q) != 1 {
@@ -54,18 +108,21 @@ func (u *upgradeState) typeOf(t dag.TaskID) cloud.InstanceType {
 
 // execTime returns a task's execution time under its current VM type.
 func (u *upgradeState) execTime(t dag.TaskID) float64 {
-	return u.opts.Platform.ExecTime(u.wf.Task(t).Work, u.typeOf(t))
+	return u.et[t][u.typeOf(t)]
 }
 
 // leaseCost returns the rent of a task's dedicated VM under a hypothetical
 // type: one lease spanning exactly the execution time.
 func (u *upgradeState) leaseCost(t dag.TaskID, typ cloud.InstanceType) float64 {
-	return cloud.LeaseCost(u.opts.Platform.ExecTime(u.wf.Task(t).Work, typ), typ, u.opts.Region)
+	return u.lc[t][typ]
 }
 
 // tryUpgrade re-types task t's VM and keeps the change if the schedule's
 // total cost stays within budget; otherwise it reverts. It reports whether
-// the change was kept.
+// the change was kept. The candidate is priced by the cost-only replay —
+// bit-identical to materializing the schedule and reading TotalCost, so
+// the accept/reject sequence matches the materializing implementation
+// exactly.
 func (u *upgradeState) tryUpgrade(t dag.TaskID, typ cloud.InstanceType) bool {
 	vm := u.taskVM[t]
 	old := u.assign.Types[vm]
@@ -73,13 +130,24 @@ func (u *upgradeState) tryUpgrade(t dag.TaskID, typ cloud.InstanceType) bool {
 		return false
 	}
 	u.assign.Types[vm] = typ
-	s, err := u.opts.Replay(u.wf, u.assign)
-	if err != nil || s.TotalCost() > u.budget+1e-9 {
+	c, err := u.rp.Cost(u.assign)
+	if err != nil || c > u.budget+1e-9 {
 		u.assign.Types[vm] = old
 		return false
 	}
-	u.sched = s
+	u.cost = c
+	u.dirty = true
 	return true
+}
+
+// schedule materializes the final timed schedule: the untouched baseline
+// when no upgrade was accepted, otherwise one full replay of the final
+// assignment.
+func (u *upgradeState) schedule() (*plan.Schedule, error) {
+	if !u.dirty {
+		return u.base, nil
+	}
+	return u.rp.Replay(u.assign)
 }
 
 // criticalPath returns the tasks of the heaviest entry→exit path under the

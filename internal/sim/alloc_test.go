@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workflows"
+	"repro/internal/workload"
+)
+
+// Steady-state replay through a held Scratch must not allocate: every
+// arena — the typed event heap, the VM state slice, the queue backing
+// store and the per-task parallel arrays — is sized on the first run and
+// reset, never reallocated, on the ones after. A regression here silently
+// reintroduces per-cell allocation across the whole paranoid sweep.
+func TestScratchRunSteadyStateZeroAlloc(t *testing.T) {
+	wf := workload.Pareto.Apply(workflows.MapReduce(50, 5), 42)
+	s := mustSchedule(t, sched.Baseline(), wf)
+	var sc Scratch
+	var res Result
+	if err := sc.Run(s, Config{}, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := sc.Run(s, Config{}, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Scratch.Run allocated %v objects/run, want 0", allocs)
+	}
+}

@@ -33,11 +33,23 @@
 // re-stages its inputs for free. Every stochastic draw is a pure function
 // of (fault seed, entity identity, attempt), so a faulty run is replayable
 // bit-for-bit and independent of event interleaving.
+//
+// # Replay state layout
+//
+// The replay state is structure-of-arrays: per-VM state lives in one flat
+// slice indexed by VM incarnation, per-task state (pending counts,
+// attempts, observed times) in parallel slices indexed by task ID, and the
+// event queue carries small value payloads instead of closures. All of it
+// sits in a Scratch that is reset — not reallocated — between runs, so a
+// hot loop of replays (the paranoid sweep, Monte-Carlo SLA sampling)
+// allocates nothing in steady state. The package-level Run keeps the
+// allocate-and-return API on top of a pooled Scratch.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
@@ -131,29 +143,137 @@ type Result struct {
 	WarmIdleSeconds float64
 }
 
+// reset clears the result for reuse, sizing the task arrays for n tasks
+// without reallocating when their capacity already suffices.
+func (res *Result) reset(n int) {
+	ts, te := res.TaskStart, res.TaskEnd
+	*res = Result{}
+	if cap(ts) < n {
+		ts = make([]float64, n)
+	} else {
+		ts = ts[:n]
+	}
+	if cap(te) < n {
+		te = make([]float64, n)
+	} else {
+		te = te[:n]
+	}
+	for i := range ts {
+		ts[i] = math.NaN()
+		te[i] = math.NaN()
+	}
+	res.TaskStart, res.TaskEnd = ts, te
+}
+
+// Event kinds for the typed event queue. The payload is a small value
+// struct — no closures — so pushing an event never allocates and a pooled
+// queue pins nothing alive between runs.
+const (
+	evKill    uint8 = iota // crash the VM lease (vi)
+	evPreempt              // spot-preempt the VM lease (vi)
+	evArrive               // a task input arrived (task)
+	evResume               // retry backoff elapsed, free the VM (vi)
+	evBoot                 // boot lag elapsed, the VM is usable (vi)
+	evFail                 // the running attempt aborts (vi, task, att, val=burned)
+	evFinish               // the running attempt completes (vi, task, att, val=exec time)
+)
+
+// ev is one scheduled simulator event.
+type ev struct {
+	kind uint8
+	vi   int32
+	task int32
+	att  int32
+	val  float64
+}
+
 // vmState is the per-VM runtime state (one lease incarnation).
 type vmState struct {
 	vm       *plan.VM
-	queue    []int // task IDs in slot order
-	head     int
+	fb       *market.Lease // original spot terms when this lease is an on-demand fallback
+	queue    []int32       // task IDs in slot order
+	head     int32
+	running  int32 // task mid-attempt, or -1
 	busy     bool
 	started  bool // first task has begun (lease anchored)
+	bootDone bool
+	dead     bool // lease lost to a crash
 	leaseAt  float64
 	busySum  float64
 	lastEnd  float64
-	bootDone bool
+	deadAt   float64
 	boot     float64 // boot lag before the first task (replacements re-pay it)
 	inc      uint64  // fault-stream incarnation identity
-	running  int     // task mid-attempt, or -1
-	dead     bool    // lease lost to a crash
-	deadAt   float64
-	fb       *market.Lease // original spot terms when this lease is an on-demand fallback
 }
 
-// Run executes the schedule and returns the measured result.
+// Scratch holds the simulator's reusable replay state: the typed event
+// heap, the per-VM state arena, the flat task-queue arena the initial VM
+// queues are sub-sliced from, and the per-task parallel arrays. A Scratch
+// is reset between runs — capacity is kept, contents are rebuilt — so
+// replaying same-sized schedules in a loop is allocation-free in steady
+// state (fault recovery still allocates: replacement leases and their
+// queues are genuinely new state). The zero value is ready to use. A
+// Scratch is not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	q       eventq.Heap[ev]
+	vms     []vmState
+	qarena  []int32 // backing store for the initial VM queues
+	vmOf    []int32 // task -> current VM incarnation
+	pending []int32 // unfinished predecessor count per task
+	attempt []int32 // execution attempts started, for event staleness and fault draws
+	tfails  []int32 // transient failures, capped by MaxRetries
+}
+
+// grow32 returns s resized to n, reallocating only when capacity is short.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// scratchPool backs the package-level Run so callers that don't manage a
+// Scratch of their own still reuse replay state across runs.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Run executes the schedule and returns the measured result. It draws a
+// pooled Scratch internally; hot loops that replay many schedules should
+// hold their own Scratch and call Scratch.Run with a reused Result.
 func Run(s *plan.Schedule, cfg Config) (*Result, error) {
+	sc := scratchPool.Get().(*Scratch)
+	res := &Result{}
+	err := sc.Run(s, cfg, res)
+	scratchPool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runner is the in-flight replay: the Scratch arrays plus the run-scoped
+// scalars the event handlers share. Methods on runner replace what used to
+// be a web of closures; every event handler re-derives its *vmState from
+// the index because fault recovery may grow the vms slice mid-run.
+type runner struct {
+	sc       *Scratch
+	s        *plan.Schedule
+	wf       *dag.Workflow
+	rec      obs.Recorder
+	inj      *fault.Injector
+	rebootS  float64
+	res      *Result
+	now      float64
+	done     int
+	aborted  bool
+	crashCap int
+	nextInc  uint64
+}
+
+// Run executes the schedule into res, reusing the scratch's arenas. res is
+// fully overwritten; its task arrays are reused when large enough.
+func (sc *Scratch) Run(s *plan.Schedule, cfg Config, res *Result) error {
 	if cfg.BootTime < 0 {
-		return nil, fmt.Errorf("sim: negative boot time %v", cfg.BootTime)
+		return fmt.Errorf("sim: negative boot time %v", cfg.BootTime)
 	}
 	rec := cfg.Recorder
 	if rec == nil {
@@ -164,7 +284,7 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	if cfg.Faults != nil {
 		in, err := fault.NewInjector(*cfg.Faults)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if cfg.Faults.Active() {
 			inj = in
@@ -173,323 +293,65 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	}
 	wf := s.Workflow
 	n := wf.Len()
-	res := &Result{
-		TaskStart: make([]float64, n),
-		TaskEnd:   make([]float64, n),
-	}
-	for i := range res.TaskStart {
-		res.TaskStart[i] = math.NaN()
-		res.TaskEnd[i] = math.NaN()
-	}
+	res.reset(n)
 
-	// The initial VM states live in one block; replacement leases spawned by
-	// fault recovery are appended as individual allocations, which leaves
-	// the pointers into the block valid.
-	states := make([]vmState, len(s.VMs))
-	vms := make([]*vmState, len(s.VMs))
-	vmOf := make([]int, n)
+	// Rebuild the VM arena. Initial leases occupy the first len(s.VMs)
+	// slots; replacement leases spawned by fault recovery are appended.
+	// Entries are addressed by index only — never by pointers held across
+	// a spawn — so growth is safe.
+	if cap(sc.vms) < len(s.VMs) {
+		sc.vms = make([]vmState, len(s.VMs))
+	} else {
+		sc.vms = sc.vms[:len(s.VMs)]
+	}
+	// Stale entries from a previous run's replacements sit in the capacity
+	// region; drop their pointers so the scratch pins nothing.
+	clear(sc.vms[len(s.VMs):cap(sc.vms)])
+	total := 0
+	for _, vm := range s.VMs {
+		total += len(vm.Slots)
+	}
+	sc.qarena = grow32(sc.qarena, total)
+	sc.vmOf = grow32(sc.vmOf, n)
+	sc.pending = grow32(sc.pending, n)
+	sc.attempt = grow32(sc.attempt, n)
+	sc.tfails = grow32(sc.tfails, n)
+	qa := sc.qarena[:0]
 	for i, vm := range s.VMs {
-		st := &states[i]
 		boot := cfg.BootTime
 		if l := vm.Lease; l != nil {
 			boot = l.ColdStartDelay() // market terms own the boot economics
 		}
-		*st = vmState{vm: vm, boot: boot, inc: uint64(i), running: -1,
-			queue: make([]int, 0, len(vm.Slots))}
+		base := len(qa)
 		for _, slot := range vm.Slots {
-			st.queue = append(st.queue, int(slot.Task))
-			vmOf[slot.Task] = i
+			qa = append(qa, int32(slot.Task))
+			sc.vmOf[slot.Task] = int32(i)
 		}
-		vms[i] = st
+		sc.vms[i] = vmState{vm: vm, boot: boot, inc: uint64(i), running: -1,
+			queue: qa[base:len(qa):len(qa)]}
 	}
-	nextInc := uint64(len(vms))
-
-	pending := make([]int, n)
-	attempt := make([]int, n) // execution attempts started, for event staleness and fault draws
-	tfails := make([]int, n)  // transient failures, capped by MaxRetries
 	for id := 0; id < n; id++ {
-		pending[id] = len(wf.Pred(dag.TaskID(id)))
+		sc.pending[id] = int32(len(wf.Pred(dag.TaskID(id))))
+		sc.attempt[id] = 0
+		sc.tfails[id] = 0
 	}
 
-	q := eventq.Get()
-	defer eventq.Release(q)
-	q.Grow(n + len(s.VMs))
-	now := 0.0
-	done := 0
-	aborted := false
-	// crashCap bounds pathological crash storms (a replacement can crash
-	// again); beyond it the run is declared failed rather than looping.
-	crashCap := 100*n + 100
-
-	abortRun := func(reason string) {
-		if !aborted {
-			aborted = true
-			res.FailReason = reason
-		}
-	}
-
-	var tryStart func(vi int)
-
-	// leaseLabel is the lease-start event label: the instance type plus the
-	// lease's market suffix ("small+spot+sec"), empty suffix — and therefore
-	// the legacy byte-identical label — for nil lease terms. Only called
-	// under a rec != nil guard, so the disabled path never concatenates.
-	leaseLabel := func(st *vmState) string {
-		return st.vm.Type.String() + st.vm.Lease.LabelSuffix()
-	}
-
-	// spawn opens a replacement lease for dead's unfinished tasks and
-	// returns its index. Fault recovery re-provisions through
-	// provision.Replace — same instance type, fresh billing, boot lag — or,
-	// for a preempted spot lease under the SpotFallback hedge, through
-	// provision.Fallback (same shape, on-demand market).
-	spawn := func(model *plan.VM, tasks []int, fallback bool) int {
-		var vm *plan.VM
-		if fallback {
-			vm = provision.Fallback(model, plan.VMID(len(vms)))
-		} else {
-			vm = provision.Replace(model, plan.VMID(len(vms)))
-		}
-		st := &vmState{vm: vm, queue: tasks, boot: rebootS, inc: nextInc, running: -1}
-		if fallback {
-			st.fb = model.Lease // remember the spot terms for premium accounting
-			res.FallbackVMs++
-		}
-		nextInc++
-		vms = append(vms, st)
-		vi := len(vms) - 1
-		for _, t := range tasks {
-			vmOf[t] = vi
-		}
-		res.ReplacementVMs++
-		return vi
-	}
-
-	// kill tears down a leased VM mid-flight — an injected crash or a spot
-	// preemption (the market's crash cause, counted apart): the running
-	// attempt is lost and the remaining queue is recovered per policy.
-	kill := func(st *vmState, vi int, preempted bool) {
-		if st.dead {
-			return
-		}
-		if st.head >= len(st.queue) && !st.busy {
-			return // the lease already ended at lastEnd
-		}
-		st.dead = true
-		st.deadAt = now
-		kind := obs.KindVMCrash
-		cause := "crashed"
-		if preempted {
-			res.SpotPreemptions++
-			kind = obs.KindVMPreempt
-			cause = "preempted"
-		} else {
-			res.VMCrashes++
-		}
-		if rec != nil {
-			rec.Record(obs.Event{Kind: kind, T: now, VM: int32(vi), Task: -1})
-		}
-		remaining := append([]int(nil), st.queue[st.head:]...)
-		if st.running >= 0 {
-			burned := now - res.TaskStart[st.running]
-			res.WastedSeconds += burned
-			st.busySum += burned
-			remaining = append([]int{st.running}, remaining...)
-			st.running = -1
-		}
-		if res.VMCrashes+res.SpotPreemptions > crashCap {
-			abortRun(fmt.Sprintf("crash storm: %d VM losses exceeded the recovery cap",
-				res.VMCrashes+res.SpotPreemptions))
-			return
-		}
-		if inj.Config().Recovery == fault.Fail {
-			abortRun(fmt.Sprintf("VM %d %s at t=%.1fs (recovery=fail)", st.vm.ID, cause, now))
-			return
-		}
-		if len(remaining) > 0 {
-			tryStart(spawn(st.vm, remaining, preempted && st.vm.Lease.HasFallback()))
-		}
-	}
-
-	// armFaults schedules the lease's loss draws from its anchor time:
-	// the crash stream for every lease, plus the preemption stream for
-	// spot leases. Both streams are keyed by the incarnation identity, so
-	// draws are order-independent and replayable.
-	armFaults := func(st *vmState, vi int, at float64) {
-		if inj == nil {
-			return
-		}
-		if life := inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
-			q.Push(at+life, func() { kill(st, vi, false) })
-		}
-		if st.vm.Lease.IsSpot() {
-			if life := inj.PreemptAfter(st.inc); !math.IsInf(life, 1) {
-				q.Push(at+life, func() { kill(st, vi, true) })
-			}
-		}
-	}
-
-	finish := func(vi, task, att int, et float64) {
-		st := vms[vi]
-		if st.dead || attempt[task] != att {
-			return // the attempt was aborted by a crash
-		}
-		st.busy = false
-		st.running = -1
-		st.lastEnd = now
-		st.busySum += et
-		res.TaskEnd[task] = now
-		done++
-		if rec != nil {
-			rec.Record(obs.Event{Kind: obs.KindTaskFinish, T: now,
-				VM: int32(vi), Task: int32(task), Attempt: int32(att)})
-		}
-		// Propagate outputs to successors. SuccData is index-aligned with
-		// Succ, replacing a map lookup per edge.
-		sdata := wf.SuccData(dag.TaskID(task))
-		for si, succ := range wf.Succ(dag.TaskID(task)) {
-			succ := int(succ)
-			arrive := now
-			if vmOf[succ] != vi {
-				data := sdata[si]
-				arrive += s.Platform.TransferTime(data, st.vm.Type, vms[vmOf[succ]].vm.Type)
-				res.Transfers++
-				if rec != nil {
-					rec.Record(obs.Event{Kind: obs.KindTransferStart, T: now,
-						VM: int32(vi), Task: int32(succ), Value: data})
-					rec.Record(obs.Event{Kind: obs.KindTransferEnd, T: arrive,
-						VM: int32(vmOf[succ]), Task: int32(succ), Value: data})
-				}
-			}
-			q.Push(arrive, func() {
-				pending[succ]--
-				if pending[succ] == 0 && rec != nil {
-					rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: now, VM: -1, Task: int32(succ)})
-				}
-				// Resolve the consumer's VM at arrival time: recovery may
-				// have moved it since this transfer was dispatched.
-				tryStart(vmOf[succ])
-			})
-		}
-		tryStart(vi)
-	}
-
-	// failAttempt handles a transient abort of one attempt.
-	failAttempt := func(vi, task, att int, burned float64) {
-		st := vms[vi]
-		if st.dead || attempt[task] != att {
-			return
-		}
-		res.TaskFailures++
-		res.WastedSeconds += burned
-		st.busySum += burned
-		st.lastEnd = now // the lease must cover the burned time
-		st.running = -1
-		tfails[task]++
-		if rec != nil {
-			rec.Record(obs.Event{Kind: obs.KindTaskFail, T: now,
-				VM: int32(vi), Task: int32(task), Attempt: int32(att), Value: burned})
-		}
-		if inj.Config().Recovery == fault.Fail {
-			abortRun(fmt.Sprintf("task %d failed at t=%.1fs (recovery=fail)", task, now))
-			return
-		}
-		if tfails[task] > inj.Config().MaxRetries {
-			abortRun(fmt.Sprintf("task %d exhausted %d retries", task, inj.Config().MaxRetries))
-			return
-		}
-		switch inj.Config().Recovery {
-		case fault.Retry:
-			res.Retries++
-			st.head-- // the task returns to the head of this VM's queue
-			delay := inj.Backoff(tfails[task])
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindTaskRetry, T: now,
-					VM: int32(vi), Task: int32(task), Attempt: int32(att), Value: delay})
-			}
-			// The VM is held (and billed) through the backoff window.
-			q.Push(now+delay, func() {
-				if st.dead {
-					return
-				}
-				st.busy = false
-				tryStart(vi)
-			})
-		case fault.Resubmit:
-			res.Resubmits++
-			st.busy = false
-			nvi := spawn(st.vm, []int{task}, false)
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindTaskResubmit, T: now,
-					VM: int32(nvi), Task: int32(task), Attempt: int32(att)})
-			}
-			tryStart(vi) // the old VM proceeds with its next slot
-			tryStart(nvi)
-		}
-	}
-
-	tryStart = func(vi int) {
-		st := vms[vi]
-		if st.dead || st.busy || st.head >= len(st.queue) {
-			return
-		}
-		task := st.queue[st.head]
-		if pending[task] > 0 {
-			return
-		}
-		start := now
-		if !st.started {
-			// The VM is requested the moment its first task could start;
-			// the lease (and billing) begins now, the task after boot.
-			st.started = true
-			st.leaseAt = start
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: start,
-					VM: int32(vi), Task: -1, Value: st.boot, Label: leaseLabel(st)})
-			}
-			armFaults(st, vi, start)
-			if st.boot > 0 && !st.bootDone {
-				st.busy = true
-				q.Push(start+st.boot, func() {
-					if st.dead {
-						return
-					}
-					st.busy = false
-					st.bootDone = true
-					if rec != nil {
-						rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: now, VM: int32(vi), Task: -1})
-					}
-					tryStart(vi)
-				})
-				return
-			}
-		}
-		et := s.Platform.ExecTime(wf.Task(dag.TaskID(task)).Work, st.vm.Type)
-		st.busy = true
-		st.head++
-		attempt[task]++
-		att := attempt[task]
-		st.running = task
-		res.TaskStart[task] = start
-		if rec != nil {
-			rec.Record(obs.Event{Kind: obs.KindTaskStart, T: start, VM: int32(vi),
-				Task: int32(task), Attempt: int32(att), Value: et,
-				Label: wf.Task(dag.TaskID(task)).Name})
-		}
-		if inj != nil {
-			if fails, frac := inj.AttemptFails(task, att); fails {
-				q.Push(start+frac*et, func() { failAttempt(vi, task, att, frac*et) })
-				return
-			}
-		}
-		q.Push(start+et, func() { finish(vi, task, att, et) })
+	sc.q.Reset()
+	sc.q.Grow(n + len(s.VMs))
+	r := runner{
+		sc: sc, s: s, wf: wf, rec: rec, inj: inj, rebootS: rebootS,
+		res: res, nextInc: uint64(len(s.VMs)),
+		// crashCap bounds pathological crash storms (a replacement can
+		// crash again); beyond it the run is declared failed rather than
+		// looping.
+		crashCap: 100*n + 100,
 	}
 
 	// Kick off: every VM tries its head at time 0 (entry tasks).
 	if rec != nil {
 		// Tasks with no pending inputs are ready before anything runs.
 		for id := 0; id < n; id++ {
-			if pending[id] == 0 {
+			if sc.pending[id] == 0 {
 				rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: 0, VM: -1, Task: int32(id)})
 			}
 		}
@@ -500,8 +362,8 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 	// booting through its keepalive so the first task sees a warm machine.
 	// Empty warm leases stay un-anchored here and bill through the
 	// held-but-empty teardown path below, exactly like planned holds.
-	for vi := range states {
-		st := &states[vi]
+	for vi := 0; vi < len(s.VMs); vi++ {
+		st := &sc.vms[vi]
 		if !st.vm.Lease.IsWarm() || len(st.queue) == 0 {
 			continue
 		}
@@ -509,55 +371,351 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 		st.leaseAt = 0
 		if rec != nil {
 			rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: 0,
-				VM: int32(vi), Task: -1, Value: st.boot, Label: leaseLabel(st)})
+				VM: int32(vi), Task: -1, Value: st.boot, Label: r.leaseLabel(st)})
 		}
-		armFaults(st, vi, 0)
+		r.armFaults(vi, 0)
 		if st.boot > 0 {
 			st.busy = true
-			q.Push(st.boot, func() {
-				if st.dead {
-					return
-				}
-				st.busy = false
-				st.bootDone = true
-				if rec != nil {
-					rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: now, VM: int32(vi), Task: -1})
-				}
-				tryStart(vi)
-			})
+			sc.q.Push(st.boot, ev{kind: evBoot, vi: int32(vi), task: -1})
 		} else {
 			st.bootDone = true
 		}
 	}
-	for vi := range vms {
-		tryStart(vi)
+	for vi := range sc.vms {
+		r.tryStart(vi)
 	}
 
-	for !aborted {
-		e, ok := q.Pop()
+	for !r.aborted {
+		t, e, ok := sc.q.Pop()
 		if !ok {
 			break
 		}
-		if e.Time < now-cloud.Eps {
-			return nil, fmt.Errorf("sim: time ran backwards: %v -> %v", now, e.Time)
+		if t < r.now-cloud.Eps {
+			return fmt.Errorf("sim: time ran backwards: %v -> %v", r.now, t)
 		}
-		now = e.Time
+		r.now = t
 		res.Events++
-		e.Fire()
+		switch e.kind {
+		case evKill:
+			r.kill(int(e.vi), false)
+		case evPreempt:
+			r.kill(int(e.vi), true)
+		case evArrive:
+			r.arrive(int(e.task))
+		case evResume:
+			st := &sc.vms[e.vi]
+			if st.dead {
+				continue
+			}
+			st.busy = false
+			r.tryStart(int(e.vi))
+		case evBoot:
+			st := &sc.vms[e.vi]
+			if st.dead {
+				continue
+			}
+			st.busy = false
+			st.bootDone = true
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: r.now, VM: e.vi, Task: -1})
+			}
+			r.tryStart(int(e.vi))
+		case evFail:
+			r.failAttempt(int(e.vi), int(e.task), e.att, e.val)
+		case evFinish:
+			r.finish(int(e.vi), int(e.task), e.att, e.val)
+		}
 	}
 
-	res.CompletedTasks = done
-	res.Completed = done == n
-	if done != n && !aborted {
-		return nil, fmt.Errorf("sim: deadlock: %d of %d tasks completed", done, n)
+	res.CompletedTasks = r.done
+	res.Completed = r.done == n
+	if r.done != n && !r.aborted {
+		return fmt.Errorf("sim: deadlock: %d of %d tasks completed", r.done, n)
 	}
 
-	for vi, st := range vms {
+	r.teardown()
+
+	// Drop the schedule's pointers so an idle scratch keeps only bare
+	// capacity alive (the arena itself is retained for the next run).
+	for i := range sc.vms {
+		sc.vms[i].vm = nil
+		sc.vms[i].fb = nil
+		sc.vms[i].queue = nil
+	}
+	return nil
+}
+
+func (r *runner) abortRun(reason string) {
+	if !r.aborted {
+		r.aborted = true
+		r.res.FailReason = reason
+	}
+}
+
+// leaseLabel is the lease-start event label: the instance type plus the
+// lease's market suffix ("small+spot+sec"), empty suffix — and therefore
+// the legacy byte-identical label — for nil lease terms. Only called
+// under a rec != nil guard, so the disabled path never concatenates.
+func (r *runner) leaseLabel(st *vmState) string {
+	return st.vm.Type.String() + st.vm.Lease.LabelSuffix()
+}
+
+// spawn opens a replacement lease for a dead VM's unfinished tasks and
+// returns its index. Fault recovery re-provisions through
+// provision.Replace — same instance type, fresh billing, boot lag — or,
+// for a preempted spot lease under the SpotFallback hedge, through
+// provision.Fallback (same shape, on-demand market).
+func (r *runner) spawn(model *plan.VM, tasks []int32, fallback bool) int {
+	var vm *plan.VM
+	if fallback {
+		vm = provision.Fallback(model, plan.VMID(len(r.sc.vms)))
+	} else {
+		vm = provision.Replace(model, plan.VMID(len(r.sc.vms)))
+	}
+	st := vmState{vm: vm, queue: tasks, boot: r.rebootS, inc: r.nextInc, running: -1}
+	if fallback {
+		st.fb = model.Lease // remember the spot terms for premium accounting
+		r.res.FallbackVMs++
+	}
+	r.nextInc++
+	r.sc.vms = append(r.sc.vms, st)
+	vi := len(r.sc.vms) - 1
+	for _, t := range tasks {
+		r.sc.vmOf[t] = int32(vi)
+	}
+	r.res.ReplacementVMs++
+	return vi
+}
+
+// kill tears down a leased VM mid-flight — an injected crash or a spot
+// preemption (the market's crash cause, counted apart): the running
+// attempt is lost and the remaining queue is recovered per policy.
+func (r *runner) kill(vi int, preempted bool) {
+	st := &r.sc.vms[vi]
+	if st.dead {
+		return
+	}
+	if int(st.head) >= len(st.queue) && !st.busy {
+		return // the lease already ended at lastEnd
+	}
+	st.dead = true
+	st.deadAt = r.now
+	kind := obs.KindVMCrash
+	cause := "crashed"
+	if preempted {
+		r.res.SpotPreemptions++
+		kind = obs.KindVMPreempt
+		cause = "preempted"
+	} else {
+		r.res.VMCrashes++
+	}
+	if r.rec != nil {
+		r.rec.Record(obs.Event{Kind: kind, T: r.now, VM: int32(vi), Task: -1})
+	}
+	tail := st.queue[st.head:]
+	var remaining []int32
+	if st.running >= 0 {
+		burned := r.now - r.res.TaskStart[st.running]
+		r.res.WastedSeconds += burned
+		st.busySum += burned
+		remaining = make([]int32, 0, len(tail)+1)
+		remaining = append(remaining, st.running)
+		remaining = append(remaining, tail...)
+		st.running = -1
+	} else {
+		remaining = append([]int32(nil), tail...)
+	}
+	if r.res.VMCrashes+r.res.SpotPreemptions > r.crashCap {
+		r.abortRun(fmt.Sprintf("crash storm: %d VM losses exceeded the recovery cap",
+			r.res.VMCrashes+r.res.SpotPreemptions))
+		return
+	}
+	if r.inj.Config().Recovery == fault.Fail {
+		r.abortRun(fmt.Sprintf("VM %d %s at t=%.1fs (recovery=fail)", st.vm.ID, cause, r.now))
+		return
+	}
+	if len(remaining) > 0 {
+		// spawn may grow the vms slice; st is not touched past this point.
+		r.tryStart(r.spawn(st.vm, remaining, preempted && st.vm.Lease.HasFallback()))
+	}
+}
+
+// armFaults schedules the lease's loss draws from its anchor time: the
+// crash stream for every lease, plus the preemption stream for spot
+// leases. Both streams are keyed by the incarnation identity, so draws are
+// order-independent and replayable.
+func (r *runner) armFaults(vi int, at float64) {
+	if r.inj == nil {
+		return
+	}
+	st := &r.sc.vms[vi]
+	if life := r.inj.CrashAfter(st.inc); !math.IsInf(life, 1) {
+		r.sc.q.Push(at+life, ev{kind: evKill, vi: int32(vi), task: -1})
+	}
+	if st.vm.Lease.IsSpot() {
+		if life := r.inj.PreemptAfter(st.inc); !math.IsInf(life, 1) {
+			r.sc.q.Push(at+life, ev{kind: evPreempt, vi: int32(vi), task: -1})
+		}
+	}
+}
+
+// arrive delivers one task input: the pending count drops, and the task's
+// current VM (recovery may have moved it since the transfer was
+// dispatched) gets a start attempt.
+func (r *runner) arrive(task int) {
+	r.sc.pending[task]--
+	if r.sc.pending[task] == 0 && r.rec != nil {
+		r.rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: r.now, VM: -1, Task: int32(task)})
+	}
+	r.tryStart(int(r.sc.vmOf[task]))
+}
+
+func (r *runner) finish(vi, task int, att int32, et float64) {
+	st := &r.sc.vms[vi]
+	if st.dead || r.sc.attempt[task] != att {
+		return // the attempt was aborted by a crash
+	}
+	st.busy = false
+	st.running = -1
+	st.lastEnd = r.now
+	st.busySum += et
+	r.res.TaskEnd[task] = r.now
+	r.done++
+	if r.rec != nil {
+		r.rec.Record(obs.Event{Kind: obs.KindTaskFinish, T: r.now,
+			VM: int32(vi), Task: int32(task), Attempt: att})
+	}
+	// Propagate outputs to successors. SuccData is index-aligned with
+	// Succ, replacing a map lookup per edge.
+	sdata := r.wf.SuccData(dag.TaskID(task))
+	for si, succ := range r.wf.Succ(dag.TaskID(task)) {
+		succ := int32(succ)
+		arrive := r.now
+		if r.sc.vmOf[succ] != int32(vi) {
+			data := sdata[si]
+			arrive += r.s.Platform.TransferTime(data, st.vm.Type, r.sc.vms[r.sc.vmOf[succ]].vm.Type)
+			r.res.Transfers++
+			if r.rec != nil {
+				r.rec.Record(obs.Event{Kind: obs.KindTransferStart, T: r.now,
+					VM: int32(vi), Task: succ, Value: data})
+				r.rec.Record(obs.Event{Kind: obs.KindTransferEnd, T: arrive,
+					VM: int32(r.sc.vmOf[succ]), Task: succ, Value: data})
+			}
+		}
+		r.sc.q.Push(arrive, ev{kind: evArrive, vi: -1, task: succ})
+	}
+	r.tryStart(vi)
+}
+
+// failAttempt handles a transient abort of one attempt.
+func (r *runner) failAttempt(vi, task int, att int32, burned float64) {
+	st := &r.sc.vms[vi]
+	if st.dead || r.sc.attempt[task] != att {
+		return
+	}
+	r.res.TaskFailures++
+	r.res.WastedSeconds += burned
+	st.busySum += burned
+	st.lastEnd = r.now // the lease must cover the burned time
+	st.running = -1
+	r.sc.tfails[task]++
+	if r.rec != nil {
+		r.rec.Record(obs.Event{Kind: obs.KindTaskFail, T: r.now,
+			VM: int32(vi), Task: int32(task), Attempt: att, Value: burned})
+	}
+	if r.inj.Config().Recovery == fault.Fail {
+		r.abortRun(fmt.Sprintf("task %d failed at t=%.1fs (recovery=fail)", task, r.now))
+		return
+	}
+	if int(r.sc.tfails[task]) > r.inj.Config().MaxRetries {
+		r.abortRun(fmt.Sprintf("task %d exhausted %d retries", task, r.inj.Config().MaxRetries))
+		return
+	}
+	switch r.inj.Config().Recovery {
+	case fault.Retry:
+		r.res.Retries++
+		st.head-- // the task returns to the head of this VM's queue
+		delay := r.inj.Backoff(int(r.sc.tfails[task]))
+		if r.rec != nil {
+			r.rec.Record(obs.Event{Kind: obs.KindTaskRetry, T: r.now,
+				VM: int32(vi), Task: int32(task), Attempt: att, Value: delay})
+		}
+		// The VM is held (and billed) through the backoff window.
+		r.sc.q.Push(r.now+delay, ev{kind: evResume, vi: int32(vi), task: -1})
+	case fault.Resubmit:
+		r.res.Resubmits++
+		st.busy = false
+		// spawn may grow the vms slice; st is not touched past this point.
+		nvi := r.spawn(st.vm, []int32{int32(task)}, false)
+		if r.rec != nil {
+			r.rec.Record(obs.Event{Kind: obs.KindTaskResubmit, T: r.now,
+				VM: int32(nvi), Task: int32(task), Attempt: att})
+		}
+		r.tryStart(vi) // the old VM proceeds with its next slot
+		r.tryStart(nvi)
+	}
+}
+
+func (r *runner) tryStart(vi int) {
+	st := &r.sc.vms[vi]
+	if st.dead || st.busy || int(st.head) >= len(st.queue) {
+		return
+	}
+	task := int(st.queue[st.head])
+	if r.sc.pending[task] > 0 {
+		return
+	}
+	start := r.now
+	if !st.started {
+		// The VM is requested the moment its first task could start;
+		// the lease (and billing) begins now, the task after boot.
+		st.started = true
+		st.leaseAt = start
+		if r.rec != nil {
+			r.rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: start,
+				VM: int32(vi), Task: -1, Value: st.boot, Label: r.leaseLabel(st)})
+		}
+		r.armFaults(vi, start)
+		if st.boot > 0 && !st.bootDone {
+			st.busy = true
+			r.sc.q.Push(start+st.boot, ev{kind: evBoot, vi: int32(vi), task: -1})
+			return
+		}
+	}
+	et := r.s.Platform.ExecTime(r.wf.Task(dag.TaskID(task)).Work, st.vm.Type)
+	st.busy = true
+	st.head++
+	r.sc.attempt[task]++
+	att := r.sc.attempt[task]
+	st.running = int32(task)
+	r.res.TaskStart[task] = start
+	if r.rec != nil {
+		r.rec.Record(obs.Event{Kind: obs.KindTaskStart, T: start, VM: int32(vi),
+			Task: int32(task), Attempt: att, Value: et,
+			Label: r.wf.Task(dag.TaskID(task)).Name})
+	}
+	if r.inj != nil {
+		if fails, frac := r.inj.AttemptFails(task, int(att)); fails {
+			r.sc.q.Push(start+frac*et, ev{kind: evFail, vi: int32(vi),
+				task: int32(task), att: att, val: frac * et})
+			return
+		}
+	}
+	r.sc.q.Push(start+et, ev{kind: evFinish, vi: int32(vi),
+		task: int32(task), att: att, val: et})
+}
+
+// teardown bills every lease from its observed span and emits the closing
+// event stream (rollovers, stops) once billing detail is known.
+func (r *runner) teardown() {
+	res := r.res
+	for vi := range r.sc.vms {
+		st := &r.sc.vms[vi]
 		// Held reservations only exist on the planned VMs; replacement
 		// leases spawned by fault recovery never carry one.
 		var held float64
-		if vi < len(s.VMs) {
-			held = s.VMs[vi].Held
+		if vi < len(r.s.VMs) {
+			held = r.s.VMs[vi].Held
 		}
 		if !st.started {
 			if held <= 0 {
@@ -567,11 +725,11 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// passes through tryStart, but it is a reservation paid from the
 			// planned lease start all the same.
 			st.started = true
-			st.leaseAt = s.VMs[vi].LeaseStart()
+			st.leaseAt = r.s.VMs[vi].LeaseStart()
 			st.lastEnd = st.leaseAt
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: st.leaseAt,
-					VM: int32(vi), Task: -1, Label: leaseLabel(st)})
+			if r.rec != nil {
+				r.rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: st.leaseAt,
+					VM: int32(vi), Task: -1, Label: r.leaseLabel(st)})
 			}
 		}
 		end := st.lastEnd
@@ -582,8 +740,8 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			res.Makespan = end
 		}
 		if st.vm.Prepaid {
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1})
+			if r.rec != nil {
+				r.rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1})
 			}
 			continue // private-cloud capacity: no bill, no idle accounting
 		}
@@ -612,12 +770,12 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// over the preempted spot terms for the same span.
 			premium := cost - st.fb.Cost(st.leaseAt, span, st.vm.Type, st.vm.Region)
 			res.FallbackPremium += premium
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KindVMFallback, T: end,
+			if r.rec != nil {
+				r.rec.Record(obs.Event{Kind: obs.KindVMFallback, T: end,
 					VM: int32(vi), Task: -1, Value: premium})
 			}
 		}
-		if rec != nil {
+		if r.rec != nil {
 			// Billing detail is only known now, so rollover markers and the
 			// teardown are appended after the replay's causal events; the
 			// exporters order by timestamp, not stream position. Rollovers
@@ -627,14 +785,13 @@ func Run(s *plan.Schedule, cfg Config) (*Result, error) {
 			// span instead.
 			if st.vm.Lease.BTUBilled() {
 				for k := 1; k < cloud.BTUs(span); k++ {
-					rec.Record(obs.Event{Kind: obs.KindVMBTURollover,
+					r.rec.Record(obs.Event{Kind: obs.KindVMBTURollover,
 						T: st.leaseAt + float64(k)*cloud.BTU, VM: int32(vi), Task: -1})
 				}
 			}
-			rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1, Value: cost})
+			r.rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: end, VM: int32(vi), Task: -1, Value: cost})
 		}
 	}
-	return res, nil
 }
 
 // Verify replays the schedule with zero boot time and checks that the

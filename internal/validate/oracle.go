@@ -14,6 +14,7 @@ package validate
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/fault"
@@ -25,6 +26,7 @@ import (
 
 // Lease is one lease incarnation re-derived from the event stream.
 type Lease struct {
+	Opened  bool    // a lease-start event was seen for this incarnation
 	VM      int     // VM / incarnation index (obs.Event.VM)
 	Type    string  // bare instance-type name from the lease-start label
 	Start   float64 // lease-start time (billing origin)
@@ -48,7 +50,13 @@ type Lease struct {
 // event stream, independent of both the planner's and the simulator's own
 // bookkeeping.
 type Accounting struct {
-	Leases map[int]*Lease // keyed by VM / incarnation index
+	// Leases is indexed by VM / incarnation index — the simulator hands
+	// them out densely, so a slice replaces the map the ledger used to
+	// fold into (the sweep's dominant allocation source). Entries whose
+	// Opened flag is false saw no lease events (a planned VM that was
+	// never rented); use Lease and NumLeases to skip them.
+	Leases []Lease
+	opened int // count of Opened entries
 
 	RentalCost  float64 // summed lease costs
 	IdleSeconds float64 // summed paid-but-unused time of billed leases
@@ -73,12 +81,93 @@ type Accounting struct {
 	WarmIdleSeconds float64
 }
 
+// Lease returns the ledger entry of one VM / incarnation index, or nil
+// when the stream held no lease events for it.
+func (a *Accounting) Lease(vi int) *Lease {
+	if vi < 0 || vi >= len(a.Leases) || !a.Leases[vi].Opened {
+		return nil
+	}
+	return &a.Leases[vi]
+}
+
+// NumLeases returns the number of lease incarnations the stream opened.
+func (a *Accounting) NumLeases() int { return a.opened }
+
 // runningAttempt tracks the open task attempt on one lease while folding
 // the stream, so a crash can charge the interrupted work.
 type runningAttempt struct {
 	task  int32
 	start float64
 	open  bool
+}
+
+// labelTerms is one memoized ParseLabel result. Lease-start labels repeat
+// across cells (a handful of type/terms combinations cover a whole sweep),
+// so the Scratch parses each distinct label once and shares the read-only
+// terms across ledger entries.
+type labelTerms struct {
+	typ   string
+	terms *market.Lease
+}
+
+// Scratch holds the oracle's reusable state: the ledger arrays Account
+// folds into, the event collector and simulator scratch PlanSim replays
+// with, and the parsed-label memo. All returned pointers (the *Accounting,
+// its lease entries) alias the scratch and are only valid until the next
+// call. A Scratch is not safe for concurrent use; give each sweep worker
+// its own. The zero value is ready to use.
+type Scratch struct {
+	acc      Accounting
+	running  []runningAttempt
+	finished []bool
+	labels   map[string]labelTerms
+
+	col    obs.Collector
+	simsc  sim.Scratch
+	simres sim.Result
+}
+
+// NewScratch returns an empty oracle scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growLease resizes s to n entries, zeroing anything stale beyond the old
+// length and reallocating only when capacity is short.
+func growLease(s []Lease, n int) []Lease {
+	if cap(s) < n {
+		ns := make([]Lease, n, max(n, 2*cap(s)))
+		copy(ns, s)
+		return ns
+	}
+	tail := s[len(s):n]
+	for i := range tail {
+		tail[i] = Lease{}
+	}
+	return s[:n]
+}
+
+// lease returns the open ledger entry for vi, growing the arrays as new
+// incarnation indices appear; nil when vi never opened.
+func (sc *Scratch) lease(vi int) *Lease {
+	if vi < 0 || vi >= len(sc.acc.Leases) || !sc.acc.Leases[vi].Opened {
+		return nil
+	}
+	return &sc.acc.Leases[vi]
+}
+
+// parseLabel memoizes market.ParseLabel per distinct label string.
+func (sc *Scratch) parseLabel(label string) (string, *market.Lease, error) {
+	if lt, ok := sc.labels[label]; ok {
+		return lt.typ, lt.terms, nil
+	}
+	typ, terms, err := market.ParseLabel(label)
+	if err != nil {
+		return typ, terms, err
+	}
+	if sc.labels == nil {
+		sc.labels = make(map[string]labelTerms)
+	}
+	sc.labels[label] = labelTerms{typ: typ, terms: terms}
+	return typ, terms, nil
 }
 
 // Account folds a simulator event stream into an independent Accounting.
@@ -88,30 +177,72 @@ type runningAttempt struct {
 // opens of one incarnation) — which would indicate an emission bug, a
 // different failure class than a quantity mismatch.
 func Account(events []obs.Event) (*Accounting, error) {
-	acc := &Accounting{Leases: make(map[int]*Lease)}
-	running := make(map[int]*runningAttempt)
-	finished := make(map[int32]bool)
+	return new(Scratch).Account(events)
+}
+
+// Account folds an event stream into the scratch's reused ledger arrays —
+// the package-level Account without its per-call allocations. The returned
+// Accounting aliases the scratch and is valid until the next call.
+func (sc *Scratch) Account(events []obs.Event) (*Accounting, error) {
+	acc := &sc.acc
+	leases := acc.Leases[:0]
+	*acc = Accounting{}
+	running := sc.running[:0]
+	finished := sc.finished[:0]
+	defer func() {
+		// Hand the (possibly reallocated) arrays back for the next fold.
+		acc.Leases, sc.running, sc.finished = leases, running, finished
+	}()
+	// ensureVM grows the per-incarnation arrays to cover index vi.
+	ensureVM := func(vi int) {
+		if vi >= len(leases) {
+			leases = growLease(leases, vi+1)
+			if cap(running) < vi+1 {
+				nr := make([]runningAttempt, vi+1, max(vi+1, 2*cap(running)))
+				copy(nr, running)
+				running = nr
+			} else {
+				tail := running[len(running) : vi+1]
+				for i := range tail {
+					tail[i] = runningAttempt{}
+				}
+				running = running[:vi+1]
+			}
+		}
+	}
 	for _, ev := range events {
 		vi := int(ev.VM)
+		if vi >= len(leases) {
+			switch ev.Kind {
+			case obs.KindVMLeaseStart, obs.KindVMBTURollover, obs.KindVMCrash, obs.KindVMPreempt,
+				obs.KindVMFallback, obs.KindVMLeaseStop, obs.KindTaskStart, obs.KindTaskFinish,
+				obs.KindTaskFail:
+				ensureVM(vi)
+			}
+		}
 		switch ev.Kind {
 		case obs.KindVMLeaseStart:
-			if _, dup := acc.Leases[vi]; dup {
+			if vi < 0 {
+				return nil, fmt.Errorf("oracle: lease start with VM index %d", vi)
+			}
+			if leases[vi].Opened {
 				return nil, fmt.Errorf("oracle: lease %d opened twice", vi)
 			}
-			typ, terms, err := market.ParseLabel(ev.Label)
+			typ, terms, err := sc.parseLabel(ev.Label)
 			if err != nil {
 				return nil, fmt.Errorf("oracle: lease %d: %w", vi, err)
 			}
-			acc.Leases[vi] = &Lease{VM: vi, Type: typ, Terms: terms, Start: ev.T, End: math.NaN()}
+			leases[vi] = Lease{Opened: true, VM: vi, Type: typ, Terms: terms, Start: ev.T, End: math.NaN()}
+			acc.opened++
 		case obs.KindVMBTURollover:
-			l, ok := acc.Leases[vi]
-			if !ok {
+			l := leaseAt(leases, vi)
+			if l == nil {
 				return nil, fmt.Errorf("oracle: BTU rollover on unopened lease %d", vi)
 			}
 			l.BTUs++
 		case obs.KindVMCrash, obs.KindVMPreempt:
-			l, ok := acc.Leases[vi]
-			if !ok {
+			l := leaseAt(leases, vi)
+			if l == nil {
 				return nil, fmt.Errorf("oracle: crash on unopened lease %d", vi)
 			}
 			l.Crashed = true
@@ -121,7 +252,7 @@ func Account(events []obs.Event) (*Accounting, error) {
 			} else {
 				acc.Crashes++
 			}
-			if r := running[vi]; r != nil && r.open {
+			if r := &running[vi]; r.open {
 				// The interrupted attempt burned work the bill still covers.
 				burned := ev.T - r.start
 				l.Busy += burned
@@ -129,14 +260,14 @@ func Account(events []obs.Event) (*Accounting, error) {
 				r.open = false
 			}
 		case obs.KindVMFallback:
-			if _, ok := acc.Leases[vi]; !ok {
+			if leaseAt(leases, vi) == nil {
 				return nil, fmt.Errorf("oracle: fallback accounting on unopened lease %d", vi)
 			}
 			acc.FallbackVMs++
 			acc.FallbackPremium += ev.Value
 		case obs.KindVMLeaseStop:
-			l, ok := acc.Leases[vi]
-			if !ok {
+			l := leaseAt(leases, vi)
+			if l == nil {
 				return nil, fmt.Errorf("oracle: lease %d stopped before starting", vi)
 			}
 			if !math.IsNaN(l.End) {
@@ -146,33 +277,50 @@ func Account(events []obs.Event) (*Accounting, error) {
 			l.Cost = ev.Value
 			l.Prepaid = ev.Value == 0 // a billed lease costs at least one BTU
 		case obs.KindTaskStart:
-			running[vi] = &runningAttempt{task: ev.Task, start: ev.T, open: true}
+			if vi >= 0 {
+				running[vi] = runningAttempt{task: ev.Task, start: ev.T, open: true}
+			}
 		case obs.KindTaskFinish:
-			l, ok := acc.Leases[vi]
-			if !ok {
+			l := leaseAt(leases, vi)
+			if l == nil {
 				return nil, fmt.Errorf("oracle: task %d finished on unopened lease %d", ev.Task, vi)
 			}
-			r := running[vi]
-			if r == nil || !r.open || r.task != ev.Task {
+			r := &running[vi]
+			if !r.open || r.task != ev.Task {
 				return nil, fmt.Errorf("oracle: task %d finished on lease %d without a matching start", ev.Task, vi)
 			}
 			l.Busy += ev.T - r.start
 			acc.UsefulSeconds += ev.T - r.start
 			r.open = false
-			if finished[ev.Task] {
+			if int(ev.Task) >= len(finished) {
+				if cap(finished) < int(ev.Task)+1 {
+					nf := make([]bool, int(ev.Task)+1, max(int(ev.Task)+1, 2*cap(finished)))
+					copy(nf, finished)
+					finished = nf
+				} else {
+					tail := finished[len(finished) : int(ev.Task)+1]
+					for i := range tail {
+						tail[i] = false
+					}
+					finished = finished[:int(ev.Task)+1]
+				}
+			}
+			if ev.Task >= 0 && finished[ev.Task] {
 				return nil, fmt.Errorf("oracle: task %d finished twice", ev.Task)
 			}
-			finished[ev.Task] = true
+			if ev.Task >= 0 {
+				finished[ev.Task] = true
+			}
 			acc.CompletedTasks++
 		case obs.KindTaskFail:
-			l, ok := acc.Leases[vi]
-			if !ok {
+			l := leaseAt(leases, vi)
+			if l == nil {
 				return nil, fmt.Errorf("oracle: task %d failed on unopened lease %d", ev.Task, vi)
 			}
 			l.Busy += ev.Value // the burned fraction travels on the event
 			acc.WastedSeconds += ev.Value
 			acc.Failures++
-			if r := running[vi]; r != nil && r.task == ev.Task {
+			if r := &running[vi]; r.task == ev.Task {
 				r.open = false
 			}
 		case obs.KindTaskRetry:
@@ -183,7 +331,11 @@ func Account(events []obs.Event) (*Accounting, error) {
 			acc.Transfers++
 		}
 	}
-	for vi, l := range acc.Leases {
+	for vi := range leases {
+		l := &leases[vi]
+		if !l.Opened {
+			continue
+		}
 		if math.IsNaN(l.End) {
 			return nil, fmt.Errorf("oracle: lease %d never stopped", vi)
 		}
@@ -221,6 +373,15 @@ func Account(events []obs.Event) (*Accounting, error) {
 	return acc, nil
 }
 
+// leaseAt returns the open entry at vi in a fold-local lease slice, nil
+// when out of range or never opened.
+func leaseAt(leases []Lease, vi int) *Lease {
+	if vi < 0 || vi >= len(leases) || !leases[vi].Opened {
+		return nil
+	}
+	return &leases[vi]
+}
+
 // PlanSim is the fault-free differential oracle: it validates the static
 // invariants, replays the schedule through the simulator with recording
 // on, and asserts that planner, simulator and the event-stream accounting
@@ -229,12 +390,28 @@ func Account(events []obs.Event) (*Accounting, error) {
 // within the shared Eps. It returns a descriptive error naming the first
 // divergent quantity.
 func PlanSim(s *plan.Schedule) error {
+	sc := planSimPool.Get().(*Scratch)
+	err := sc.PlanSim(s)
+	planSimPool.Put(sc)
+	return err
+}
+
+// planSimPool backs the package-level PlanSim so callers that don't manage
+// a Scratch of their own (the service's debug path, tests) still reuse
+// oracle state across calls. Nothing a PlanSim call returns aliases the
+// scratch, so pooling is safe.
+var planSimPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// PlanSim is the fault-free differential oracle against the scratch's
+// reused collector, simulator arenas and ledger — the hot-loop form of the
+// package-level PlanSim.
+func (sc *Scratch) PlanSim(s *plan.Schedule) error {
 	if err := Schedule(s); err != nil {
 		return err
 	}
-	col := &obs.Collector{}
-	res, err := sim.Run(s, sim.Config{Recorder: col})
-	if err != nil {
+	sc.col.Events = sc.col.Events[:0]
+	res := &sc.simres
+	if err := sc.simsc.Run(s, sim.Config{Recorder: &sc.col}, res); err != nil {
 		return fmt.Errorf("oracle: replay failed: %w", err)
 	}
 	if !res.Completed {
@@ -260,20 +437,20 @@ func PlanSim(s *plan.Schedule) error {
 		return fmt.Errorf("oracle: idle time: simulated %v, planned %v", res.IdleTime, s.IdleTime())
 	}
 
-	acc, err := Account(col.Events)
+	acc, err := sc.Account(sc.col.Events)
 	if err != nil {
 		return err
 	}
 	for vi, vm := range s.VMs {
 		leased := len(vm.Slots) > 0 || vm.Held > 0
-		l, ok := acc.Leases[vi]
+		l := acc.Lease(vi)
 		if !leased {
-			if ok {
+			if l != nil {
 				return fmt.Errorf("oracle: unleased VM %d has lease events", vi)
 			}
 			continue
 		}
-		if !ok {
+		if l == nil {
 			return fmt.Errorf("oracle: leased VM %d emitted no lease events", vi)
 		}
 		if !Close(l.Start, vm.LeaseStart()) {
@@ -311,8 +488,8 @@ func PlanSim(s *plan.Schedule) error {
 			return fmt.Errorf("oracle: VM %d busy: events %v, planned %v", vi, l.Busy, vm.Busy())
 		}
 	}
-	if len(acc.Leases) > len(s.VMs) {
-		return fmt.Errorf("oracle: %d leases in events, %d VMs planned", len(acc.Leases), len(s.VMs))
+	if acc.NumLeases() > len(s.VMs) {
+		return fmt.Errorf("oracle: %d leases in events, %d VMs planned", acc.NumLeases(), len(s.VMs))
 	}
 	if !Close(acc.RentalCost, s.RentalCost()) {
 		return fmt.Errorf("oracle: rental cost: events %v, planned %v", acc.RentalCost, s.RentalCost())

@@ -10,22 +10,30 @@
 # Environment:
 #   BENCHTIME  go test -benchtime (default 2s)
 #   OUT        artifact path (default BENCH_sweep.json; '-' for stdout)
-#   AGAINST    baseline artifact; fails on >20% full-sweep throughput regression
+#   AGAINST    baseline artifact; fails on >20% regression of the
+#              full-sweep throughput or the SimReplay ns/op
+#   RAW        also save the raw `go test -bench` text here (benchstat input)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_sweep.json}"
 AGAINST="${AGAINST:-}"
+RAW="${RAW:-}"
 
 args=(-out "$OUT")
 if [ -n "$AGAINST" ]; then
   args+=(-against "$AGAINST")
 fi
 
+raw_sink=/dev/null
+if [ -n "$RAW" ]; then
+  raw_sink="$RAW"
+fi
+
 go test -run '^$' -count 1 -benchmem -benchtime "$BENCHTIME" \
-  -bench '^(BenchmarkFullParanoidSweep|BenchmarkScheduleLargeMapReduce|BenchmarkScheduleMontage|BenchmarkHEFTRanks|BenchmarkSimReplay)$' . \
-  | tee /dev/stderr | go run ./cmd/bench "${args[@]}"
+  -bench '^(BenchmarkFullParanoidSweep|BenchmarkScheduleLargeMapReduce|BenchmarkScheduleMontage|BenchmarkHEFTRanks|BenchmarkSimReplay|BenchmarkServiceScheduleCached)$' . \
+  | tee /dev/stderr | tee "$raw_sink" | go run ./cmd/bench "${args[@]}"
 
 if [ "$OUT" != "-" ]; then
   echo "wrote $OUT" >&2
