@@ -23,6 +23,7 @@ import (
 	"repro/internal/dax"
 	"repro/internal/eventq"
 	"repro/internal/frontier"
+	"repro/internal/market"
 	"repro/internal/ndwf"
 	"repro/internal/online"
 	"repro/internal/placement"
@@ -359,6 +360,49 @@ func BenchmarkOnlineStream(b *testing.B) {
 		MaxVMs: 32,
 		Seed:   1,
 	}
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// onlineSoakInstances is the soak benchmark's stream length, mirrored by
+// cmd/bench's instances/sec gate (onlineBenchInstances there).
+const onlineSoakInstances = 10_000
+
+// BenchmarkOnlineSoak times the continuous-traffic harness at soak scale:
+// a heavy-tail template mix with cold starts and per-second market
+// billing, the configuration whose instances/sec rate scripts/bench.sh
+// gates against the committed baseline.
+func BenchmarkOnlineSoak(b *testing.B) {
+	order, err := ndwf.Named("order")
+	if err != nil {
+		b.Fatal(err)
+	}
+	montage, err := ndwf.Named("montage2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := online.Config{
+		MeanInterarrival: 20,
+		Instances:        onlineSoakInstances,
+		Mix: []online.MixEntry{
+			{Template: order, Weight: 3},
+			{Template: montage, Weight: 1},
+		},
+		Type:   cloud.Small,
+		Region: cloud.USEastVirginia,
+		MaxVMs: 256,
+		Market: &market.Model{
+			Gran: market.PerSecond,
+			Cold: market.ColdStart{Dist: "fixed", Mean: 45},
+			Seed: 1,
+		},
+		Deadline: 7200,
+		Seed:     42,
+	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := online.Run(cfg); err != nil {
 			b.Fatal(err)

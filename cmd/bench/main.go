@@ -47,6 +47,10 @@ const (
 	sweepBench  = "FullParanoidSweep"
 	sweepCells  = 228
 	replayBench = "SimReplay"
+	// onlineBench is the continuous-traffic soak, gated on instances/s;
+	// onlineBenchInstances mirrors onlineSoakInstances in bench_test.go.
+	onlineBench          = "OnlineSoak"
+	onlineBenchInstances = 10_000
 )
 
 // Bench is one measured benchmark.
@@ -58,6 +62,9 @@ type Bench struct {
 	// CellsPerSec is only set for the full-sweep benchmark: grid cells
 	// scheduled (and paranoia-checked) per second.
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	// InstancesPerSec is only set for the online soak benchmark: workflow
+	// instances streamed through the autoscaling harness per second.
+	InstancesPerSec float64 `json:"instances_per_sec,omitempty"`
 }
 
 // Artifact is the BENCH_sweep.json schema.
@@ -101,6 +108,9 @@ func parse(lines *bufio.Scanner) (map[string]Bench, error) {
 		// Sub-benchmarks keep their slash-joined names verbatim.
 		if name == sweepBench && b.NsPerOp > 0 {
 			b.CellsPerSec = sweepCells / (b.NsPerOp / 1e9)
+		}
+		if name == onlineBench && b.NsPerOp > 0 {
+			b.InstancesPerSec = onlineBenchInstances / (b.NsPerOp / 1e9)
 		}
 		out[name] = b
 	}
@@ -202,6 +212,23 @@ func gate(art Artifact, path string, tol float64) error {
 	if rgot.NsPerOp > ceiling {
 		return fmt.Errorf("bench: %s regressed: %.0f ns/op > %.0f (baseline %.0f + %.0f%%)",
 			replayBench, rgot.NsPerOp, ceiling, rwant.NsPerOp, tol*100)
+	}
+	// OnlineSoak gates on instances/s; an older baseline without the
+	// benchmark skips the check rather than failing it.
+	owant, ok := base.Benchmarks[onlineBench]
+	if !ok || owant.InstancesPerSec <= 0 {
+		return nil
+	}
+	ogot, ok := art.Benchmarks[onlineBench]
+	if !ok || ogot.InstancesPerSec <= 0 {
+		return fmt.Errorf("bench: this run has no %s instances/s to compare", onlineBench)
+	}
+	ofloor := owant.InstancesPerSec * (1 - tol)
+	fmt.Fprintf(os.Stderr, "bench: %s %.0f instances/s vs baseline %.0f (floor %.0f)\n",
+		onlineBench, ogot.InstancesPerSec, owant.InstancesPerSec, ofloor)
+	if ogot.InstancesPerSec < ofloor {
+		return fmt.Errorf("bench: %s regressed: %.0f instances/s < %.0f (baseline %.0f - %.0f%%)",
+			onlineBench, ogot.InstancesPerSec, ofloor, owant.InstancesPerSec, tol*100)
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/market"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/report"
 	"repro/internal/sla"
 	"repro/internal/workflows"
@@ -302,6 +303,14 @@ func run(o options) error {
 		}
 		fmt.Printf("=== SLA search: %s ===\n", cfg.SLA.Template.Name)
 		fmt.Print(sla.Render(sr))
+	}
+	if cfg.Online != nil {
+		ores, err := online.Run(*cfg.Online)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== online load ===")
+		fmt.Print(online.Summary(cfg.Online, ores))
 	}
 	if o.htmlDir != "" {
 		if err := os.MkdirAll(o.htmlDir, 0o755); err != nil {

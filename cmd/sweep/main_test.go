@@ -263,6 +263,22 @@ func TestRunConfigWithSLABlock(t *testing.T) {
 	}
 }
 
+func TestRunConfigWithOnlineBlock(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "exp.json")
+	doc := `{"seed": 3, "scenarios": ["Best case"],
+	  "strategies": ["OneVMperTask-s"], "workflows": [{"name": "Fig1"}],
+	  "market": {"preset": "ondemand-sec"},
+	  "online": {"template": "order", "interarrival_s": 300, "instances": 20,
+	    "scaler": "predictive", "deadline_s": 6000}}`
+	if err := os.WriteFile(cfgPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{seed: 1, table: "none", confPath: cfgPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestProgressLineETA(t *testing.T) {
 	cases := []struct {
 		name         string

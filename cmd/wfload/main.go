@@ -1,0 +1,192 @@
+// Command wfload drives the online autoscaling harness: an open-loop
+// stream of workflow instances — one template or a weighted mix — against
+// an elastic VM pool under a chosen scaler, market preset and fault
+// scenario, reporting response-time percentiles, SLA attainment, pool
+// behaviour and the bill.
+//
+// Usage:
+//
+//	wfload -template order -n 200 -interarrival 300
+//	wfload -mix order:3,montage2:1 -scaler deadline -deadline 3600
+//	wfload -template montage -market spot -faults preempt-mild -trace-out pool.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/fault"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+	"repro/internal/obs"
+	"repro/internal/online"
+)
+
+// options carries every flag, so tests can drive run() directly.
+type options struct {
+	template     string
+	mix          string
+	interarrival float64
+	n            int
+	vmType       string
+	region       string
+	minVMs       int
+	maxVMs       int
+	scaler       string
+	dispatch     string
+	deadline     float64
+	market       string
+	faults       string
+	seed         uint64
+	traceOut     string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.template, "template", "", "built-in template name (see ndflow) or template JSON file")
+	flag.StringVar(&o.mix, "mix", "", "weighted template mix, e.g. order:3,montage2:1 (exclusive with -template)")
+	flag.Float64Var(&o.interarrival, "interarrival", 600, "mean inter-arrival time between instances, seconds")
+	flag.IntVar(&o.n, "n", 100, "number of workflow instances")
+	flag.StringVar(&o.vmType, "type", "small", "VM instance type")
+	flag.StringVar(&o.region, "region", "us-east-virginia", "region")
+	flag.IntVar(&o.minVMs, "min", 0, "warm-pool floor (VMs kept alive while idle)")
+	flag.IntVar(&o.maxVMs, "max", 32, "pool ceiling")
+	flag.StringVar(&o.scaler, "scaler", "reactive", "autoscaler policy: "+strings.Join(online.ScalerNames(), ", "))
+	flag.StringVar(&o.dispatch, "dispatch", "fifo", "ready-queue order: fifo or sjf")
+	flag.Float64Var(&o.deadline, "deadline", 0, "per-instance response SLA in seconds (0 = none)")
+	flag.StringVar(&o.market, "market", "none", "market preset: "+strings.Join(market.PresetNames(), ", "))
+	flag.StringVar(&o.faults, "faults", "none", "fault scenario: "+strings.Join(fault.PresetNames(), ", "))
+	flag.Uint64Var(&o.seed, "seed", 42, "simulation seed")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the pool timeline as Chrome trace JSON to this file")
+	flag.Parse()
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wfload:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveTemplate loads a built-in template by name or a template JSON
+// file by path.
+func resolveTemplate(s string) (ndwf.Template, error) {
+	if tpl, err := ndwf.Named(s); err == nil {
+		return tpl, nil
+	} else if _, statErr := os.Stat(s); statErr != nil {
+		return ndwf.Template{}, err // not a file either: report the name error
+	}
+	f, err := os.Open(s)
+	if err != nil {
+		return ndwf.Template{}, err
+	}
+	defer f.Close()
+	return ndwf.DecodeJSON(f)
+}
+
+// parseMix turns "order:3,montage2:1" into mix entries.
+func parseMix(s string) ([]online.MixEntry, error) {
+	var mix []online.MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, ":")
+		weight := 1.0
+		if ok {
+			var err error
+			if weight, err = strconv.ParseFloat(weightStr, 64); err != nil {
+				return nil, fmt.Errorf("bad mix weight in %q: %v", part, err)
+			}
+		}
+		tpl, err := resolveTemplate(name)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, online.MixEntry{Template: tpl, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return mix, nil
+}
+
+func run(o options, w io.Writer) error {
+	cfg := online.Config{
+		MeanInterarrival: o.interarrival,
+		Instances:        o.n,
+		MinVMs:           o.minVMs,
+		MaxVMs:           o.maxVMs,
+		Deadline:         o.deadline,
+		Seed:             o.seed,
+	}
+	switch {
+	case o.template != "" && o.mix != "":
+		return fmt.Errorf("-template and -mix are exclusive")
+	case o.template != "":
+		tpl, err := resolveTemplate(o.template)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = []online.MixEntry{{Template: tpl, Weight: 1}}
+	case o.mix != "":
+		mix, err := parseMix(o.mix)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = mix
+	default:
+		return fmt.Errorf("one of -template or -mix is required")
+	}
+	var err error
+	if cfg.Type, err = cloud.ParseInstanceType(o.vmType); err != nil {
+		return err
+	}
+	if cfg.Region, err = cloud.ParseRegion(o.region); err != nil {
+		return err
+	}
+	if cfg.Scaler, err = online.ParseScaler(o.scaler); err != nil {
+		return err
+	}
+	if cfg.Dispatch, err = online.ParseDispatch(o.dispatch); err != nil {
+		return err
+	}
+	if cfg.Market, err = market.Preset(o.market); err != nil {
+		return err
+	}
+	fcfg, err := fault.Preset(o.faults)
+	if err != nil {
+		return err
+	}
+	if fcfg.Active() {
+		fcfg.Seed = o.seed
+		cfg.Faults = &fcfg
+	}
+	var col obs.Collector
+	if o.traceOut != "" {
+		cfg.Recorder = &col
+	}
+	res, err := online.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, online.Summary(&cfg, res))
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, col.Events, nil); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pool timeline: %s (%d events; open in Perfetto)\n", o.traceOut, len(col.Events))
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ndwf"
+)
+
+func baseOptions() options {
+	return options{
+		template:     "order",
+		interarrival: 300,
+		n:            40,
+		vmType:       "small",
+		region:       "us-east-virginia",
+		maxVMs:       16,
+		scaler:       "reactive",
+		dispatch:     "fifo",
+		market:       "none",
+		faults:       "none",
+		seed:         7,
+	}
+}
+
+func TestRunTemplateStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(baseOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"online: 40 instances", "response", "pool", "cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMixWithSLAAndMarket(t *testing.T) {
+	o := baseOptions()
+	o.template = ""
+	o.mix = "order:3,montage2:1"
+	o.scaler = "deadline"
+	o.deadline = 7200
+	o.market = "ondemand-sec"
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scaler deadline", "SLA", "cold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpotFaultsAndTrace(t *testing.T) {
+	o := baseOptions()
+	o.market = "spot"
+	o.faults = "preempt-storm"
+	o.traceOut = filepath.Join(t.TempDir(), "pool.json")
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Error("trace file is not valid JSON")
+	}
+	if !strings.Contains(string(raw), `"boot"`) {
+		t.Error("trace file has no boot spans despite spot cold starts")
+	}
+	if !strings.Contains(buf.String(), "pool timeline") {
+		t.Errorf("output missing trace pointer:\n%s", buf.String())
+	}
+}
+
+func TestRunTemplateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tpl.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ndwf.EncodeJSON(f, ndwf.Order()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	o := baseOptions()
+	o.template = path
+	o.n = 10
+	if err := run(o, new(bytes.Buffer)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	o := baseOptions()
+	o.mix = ""
+	o.scaler = "predictive"
+	if err := run(o, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two runs of one seed differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"no template", func(o *options) { o.template = "" }},
+		{"both template and mix", func(o *options) { o.mix = "order:1" }},
+		{"unknown template", func(o *options) { o.template = "bogus" }},
+		{"bad mix weight", func(o *options) { o.template = ""; o.mix = "order:x" }},
+		{"empty mix", func(o *options) { o.template = ""; o.mix = "," }},
+		{"unknown type", func(o *options) { o.vmType = "bogus" }},
+		{"unknown region", func(o *options) { o.region = "bogus" }},
+		{"unknown scaler", func(o *options) { o.scaler = "bogus" }},
+		{"unknown dispatch", func(o *options) { o.dispatch = "bogus" }},
+		{"unknown market", func(o *options) { o.market = "bogus" }},
+		{"unknown faults", func(o *options) { o.faults = "bogus" }},
+	}
+	for _, tc := range cases {
+		o := baseOptions()
+		tc.mut(&o)
+		if err := run(o, new(bytes.Buffer)); err == nil {
+			t.Errorf("%s: run accepted invalid options", tc.name)
+		}
+	}
+}

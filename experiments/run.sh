@@ -24,3 +24,19 @@ go run ./cmd/sweep -table none -paranoid \
   -config experiments/spot-vs-ondemand.json \
   -preempt-rate 1.5 -recovery retry -fault-seed 7 \
   >experiments/spot_preempt_1.5.txt
+
+# Online load (see EXPERIMENTS.md "Spot vs on-demand under continuous
+# load"): the identical open-loop arrival stream — 500 instances of the
+# order:3/montage2:1 mix, one every 120 s on average, deadline-driven
+# scaler, 7200 s response SLA — priced on-demand per-second and on spot
+# with mild preemption. Arrivals are pre-drawn from the seed, so both
+# pools face bit-identical demand and the artifacts diff cleanly.
+go run ./cmd/wfload -mix order:3,montage2:1 -interarrival 120 -n 500 \
+  -scaler deadline -deadline 7200 -max 64 -seed 42 \
+  -market ondemand-sec \
+  >experiments/online_ondemand_sec.txt
+
+go run ./cmd/wfload -mix order:3,montage2:1 -interarrival 120 -n 500 \
+  -scaler deadline -deadline 7200 -max 64 -seed 42 \
+  -market spot -faults preempt-mild \
+  >experiments/online_spot.txt

@@ -22,6 +22,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -103,6 +104,10 @@ type Config struct {
 	// search (an expconf "sla" block) for the driver to run after the
 	// grid sweep. It does not affect the grid itself.
 	SLA *sla.Job
+	// Online, when non-nil, is a resolved continuous-traffic autoscaling
+	// run (an expconf "online" block) for the driver to run after the
+	// grid sweep. Like SLA, it does not affect the grid itself.
+	Online *online.Config
 }
 
 // Fill populates nil fields with the paper's defaults and returns the

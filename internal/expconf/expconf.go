@@ -34,6 +34,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/market"
 	"repro/internal/ndwf"
+	"repro/internal/online"
 	"repro/internal/sched"
 	"repro/internal/sla"
 	"repro/internal/wfio"
@@ -63,6 +64,10 @@ type File struct {
 	// SLA adds a deadline-constrained portfolio search over a
 	// non-deterministic template, run by the driver after the grid sweep.
 	SLA *SLASpec `json:"sla,omitempty"`
+	// Online adds a continuous-traffic autoscaling run (an open-loop
+	// arrival stream against an elastic pool), run by the driver after
+	// the grid sweep.
+	Online *OnlineSpec `json:"online,omitempty"`
 }
 
 // SLASpec is the "sla" block: find the cheapest strategy × market-preset
@@ -176,6 +181,132 @@ func resolveSLA(spec *SLASpec, f File, cfg core.Config, baseDir string) (*sla.Jo
 		job.Config.Candidates = frontier.Portfolio(strategies, markets)
 	}
 	return job, nil
+}
+
+// OnlineSpec is the "online" block: an open-loop stream of workflow
+// instances against an auto-scaled VM pool. Exactly one of Template /
+// TemplateFile (a single-template stream) or Mix (weighted templates)
+// selects the arriving workflows. The file-level seed, region, platform,
+// fault model and market model carry over.
+type OnlineSpec struct {
+	Template      string    `json:"template,omitempty"`
+	TemplateFile  string    `json:"template_file,omitempty"`
+	Mix           []MixSpec `json:"mix,omitempty"`
+	InterarrivalS float64   `json:"interarrival_s"`
+	Instances     int       `json:"instances"`
+	InstanceType  string    `json:"instance_type,omitempty"` // default small
+	MinVMs        int       `json:"min_vms,omitempty"`
+	MaxVMs        int       `json:"max_vms,omitempty"` // default 32
+	Scaler        string    `json:"scaler,omitempty"`  // reactive, deadline, predictive
+	Dispatch      string    `json:"dispatch,omitempty"`
+	DeadlineS     float64   `json:"deadline_s,omitempty"`
+	Seed          uint64    `json:"seed,omitempty"` // default: file seed
+}
+
+// MixSpec is one weighted component of an OnlineSpec mix.
+type MixSpec struct {
+	Template     string  `json:"template,omitempty"`
+	TemplateFile string  `json:"template_file,omitempty"`
+	Weight       float64 `json:"weight,omitempty"` // default 1
+}
+
+// templateRef resolves a registry name or a template JSON file.
+func templateRef(name, file, baseDir, what string) (ndwf.Template, error) {
+	switch {
+	case name != "" && file != "":
+		return ndwf.Template{}, fmt.Errorf("expconf: %s sets both template and template_file", what)
+	case name != "":
+		tpl, err := core.NamedTemplate(name)
+		if err != nil {
+			return ndwf.Template{}, fmt.Errorf("expconf: %w", err)
+		}
+		return tpl, nil
+	case file != "":
+		path := file
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		fh, err := os.Open(path)
+		if err != nil {
+			return ndwf.Template{}, fmt.Errorf("expconf: %s template: %w", what, err)
+		}
+		defer fh.Close()
+		tpl, err := ndwf.DecodeJSON(fh)
+		if err != nil {
+			return ndwf.Template{}, fmt.Errorf("expconf: %s template %s: %w", what, path, err)
+		}
+		return tpl, nil
+	}
+	return ndwf.Template{}, fmt.Errorf("expconf: %s needs a template or template_file", what)
+}
+
+// resolveOnline turns an OnlineSpec into a runnable online.Config,
+// inheriting the file-level seed, region, platform, fault model and
+// market model already resolved into cfg.
+func resolveOnline(spec *OnlineSpec, f File, cfg core.Config, baseDir string) (*online.Config, error) {
+	out := &online.Config{
+		MeanInterarrival: spec.InterarrivalS,
+		Instances:        spec.Instances,
+		Type:             cloud.Small,
+		Region:           cfg.Region,
+		Platform:         cfg.Platform,
+		MinVMs:           spec.MinVMs,
+		MaxVMs:           spec.MaxVMs,
+		Deadline:         spec.DeadlineS,
+		Market:           cfg.Market,
+		Faults:           cfg.Faults,
+		Seed:             spec.Seed,
+	}
+	if out.MaxVMs == 0 {
+		out.MaxVMs = 32
+	}
+	if out.Seed == 0 {
+		out.Seed = f.Seed
+	}
+	if len(spec.Mix) > 0 {
+		if spec.Template != "" || spec.TemplateFile != "" {
+			return nil, fmt.Errorf("expconf: online block sets both a template and a mix")
+		}
+		for i, ms := range spec.Mix {
+			tpl, err := templateRef(ms.Template, ms.TemplateFile, baseDir, fmt.Sprintf("online mix entry %d", i))
+			if err != nil {
+				return nil, err
+			}
+			w := ms.Weight
+			if w == 0 {
+				w = 1
+			}
+			out.Mix = append(out.Mix, online.MixEntry{Template: tpl, Weight: w})
+		}
+	} else {
+		tpl, err := templateRef(spec.Template, spec.TemplateFile, baseDir, "online block")
+		if err != nil {
+			return nil, err
+		}
+		out.Mix = []online.MixEntry{{Template: tpl, Weight: 1}}
+	}
+	if spec.InstanceType != "" {
+		t, err := cloud.ParseInstanceType(spec.InstanceType)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		out.Type = t
+	}
+	if spec.Scaler != "" {
+		s, err := online.ParseScaler(spec.Scaler)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		out.Scaler = s
+	}
+	if spec.Dispatch != "" {
+		d, err := online.ParseDispatch(spec.Dispatch)
+		if err != nil {
+			return nil, fmt.Errorf("expconf: %w", err)
+		}
+		out.Dispatch = d
+	}
+	return out, nil
 }
 
 // FaultSpec configures the sweep's fault model. Preset names a scenario
@@ -436,6 +567,13 @@ func Resolve(f File, baseDir string) (core.Config, error) {
 			return core.Config{}, err
 		}
 		cfg.SLA = job
+	}
+	if f.Online != nil {
+		ocfg, err := resolveOnline(f.Online, f, cfg, baseDir)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Online = ocfg
 	}
 	return cfg, nil
 }

@@ -1,0 +1,94 @@
+package online
+
+import "repro/internal/dag"
+
+// readyTask is a dispatchable task of some arrived instance.
+type readyTask struct {
+	inst    int
+	task    dag.TaskID
+	readyAt float64
+	seq     int // FIFO tie-break; unique across the run
+	work    float64
+	id      int32 // stable telemetry identity, kept across requeues
+	attempt int32 // 1-based; bumped when a crash/preemption requeues the task
+}
+
+// taskHeap is the ready queue: a binary min-heap keyed by the dispatch
+// policy's order. It replaces the old sort-the-whole-slice-per-event
+// queue (O(n log n) per completion) with O(log n) push/pop, and — unlike
+// the old `queue = queue[k:]` re-slicing — it never strands the consumed
+// head of its backing array: popped slots are zeroed and the array is
+// reallocated downward once a drained burst leaves it mostly empty.
+type taskHeap struct {
+	items []readyTask
+	less  func(a, b *readyTask) bool
+}
+
+// heapShrinkMin is the smallest capacity worth reclaiming; below it the
+// backing array is noise.
+const heapShrinkMin = 1024
+
+func (h *taskHeap) Len() int { return len(h.items) }
+
+// Push adds a task.
+func (h *taskHeap) Push(t readyTask) {
+	h.items = append(h.items, t)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(&h.items[i], &h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the least task under the policy order.
+func (h *taskHeap) Pop() readyTask {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = readyTask{} // release, don't strand
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(&h.items[l], &h.items[least]) {
+			least = l
+		}
+		if r < n && h.less(&h.items[r], &h.items[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		i = least
+	}
+	// A drained burst must give its memory back: once the live prefix is
+	// a quarter of a large backing array, move it to a right-sized one.
+	if c := cap(h.items); c >= heapShrinkMin && n <= c/4 {
+		shrunk := make([]readyTask, n, 2*n)
+		copy(shrunk, h.items)
+		h.items = shrunk
+	}
+	return top
+}
+
+// fifoLess orders by readiness time, then arrival sequence.
+func fifoLess(a, b *readyTask) bool {
+	if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	return a.seq < b.seq
+}
+
+// sjfLess orders by task size, then arrival sequence.
+func sjfLess(a, b *readyTask) bool {
+	if a.work != b.work {
+		return a.work < b.work
+	}
+	return a.seq < b.seq
+}

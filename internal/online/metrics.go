@@ -1,0 +1,34 @@
+package online
+
+import "repro/internal/obs"
+
+// poolMetrics is the harness's registry wiring: pool and queue gauges
+// plus outcome counters, one series per scaler policy. Registration is
+// idempotent (the registry fetches existing families), so repeated runs
+// against one registry accumulate counters and overwrite gauges — the
+// Prometheus view of a long-running load generator.
+type poolMetrics struct {
+	pool, queue                                         *obs.Gauge
+	instances, slaMet, rented, crashes, preempts, costs *obs.Counter
+}
+
+func newPoolMetrics(reg *obs.Registry, scaler string) *poolMetrics {
+	return &poolMetrics{
+		pool: reg.Gauge("online_pool_vms",
+			"Live VM pool size of the online autoscaling harness.", "scaler").With(scaler),
+		queue: reg.Gauge("online_queue_depth",
+			"Ready tasks awaiting an idle VM.", "scaler").With(scaler),
+		instances: reg.Counter("online_instances_total",
+			"Workflow instances completed.", "scaler").With(scaler),
+		slaMet: reg.Counter("online_sla_met_total",
+			"Instances completing within Config.Deadline.", "scaler").With(scaler),
+		rented: reg.Counter("online_vms_rented_total",
+			"VM leases opened by the autoscaler.", "scaler").With(scaler),
+		crashes: reg.Counter("online_vm_crashes_total",
+			"VM leases lost to injected crashes.", "scaler").With(scaler),
+		preempts: reg.Counter("online_vm_preemptions_total",
+			"Spot leases reclaimed by the provider.", "scaler").With(scaler),
+		costs: reg.Counter("online_cost_usd_total",
+			"Accumulated rental bill in USD.", "scaler").With(scaler),
+	}
+}

@@ -1,26 +1,42 @@
-// Package online complements the paper's offline (static) schedulers with
-// an instance-intensive execution model from its related work (Sect. II):
-// workflow instances arrive continuously, tasks are dispatched to a shared
-// elastic VM pool, and an auto-scaling policy in the style of Mao &
-// Humphrey rents VMs when ready tasks queue up and releases idle VMs at
-// their BTU boundaries (terminating mid-BTU would waste money already
-// paid).
+// Package online is the repository's continuous-traffic autoscaling
+// harness, complementing the paper's offline (static) schedulers with the
+// instance-intensive execution model of its related work (Sect. II):
+// workflow instances arrive in an open loop (exponential inter-arrival
+// gaps, arrivals never wait for the system), tasks are dispatched to a
+// shared elastic VM pool, and a pluggable auto-scaling policy (Scaler)
+// decides the pool's target size while scale-*down* follows Mao &
+// Humphrey: an idle VM is only released at its billing-unit boundary,
+// because the unit is paid either way and terminating mid-unit wastes
+// money already spent. Per-second billing is the degenerate case — the
+// boundary is everywhere, so surplus idle VMs release immediately.
 //
-// The package reuses the repository's platform model and event queue; its
-// results expose the same cost/idle economics the paper studies, but under
-// load instead of for a single DAG.
+// The harness composes the repository's economics and reliability layers:
+// a market.Model attaches cold-start draws (a fresh VM cannot execute
+// before its boot completes), billing granularities and spot pricing to
+// every rent, and a fault.Config injects VM crashes — plus spot
+// preemptions when the market is spot — that requeue the victim's running
+// task. Workflow mixes are drawn from ndwf templates (Config.Mix), and
+// an obs.Recorder/Registry expose per-VM lease tracks for the Perfetto
+// exporter and pool gauges for Prometheus. Every stochastic input is
+// seed-derived, so a run is a pure function of its Config.
 package online
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/eventq"
+	"repro/internal/fault"
+	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// ewmaAlpha weights the arrival-rate and instance-work moving averages
+// the Predictive scaler reads.
+const ewmaAlpha = 0.2
 
 // Config parameterizes one online simulation.
 type Config struct {
@@ -31,7 +47,12 @@ type Config struct {
 	Instances int
 	// Instance builds the i-th arriving workflow; it may use the RNG for
 	// per-instance variation. The returned workflow must be valid.
+	// Exactly one of Instance and Mix must be set.
 	Instance func(i int, r *stats.RNG) *dag.Workflow
+	// Mix draws each instance from weighted non-deterministic templates
+	// instead: instance i's template choice and sample seed are hash-
+	// derived from (Seed, i), deterministic and order-independent.
+	Mix []MixEntry
 	// Type and Region fix the pool's VM flavour (homogeneous pool, like
 	// the paper's homogeneous experiments).
 	Type   cloud.InstanceType
@@ -41,16 +62,40 @@ type Config struct {
 	// MinVMs VMs are kept alive even when idle; the pool never exceeds
 	// MaxVMs.
 	MinVMs, MaxVMs int
+	// Scaler is the auto-scaling policy; nil selects Reactive.
+	Scaler Scaler
+	// Deadline is the per-instance response-time SLA in seconds (0 = no
+	// SLA): input to the Deadline scaler and the SLAMet count.
+	Deadline float64
 	// EagerScaleDown releases a VM the moment it idles with an empty
-	// queue, instead of waiting for its BTU boundary. The BTU is already
-	// paid either way, so eager release can only lose capacity — the
-	// ablation quantifying why Mao & Humphrey-style auto-scalers terminate
-	// at the billing boundary.
+	// queue, instead of waiting for its billing boundary. Under per-BTU
+	// or per-minute billing the unit is already paid either way, so eager
+	// release can only lose capacity — the ablation quantifying why Mao &
+	// Humphrey-style auto-scalers terminate at the billing boundary.
 	EagerScaleDown bool
 	// Dispatch selects the ready-queue order: FIFO (default) or SJF
 	// (shortest job first), the classic mean-response-time optimization
 	// for heavy-tailed task sizes.
 	Dispatch Dispatch
+	// Market prices the pool: cold-start draws on every rent, billing
+	// granularity, spot discounts and traces. Nil is the paper's
+	// economics — on-demand, per-BTU, pre-booted VMs — reproduced
+	// bit-for-bit. The model's WarmPool and Fallback knobs do not apply
+	// here: MinVMs is the harness's warm pool, and preempted capacity is
+	// re-rented by the scaler on demand.
+	Market *market.Model
+	// Faults injects VM crashes (CrashRate) and, when the market is spot,
+	// provider preemptions (SpotPreemptRate). A killed VM is billed for
+	// its held span and its running task requeues; tasks are never lost.
+	Faults *fault.Config
+	// Recorder, when non-nil, receives the run's telemetry as standard
+	// obs events (lease/boot/rollover/task/crash/preempt), so the stream
+	// renders in the Perfetto exporter with one track per VM lease.
+	Recorder obs.Recorder
+	// Metrics, when non-nil, registers pool-size/queue-depth gauges and
+	// outcome counters (instances, SLA attainment, rentals, crashes,
+	// preemptions, cost) labelled by scaler.
+	Metrics *obs.Registry
 	// Seed drives arrivals and instance generation.
 	Seed uint64
 }
@@ -79,6 +124,37 @@ func (d Dispatch) String() string {
 	return fmt.Sprintf("Dispatch(%d)", int(d))
 }
 
+// ParseDispatch resolves a dispatch policy by name, case-insensitively.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch {
+	case s == "" || equalFold(s, "fifo"):
+		return FIFO, nil
+	case equalFold(s, "sjf"):
+		return SJF, nil
+	}
+	return 0, fmt.Errorf("online: unknown dispatch %q (valid: fifo, sjf)", s)
+}
+
+// equalFold is strings.EqualFold for ASCII policy names.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
 // Result is the measured outcome of an online run.
 type Result struct {
 	// ResponseTimes summarizes per-instance response times (arrival to
@@ -99,6 +175,14 @@ type Result struct {
 	Makespan float64
 	// Events counts dispatched simulator events.
 	Events int
+	// Crashes and Preemptions count VM leases lost to the fault model
+	// (preemptions are spot reclamations, a distinct cause from crashes).
+	Crashes, Preemptions int
+	// ColdStartWaitS sums the cold-start delays drawn across rentals.
+	ColdStartWaitS float64
+	// SLAMet counts instances whose response time met Config.Deadline;
+	// -1 when no deadline was configured.
+	SLAMet int
 }
 
 // Utilization returns BusySeconds/PaidSeconds, or 0 for an idle run.
@@ -126,19 +210,20 @@ func (r *Result) MeetFraction(deadline float64) float64 {
 
 // vm is one pool machine.
 type vm struct {
-	rentAt   float64
-	busy     bool
-	busySum  float64
-	dead     bool
-	paidBTUs int
-}
-
-// readyTask is a dispatchable task of some instance.
-type readyTask struct {
-	inst    int
-	task    dag.TaskID
-	readyAt float64
-	seq     int // FIFO tie-break
+	id        int
+	rentAt    float64
+	readyAt   float64 // boot completes; tasks cannot execute earlier
+	busy      bool
+	busySum   float64
+	dead      bool
+	paidUnits int
+	lease     *market.Lease
+	// cur is the assigned task while busy; curStart its execution start
+	// (after any boot wait) — what a crash mid-task must requeue and
+	// account.
+	cur      readyTask
+	curStart float64
+	hasCur   bool
 }
 
 // Run executes the online simulation.
@@ -146,8 +231,33 @@ func Run(cfg Config) (*Result, error) {
 	if err := checkConfig(&cfg); err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		var err error
+		if inj, err = fault.NewInjector(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	r := stats.NewRNG(cfg.Seed)
-	res := &Result{}
+	res := &Result{SLAMet: -1}
+	if cfg.Deadline > 0 {
+		res.SLAMet = 0
+	}
+
+	// Billing cadence: the market's unit for per-BTU and per-minute
+	// leases; per-second has no sunk cost to wait out, so scale-down goes
+	// eager instead of scheduling an event every simulated second.
+	unit := cloud.BTU
+	perSecond := false
+	if cfg.Market != nil {
+		unit = cfg.Market.Gran.Unit()
+		perSecond = cfg.Market.Gran == market.PerSecond
+	}
+	rec := cfg.Recorder
+	var met *poolMetrics
+	if cfg.Metrics != nil {
+		met = newPoolMetrics(cfg.Metrics, cfg.Scaler.Name())
+	}
 
 	type instance struct {
 		wf        *dag.Workflow
@@ -158,69 +268,196 @@ func Run(cfg Config) (*Result, error) {
 	instances := make([]*instance, 0, cfg.Instances)
 
 	var (
-		q         eventq.Queue
-		now       float64
-		pool      []*vm
-		queue     []readyTask
-		nextSeq   int
-		tasksLeft int // tasks not yet finished, across arrived and future instances
+		q          eventq.Queue
+		now        float64
+		live       []*vm // rented, not-yet-retired VMs in rent order
+		busyCount  int
+		ready      taskHeap
+		queuedWork float64 // summed exec time of ready tasks
+		nextSeq    int
+		nextTaskID int32
+		tasksLeft  int // tasks not yet finished, across arrived and future instances
+		// EWMA state for the Predictive scaler, updated per arrival.
+		ewmaRate     float64
+		ewmaInstWork float64
+		lastArrival  float64
 	)
+	if cfg.Dispatch == SJF {
+		ready.less = sjfLess
+	} else {
+		ready.less = fifoLess
+	}
 	// Until every instance has arrived we cannot know the total; track
 	// arrivals separately so the pool does not retire early.
 	arrivalsLeft := cfg.Instances
 
-	alive := func() (idleVMs []*vm, n int) {
-		for _, m := range pool {
-			if m.dead {
-				continue
-			}
-			n++
-			if !m.busy {
-				idleVMs = append(idleVMs, m)
-			}
+	pushReady := func(rt readyTask) {
+		ready.Push(rt)
+		queuedWork += cfg.Platform.ExecTime(rt.work, cfg.Type)
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindTaskQueued, T: rt.readyAt, VM: -1, Task: rt.id, Attempt: rt.attempt})
 		}
-		return idleVMs, n
+	}
+	popReady := func() readyTask {
+		rt := ready.Pop()
+		queuedWork -= cfg.Platform.ExecTime(rt.work, cfg.Type)
+		if ready.Len() == 0 {
+			queuedWork = 0 // shed float drift at every drain
+		}
+		return rt
 	}
 
-	// retire bills a VM through its current BTU boundary and removes it
-	// from the pool.
+	// removeLive drops m from the live set, preserving rent order (the
+	// order dispatch scans for idle capacity, and the order the paper's
+	// pool demos billed in).
+	removeLive := func(m *vm) {
+		for i, v := range live {
+			if v == m {
+				copy(live[i:], live[i+1:])
+				live[len(live)-1] = nil
+				live = live[:len(live)-1]
+				return
+			}
+		}
+	}
+
+	// bill closes the books on m's lease held for span seconds and
+	// returns the lease cost.
+	bill := func(m *vm, span float64) float64 {
+		cost := m.lease.Cost(m.rentAt, span, cfg.Type, cfg.Region)
+		res.TotalCost += cost
+		res.PaidSeconds += m.lease.PaidSeconds(span)
+		res.BusySeconds += m.busySum
+		if met != nil {
+			met.costs.Add(cost)
+			met.pool.Set(float64(len(live)))
+		}
+		return cost
+	}
+
+	// retire releases an idle VM: dead, out of the live set, billed for
+	// the units it committed to (actual span under per-second billing,
+	// where nothing is committed beyond the second in progress).
 	retire := func(m *vm) {
 		m.dead = true
-		res.TotalCost += float64(m.paidBTUs) * cfg.Region.Price(cfg.Type)
-		res.PaidSeconds += float64(m.paidBTUs) * cloud.BTU
-		res.BusySeconds += m.busySum
+		removeLive(m)
+		span := now - m.rentAt
+		if !perSecond {
+			span = float64(m.paidUnits) * unit
+		}
+		cost := bill(m, span)
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: now, VM: int32(m.id), Task: -1, Value: cost})
+		}
 	}
 
 	var dispatch func()
 
-	// btuCheck releases an idle VM at its BTU boundary, or extends the
-	// lease by another BTU when it is still working (or protected by
-	// MinVMs).
-	var btuCheck func(m *vm)
-	btuCheck = func(m *vm) {
+	// unitCheck fires at m's billing-unit boundaries: release the VM if
+	// it idles with an empty queue (and the pool is above its floor, or
+	// the run has drained), otherwise commit to another unit.
+	var unitCheck func(m *vm)
+	unitCheck = func(m *vm) {
 		if m.dead {
 			return
 		}
 		// After the last task of the last instance the warm-pool floor no
 		// longer applies: everything drains so the simulation terminates.
 		drained := arrivalsLeft == 0 && tasksLeft == 0
-		_, n := alive()
-		if !m.busy && len(queue) == 0 && (n > cfg.MinVMs || drained) {
+		if !m.busy && ready.Len() == 0 && (len(live) > cfg.MinVMs || drained) {
 			retire(m)
 			return
 		}
-		m.paidBTUs++
-		q.Push(m.rentAt+float64(m.paidBTUs)*cloud.BTU, func() { btuCheck(m) })
+		m.paidUnits++
+		if rec != nil && m.lease.BTUBilled() {
+			rec.Record(obs.Event{Kind: obs.KindVMBTURollover, T: now, VM: int32(m.id), Task: -1})
+		}
+		q.Push(m.rentAt+float64(m.paidUnits)*unit, func() { unitCheck(m) })
+	}
+
+	// kill is a crash or spot preemption: the lease is billed for its
+	// held span, the running task (if any) requeues with a fresh attempt,
+	// and the scaler re-rents on demand.
+	kill := func(m *vm, preempt bool) {
+		if m.dead {
+			return
+		}
+		m.dead = true
+		removeLive(m)
+		if m.hasCur {
+			if now > m.curStart {
+				m.busySum += now - m.curStart // partial execution was real work
+			}
+			busyCount--
+			rt := m.cur
+			rt.attempt++
+			rt.readyAt = now
+			rt.seq = nextSeq
+			nextSeq++
+			m.hasCur = false
+			pushReady(rt)
+		}
+		cost := bill(m, now-m.rentAt)
+		kind := obs.KindVMCrash
+		if preempt {
+			res.Preemptions++
+			kind = obs.KindVMPreempt
+			if met != nil {
+				met.preempts.Inc()
+			}
+		} else {
+			res.Crashes++
+			if met != nil {
+				met.crashes.Inc()
+			}
+		}
+		if rec != nil {
+			rec.Record(obs.Event{Kind: kind, T: now, VM: int32(m.id), Task: -1})
+			rec.Record(obs.Event{Kind: obs.KindVMLeaseStop, T: now, VM: int32(m.id), Task: -1, Value: cost})
+		}
+		dispatch()
 	}
 
 	rent := func() *vm {
-		m := &vm{rentAt: now, paidBTUs: 1}
-		pool = append(pool, m)
-		res.VMsRented++
-		if _, n := alive(); n > res.PeakVMs {
-			res.PeakVMs = n
+		id := res.VMsRented
+		m := &vm{id: id, rentAt: now, readyAt: now, paidUnits: 1}
+		if cfg.Market != nil {
+			m.lease = cfg.Market.Terms(id, false)
+			delay := m.lease.ColdStartDelay()
+			m.readyAt = now + delay
+			res.ColdStartWaitS += delay
 		}
-		q.Push(m.rentAt+cloud.BTU, func() { btuCheck(m) })
+		live = append(live, m)
+		res.VMsRented++
+		if len(live) > res.PeakVMs {
+			res.PeakVMs = len(live)
+		}
+		if !perSecond {
+			q.Push(m.rentAt+unit, func() { unitCheck(m) })
+		}
+		if inj != nil {
+			killAt, preempt := inj.CrashAfter(uint64(id)), false
+			if m.lease.IsSpot() {
+				if at := inj.PreemptAfter(uint64(id)); at < killAt {
+					killAt, preempt = at, true
+				}
+			}
+			if !math.IsInf(killAt, 1) {
+				preempt := preempt
+				q.Push(m.rentAt+killAt, func() { kill(m, preempt) })
+			}
+		}
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindVMLeaseStart, T: m.rentAt, VM: int32(m.id), Task: -1,
+				Value: m.readyAt - m.rentAt, Label: cfg.Type.String() + m.lease.LabelSuffix()})
+			if m.readyAt > m.rentAt {
+				rec.Record(obs.Event{Kind: obs.KindVMBootDone, T: m.readyAt, VM: int32(m.id), Task: -1})
+			}
+		}
+		if met != nil {
+			met.rented.Inc()
+			met.pool.Set(float64(len(live)))
+		}
 		return m
 	}
 
@@ -230,25 +467,56 @@ func Run(cfg Config) (*Result, error) {
 	startTask = func(m *vm, rt readyTask) {
 		inst := instances[rt.inst]
 		m.busy = true
-		et := cfg.Platform.ExecTime(inst.wf.Task(rt.task).Work, cfg.Type)
-		m.busySum += et
-		q.Push(now+et, func() {
+		busyCount++
+		st := now
+		if m.readyAt > st {
+			st = m.readyAt // a fresh VM cannot run work before its boot completes
+		}
+		et := cfg.Platform.ExecTime(rt.work, cfg.Type)
+		m.cur, m.curStart, m.hasCur = rt, st, true
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindTaskStart, T: st, VM: int32(m.id), Task: rt.id,
+				Attempt: rt.attempt, Value: et, Label: inst.wf.Task(rt.task).Name})
+		}
+		q.Push(st+et, func() {
+			if m.dead {
+				return // the lease died first; kill() already requeued rt
+			}
 			m.busy = false
+			busyCount--
+			m.hasCur = false
+			m.busySum += et
 			tasksLeft--
 			inst.remaining--
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindTaskFinish, T: now, VM: int32(m.id), Task: rt.id, Attempt: rt.attempt})
+			}
 			if inst.remaining == 0 {
-				responseTimes = append(responseTimes, now-inst.arrivedAt)
+				rtime := now - inst.arrivedAt
+				responseTimes = append(responseTimes, rtime)
+				if cfg.Deadline > 0 && rtime <= cfg.Deadline {
+					res.SLAMet++
+					if met != nil {
+						met.slaMet.Inc()
+					}
+				}
+				if met != nil {
+					met.instances.Inc()
+				}
+				instances[rt.inst] = nil // let the sampled DAG be collected
 			}
 			for _, s := range inst.wf.Succ(rt.task) {
 				inst.pending[s]--
 				if inst.pending[s] == 0 {
-					queue = append(queue, readyTask{inst: rt.inst, task: s, readyAt: now, seq: nextSeq})
+					pushReady(readyTask{inst: rt.inst, task: s, readyAt: now, seq: nextSeq,
+						work: inst.wf.Task(s).Work, id: nextTaskID, attempt: 1})
 					nextSeq++
+					nextTaskID++
 				}
 			}
 			dispatch()
-			if cfg.EagerScaleDown && !m.busy && !m.dead && len(queue) == 0 {
-				if _, n := alive(); n > cfg.MinVMs || (arrivalsLeft == 0 && tasksLeft == 0) {
+			if cfg.EagerScaleDown && !m.busy && !m.dead && ready.Len() == 0 {
+				if len(live) > cfg.MinVMs || (arrivalsLeft == 0 && tasksLeft == 0) {
 					retire(m)
 				}
 			}
@@ -256,41 +524,60 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	dispatch = func() {
-		if len(queue) == 0 {
-			return
-		}
-		switch cfg.Dispatch {
-		case SJF:
-			sort.SliceStable(queue, func(i, j int) bool {
-				wi := instances[queue[i].inst].wf.Task(queue[i].task).Work
-				wj := instances[queue[j].inst].wf.Task(queue[j].task).Work
-				if wi != wj {
-					return wi < wj
-				}
-				return queue[i].seq < queue[j].seq
+		if ready.Len() > 0 {
+			want := cfg.Scaler.Desired(PoolState{
+				Now:          now,
+				Live:         len(live),
+				Idle:         len(live) - busyCount,
+				QueueDepth:   ready.Len(),
+				QueuedWork:   queuedWork,
+				ArrivalRate:  ewmaRate,
+				InstanceWork: ewmaInstWork,
+				Deadline:     cfg.Deadline,
+				MinVMs:       cfg.MinVMs,
+				MaxVMs:       cfg.MaxVMs,
 			})
-		default:
-			sort.SliceStable(queue, func(i, j int) bool {
-				if queue[i].readyAt != queue[j].readyAt {
-					return queue[i].readyAt < queue[j].readyAt
+			// A non-empty queue must drain no matter how wrong the policy's
+			// estimate is: floor at one VM, cap at the pool bound. Scalers
+			// only grow the pool — release stays at billing boundaries.
+			if want < 1 {
+				want = 1
+			}
+			if want > cfg.MaxVMs {
+				want = cfg.MaxVMs
+			}
+			for len(live) < want {
+				rent()
+			}
+			k := len(live) - busyCount
+			if k > ready.Len() {
+				k = ready.Len()
+			}
+			for _, m := range live {
+				if k == 0 {
+					break
 				}
-				return queue[i].seq < queue[j].seq
-			})
+				if m.busy {
+					continue
+				}
+				startTask(m, popReady())
+				k--
+			}
 		}
-		idle, n := alive()
-		// Scale up: one new VM per queued task beyond the idle capacity.
-		for len(queue) > len(idle) && n < cfg.MaxVMs {
-			idle = append(idle, rent())
-			n++
+		if perSecond && ready.Len() == 0 {
+			// Per-second billing has no sunk unit to ride out: surplus idle
+			// VMs release immediately (the degenerate billing boundary).
+			drained := arrivalsLeft == 0 && tasksLeft == 0
+			for i := len(live) - 1; i >= 0 && (len(live) > cfg.MinVMs || drained); i-- {
+				if m := live[i]; !m.busy {
+					retire(m)
+				}
+			}
 		}
-		k := len(queue)
-		if len(idle) < k {
-			k = len(idle)
+		if met != nil {
+			met.queue.Set(float64(ready.Len()))
+			met.pool.Set(float64(len(live)))
 		}
-		for i := 0; i < k; i++ {
-			startTask(idle[i], queue[i])
-		}
-		queue = queue[k:]
 	}
 
 	arrive := func(i int) {
@@ -302,18 +589,36 @@ func Run(cfg Config) (*Result, error) {
 		tasksLeft += wf.Len()
 		inst := &instance{wf: wf, arrivedAt: now, remaining: wf.Len()}
 		inst.pending = make([]int, wf.Len())
+		totalWork := 0.0
 		for id := 0; id < wf.Len(); id++ {
 			inst.pending[id] = len(wf.Pred(dag.TaskID(id)))
+			totalWork += wf.Task(dag.TaskID(id)).Work
 		}
+		instExec := cfg.Platform.ExecTime(totalWork, cfg.Type)
+		if i == 0 {
+			ewmaRate = 1 / cfg.MeanInterarrival
+			ewmaInstWork = instExec
+		} else {
+			if gap := now - lastArrival; gap > 0 {
+				ewmaRate = ewmaAlpha*(1/gap) + (1-ewmaAlpha)*ewmaRate
+			}
+			ewmaInstWork = ewmaAlpha*instExec + (1-ewmaAlpha)*ewmaInstWork
+		}
+		lastArrival = now
 		instances = append(instances, inst)
 		for _, e := range wf.Entries() {
-			queue = append(queue, readyTask{inst: len(instances) - 1, task: e, readyAt: now, seq: nextSeq})
+			pushReady(readyTask{inst: len(instances) - 1, task: e, readyAt: now, seq: nextSeq,
+				work: wf.Task(e).Work, id: nextTaskID, attempt: 1})
 			nextSeq++
+			nextTaskID++
 		}
 		dispatch()
 	}
 
-	// Pre-schedule all arrivals (exponential gaps).
+	// Pre-schedule all arrivals (exponential gaps). Drawing every gap up
+	// front keeps the arrival process independent of per-instance builder
+	// draws, so two configs differing only in the builder see the same
+	// arrival times.
 	t := 0.0
 	for i := 0; i < cfg.Instances; i++ {
 		i := i
@@ -338,11 +643,9 @@ func Run(cfg Config) (*Result, error) {
 		e.Fire()
 	}
 
-	// Close out: retire every surviving VM.
-	for _, m := range pool {
-		if !m.dead {
-			retire(m)
-		}
+	// Close out: retire every surviving VM, in rent order.
+	for len(live) > 0 {
+		retire(live[0])
 	}
 	if len(responseTimes) != cfg.Instances {
 		return nil, fmt.Errorf("online: %d of %d instances completed", len(responseTimes), cfg.Instances)
@@ -350,6 +653,10 @@ func Run(cfg Config) (*Result, error) {
 	res.ResponseTimes = stats.Summarize(responseTimes)
 	res.Responses = responseTimes
 	res.Makespan = now
+	if met != nil {
+		met.pool.Set(0)
+		met.queue.Set(0)
+	}
 	return res, nil
 }
 
@@ -360,14 +667,36 @@ func checkConfig(cfg *Config) error {
 	if cfg.Instances <= 0 {
 		return fmt.Errorf("online: non-positive instance count %d", cfg.Instances)
 	}
-	if cfg.Instance == nil {
-		return fmt.Errorf("online: nil instance builder")
+	switch {
+	case cfg.Instance == nil && len(cfg.Mix) == 0:
+		return fmt.Errorf("online: nil instance builder (set Instance or Mix)")
+	case cfg.Instance != nil && len(cfg.Mix) > 0:
+		return fmt.Errorf("online: both Instance and Mix set")
+	case len(cfg.Mix) > 0:
+		if err := validateMix(cfg.Mix); err != nil {
+			return err
+		}
+		cfg.Instance = mixBuilder(cfg.Mix, cfg.Seed)
 	}
 	if cfg.MinVMs < 0 || cfg.MaxVMs <= 0 || cfg.MinVMs > cfg.MaxVMs {
 		return fmt.Errorf("online: bad pool bounds [%d, %d]", cfg.MinVMs, cfg.MaxVMs)
 	}
+	if cfg.Deadline < 0 {
+		return fmt.Errorf("online: negative deadline %v", cfg.Deadline)
+	}
+	if err := cfg.Market.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Fill().Validate(); err != nil {
+			return err
+		}
+	}
 	if cfg.Platform == nil {
 		cfg.Platform = cloud.NewPlatform()
+	}
+	if cfg.Scaler == nil {
+		cfg.Scaler = Reactive{}
 	}
 	return nil
 }

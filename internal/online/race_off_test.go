@@ -1,0 +1,8 @@
+//go:build !race
+
+package online
+
+// raceEnabled reports whether the race detector is compiled in; the soak
+// scales itself down under -race, where the ~10x instrumentation cost
+// would dominate CI time without finding anything a smaller run misses.
+const raceEnabled = false

@@ -1,0 +1,120 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PoolState is the instantaneous pool view a Scaler decides from. All
+// quantities are exact simulation state except ArrivalRate and
+// InstanceWork, which are exponentially weighted moving averages updated
+// at each instance arrival — the only "estimates" an online controller
+// would actually have.
+type PoolState struct {
+	// Now is the simulated time of the decision.
+	Now float64
+	// Live is the rented pool size (booting VMs included); Idle the live
+	// VMs without an assigned task.
+	Live, Idle int
+	// QueueDepth is the number of ready tasks awaiting a VM; QueuedWork
+	// their summed execution time on the pool's instance type, in seconds.
+	QueueDepth int
+	QueuedWork float64
+	// ArrivalRate is the EWMA instance arrival rate, in instances per
+	// second; InstanceWork the EWMA per-instance total execution time.
+	ArrivalRate  float64
+	InstanceWork float64
+	// Deadline is Config.Deadline (0 when unset).
+	Deadline float64
+	// MinVMs and MaxVMs are the configured pool bounds.
+	MinVMs, MaxVMs int
+}
+
+// Scaler is an auto-scaling policy: given the pool state at a dispatch
+// point it returns the desired pool size. The harness only ever scales
+// *up* toward the desired size (clamped to MaxVMs, floored at one VM
+// while work is queued); scale-down is not a Scaler decision — idle VMs
+// are released at their billing-unit boundaries (see the package
+// comment), because a paid unit is sunk either way.
+type Scaler interface {
+	// Name identifies the policy in catalogs, metrics and reports.
+	Name() string
+	// Desired returns the target pool size for the given state.
+	Desired(s PoolState) int
+}
+
+// Reactive is the queue-threshold policy (the package's original
+// behaviour and the default): one VM per ready task beyond the currently
+// idle capacity.
+type Reactive struct{}
+
+// Name implements Scaler.
+func (Reactive) Name() string { return "reactive" }
+
+// Desired implements Scaler.
+func (Reactive) Desired(s PoolState) int {
+	return s.Live + s.QueueDepth - s.Idle
+}
+
+// Deadline is a Mao & Humphrey-style deadline-driven policy: keep the
+// busy VMs and add enough capacity to clear the queued work within one
+// deadline, so instances admitted now can still meet theirs. Without a
+// configured deadline it degenerates to Reactive.
+type Deadline struct{}
+
+// Name implements Scaler.
+func (Deadline) Name() string { return "deadline" }
+
+// Desired implements Scaler.
+func (Deadline) Desired(s PoolState) int {
+	if s.Deadline <= 0 {
+		return Reactive{}.Desired(s)
+	}
+	busy := s.Live - s.Idle
+	return busy + int(math.Ceil(s.QueuedWork/s.Deadline))
+}
+
+// Predictive sizes the pool from the EWMA arrival rate instead of the
+// current queue: by Little's law a stream of rate λ instances/s, each
+// carrying w execution-seconds, keeps λ·w VMs busy in steady state. The
+// headroom factor over-provisions for burstiness; queue pressure is left
+// to the harness's one-VM floor, so the policy's failure mode under
+// misprediction is a long queue, not a stall.
+type Predictive struct {
+	// Headroom scales the steady-state demand; 0 selects 1.25.
+	Headroom float64
+}
+
+// Name implements Scaler.
+func (Predictive) Name() string { return "predictive" }
+
+// Desired implements Scaler.
+func (p Predictive) Desired(s PoolState) int {
+	h := p.Headroom
+	if h <= 0 {
+		h = 1.25
+	}
+	return int(math.Ceil(h * s.ArrivalRate * s.InstanceWork))
+}
+
+// Scalers returns the built-in policies keyed by catalog name.
+func Scalers() map[string]Scaler {
+	return map[string]Scaler{
+		"reactive":   Reactive{},
+		"deadline":   Deadline{},
+		"predictive": Predictive{},
+	}
+}
+
+// ScalerNames lists the built-in policies alphabetically.
+func ScalerNames() []string { return []string{"deadline", "predictive", "reactive"} }
+
+// ParseScaler resolves a policy by its catalog name, case-insensitively.
+func ParseScaler(name string) (Scaler, error) {
+	if s, ok := Scalers()[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("online: unknown scaler %q (valid: %s)",
+		name, strings.Join(ScalerNames(), ", "))
+}

@@ -1,0 +1,183 @@
+package online
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+)
+
+// soakInstances is the headline soak size: large enough that the old
+// quadratic pool scans and per-completion queue sorts would blow any CI
+// budget, small enough to finish in seconds with the heap + live-set
+// implementation.
+const soakInstances = 100_000
+
+func soakConfig(t testing.TB) Config {
+	t.Helper()
+	order, err := ndwf.Named("order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	montage, err := ndwf.Named("montage2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		MeanInterarrival: 20,
+		Instances:        soakInstances,
+		Mix: []MixEntry{
+			{Template: order, Weight: 3},
+			{Template: montage, Weight: 1},
+		},
+		Type:   cloud.Small,
+		Region: cloud.USEastVirginia,
+		MaxVMs: 256,
+		Market: &market.Model{
+			Gran: market.PerSecond,
+			Cold: market.ColdStart{Dist: "fixed", Mean: 45},
+			Seed: 1,
+		},
+		Deadline: 7200,
+		Seed:     42,
+	}
+}
+
+// TestSoakDeterministicAndBounded is the acceptance soak: 100k instances
+// from a heavy-tail mix, cold starts and per-second market billing
+// active, run twice — bit-identical results, sub-quadratic wall time and
+// bounded heap after the run (the drained queue and collected instances
+// must give their memory back).
+func TestSoakDeterministicAndBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	cfg := soakConfig(t)
+	if raceEnabled {
+		// Same seed and mix, a tenth of the stream: a race smoke, not a
+		// complexity benchmark.
+		cfg.Instances = soakInstances / 10
+	}
+	start := time.Now()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if a.ResponseTimes.N != cfg.Instances {
+		t.Fatalf("completed %d of %d instances", a.ResponseTimes.N, cfg.Instances)
+	}
+	// Event count must stay linear in the task count: with ~10 tasks per
+	// mean instance, 100 events per instance is an order of magnitude of
+	// slack over arrivals + task completions + kill/billing events.
+	if a.Events > cfg.Instances*100 {
+		t.Errorf("event count %d is super-linear (%d instances)", a.Events, cfg.Instances)
+	}
+	// Generous wall bound: the old O(n^2) pool scan took minutes at this
+	// size; the rewrite takes seconds. A factor-10 margin over observed
+	// time keeps slow CI machines green while still catching a
+	// complexity regression.
+	if elapsed > 2*time.Minute {
+		t.Errorf("soak took %v, want well under 2m", elapsed)
+	}
+	if a.ColdStartWaitS <= 0 || a.TotalCost <= 0 {
+		t.Errorf("market inactive in soak: cold wait %v, cost %v", a.ColdStartWaitS, a.TotalCost)
+	}
+
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("soak is not deterministic:\nfirst:  %v\nsecond: %v", a.ResponseTimes, b.ResponseTimes)
+	}
+
+	// The drained run must not pin its transient state: after collection
+	// the live heap should be far below the working set a leaky queue
+	// (the old `queue = queue[k:]` re-slicing) would strand.
+	a, b = nil, nil
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 256<<20 {
+		t.Errorf("post-soak HeapAlloc = %d MiB, want bounded", ms.HeapAlloc>>20)
+	}
+}
+
+// TestSteadyStateAllocs guards the dispatch path's allocation rate: the
+// per-instance cost must stay flat (no per-event sorting buffers, no
+// retained queue heads).
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	cfg := soakConfig(t)
+	cfg.Instances = 2000
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perInstance := allocs / float64(cfg.Instances)
+	// The rate is flat at ~86 allocs/instance (mix sampling + per-task
+	// event closures) from 1k through 16k instances; 130 gives ~50%
+	// headroom while still catching anything super-linear or a
+	// per-event buffer creeping into the dispatch loop.
+	if perInstance > 130 {
+		t.Errorf("%.1f allocations per instance, want steady-state rate under 130", perInstance)
+	}
+}
+
+// TestTaskHeapReleasesDrainedMemory is the direct regression test for the
+// queue leak: push a large burst, drain it, and require the backing array
+// to have been re-sized down — the old re-slicing kept the full burst
+// reachable forever.
+func TestTaskHeapReleasesDrainedMemory(t *testing.T) {
+	h := taskHeap{less: fifoLess}
+	const burst = 200_000
+	for i := 0; i < burst; i++ {
+		h.Push(readyTask{readyAt: float64(i % 97), seq: i, work: float64(i % 13)})
+	}
+	if cap(h.items) < burst {
+		t.Fatalf("cap %d after %d pushes", cap(h.items), burst)
+	}
+	prev := readyTask{readyAt: -1}
+	for h.Len() > 0 {
+		rt := h.Pop()
+		if rt.readyAt < prev.readyAt || (rt.readyAt == prev.readyAt && rt.seq < prev.seq) {
+			t.Fatalf("heap order violated: %+v after %+v", rt, prev)
+		}
+		prev = rt
+	}
+	if cap(h.items) >= burst/4 {
+		t.Errorf("drained heap still holds cap %d (burst %d); backing memory not released",
+			cap(h.items), burst)
+	}
+	// And the drained heap keeps working.
+	h.Push(readyTask{readyAt: 1, seq: 1})
+	h.Push(readyTask{readyAt: 0, seq: 0})
+	if got := h.Pop(); got.seq != 0 {
+		t.Errorf("pop after drain = %+v, want seq 0", got)
+	}
+}
+
+// TestSJFHeapMatchesSortOrder cross-checks the SJF key against a naive
+// ordering: popping must yield tasks by work, ties by sequence — exactly
+// the old stable-sort order.
+func TestSJFHeapMatchesSortOrder(t *testing.T) {
+	h := taskHeap{less: sjfLess}
+	works := []float64{5, 1, 3, 1, 9, 0, 3}
+	for i, w := range works {
+		h.Push(readyTask{work: w, seq: i})
+	}
+	want := []int{5, 1, 3, 2, 6, 0, 4} // by (work, seq)
+	for i, seq := range want {
+		if got := h.Pop(); got.seq != seq {
+			t.Fatalf("pop %d = seq %d, want %d", i, got.seq, seq)
+		}
+	}
+}

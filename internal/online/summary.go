@@ -1,0 +1,32 @@
+package online
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a run's result as the multi-line human report shared
+// by cmd/wfload and cmd/sweep's online block.
+func Summary(cfg *Config, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "online: %d instances, mean interarrival %.0fs, %s/%s, pool [%d, %d], scaler %s, dispatch %s\n",
+		cfg.Instances, cfg.MeanInterarrival, cfg.Type, cfg.Region,
+		cfg.MinVMs, cfg.MaxVMs, cfg.Scaler.Name(), cfg.Dispatch)
+	fmt.Fprintf(&b, "  response  p50 %7.0fs  p90 %7.0fs  p99 %7.0fs  max %7.0fs\n",
+		res.ResponseTimes.Median, res.ResponseTimes.P90, res.ResponseTimes.P99, res.ResponseTimes.Max)
+	if cfg.Deadline > 0 {
+		fmt.Fprintf(&b, "  SLA       %.1f%% within %.0fs (%d of %d)\n",
+			100*float64(res.SLAMet)/float64(res.ResponseTimes.N), cfg.Deadline, res.SLAMet, res.ResponseTimes.N)
+	}
+	fmt.Fprintf(&b, "  pool      peak %d VMs, %d rented, utilization %.0f%%\n",
+		res.PeakVMs, res.VMsRented, 100*res.Utilization())
+	fmt.Fprintf(&b, "  cost      $%.2f over %.0fs makespan (%s)\n",
+		res.TotalCost, res.Makespan, cfg.Market.String())
+	if res.Crashes+res.Preemptions > 0 {
+		fmt.Fprintf(&b, "  faults    %d crashes, %d preemptions\n", res.Crashes, res.Preemptions)
+	}
+	if res.ColdStartWaitS > 0 {
+		fmt.Fprintf(&b, "  cold      %.0fs of boot across rentals\n", res.ColdStartWaitS)
+	}
+	return b.String()
+}

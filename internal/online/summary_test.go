@@ -1,0 +1,109 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+)
+
+func TestSummaryRendersAllSections(t *testing.T) {
+	tpl, err := ndwf.Named("order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := market.Preset("spot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := fault.Config{SpotPreemptRate: 2, Seed: 11}
+	cfg := Config{
+		MeanInterarrival: 300,
+		Instances:        30,
+		Mix:              []MixEntry{{Template: tpl, Weight: 1}},
+		MaxVMs:           16,
+		Scaler:           Reactive{},
+		Deadline:         9000,
+		Market:           m,
+		Faults:           &fcfg,
+		Seed:             7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Summary(&cfg, res)
+	for _, want := range []string{
+		"online: 30 instances, mean interarrival 300s",
+		"scaler reactive, dispatch fifo",
+		"response  p50",
+		"SLA ",
+		"within 9000s",
+		"pool      peak",
+		"cost      $",
+		"preemptions",
+		"of boot across rentals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a deadline, faults, or a market the optional lines vanish.
+	plain := Config{
+		MeanInterarrival: 300,
+		Instances:        10,
+		Mix:              []MixEntry{{Template: tpl, Weight: 1}},
+		MaxVMs:           16,
+		Scaler:           Reactive{},
+		Seed:             7,
+	}
+	pres, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pout := Summary(&plain, pres)
+	for _, absent := range []string{"SLA", "faults", "cold"} {
+		if strings.Contains(pout, absent) {
+			t.Errorf("plain summary should not contain %q:\n%s", absent, pout)
+		}
+	}
+	if !strings.Contains(pout, "market{none}") {
+		t.Errorf("plain summary should name the nil market:\n%s", pout)
+	}
+}
+
+func TestUtilizationOfIdleRun(t *testing.T) {
+	var r Result
+	if got := r.Utilization(); got != 0 {
+		t.Errorf("zero-paid utilization = %v", got)
+	}
+}
+
+func TestDispatchStringAndParse(t *testing.T) {
+	if FIFO.String() != "fifo" || SJF.String() != "sjf" {
+		t.Errorf("dispatch names: %q, %q", FIFO, SJF)
+	}
+	if got := Dispatch(7).String(); got != "Dispatch(7)" {
+		t.Errorf("unknown dispatch String = %q", got)
+	}
+	d, err := ParseDispatch("SJF")
+	if err != nil || d != SJF {
+		t.Errorf("ParseDispatch(SJF) = %v, %v", d, err)
+	}
+	if _, err := ParseDispatch("sj"); err == nil {
+		t.Error("ParseDispatch(sj) succeeded")
+	}
+	if _, err := ParseDispatch("lifo"); err == nil {
+		t.Error("ParseDispatch(lifo) succeeded")
+	}
+}
+
+func TestDeadlineScalerFallsBackToReactive(t *testing.T) {
+	s := PoolState{Live: 4, Idle: 1, QueueDepth: 5}
+	if got, want := (Deadline{}).Desired(s), (Reactive{}).Desired(s); got != want {
+		t.Errorf("no-deadline Deadline.Desired = %d, reactive gives %d", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/market"
+)
+
+// diamondAssignment splits the diamond across two VMs: the spine on vm0,
+// the off-path branch on vm1.
+func diamondAssignment() Assignment {
+	return Assignment{
+		Types:  []cloud.InstanceType{cloud.Small, cloud.Medium},
+		Queues: [][]dag.TaskID{{0, 1, 3}, {2}},
+	}
+}
+
+func TestReplayerCostMatchesReplay(t *testing.T) {
+	for _, preset := range []string{"none", "ondemand-sec", "spot", "warm"} {
+		m, err := market.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := newDiamond(t)
+		rp, err := NewReplayer(wf, cloud.NewPlatform(), cloud.USEastVirginia, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := diamondAssignment()
+		sched, err := rp.Replay(a)
+		if err != nil {
+			t.Fatalf("%s: Replay: %v", preset, err)
+		}
+		want := sched.TotalCost()
+		// Twice: the second call runs entirely on reused scratch.
+		for i := 0; i < 2; i++ {
+			got, err := rp.Cost(a)
+			if err != nil {
+				t.Fatalf("%s: Cost #%d: %v", preset, i, err)
+			}
+			if got != want {
+				t.Errorf("%s: Cost #%d = %v, Replay cost %v", preset, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReplayerRejectsBadAssignment(t *testing.T) {
+	wf := newDiamond(t)
+	rp, err := NewReplayer(wf, cloud.NewPlatform(), cloud.USEastVirginia, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 3 placed twice, task 2 never placed.
+	bad := Assignment{
+		Types:  []cloud.InstanceType{cloud.Small, cloud.Small},
+		Queues: [][]dag.TaskID{{0, 1, 3}, {3}},
+	}
+	if _, err := rp.Cost(bad); err == nil {
+		t.Error("Cost accepted a double-placed task")
+	}
+	if _, err := rp.Replay(bad); err == nil {
+		t.Error("Replay accepted a double-placed task")
+	}
+}
+
+func TestReplayerPrepaidMatchesBuilder(t *testing.T) {
+	m, err := market.Preset("warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := newDiamond(t)
+	a := diamondAssignment()
+	a.Prepaid = []bool{false, true}
+	rp, err := NewReplayer(wf, cloud.NewPlatform(), cloud.USEastVirginia, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := rp.Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.VMs[1].Prepaid || sched.VMs[1].Lease != nil {
+		t.Errorf("prepaid VM carries market terms: %+v", sched.VMs[1])
+	}
+	got, err := rp.Cost(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sched.TotalCost(); got != want {
+		t.Errorf("prepaid Cost = %v, Replay cost %v", got, want)
+	}
+}
+
+func TestBuilderAccessorsAndScheduleString(t *testing.T) {
+	wf := newDiamond(t)
+	p := cloud.NewPlatform()
+	b := NewBuilder(wf, p, cloud.USEastVirginia)
+	if b.Workflow() != wf || b.Platform() != p || b.Region() != cloud.USEastVirginia {
+		t.Error("builder accessors disagree with construction")
+	}
+	b.SetMarket(nil) // no-op, keeps legacy economics
+	if b.Market() != nil {
+		t.Error("nil SetMarket installed a model")
+	}
+	vm0 := b.NewVM(cloud.Small)
+	vm1 := b.NewPrepaidVM(cloud.Medium)
+	if !vm1.Prepaid || vm1.Lease != nil {
+		t.Errorf("prepaid VM: %+v", vm1)
+	}
+	if got := b.VMs(); len(got) != 2 || got[0] != vm0 || got[1] != vm1 {
+		t.Errorf("VMs() = %v", got)
+	}
+	b.PlaceOn(0, vm0)
+	b.PlaceOn(1, vm0)
+	b.PlaceOn(2, vm1)
+	b.PlaceOn(3, vm0)
+	if b.VMOf(3) != vm0 {
+		t.Errorf("VMOf(3) = %v", b.VMOf(3))
+	}
+	if ft := b.FinishTime(3); ft <= 0 {
+		t.Errorf("FinishTime(3) = %v", ft)
+	}
+	s := b.Done()
+	if s.TaskVM(2) != vm1 {
+		t.Errorf("TaskVM(2) = %v", s.TaskVM(2))
+	}
+	str := s.String()
+	if !strings.Contains(str, "schedule{vms: 2") || !strings.Contains(str, "makespan:") {
+		t.Errorf("Schedule.String() = %q", str)
+	}
+}

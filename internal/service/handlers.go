@@ -15,6 +15,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/provision"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -362,6 +363,8 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		Templates:     core.TemplateNames(),
 		FaultPresets:  fault.PresetNames(),
 		MarketPresets: market.PresetNames(),
+		Scalers:       online.ScalerNames(),
+		Dispatches:    []string{"fifo", "sjf"},
 	}
 	for _, rec := range fault.Recoveries() {
 		resp.Recoveries = append(resp.Recoveries, rec.String())

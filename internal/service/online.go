@@ -1,0 +1,353 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/market"
+	"repro/internal/ndwf"
+	"repro/internal/obs"
+	"repro/internal/online"
+)
+
+// maxOnlineInstances bounds a single request's stream length: the run is
+// O(instances × tasks) and the service must not let one request
+// monopolize the pool.
+const maxOnlineInstances = 5000
+
+// defaultOnlineInstances is the stream length when the request leaves it
+// unset.
+const defaultOnlineInstances = 100
+
+// maxOnlinePool bounds the requested pool ceiling.
+const maxOnlinePool = 256
+
+// OnlineMixJSON is one weighted component of an online request's workflow
+// mix. Exactly one of Template (inline ndwf JSON) or TemplateName must be
+// set; Weight defaults to 1.
+type OnlineMixJSON struct {
+	Template     json.RawMessage `json:"template,omitempty"`
+	TemplateName string          `json:"template_name,omitempty"`
+	Weight       float64         `json:"weight,omitempty"`
+}
+
+// OnlineRequest is the body of POST /v1/online: a continuous-traffic
+// autoscaling question. An open-loop exponential stream of workflow
+// instances — one template, or a weighted mix — runs against an elastic
+// VM pool under the requested scaler, market preset and fault rates; the
+// answer is the response-time distribution, SLA attainment, pool
+// behaviour and the bill.
+type OnlineRequest struct {
+	// Template is an inline non-deterministic template document; exclusive
+	// with TemplateName and Mix.
+	Template json.RawMessage `json:"template,omitempty"`
+	// TemplateName names a built-in template ("order", "montage", ...).
+	TemplateName string `json:"template_name,omitempty"`
+	// Mix draws each instance from weighted templates instead.
+	Mix []OnlineMixJSON `json:"mix,omitempty"`
+	// InterarrivalS is the mean exponential inter-arrival gap in seconds
+	// (required, positive).
+	InterarrivalS float64 `json:"interarrival_s"`
+	// Instances is the stream length; default 100, max 5000.
+	Instances int `json:"instances,omitempty"`
+	// Instance is the pool's VM type; default small.
+	Instance string `json:"instance,omitempty"`
+	// Region prices the VMs; default is the paper's US East Virginia.
+	Region string `json:"region,omitempty"`
+	// MinVMs/MaxVMs bound the pool; MaxVMs defaults to 32, capped at 256.
+	MinVMs int `json:"min_vms,omitempty"`
+	MaxVMs int `json:"max_vms,omitempty"`
+	// Scaler names the autoscaling policy; default reactive.
+	Scaler string `json:"scaler,omitempty"`
+	// Dispatch orders the ready queue: fifo (default) or sjf.
+	Dispatch string `json:"dispatch,omitempty"`
+	// DeadlineS is the per-instance response SLA in seconds (0 = none).
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+	// Market names a market preset ("none", "ondemand-sec", "spot", ...).
+	Market string `json:"market,omitempty"`
+	// Fault rates, as in /v1/sla: VM crashes and (for spot markets)
+	// provider preemptions per VM-hour.
+	FaultRate   float64 `json:"fault_rate,omitempty"`
+	PreemptRate float64 `json:"preempt_rate,omitempty"`
+	FaultSeed   uint64  `json:"fault_seed,omitempty"`
+	// Seed drives arrivals and instance sampling.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// OnlineSummaryJSON is a response-time distribution.
+type OnlineSummaryJSON struct {
+	MeanS   float64 `json:"mean_s"`
+	P50S    float64 `json:"p50_s"`
+	P90S    float64 `json:"p90_s"`
+	P99S    float64 `json:"p99_s"`
+	MaxS    float64 `json:"max_s"`
+	StddevS float64 `json:"stddev_s"`
+}
+
+// OnlineResponse is the body answering POST /v1/online.
+type OnlineResponse struct {
+	Instances    int               `json:"instances"`
+	Scaler       string            `json:"scaler"`
+	Dispatch     string            `json:"dispatch"`
+	Instance     string            `json:"instance"`
+	Region       string            `json:"region"`
+	Seed         uint64            `json:"seed"`
+	Response     OnlineSummaryJSON `json:"response"`
+	DeadlineS    float64           `json:"deadline_s,omitempty"`
+	SLAMet       int               `json:"sla_met,omitempty"`
+	SLAFraction  float64           `json:"sla_fraction,omitempty"`
+	PeakVMs      int               `json:"peak_vms"`
+	VMsRented    int               `json:"vms_rented"`
+	Utilization  float64           `json:"utilization"`
+	TotalCostUSD float64           `json:"total_cost_usd"`
+	MakespanS    float64           `json:"makespan_s"`
+	Crashes      int               `json:"crashes,omitempty"`
+	Preemptions  int               `json:"preemptions,omitempty"`
+	ColdStartS   float64           `json:"cold_start_wait_s,omitempty"`
+}
+
+// resolvedOnline is a fully validated online run.
+type resolvedOnline struct {
+	cfg       online.Config
+	canonical []byte // canonical mix encoding for the cache key
+	marketKey string
+	scaler    string
+	dispatch  string
+}
+
+// onlineTemplate resolves one template source to (template, canonical
+// cache bytes).
+func onlineTemplate(raw json.RawMessage, name, what string) (ndwf.Template, []byte, *httpError) {
+	switch {
+	case len(raw) > 0 && name != "":
+		return ndwf.Template{}, nil, unprocessable("%s: set either template or template_name, not both", what)
+	case len(raw) > 0:
+		tpl, err := ndwf.DecodeJSON(bytes.NewReader(raw))
+		if err != nil {
+			return ndwf.Template{}, nil, unprocessable("%s: invalid template: %v", what, err)
+		}
+		if err := tpl.Validate(); err != nil {
+			return ndwf.Template{}, nil, unprocessable("%s: invalid template: %v", what, err)
+		}
+		var buf bytes.Buffer
+		if err := ndwf.EncodeJSON(&buf, tpl); err != nil {
+			return ndwf.Template{}, nil, unprocessable("%s: invalid template: %v", what, err)
+		}
+		return tpl, buf.Bytes(), nil
+	case name != "":
+		tpl, err := core.NamedTemplate(name)
+		if err != nil {
+			return ndwf.Template{}, nil, unprocessable("%v", err)
+		}
+		return tpl, []byte("name:" + tpl.Name), nil
+	}
+	return ndwf.Template{}, nil, unprocessable("%s: missing template: set template or template_name", what)
+}
+
+// resolveOnline validates an online request end to end.
+func resolveOnline(req *OnlineRequest) (*resolvedOnline, *httpError) {
+	out := &resolvedOnline{}
+	var canonical bytes.Buffer
+
+	switch {
+	case len(req.Mix) > 0:
+		if len(req.Template) > 0 || req.TemplateName != "" {
+			return nil, unprocessable("set either a template or a mix, not both")
+		}
+		for i, m := range req.Mix {
+			tpl, canon, herr := onlineTemplate(m.Template, m.TemplateName, "mix entry")
+			if herr != nil {
+				return nil, herr
+			}
+			w := m.Weight
+			if w == 0 {
+				w = 1
+			}
+			if w < 0 {
+				return nil, unprocessable("mix entry %d: negative weight %v", i, w)
+			}
+			out.cfg.Mix = append(out.cfg.Mix, online.MixEntry{Template: tpl, Weight: w})
+			canonical.Write(canon)
+			json.NewEncoder(&canonical).Encode(w)
+		}
+	default:
+		tpl, canon, herr := onlineTemplate(req.Template, req.TemplateName, "online")
+		if herr != nil {
+			return nil, herr
+		}
+		out.cfg.Mix = []online.MixEntry{{Template: tpl, Weight: 1}}
+		canonical.Write(canon)
+	}
+	out.canonical = canonical.Bytes()
+
+	if req.InterarrivalS <= 0 {
+		return nil, unprocessable("interarrival_s must be positive, got %v", req.InterarrivalS)
+	}
+	out.cfg.MeanInterarrival = req.InterarrivalS
+	out.cfg.Instances = req.Instances
+	if out.cfg.Instances == 0 {
+		out.cfg.Instances = defaultOnlineInstances
+	}
+	if out.cfg.Instances < 0 || out.cfg.Instances > maxOnlineInstances {
+		return nil, unprocessable("instances %d outside [1, %d]", req.Instances, maxOnlineInstances)
+	}
+	if req.DeadlineS < 0 {
+		return nil, unprocessable("deadline_s must be non-negative, got %v", req.DeadlineS)
+	}
+	out.cfg.Deadline = req.DeadlineS
+
+	typ := cloud.Small
+	if req.Instance != "" {
+		var err error
+		if typ, err = cloud.ParseInstanceType(req.Instance); err != nil {
+			return nil, unprocessable("%v", err)
+		}
+	}
+	out.cfg.Type = typ
+	region, herr := resolveRegion(req.Region)
+	if herr != nil {
+		return nil, herr
+	}
+	out.cfg.Region = region
+
+	out.cfg.MinVMs = req.MinVMs
+	out.cfg.MaxVMs = req.MaxVMs
+	if out.cfg.MaxVMs == 0 {
+		out.cfg.MaxVMs = 32
+	}
+	if out.cfg.MinVMs < 0 || out.cfg.MaxVMs < 0 || out.cfg.MaxVMs > maxOnlinePool ||
+		out.cfg.MinVMs > out.cfg.MaxVMs {
+		return nil, unprocessable("pool bounds [%d, %d] outside [0, %d]",
+			req.MinVMs, req.MaxVMs, maxOnlinePool)
+	}
+
+	if req.Scaler != "" {
+		scaler, err := online.ParseScaler(req.Scaler)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		out.cfg.Scaler = scaler
+	} else {
+		out.cfg.Scaler = online.Reactive{}
+	}
+	out.scaler = out.cfg.Scaler.Name()
+	dispatch, err := online.ParseDispatch(req.Dispatch)
+	if err != nil {
+		return nil, unprocessable("%v", err)
+	}
+	out.cfg.Dispatch = dispatch
+	out.dispatch = dispatch.String()
+
+	out.marketKey = "none"
+	if req.Market != "" {
+		out.marketKey = strings.ToLower(req.Market)
+		m, err := market.Preset(out.marketKey)
+		if err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		out.cfg.Market = m
+	}
+
+	if req.FaultRate != 0 || req.PreemptRate != 0 {
+		cfg := fault.Config{
+			CrashRate:       req.FaultRate,
+			SpotPreemptRate: req.PreemptRate,
+			Seed:            req.FaultSeed,
+		}
+		if err := cfg.Fill().Validate(); err != nil {
+			return nil, unprocessable("%v", err)
+		}
+		out.cfg.Faults = &cfg
+	}
+	out.cfg.Seed = req.Seed
+	return out, nil
+}
+
+// onlineKey hashes one resolved online run into its cache address: the
+// canonical mix bytes plus every parameter the answer depends on.
+func onlineKey(res *resolvedOnline) cacheKey {
+	var h hasher
+	h.str("online")
+	h.u64(uint64(len(res.canonical)))
+	h.buf = append(h.buf, res.canonical...)
+	h.f64(res.cfg.MeanInterarrival)
+	h.u64(uint64(res.cfg.Instances))
+	h.str(res.cfg.Type.String())
+	h.str(res.cfg.Region.String())
+	h.u64(uint64(res.cfg.MinVMs))
+	h.u64(uint64(res.cfg.MaxVMs))
+	h.str(res.scaler)
+	h.str(res.dispatch)
+	h.f64(res.cfg.Deadline)
+	h.str(res.marketKey)
+	h.faults(res.cfg.Faults)
+	h.u64(res.cfg.Seed)
+	return sha256.Sum256(h.buf)
+}
+
+// handleOnline serves POST /v1/online.
+func (s *Server) handleOnline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req OnlineRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, herr := resolveOnline(&req)
+	if herr != nil {
+		s.writeError(w, herr.code, "%s", herr.msg)
+		return
+	}
+	s.runCached(w, r, "online", onlineKey(res), func(ctx context.Context) (any, error) {
+		return s.planOnline(ctx, res)
+	})
+}
+
+// planOnline runs the autoscaling harness.
+func (s *Server) planOnline(ctx context.Context, res *resolvedOnline) (*OnlineResponse, error) {
+	span, _ := obs.StartSpanCtx(ctx, "online_run")
+	defer span.End()
+	rr, err := online.Run(res.cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &OnlineResponse{
+		Instances: rr.ResponseTimes.N,
+		Scaler:    res.scaler,
+		Dispatch:  res.dispatch,
+		Instance:  res.cfg.Type.String(),
+		Region:    res.cfg.Region.String(),
+		Seed:      res.cfg.Seed,
+		Response: OnlineSummaryJSON{
+			MeanS:   rr.ResponseTimes.Mean,
+			P50S:    rr.ResponseTimes.Median,
+			P90S:    rr.ResponseTimes.P90,
+			P99S:    rr.ResponseTimes.P99,
+			MaxS:    rr.ResponseTimes.Max,
+			StddevS: rr.ResponseTimes.Std,
+		},
+		DeadlineS:    res.cfg.Deadline,
+		PeakVMs:      rr.PeakVMs,
+		VMsRented:    rr.VMsRented,
+		Utilization:  rr.Utilization(),
+		TotalCostUSD: rr.TotalCost,
+		MakespanS:    rr.Makespan,
+		Crashes:      rr.Crashes,
+		Preemptions:  rr.Preemptions,
+		ColdStartS:   rr.ColdStartWaitS,
+	}
+	if res.cfg.Deadline > 0 {
+		out.SLAMet = rr.SLAMet
+		out.SLAFraction = float64(rr.SLAMet) / float64(rr.ResponseTimes.N)
+	}
+	return out, nil
+}

@@ -204,6 +204,8 @@ type CatalogResponse struct {
 	Recoveries    []string `json:"recoveries"`
 	FaultPresets  []string `json:"fault_presets"`
 	MarketPresets []string `json:"market_presets"`
+	Scalers       []string `json:"scalers"`
+	Dispatches    []string `json:"dispatches"`
 }
 
 // httpError carries the status code a resolution failure maps to.

@@ -123,6 +123,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/v1/compare", s.handleCompare)
 	s.mux.HandleFunc("/v1/sla", s.handleSLA)
+	s.mux.HandleFunc("/v1/online", s.handleOnline)
 	s.mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)

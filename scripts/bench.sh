@@ -11,7 +11,8 @@
 #   BENCHTIME  go test -benchtime (default 2s)
 #   OUT        artifact path (default BENCH_sweep.json; '-' for stdout)
 #   AGAINST    baseline artifact; fails on >20% regression of the
-#              full-sweep throughput or the SimReplay ns/op
+#              full-sweep throughput, the SimReplay ns/op, or the
+#              OnlineSoak instances/s
 #   RAW        also save the raw `go test -bench` text here (benchstat input)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,7 +33,7 @@ if [ -n "$RAW" ]; then
 fi
 
 go test -run '^$' -count 1 -benchmem -benchtime "$BENCHTIME" \
-  -bench '^(BenchmarkFullParanoidSweep|BenchmarkScheduleLargeMapReduce|BenchmarkScheduleMontage|BenchmarkHEFTRanks|BenchmarkSimReplay|BenchmarkServiceScheduleCached)$' . \
+  -bench '^(BenchmarkFullParanoidSweep|BenchmarkScheduleLargeMapReduce|BenchmarkScheduleMontage|BenchmarkHEFTRanks|BenchmarkSimReplay|BenchmarkServiceScheduleCached|BenchmarkOnlineSoak)$' . \
   | tee /dev/stderr | tee "$raw_sink" | go run ./cmd/bench "${args[@]}"
 
 if [ "$OUT" != "-" ]; then
